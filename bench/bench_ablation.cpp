@@ -1,0 +1,140 @@
+// Ablations of the implementation's design choices (DESIGN.md §4):
+//   * exact spatial pruning of requester-vehicle pairs in Greedy,
+//   * contraction-hierarchy vs plain Dijkstra distance oracle,
+//   * the pack-candidate restriction K in Rank's pack generation.
+//
+// Pruning and the CH oracle must not change utilities (they are exact); the
+// K-restriction trades utility for time and saturates quickly.
+
+#include <memory>
+#include <vector>
+
+#include "auction/greedy.h"
+#include "auction/rank.h"
+#include "bench_common.h"
+
+namespace auctionride {
+namespace bench {
+namespace {
+
+struct SingleRoundInput {
+  std::vector<Order> orders;
+  std::vector<Vehicle> vehicles;
+};
+
+SingleRoundInput MakeInput(int orders, int vehicles) {
+  World& world = SharedWorld();
+  WorkloadOptions wl = PaperWorkload(/*seed=*/57);
+  wl.num_orders = orders;
+  wl.num_vehicles = vehicles;
+  Workload workload = GenerateSingleRound(wl, *world.oracle, *world.nearest);
+  SingleRoundInput input;
+  input.orders = std::move(workload.orders);
+  for (const VehicleSpawn& spawn : workload.vehicles) {
+    input.vehicles.push_back(spawn.vehicle);
+  }
+  return input;
+}
+
+void BM_GreedyPruning(benchmark::State& state) {
+  const bool pruning = state.range(0) != 0;
+  const SingleRoundInput input = MakeInput(ScaledOrders() / 4,
+                                           ScaledVehicles() / 4);
+  AuctionInstance instance;
+  instance.orders = &input.orders;
+  instance.vehicles = &input.vehicles;
+  instance.oracle = SharedWorld().oracle.get();
+  instance.config = PaperAuction();
+  instance.config.use_spatial_pruning = pruning;
+  DispatchResult result;
+  for (auto _ : state) {
+    result = GreedyDispatch(instance);
+  }
+  state.counters["utility"] = result.total_utility;
+  state.counters["dispatched"] =
+      static_cast<double>(result.assignments.size());
+}
+
+void BM_OracleBackend(benchmark::State& state) {
+  const bool use_ch = state.range(0) != 0;
+  World& world = SharedWorld();
+  // Fresh oracle per backend so the shared cache cannot hide the cost.
+  DistanceOracle oracle(&world.network,
+                        use_ch ? DistanceOracle::Backend::kContractionHierarchy
+                               : DistanceOracle::Backend::kDijkstra);
+  const SingleRoundInput input = MakeInput(ScaledOrders() / 8,
+                                           ScaledVehicles() / 8);
+  AuctionInstance instance;
+  instance.orders = &input.orders;
+  instance.vehicles = &input.vehicles;
+  instance.oracle = &oracle;
+  instance.config = PaperAuction();
+  DispatchResult result;
+  for (auto _ : state) {
+    result = GreedyDispatch(instance);
+  }
+  state.counters["utility"] = result.total_utility;
+  state.counters["oracle_queries"] = static_cast<double>(oracle.num_queries());
+  state.counters["cache_hit_rate"] =
+      oracle.num_queries() == 0
+          ? 0
+          : static_cast<double>(oracle.num_cache_hits()) /
+                static_cast<double>(oracle.num_queries());
+}
+
+void BM_PackCandidateLimit(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const SingleRoundInput input = MakeInput(ScaledOrders() / 4,
+                                           ScaledVehicles() / 4);
+  AuctionInstance instance;
+  instance.orders = &input.orders;
+  instance.vehicles = &input.vehicles;
+  instance.oracle = SharedWorld().oracle.get();
+  instance.config = PaperAuction();
+  instance.config.pack_candidate_limit = k;
+  DispatchResult result;
+  for (auto _ : state) {
+    result = RankDispatch(instance).result;
+  }
+  state.counters["utility"] = result.total_utility;
+  state.counters["dispatched"] =
+      static_cast<double>(result.assignments.size());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace auctionride
+
+BENCHMARK(auctionride::bench::BM_GreedyPruning)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"pruning"})
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+BENCHMARK(auctionride::bench::BM_OracleBackend)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"ch"})
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+BENCHMARK(auctionride::bench::BM_PackCandidateLimit)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(20)
+    ->ArgNames({"K"})
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+int main(int argc, char** argv) {
+  auctionride::bench::PrintHeader(
+      "Ablations",
+      "pruning and the CH oracle are exact (same utility, less time); "
+      "pack-candidate K trades Rank utility for time");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Shared infrastructure for the per-figure benchmark harnesses.
+//
+// Every binary reproduces one figure of the paper's evaluation (§V) and
+// prints the same series the figure reports. The paper ran at 5000 orders /
+// 7000 vehicles (Didi Beijing, 7:00-7:30am); the default bench scale is 0.2x
+// (1000 orders / 1400 vehicles) so the whole suite completes in minutes on a
+// laptop. Set AR_BENCH_SCALE=1.0 to run at full paper scale.
+
+#ifndef AUCTIONRIDE_BENCH_BENCH_COMMON_H_
+#define AUCTIONRIDE_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "roadnet/builder.h"
+#include "roadnet/nearest_node.h"
+#include "roadnet/oracle.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace auctionride {
+namespace bench {
+
+inline double BenchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("AR_BENCH_SCALE");
+    const double s = env != nullptr ? std::atof(env) : 0.2;
+    return s > 0 ? s : 0.2;
+  }();
+  return scale;
+}
+
+inline int ScaledOrders(int paper_count = 5000) {
+  return std::max(50, static_cast<int>(paper_count * BenchScale()));
+}
+
+inline int ScaledVehicles(int paper_count = 7000) {
+  return std::max(50, static_cast<int>(paper_count * BenchScale()));
+}
+
+/// Shared Beijing-like world: network + CH oracle + nearest-node index,
+/// built once per binary.
+struct World {
+  RoadNetwork network;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<NearestNodeIndex> nearest;
+};
+
+inline World& SharedWorld() {
+  static World* world = [] {
+    auto* w = new World();
+    w->network = BuildBeijingLikeNetwork(/*seed=*/7);
+    w->oracle = std::make_unique<DistanceOracle>(
+        &w->network, DistanceOracle::Backend::kContractionHierarchy);
+    w->nearest = std::make_unique<NearestNodeIndex>(&w->network, 400);
+    return w;
+  }();
+  return *world;
+}
+
+/// Paper workload defaults (Table II bold values) at bench scale.
+inline WorkloadOptions PaperWorkload(uint64_t seed = 42) {
+  WorkloadOptions wl;
+  wl.seed = seed;
+  wl.num_orders = ScaledOrders();
+  wl.num_vehicles = ScaledVehicles();
+  wl.duration_s = 1800;
+  wl.gamma = 1.5;
+  return wl;
+}
+
+/// Paper auction defaults (Table II bold values).
+inline AuctionConfig PaperAuction() {
+  AuctionConfig config;
+  config.alpha_d_per_km = 3.0;
+  return config;
+}
+
+/// Runs one full simulation and reports the figure metrics as counters.
+inline SimResult RunSim(MechanismKind mechanism, const WorkloadOptions& wl,
+                        const SimOptions& sim_options) {
+  World& world = SharedWorld();
+  Workload workload = GenerateWorkload(wl, *world.oracle, *world.nearest);
+  SimOptions options = sim_options;
+  options.mechanism = mechanism;
+  Simulator simulator(world.oracle.get(), std::move(workload), options);
+  return simulator.Run();
+}
+
+inline void ReportSim(benchmark::State& state, const SimResult& result) {
+  state.counters["utility"] = result.total_utility;
+  state.counters["dispatch_rate"] = result.dispatch_rate();
+  state.counters["round_time_mean_s"] = result.mean_dispatch_seconds;
+  state.counters["round_time_max_s"] = result.max_dispatch_seconds;
+}
+
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("\n=== %s ===\n%s\nscale=%.2fx of the paper's 5000 orders / "
+              "7000 vehicles (set AR_BENCH_SCALE to change)\n\n",
+              figure, description, BenchScale());
+}
+
+}  // namespace bench
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,111 @@
+// Figure 7(a) — one requester's payment / valuation / utility over a sweep
+// of bids. The paper probes a requester with critical payment 25.4 and
+// valuation 32.7 yuan: below the critical payment the requester is not
+// dispatched (payment 0, utility 0); at or above it, the requester wins and
+// the payment is pinned to the critical value, so the utility plateaus at
+// valuation − critical payment.
+
+#include <vector>
+
+#include "auction/dnw.h"
+#include "auction/rank.h"
+#include "bench_common.h"
+#include "common/table.h"
+
+namespace auctionride {
+namespace bench {
+namespace {
+
+struct SweepResult {
+  double valuation = 0;
+  double critical = 0;
+  TablePrinter table{{"bid", "payment", "valuation", "rider utility"}};
+  bool step_consistent = true;
+};
+
+SweepResult RunSweep() {
+  World& world = SharedWorld();
+  WorkloadOptions wl = PaperWorkload(/*seed=*/19);
+  wl.num_orders = std::max(20, wl.num_orders / 10);
+  wl.num_vehicles = std::max(6, wl.num_orders / 3);  // shortage
+  Workload workload = GenerateSingleRound(wl, *world.oracle, *world.nearest);
+  std::vector<Order> orders = workload.orders;
+  std::vector<Vehicle> vehicles;
+  for (const VehicleSpawn& spawn : workload.vehicles) {
+    vehicles.push_back(spawn.vehicle);
+  }
+
+  AuctionInstance instance;
+  instance.orders = &orders;
+  instance.vehicles = &vehicles;
+  instance.oracle = world.oracle.get();
+  instance.config = PaperAuction();
+
+  // Pick the first dispatched requester with a strictly positive payment.
+  SweepResult sweep;
+  const RankRunResult base = RankDispatch(instance);
+  OrderId probe = kInvalidOrder;
+  for (const Assignment& a : base.result.assignments) {
+    const double pay = DnWPriceOrder(instance, base.artifacts, a.order);
+    if (pay > 1.0) {
+      probe = a.order;
+      sweep.critical = pay;
+      break;
+    }
+  }
+  if (probe == kInvalidOrder) return sweep;
+  sweep.valuation = orders[static_cast<std::size_t>(probe)].valuation;
+
+  for (double factor : {0.5, 0.75, 0.95, 1.0, 1.05, 1.25, 1.5}) {
+    const double bid = sweep.critical * factor;
+    orders[static_cast<std::size_t>(probe)].bid = bid;
+    const RankRunResult run = RankDispatch(instance);
+    double pay = 0;
+    double utility = 0;
+    const bool won = run.result.IsDispatched(probe);
+    if (won) {
+      pay = DnWPriceOrder(instance, run.artifacts, probe);
+      utility = sweep.valuation - pay;
+    }
+    sweep.table.AddRow({FormatDouble(bid), FormatDouble(pay),
+                        FormatDouble(sweep.valuation),
+                        FormatDouble(utility)});
+    // Shape checks: win iff bid >= critical; payment flat when winning.
+    const bool should_win = factor >= 1.0 - 1e-9;
+    if (won != should_win && factor != 1.0) sweep.step_consistent = false;
+    if (won && std::abs(pay - sweep.critical) > 1e-6) {
+      sweep.step_consistent = false;
+    }
+  }
+  return sweep;
+}
+
+void BM_Fig7a(benchmark::State& state) {
+  SweepResult sweep;
+  for (auto _ : state) {
+    sweep = RunSweep();
+  }
+  state.counters["critical_payment"] = sweep.critical;
+  state.counters["valuation"] = sweep.valuation;
+  state.counters["step_consistent"] = sweep.step_consistent ? 1 : 0;
+  sweep.table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace auctionride
+
+BENCHMARK(auctionride::bench::BM_Fig7a)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  auctionride::bench::PrintHeader(
+      "Figure 7(a): requester utility over bids",
+      "Rank+DnW; the probed requester wins iff bid >= critical payment and "
+      "always pays exactly the critical payment");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

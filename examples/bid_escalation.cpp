@@ -1,0 +1,49 @@
+// Bonus escalation during a shortage (paper §II-B): "the losing requesters
+// in a round can increase their bids in the next dispatch round". This
+// example runs the same under-supplied morning peak twice — once with static
+// bids and once where every pended order adds 1 yuan per round — and
+// compares dispatch rates, utilities, and rider experience.
+
+#include <cstdio>
+
+#include "roadnet/builder.h"
+#include "roadnet/nearest_node.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+using namespace auctionride;
+
+int main() {
+  RoadNetwork network = BuildBeijingLikeNetwork(/*seed=*/7);
+  DistanceOracle oracle(&network,
+                        DistanceOracle::Backend::kContractionHierarchy);
+  NearestNodeIndex nearest(&network, 400);
+
+  WorkloadOptions wl;
+  wl.seed = 99;
+  wl.num_orders = 300;
+  wl.num_vehicles = 200;  // under-supplied on purpose
+  wl.duration_s = 900;
+  wl.gamma = 1.5;
+
+  for (double increment : {0.0, 1.0}) {
+    Workload workload = GenerateWorkload(wl, oracle, nearest);
+    SimOptions options;
+    options.mechanism = MechanismKind::kRank;
+    options.auction.alpha_d_per_km = 3.2;  // tight margins: many pend
+    options.auction.beta_d_per_km = 3.2;   // β_d >= α_d (Definition 7)
+    options.pending_bid_increment = increment;
+
+    Simulator simulator(&oracle, std::move(workload), options);
+    const SimResult result = simulator.Run();
+    std::printf("\n=== pending bid increment = %.1f yuan/round ===\n",
+                increment);
+    std::printf("%s", FormatSummary(result).c_str());
+  }
+  std::printf(
+      "\nEscalating bonuses converts pended (eventually expired) orders into\n"
+      "dispatches: the platform serves more riders and U_auc rises, exactly\n"
+      "the self-motivated bonus behaviour Use case 1 describes.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "auction/bonus.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace auctionride {
+
+std::vector<Order> ApplyBonusQuotes(const std::vector<Order>& orders,
+                                    const FareModel& fare,
+                                    const std::vector<BonusQuote>& quotes) {
+  std::unordered_map<OrderId, double> bonus_of;
+  for (const BonusQuote& quote : quotes) {
+    AR_CHECK(quote.bonus >= 0) << "bonuses cannot be negative";
+    bonus_of[quote.order] = quote.bonus;
+  }
+  std::vector<Order> result = orders;
+  std::size_t matched = 0;
+  for (Order& order : result) {
+    const double base = fare.BasePrice(order);
+    auto it = bonus_of.find(order.id);
+    const double bonus = it != bonus_of.end() ? it->second : 0.0;
+    if (it != bonus_of.end()) ++matched;
+    order.bid = base + bonus;
+    // Under truthful bidding the valuation is base + true bonus valuation;
+    // callers probing misreports overwrite `bid` afterwards.
+    order.valuation = order.bid;
+  }
+  AR_CHECK(matched == bonus_of.size())
+      << "bonus quote references an unknown order";
+  return result;
+}
+
+PaymentBreakdown SplitPayment(const Order& order, const FareModel& fare,
+                              double payment) {
+  PaymentBreakdown split;
+  const double base = fare.BasePrice(order);
+  split.base_part = std::min(payment, base);
+  split.bonus_part = std::max(0.0, payment - base);
+  return split;
+}
+
+}  // namespace auctionride

@@ -1,0 +1,59 @@
+// The base-price + bonus interface of Use case 1 (paper §I and §II-B).
+//
+// Requesters often cannot quote an absolute price for a trip; instead the
+// platform displays a base price (the common charge for the trip) and the
+// requester bids only the *bonus* on top. The auction mechanisms are
+// unchanged — bid_j = base_j + bonus_j — and, as the paper notes, all
+// properties carry over. This adapter computes base prices from a fare
+// model, translates bonuses to bids, and splits payments back into
+// base + bonus parts for display.
+
+#ifndef AUCTIONRIDE_AUCTION_BONUS_H_
+#define AUCTIONRIDE_AUCTION_BONUS_H_
+
+#include <vector>
+
+#include "auction/types.h"
+
+namespace auctionride {
+
+/// Didi-style upfront fare model: base flag fall plus a per-km rate on the
+/// shortest trip distance.
+struct FareModel {
+  double flag_fall = 8.0;     // yuan
+  double per_km_rate = 2.3;   // yuan/km
+
+  double BasePrice(const Order& order) const {
+    return flag_fall + per_km_rate * order.shortest_distance_m / 1000.0;
+  }
+};
+
+struct BonusQuote {
+  OrderId order = kInvalidOrder;
+  double base_price = 0;  // shown to the requester
+  double bonus = 0;       // the requester's claimed bonus (their bid input)
+};
+
+/// Applies each quote's bonus on top of the model's base price, producing
+/// the orders the auction actually runs on (bid = base + bonus). Orders
+/// without a quote bid exactly the base price (zero bonus). Quotes must
+/// reference existing orders.
+std::vector<Order> ApplyBonusQuotes(const std::vector<Order>& orders,
+                                    const FareModel& fare,
+                                    const std::vector<BonusQuote>& quotes);
+
+/// Splits a computed payment into the base part and the effective bonus
+/// charged (payment − base, clamped at zero from below): with critical
+/// payments the charged bonus can be *less* than the offered bonus, and a
+/// payment below the base price means the ride cost less than the standard
+/// fare.
+struct PaymentBreakdown {
+  double base_part = 0;
+  double bonus_part = 0;
+};
+PaymentBreakdown SplitPayment(const Order& order, const FareModel& fare,
+                              double payment);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_AUCTION_BONUS_H_

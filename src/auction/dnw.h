@@ -1,0 +1,45 @@
+// DnW — Divide-and-Walk pricing for the ranking-based dispatch
+// (Algorithm 4 of the paper).
+//
+// To price a dispatched requester r_h, the domain of bid_h is divided into
+// intervals at the points f(pack_j) where pack_j (a Rank pack containing
+// r_h) stops being the optimal pack of its owner r_j and is replaced by p'_j,
+// the owner's best pack excluding r_h (Lemma IV.1). Intervals are explored
+// in ascending order; in each interval, the smallest bid for each surviving
+// r_h-pack to be dispatched by Algorithm 3 is computed exactly, and the
+// first interval yielding a valid bid terminates the walk.
+//
+// The per-pack critical bid is computed without numeric search: until the
+// first pack containing r_h is dispatched, skipped packs do not alter the
+// dispatch state, so the sequence of dispatched r_h-free packs is fixed.
+// A pack containing r_h is dispatched iff its (bid-dependent) utility places
+// it before the first conflicting pack of that fixed sequence and above the
+// dispatch threshold — giving a closed-form critical utility.
+
+#ifndef AUCTIONRIDE_AUCTION_DNW_H_
+#define AUCTIONRIDE_AUCTION_DNW_H_
+
+#include <vector>
+
+#include "auction/rank.h"
+#include "auction/types.h"
+
+namespace auctionride {
+
+class ThreadPool;
+
+/// Critical payment of the dispatched requester `order_id` under Rank.
+/// `artifacts` must come from RankDispatch on the same instance.
+double DnWPriceOrder(const AuctionInstance& instance,
+                     const RankArtifacts& artifacts, OrderId order_id);
+
+/// Prices every requester dispatched in `dispatch` (parallel when `pool`
+/// is non-null).
+std::vector<Payment> DnWPriceAll(const AuctionInstance& instance,
+                                 const RankArtifacts& artifacts,
+                                 const DispatchResult& dispatch,
+                                 ThreadPool* pool = nullptr);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_AUCTION_DNW_H_

@@ -1,0 +1,56 @@
+#include "auction/gpri.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "auction/greedy.h"
+#include "common/thread_pool.h"
+
+namespace auctionride {
+
+double GPriPriceOrder(const AuctionInstance& instance, OrderId order_id) {
+  const Order* priced = nullptr;
+  for (const Order& o : *instance.orders) {
+    if (o.id == order_id) {
+      priced = &o;
+      break;
+    }
+  }
+  AR_CHECK(priced != nullptr) << "priced order not in the instance";
+
+  const GreedyTracedResult traced =
+      GreedyDispatchExcluding(instance, order_id);
+
+  double pay = priced->bid;  // Algorithm 2 line 1
+  // Dispatch after everyone, replacing nobody (lines 3-6): critical bid is
+  // the cost itself (utility crosses the dispatch threshold at bid = cost).
+  if (traced.h_cost_end < pay) pay = traced.h_cost_end;
+
+  // Replace one of the dispatched requesters (lines 7-11).
+  for (const GreedyStepTrace& step : traced.steps) {
+    if (step.h_cost_before == std::numeric_limits<double>::infinity()) {
+      break;  // line 8: r_h had no valid pair left before this step
+    }
+    const double replace_bid = step.bid - step.cost + step.h_cost_before;
+    pay = std::min(pay, replace_bid);
+  }
+  return std::max(pay, 0.0);
+}
+
+std::vector<Payment> GPriPriceAll(const AuctionInstance& instance,
+                                  const DispatchResult& dispatch,
+                                  ThreadPool* pool) {
+  std::vector<Payment> payments(dispatch.assignments.size());
+  auto price_one = [&](std::size_t i) {
+    const OrderId id = dispatch.assignments[i].order;
+    payments[i] = {id, GPriPriceOrder(instance, id)};
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(payments.size(), price_one);
+  } else {
+    for (std::size_t i = 0; i < payments.size(); ++i) price_one(i);
+  }
+  return payments;
+}
+
+}  // namespace auctionride

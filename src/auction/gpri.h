@@ -1,0 +1,37 @@
+// GPri — order pricing for the greedy dispatch (Algorithm 2 of the paper).
+//
+// To price a dispatched requester r_h, Greedy is re-run on R \ {r_h}. The
+// payment is the minimum over:
+//   * r_h's cheapest insertion cost once every other dispatch has finished
+//     (dispatched without replacing anyone; requires feasibility then), and
+//   * for each dispatched r_jk, the smallest bid for r_h to replace it:
+//     bid_jk − cost_jk + h_cost_k, where h_cost_k is r_h's cheapest
+//     insertion cost immediately before r_jk's dispatch,
+// capped by bid_h (individual rationality). The scan stops at the first step
+// where r_h has no valid insertion left (vehicles only fill up, so validity
+// is monotone).
+
+#ifndef AUCTIONRIDE_AUCTION_GPRI_H_
+#define AUCTIONRIDE_AUCTION_GPRI_H_
+
+#include <vector>
+
+#include "auction/types.h"
+
+namespace auctionride {
+
+class ThreadPool;
+
+/// Critical payment of the dispatched requester `order_id` under Greedy.
+double GPriPriceOrder(const AuctionInstance& instance, OrderId order_id);
+
+/// Prices every requester dispatched in `dispatch`. Requesters are priced
+/// independently (in parallel when `pool` is non-null, matching the paper's
+/// multithreaded pricing).
+std::vector<Payment> GPriPriceAll(const AuctionInstance& instance,
+                                  const DispatchResult& dispatch,
+                                  ThreadPool* pool = nullptr);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_AUCTION_GPRI_H_

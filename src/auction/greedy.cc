@@ -1,0 +1,209 @@
+#include "auction/greedy.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/timer.h"
+#include "planner/insertion.h"
+#include "spatial/grid_index.h"
+
+namespace auctionride {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct HeapEntry {
+  double utility;
+  int order_idx;
+  int veh_idx;
+  uint32_t version;
+};
+
+// Max-heap ordering with deterministic tie-breaking.
+struct HeapLess {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.utility != b.utility) return a.utility < b.utility;
+    if (a.order_idx != b.order_idx) return a.order_idx > b.order_idx;
+    return a.veh_idx > b.veh_idx;
+  }
+};
+
+// Candidate vehicle indices for an order: exact spatial pruning when
+// enabled, otherwise all vehicles.
+std::vector<int32_t> CandidateVehicles(const AuctionInstance& in,
+                                       const GridIndex& vehicle_index,
+                                       const Order& order) {
+  if (in.config.use_spatial_pruning) {
+    const Point origin = in.oracle->network().position(order.origin);
+    return vehicle_index.WithinRadius(
+        origin, MaxPickupRadiusM(order, in.oracle->speed_mps()));
+  }
+  std::vector<int32_t> all(in.vehicles->size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<int32_t>(i);
+  }
+  return all;
+}
+
+DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
+                         GreedyTracedResult* traced) {
+  AR_CHECK(in.orders != nullptr && in.vehicles != nullptr &&
+           in.oracle != nullptr);
+  WallTimer timer;
+  const std::vector<Order>& orders = *in.orders;
+  std::vector<Vehicle> vehicles = *in.vehicles;  // working copies
+  const double alpha_per_m = in.config.alpha_d_per_km / 1000.0;
+
+  // Vehicle spatial index for pair pruning.
+  std::vector<GridIndex::Item> items;
+  items.reserve(vehicles.size());
+  for (std::size_t i = 0; i < vehicles.size(); ++i) {
+    items.push_back({static_cast<int32_t>(i),
+                     in.oracle->network().position(vehicles[i].next_node)});
+  }
+  const GridIndex vehicle_index(std::move(items), /*cell_size_m=*/1000);
+
+  // Pool initialization (Algorithm 1 lines 2-6).
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
+  std::vector<uint32_t> veh_version(vehicles.size(), 0);
+  std::vector<std::vector<int>> veh_candidates(vehicles.size());
+  std::vector<char> dispatched(orders.size(), 0);
+
+  int excluded_idx = -1;
+  for (std::size_t j = 0; j < orders.size(); ++j) {
+    if (orders[j].id == excluded) {
+      excluded_idx = static_cast<int>(j);
+      break;
+    }
+  }
+  AR_CHECK(excluded == kInvalidOrder || excluded_idx >= 0)
+      << "excluded order not in the instance";
+
+  auto pair_utility = [&](int order_idx, int veh_idx) -> double {
+    const InsertionResult ins = BestInsertion(
+        vehicles[static_cast<std::size_t>(veh_idx)],
+        orders[static_cast<std::size_t>(order_idx)], in.now_s, *in.oracle);
+    if (!ins.feasible) return -kInf;
+    return orders[static_cast<std::size_t>(order_idx)].bid -
+           alpha_per_m * ins.delta_delivery_m;
+  };
+
+  for (std::size_t j = 0; j < orders.size(); ++j) {
+    if (static_cast<int>(j) == excluded_idx) continue;
+    for (int32_t v : CandidateVehicles(in, vehicle_index, orders[j])) {
+      const double u = pair_utility(static_cast<int>(j), v);
+      if (u == -kInf) continue;
+      heap.push({u, static_cast<int>(j), v, 0});
+      veh_candidates[static_cast<std::size_t>(v)].push_back(
+          static_cast<int>(j));
+    }
+  }
+
+  // Excluded requester's insertion-cost tracking (for GPri).
+  std::vector<int32_t> excluded_candidates;
+  std::vector<double> excluded_cost;  // parallel to excluded_candidates
+  auto recompute_excluded_cost = [&](std::size_t slot) {
+    const int veh = excluded_candidates[slot];
+    const InsertionResult ins =
+        BestInsertion(vehicles[static_cast<std::size_t>(veh)],
+                      orders[static_cast<std::size_t>(excluded_idx)],
+                      in.now_s, *in.oracle);
+    excluded_cost[slot] =
+        ins.feasible ? alpha_per_m * ins.delta_delivery_m : kInf;
+  };
+  if (excluded_idx >= 0) {
+    excluded_candidates = CandidateVehicles(
+        in, vehicle_index, orders[static_cast<std::size_t>(excluded_idx)]);
+    excluded_cost.resize(excluded_candidates.size());
+    for (std::size_t s = 0; s < excluded_candidates.size(); ++s) {
+      recompute_excluded_cost(s);
+    }
+  }
+  auto current_h_cost = [&]() -> double {
+    double best = kInf;
+    for (double c : excluded_cost) best = std::min(best, c);
+    return best;
+  };
+
+  // One-by-one dispatch (Algorithm 1 lines 7-16).
+  DispatchResult result;
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.utility < in.config.min_utility) break;  // line 9
+    if (dispatched[static_cast<std::size_t>(top.order_idx)]) continue;
+    if (top.version !=
+        veh_version[static_cast<std::size_t>(top.veh_idx)]) {
+      continue;  // stale: a fresh entry for this pair exists (or it died)
+    }
+
+    const Order& order = orders[static_cast<std::size_t>(top.order_idx)];
+    Vehicle& vehicle = vehicles[static_cast<std::size_t>(top.veh_idx)];
+    const InsertionResult ins =
+        BestInsertion(vehicle, order, in.now_s, *in.oracle);
+    AR_CHECK(ins.feasible);
+    const double cost = alpha_per_m * ins.delta_delivery_m;
+
+    if (traced != nullptr) {
+      traced->steps.push_back(
+          {order.id, order.bid, cost, current_h_cost()});
+    }
+
+    vehicle.plan.stops = ins.new_plan;
+    ++veh_version[static_cast<std::size_t>(top.veh_idx)];
+    dispatched[static_cast<std::size_t>(top.order_idx)] = 1;
+    result.assignments.push_back(
+        {order.id, vehicle.id, cost, order.bid - cost});
+    result.total_utility += order.bid - cost;
+    result.total_delta_delivery_m += ins.delta_delivery_m;
+
+    // Lines 12-15: refresh pairs of the updated vehicle.
+    std::vector<int>& cands =
+        veh_candidates[static_cast<std::size_t>(top.veh_idx)];
+    std::vector<int> alive;
+    alive.reserve(cands.size());
+    for (int other : cands) {
+      if (dispatched[static_cast<std::size_t>(other)]) continue;
+      const double u = pair_utility(other, top.veh_idx);
+      if (u == -kInf) continue;  // pair no longer valid: removed
+      heap.push({u, other, top.veh_idx,
+                 veh_version[static_cast<std::size_t>(top.veh_idx)]});
+      alive.push_back(other);
+    }
+    cands = std::move(alive);
+
+    if (excluded_idx >= 0) {
+      for (std::size_t s = 0; s < excluded_candidates.size(); ++s) {
+        if (excluded_candidates[s] == top.veh_idx) {
+          recompute_excluded_cost(s);
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < vehicles.size(); ++i) {
+    if (veh_version[i] > 0) {
+      result.updated_plans.push_back({i, vehicles[i].plan.stops});
+    }
+  }
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  if (traced != nullptr) traced->h_cost_end = current_h_cost();
+  return result;
+}
+
+}  // namespace
+
+DispatchResult GreedyDispatch(const AuctionInstance& instance) {
+  return RunGreedy(instance, kInvalidOrder, nullptr);
+}
+
+GreedyTracedResult GreedyDispatchExcluding(const AuctionInstance& instance,
+                                           OrderId excluded) {
+  AR_CHECK(excluded != kInvalidOrder);
+  GreedyTracedResult traced;
+  traced.result = RunGreedy(instance, excluded, &traced);
+  return traced;
+}
+
+}  // namespace auctionride

@@ -1,0 +1,58 @@
+// Greedy-based order dispatch — Algorithm 1 of the paper.
+//
+// The algorithm initializes a pool of all valid requester-vehicle pairs with
+// their utilities u_ij = bid_j − α_d·ΔD_i(r_j) (Equation 3), then repeatedly
+// dispatches the maximum-utility pair, removing the dispatched requester's
+// other pairs and recomputing the utilities of pairs on the updated vehicle,
+// until the pool empties or the maximum utility falls below zero.
+//
+// Implementation notes:
+//  * The pool is a lazy max-heap; entries are stamped with a per-vehicle
+//    version, so stale entries (pushed before the vehicle's last update)
+//    are discarded on pop — semantically identical to Algorithm 1's
+//    re-computation at lines 12–15.
+//  * Pair initialization uses exact spatial pruning: a pair can only be
+//    valid if the vehicle lies within speed·θ_j of the origin (see
+//    planner::MaxPickupRadiusM), so only those vehicles are probed.
+
+#ifndef AUCTIONRIDE_AUCTION_GREEDY_H_
+#define AUCTIONRIDE_AUCTION_GREEDY_H_
+
+#include <vector>
+
+#include "auction/types.h"
+
+namespace auctionride {
+
+/// Runs Algorithm 1 on the instance.
+DispatchResult GreedyDispatch(const AuctionInstance& instance);
+
+/// One dispatch step of a Greedy run with an excluded ("priced") requester:
+/// the dispatched requester's bid and cost, and the excluded requester's
+/// cheapest insertion cost *immediately before* this dispatch (pool_jk in
+/// Algorithm 2). h_cost_before is +infinity when the excluded requester had
+/// no valid insertion left at that point.
+struct GreedyStepTrace {
+  OrderId order = kInvalidOrder;
+  double bid = 0;
+  double cost = 0;           // α_d·ΔD of the dispatch, yuan
+  double h_cost_before = 0;  // excluded requester's cheapest cost, yuan
+};
+
+struct GreedyTracedResult {
+  DispatchResult result;
+  std::vector<GreedyStepTrace> steps;
+  // The excluded requester's cheapest insertion cost after every dispatch
+  // finished (the "dispatch without replacing anyone" term of Algorithm 2);
+  // +infinity when infeasible.
+  double h_cost_end = 0;
+};
+
+/// Runs Algorithm 1 on the instance with `excluded` removed from the
+/// requester set, tracing the quantities Algorithm 2 (GPri) needs.
+GreedyTracedResult GreedyDispatchExcluding(const AuctionInstance& instance,
+                                           OrderId excluded);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_AUCTION_GREEDY_H_

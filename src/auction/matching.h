@@ -1,0 +1,37 @@
+// Bipartite-matching dispatch baseline (related work [7], Na et al.):
+// each vehicle takes at most one new requester per round, and the
+// requester-vehicle assignment maximizes the summed pair utilities — a
+// maximum-weight bipartite matching, solved exactly with the Hungarian
+// (Kuhn-Munkres / shortest-augmenting-path) algorithm.
+//
+// Compared to the paper's Greedy this is *globally* optimal for the
+// one-rider-per-vehicle relaxation, but it cannot exploit ridesharing packs;
+// it sits between Greedy and Rank conceptually and makes a good yardstick.
+
+#ifndef AUCTIONRIDE_AUCTION_MATCHING_H_
+#define AUCTIONRIDE_AUCTION_MATCHING_H_
+
+#include <vector>
+
+#include "auction/types.h"
+
+namespace auctionride {
+
+/// Exact maximum-weight bipartite matching with free non-assignment.
+/// `weights[i][j]` is the value of matching row i to column j;
+/// -infinity (or any value below `min_weight`) marks an inadmissible pair.
+/// Returns, for each row, the matched column or -1. The matching maximizes
+/// the total weight over admissible pairs, never selecting a pair whose
+/// weight is below `min_weight`.
+std::vector<int> MaxWeightMatching(
+    const std::vector<std::vector<double>>& weights, double min_weight = 0.0);
+
+/// One-requester-per-vehicle dispatch: builds the utility matrix
+/// u_ij = bid_j − α_d·ΔD_i(r_j) over feasible insertions (with the same
+/// exact spatial pruning as Greedy) and dispatches a maximum-weight
+/// matching of non-negative-utility pairs.
+DispatchResult MatchingDispatch(const AuctionInstance& instance);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_AUCTION_MATCHING_H_

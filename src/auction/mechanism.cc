@@ -1,0 +1,76 @@
+#include "auction/mechanism.h"
+
+#include <unordered_map>
+
+#include "auction/dnw.h"
+#include "auction/gpri.h"
+#include "auction/greedy.h"
+#include "common/timer.h"
+
+namespace auctionride {
+
+std::string_view MechanismName(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kGreedy:
+      return "Greedy+GPri";
+    case MechanismKind::kRank:
+      return "Rank+DnW";
+  }
+  return "unknown";
+}
+
+MechanismOutcome RunMechanism(MechanismKind kind,
+                              const AuctionInstance& instance,
+                              const MechanismOptions& options,
+                              ThreadPool* pricing_pool) {
+  AR_CHECK(instance.orders != nullptr);
+  const double cr = instance.config.charge_ratio;
+  AR_CHECK(cr >= 0 && cr < 1) << "charge ratio must be in [0, 1)";
+
+  // Deduct the dispatch fee from every bid (§V-C).
+  std::vector<Order> deducted = *instance.orders;
+  for (Order& o : deducted) o.bid *= (1.0 - cr);
+  AuctionInstance charged = instance;
+  charged.orders = &deducted;
+
+  MechanismOutcome outcome;
+  if (kind == MechanismKind::kGreedy) {
+    outcome.dispatch = GreedyDispatch(charged);
+  } else {
+    RankRunResult run = RankDispatch(charged);
+    outcome.dispatch = std::move(run.result);
+    outcome.rank_artifacts = std::move(run.artifacts);
+  }
+  outcome.dispatch_seconds = outcome.dispatch.elapsed_seconds;
+
+  if (options.run_pricing) {
+    WallTimer pricing_timer;
+    if (kind == MechanismKind::kGreedy) {
+      outcome.payments =
+          GPriPriceAll(charged, outcome.dispatch, pricing_pool);
+    } else {
+      outcome.payments = DnWPriceAll(charged, outcome.rank_artifacts,
+                                     outcome.dispatch, pricing_pool);
+    }
+    outcome.pricing_seconds = pricing_timer.ElapsedSeconds();
+
+    std::unordered_map<OrderId, const Order*> by_id;
+    for (const Order& o : *instance.orders) by_id[o.id] = &o;
+    double pay_sum = 0;
+    double fee_sum = 0;
+    double val_sum = 0;
+    for (const Payment& p : outcome.payments) {
+      const Order* original = by_id.at(p.order);
+      pay_sum += p.payment;
+      fee_sum += cr * original->bid;
+      val_sum += original->valuation;
+    }
+    const double driver_payout = instance.config.beta_d_per_km / 1000.0 *
+                                 outcome.dispatch.total_delta_delivery_m;
+    outcome.platform_utility = pay_sum + fee_sum - driver_payout;
+    outcome.requester_utility = val_sum - pay_sum - fee_sum;
+  }
+  return outcome;
+}
+
+}  // namespace auctionride

@@ -1,0 +1,64 @@
+// High-level auction mechanism: dispatch + pricing + the §V-C dispatch fee.
+//
+// The platform may withhold a charge ratio CR of every bid before running
+// dispatch & pricing (deducted bids bid'_j = (1−CR)·bid_j are the algorithm
+// inputs; undispatched requesters get the fee back). The platform utility is
+//   U_plf = Σ_dispatched (pay_j + CR·bid_j) − β_d·ΣD_i ,
+// where pay_j is the pricing algorithm's payment on deducted bids.
+
+#ifndef AUCTIONRIDE_AUCTION_MECHANISM_H_
+#define AUCTIONRIDE_AUCTION_MECHANISM_H_
+
+#include <string>
+#include <vector>
+
+#include "auction/rank.h"
+#include "auction/types.h"
+
+namespace auctionride {
+
+class ThreadPool;
+
+enum class MechanismKind {
+  kGreedy,  // Algorithm 1 + GPri (Algorithm 2)
+  kRank,    // Algorithm 3 + DnW (Algorithm 4)
+};
+
+std::string_view MechanismName(MechanismKind kind);
+
+struct MechanismOutcome {
+  // Dispatch computed on deducted bids. Assignment utilities/costs and
+  // total_utility are in deducted-bid terms (the auction the algorithms
+  // actually ran).
+  DispatchResult dispatch;
+  // Payments on deducted bids, one per assignment (empty when pricing was
+  // not requested).
+  std::vector<Payment> payments;
+
+  // Σ pay_j + CR·Σ bid_j − β_d·ΣΔD over dispatched requesters, yuan.
+  double platform_utility = 0;
+  // Σ (val_j − pay_j − CR·bid_j) over dispatched requesters, yuan (with
+  // truthful bids val_j = bid_j).
+  double requester_utility = 0;
+
+  double dispatch_seconds = 0;
+  double pricing_seconds = 0;
+
+  // Rank artifacts (kind == kRank only), for callers that price separately.
+  RankArtifacts rank_artifacts;
+};
+
+struct MechanismOptions {
+  bool run_pricing = true;
+};
+
+/// Runs one dispatch round end to end. `instance` carries the *original*
+/// bids; the charge ratio from instance.config is applied internally.
+MechanismOutcome RunMechanism(MechanismKind kind,
+                              const AuctionInstance& instance,
+                              const MechanismOptions& options = {},
+                              ThreadPool* pricing_pool = nullptr);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_AUCTION_MECHANISM_H_

@@ -1,0 +1,178 @@
+#include "auction/optimal.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "planner/plan_eval.h"
+
+namespace auctionride {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Depth-first enumeration of every valid stop sequence for the given stop
+// multiset, tracking the minimum delivery distance.
+struct SequenceSearch {
+  const Vehicle* vehicle;
+  const DistanceOracle* oracle;
+  double now_s;
+  std::vector<PlanStop> all_stops;   // stops to sequence
+  std::vector<char> used;
+  std::vector<PlanStop> current;
+  double best_delivery = kInf;
+
+  // `picked` tracks which orders' pickups are already placed so drop-offs
+  // respect precedence. Capacity/deadlines are checked by EvaluatePlan at
+  // the leaves (plan lengths are tiny, <= 2·c̄).
+  void Recurse(std::vector<OrderId>* picked) {
+    if (current.size() == all_stops.size()) {
+      const PlanEvaluation eval =
+          EvaluatePlan(*vehicle, current, now_s, *oracle);
+      if (eval.feasible) {
+        best_delivery = std::min(best_delivery, eval.delivery_distance_m);
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < all_stops.size(); ++i) {
+      if (used[i]) continue;
+      const PlanStop& stop = all_stops[i];
+      const bool already_picked =
+          std::find(picked->begin(), picked->end(), stop.order) !=
+          picked->end();
+      if (stop.type == StopType::kDropoff && !already_picked &&
+          !OnBoardInitially(stop.order)) {
+        continue;  // precedence
+      }
+      if (stop.type == StopType::kPickup && already_picked) continue;
+      used[i] = 1;
+      current.push_back(stop);
+      if (stop.type == StopType::kPickup) picked->push_back(stop.order);
+      Recurse(picked);
+      if (stop.type == StopType::kPickup) picked->pop_back();
+      current.pop_back();
+      used[i] = 0;
+    }
+  }
+
+  bool OnBoardInitially(OrderId order) const {
+    // An order with a drop-off but no pickup among the stops is on board.
+    bool has_pickup = false;
+    for (const PlanStop& s : all_stops) {
+      if (s.order == order && s.type == StopType::kPickup) has_pickup = true;
+    }
+    return !has_pickup;
+  }
+};
+
+}  // namespace
+
+ExactPlanResult ExactBestPlan(const Vehicle& vehicle,
+                              const std::vector<const Order*>& orders,
+                              double now_s, const DistanceOracle& oracle) {
+  ExactPlanResult result;
+  if (vehicle.CommittedRiders() + static_cast<int>(orders.size()) >
+      vehicle.capacity) {
+    return result;
+  }
+  const double base =
+      EvaluatePlan(vehicle, vehicle.plan.stops, now_s, oracle)
+          .delivery_distance_m;
+
+  SequenceSearch search;
+  search.vehicle = &vehicle;
+  search.oracle = &oracle;
+  search.now_s = now_s;
+  search.all_stops = vehicle.plan.stops;
+  for (const Order* o : orders) {
+    search.all_stops.push_back({o->origin, o->id, StopType::kPickup, 0});
+    search.all_stops.push_back(
+        {o->destination, o->id, StopType::kDropoff, o->DropoffDeadline(now_s)});
+  }
+  search.used.assign(search.all_stops.size(), 0);
+  std::vector<OrderId> picked;
+  search.Recurse(&picked);
+
+  if (search.best_delivery != kInf) {
+    result.feasible = true;
+    result.delta_delivery_m = search.best_delivery - base;
+  }
+  return result;
+}
+
+namespace {
+
+struct AssignmentSearch {
+  const AuctionInstance* in;
+  std::vector<std::vector<const Order*>> per_vehicle;  // tentative sets
+  double best_utility = 0;  // empty dispatch has utility 0
+  std::vector<int> best_choice;
+  std::vector<int> choice;  // order index -> vehicle index or -1
+
+  void Recurse(std::size_t j) {
+    const std::vector<Order>& orders = *in->orders;
+    if (j == orders.size()) {
+      double utility = 0;
+      for (std::size_t v = 0; v < per_vehicle.size(); ++v) {
+        if (per_vehicle[v].empty()) continue;
+        const ExactPlanResult plan =
+            ExactBestPlan((*in->vehicles)[v], per_vehicle[v], in->now_s,
+                          *in->oracle);
+        if (!plan.feasible) return;  // invalid assignment
+        double bids = 0;
+        for (const Order* o : per_vehicle[v]) bids += o->bid;
+        utility += bids - in->config.alpha_d_per_km / 1000.0 *
+                              plan.delta_delivery_m;
+      }
+      if (utility > best_utility) {
+        best_utility = utility;
+        best_choice = choice;
+      }
+      return;
+    }
+    // Leave order j undispatched.
+    choice[j] = -1;
+    Recurse(j + 1);
+    // Or assign it to each vehicle with spare capacity.
+    for (std::size_t v = 0; v < per_vehicle.size(); ++v) {
+      const Vehicle& veh = (*in->vehicles)[v];
+      if (veh.CommittedRiders() + static_cast<int>(per_vehicle[v].size()) >=
+          veh.capacity) {
+        continue;
+      }
+      choice[j] = static_cast<int>(v);
+      per_vehicle[v].push_back(&(*in->orders)[j]);
+      Recurse(j + 1);
+      per_vehicle[v].pop_back();
+    }
+    choice[j] = -1;
+  }
+};
+
+}  // namespace
+
+OptimalResult OptimalDispatch(const AuctionInstance& instance) {
+  AR_CHECK(instance.orders->size() <= 10)
+      << "OptimalDispatch is exhaustive; use <= 10 orders";
+  AssignmentSearch search;
+  search.in = &instance;
+  search.per_vehicle.resize(instance.vehicles->size());
+  search.choice.assign(instance.orders->size(), -1);
+  search.best_choice = search.choice;
+  search.Recurse(0);
+
+  OptimalResult result;
+  result.total_utility = search.best_utility;
+  for (std::size_t j = 0; j < search.best_choice.size(); ++j) {
+    if (search.best_choice[j] >= 0) {
+      result.assignment.push_back(
+          {(*instance.orders)[j].id,
+           (*instance.vehicles)[static_cast<std::size_t>(
+                                    search.best_choice[j])]
+               .id});
+    }
+  }
+  return result;
+}
+
+}  // namespace auctionride

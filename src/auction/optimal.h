@@ -1,0 +1,43 @@
+// Exhaustive optimal order dispatch for small instances.
+//
+// The order dispatch problem is NP-hard (Theorem II.1); this baseline
+// enumerates every assignment of orders to vehicles (or to "undispatched")
+// and, per vehicle, every valid stop sequence, returning the maximum overall
+// utility. It exists to measure the approximation quality of Greedy and Rank
+// (paper's technical-report comparison) and to back the approximation-factor
+// property tests. Exponential — intended for ~8 orders and a few vehicles.
+
+#ifndef AUCTIONRIDE_AUCTION_OPTIMAL_H_
+#define AUCTIONRIDE_AUCTION_OPTIMAL_H_
+
+#include <vector>
+
+#include "auction/types.h"
+
+namespace auctionride {
+
+struct OptimalResult {
+  double total_utility = 0;
+  // order id -> vehicle id for dispatched orders.
+  std::vector<std::pair<OrderId, VehicleId>> assignment;
+};
+
+/// Exhaustive maximum of Equation (2) over all valid dispatches. Vehicles'
+/// existing plan stops may be reordered freely (subject to constraints) when
+/// computing each vehicle's optimal route.
+OptimalResult OptimalDispatch(const AuctionInstance& instance);
+
+/// Exact minimum delivery-distance increase of serving `orders` with
+/// `vehicle` over all valid stop sequences; feasible=false when none exists.
+/// Exposed for tests of the insertion planner's suboptimality.
+struct ExactPlanResult {
+  bool feasible = false;
+  double delta_delivery_m = 0;
+};
+ExactPlanResult ExactBestPlan(const Vehicle& vehicle,
+                              const std::vector<const Order*>& orders,
+                              double now_s, const DistanceOracle& oracle);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_AUCTION_OPTIMAL_H_

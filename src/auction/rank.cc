@@ -1,0 +1,403 @@
+#include "auction/rank.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "planner/insertion.h"
+#include "planner/pack_planner.h"
+#include "spatial/grid_index.h"
+
+namespace auctionride {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Memoized PlanPack outcome, keyed by (vehicle, member set).
+struct PackEval {
+  bool feasible = false;
+  double delta_delivery_m = 0;
+};
+using PackMemo = std::map<std::pair<int32_t, std::vector<int32_t>>, PackEval>;
+
+PackEval EvaluatePack(const AuctionInstance& in, int32_t vehicle_idx,
+                      const std::vector<int32_t>& members, PackMemo* memo) {
+  const auto key = std::make_pair(vehicle_idx, members);
+  if (memo != nullptr) {
+    auto it = memo->find(key);
+    if (it != memo->end()) return it->second;
+  }
+  std::vector<const Order*> order_ptrs;
+  order_ptrs.reserve(members.size());
+  for (int32_t m : members) {
+    order_ptrs.push_back(&(*in.orders)[static_cast<std::size_t>(m)]);
+  }
+  const PackPlanResult plan =
+      PlanPack((*in.vehicles)[static_cast<std::size_t>(vehicle_idx)],
+               order_ptrs, in.now_s, *in.oracle);
+  const PackEval eval{plan.feasible, plan.delta_delivery_m};
+  if (memo != nullptr) memo->emplace(key, eval);
+  return eval;
+}
+
+// Resolves the nearest vehicle of every order: Euclidean k-NN pre-filter
+// refined by exact road distance (committed extra distance included), or —
+// with config.exact_nearest_vehicle — an exact reverse Dijkstra sweep per
+// order over the feasibility radius, falling back to k-NN when no vehicle
+// is within reach.
+std::vector<int32_t> NearestVehicles(const AuctionInstance& in) {
+  const std::vector<Order>& orders = *in.orders;
+  const std::vector<Vehicle>& vehicles = *in.vehicles;
+  std::vector<int32_t> nearest(orders.size(), -1);
+  if (vehicles.empty()) return nearest;
+
+  std::vector<GridIndex::Item> items;
+  items.reserve(vehicles.size());
+  std::vector<std::vector<int32_t>> vehicles_at_node(
+      static_cast<std::size_t>(in.oracle->network().num_nodes()));
+  for (std::size_t i = 0; i < vehicles.size(); ++i) {
+    // Vehicles with no spare seat can never host a pack.
+    if (vehicles[i].CommittedRiders() >= vehicles[i].capacity) continue;
+    items.push_back({static_cast<int32_t>(i),
+                     in.oracle->network().position(vehicles[i].next_node)});
+    vehicles_at_node[static_cast<std::size_t>(vehicles[i].next_node)]
+        .push_back(static_cast<int32_t>(i));
+  }
+  if (items.empty()) return nearest;
+  const GridIndex index(std::move(items), /*cell_size_m=*/1000);
+
+  std::unique_ptr<DijkstraSearch> reverse_search;
+  if (in.config.exact_nearest_vehicle) {
+    reverse_search = std::make_unique<DijkstraSearch>(&in.oracle->network());
+  }
+
+  for (std::size_t j = 0; j < orders.size(); ++j) {
+    double best_dist = kInf;
+    if (in.config.exact_nearest_vehicle) {
+      // One reverse sweep prices every vehicle node within the order's
+      // feasibility radius exactly.
+      const double radius =
+          MaxPickupRadiusM(orders[j], in.oracle->speed_mps());
+      const std::vector<double>& to_origin =
+          reverse_search->ReverseDistancesWithin(orders[j].origin, radius);
+      for (NodeId node = 0;
+           node < static_cast<NodeId>(vehicles_at_node.size()); ++node) {
+        if (to_origin[static_cast<std::size_t>(node)] == kInfDistance) {
+          continue;
+        }
+        for (int32_t v : vehicles_at_node[static_cast<std::size_t>(node)]) {
+          const double d =
+              vehicles[static_cast<std::size_t>(v)].extra_distance_m +
+              to_origin[static_cast<std::size_t>(node)];
+          if (d < best_dist) {
+            best_dist = d;
+            nearest[j] = v;
+          }
+        }
+      }
+      if (nearest[j] >= 0) continue;  // else: fall back to k-NN below
+    }
+    const Point origin = in.oracle->network().position(orders[j].origin);
+    const std::vector<int32_t> knn =
+        index.KNearest(origin, in.config.nearest_vehicle_candidates);
+    for (int32_t v : knn) {
+      const Vehicle& veh = vehicles[static_cast<std::size_t>(v)];
+      const double d = veh.extra_distance_m +
+                       in.oracle->Distance(veh.next_node, orders[j].origin);
+      if (d < best_dist) {
+        best_dist = d;
+        nearest[j] = v;
+      }
+    }
+  }
+  return nearest;
+}
+
+// k-means (Lloyd's, fixed iterations, deterministic farthest-point seeding)
+// over order origins: the paper's §V-E clustering of orders into about
+// m / cluster_target_size groups for pack generation.
+std::vector<std::vector<int32_t>> ClusterOrders(const AuctionInstance& in,
+                                                int num_groups) {
+  const std::vector<Order>& orders = *in.orders;
+  std::vector<Point> pos(orders.size());
+  for (std::size_t j = 0; j < orders.size(); ++j) {
+    pos[j] = in.oracle->network().position(orders[j].origin);
+  }
+
+  // Farthest-point seeding from the centroid.
+  std::vector<Point> centers;
+  Point centroid{0, 0};
+  for (const Point& p : pos) {
+    centroid.x += p.x;
+    centroid.y += p.y;
+  }
+  centroid.x /= static_cast<double>(pos.size());
+  centroid.y /= static_cast<double>(pos.size());
+  centers.push_back(centroid);
+  std::vector<double> min_sq(pos.size(), kInf);
+  while (static_cast<int>(centers.size()) < num_groups) {
+    std::size_t farthest = 0;
+    double far_sq = -1;
+    for (std::size_t j = 0; j < pos.size(); ++j) {
+      min_sq[j] = std::min(min_sq[j], SquaredDistance(pos[j], centers.back()));
+      if (min_sq[j] > far_sq) {
+        far_sq = min_sq[j];
+        farthest = j;
+      }
+    }
+    centers.push_back(pos[farthest]);
+  }
+
+  std::vector<int32_t> group_of(pos.size(), 0);
+  for (int iter = 0; iter < 5; ++iter) {
+    // Assign.
+    for (std::size_t j = 0; j < pos.size(); ++j) {
+      double best = kInf;
+      for (std::size_t c = 0; c < centers.size(); ++c) {
+        const double d = SquaredDistance(pos[j], centers[c]);
+        if (d < best) {
+          best = d;
+          group_of[j] = static_cast<int32_t>(c);
+        }
+      }
+    }
+    // Update.
+    std::vector<Point> sums(centers.size(), Point{0, 0});
+    std::vector<int> counts(centers.size(), 0);
+    for (std::size_t j = 0; j < pos.size(); ++j) {
+      sums[static_cast<std::size_t>(group_of[j])].x += pos[j].x;
+      sums[static_cast<std::size_t>(group_of[j])].y += pos[j].y;
+      ++counts[static_cast<std::size_t>(group_of[j])];
+    }
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      if (counts[c] > 0) {
+        centers[c] = {sums[c].x / counts[c], sums[c].y / counts[c]};
+      }
+    }
+  }
+
+  std::vector<std::vector<int32_t>> groups(centers.size());
+  for (std::size_t j = 0; j < pos.size(); ++j) {
+    groups[static_cast<std::size_t>(group_of[j])].push_back(
+        static_cast<int32_t>(j));
+  }
+  groups.erase(std::remove_if(groups.begin(), groups.end(),
+                              [](const auto& g) { return g.empty(); }),
+               groups.end());
+  return groups;
+}
+
+// Generates candidate packs for every order in `group` (indices into the
+// instance's order vector), writing into artifacts (disjoint slots, safe to
+// call concurrently for disjoint groups).
+void GeneratePacksForGroup(const AuctionInstance& in,
+                           const std::vector<int32_t>& group,
+                           RankArtifacts* artifacts) {
+  const std::vector<Order>& orders = *in.orders;
+  const double alpha_per_m = in.config.alpha_d_per_km / 1000.0;
+  PackMemo memo;
+
+  // Spatial index over this group's origins for co-requester candidates.
+  std::vector<GridIndex::Item> items;
+  items.reserve(group.size());
+  for (int32_t j : group) {
+    items.push_back(
+        {j, in.oracle->network().position(
+                orders[static_cast<std::size_t>(j)].origin)});
+  }
+  const GridIndex origin_index(std::move(items), /*cell_size_m=*/800);
+
+  // Maximum pack size: the largest vehicle capacity (c̄, default 3).
+  int max_pack = 1;
+  for (const Vehicle& v : *in.vehicles) max_pack = std::max(max_pack, v.capacity);
+
+  for (int32_t j : group) {
+    std::vector<PackCandidate>& cands =
+        artifacts->candidates[static_cast<std::size_t>(j)];
+
+    const std::vector<int32_t> partners = origin_index.KNearest(
+        in.oracle->network().position(
+            orders[static_cast<std::size_t>(j)].origin),
+        in.config.pack_candidate_limit, /*exclude_id=*/j);
+
+    // Enumerate subsets {j} ∪ S, S ⊆ partners, |S| <= max_pack − 1.
+    std::vector<std::vector<int32_t>> member_sets;
+    member_sets.push_back({j});
+    if (max_pack >= 2) {
+      for (std::size_t a = 0; a < partners.size(); ++a) {
+        std::vector<int32_t> two = {j, partners[a]};
+        std::sort(two.begin(), two.end());
+        member_sets.push_back(std::move(two));
+        if (max_pack >= 3) {
+          for (std::size_t b = a + 1; b < partners.size(); ++b) {
+            std::vector<int32_t> three = {j, partners[a], partners[b]};
+            std::sort(three.begin(), three.end());
+            member_sets.push_back(std::move(three));
+          }
+        }
+      }
+    }
+
+    for (std::vector<int32_t>& members : member_sets) {
+      // Candidate vehicles: the members' nearest vehicles (deduplicated).
+      std::vector<int32_t> veh_candidates;
+      for (int32_t m : members) {
+        const int32_t v =
+            artifacts->nearest_vehicle[static_cast<std::size_t>(m)];
+        if (v >= 0 && std::find(veh_candidates.begin(), veh_candidates.end(),
+                                v) == veh_candidates.end()) {
+          veh_candidates.push_back(v);
+        }
+      }
+      double bid_sum = 0;
+      for (int32_t m : members) {
+        bid_sum += orders[static_cast<std::size_t>(m)].bid;
+      }
+
+      PackCandidate best_for_set;
+      best_for_set.utility = -kInf;
+      for (int32_t v : veh_candidates) {
+        const PackEval eval = EvaluatePack(in, v, members, &memo);
+        if (!eval.feasible) continue;
+        const double utility = bid_sum - alpha_per_m * eval.delta_delivery_m;
+        if (utility > best_for_set.utility) {
+          best_for_set.members = members;
+          best_for_set.vehicle = v;
+          best_for_set.delta_delivery_m = eval.delta_delivery_m;
+          best_for_set.bid_sum = bid_sum;
+          best_for_set.utility = utility;
+        }
+      }
+      if (best_for_set.vehicle >= 0) cands.push_back(std::move(best_for_set));
+    }
+
+    // Best pack of r_j (Algorithm 3 line 6).
+    int32_t best_idx = -1;
+    double best_utility = -kInf;
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+      if (cands[c].utility > best_utility) {
+        best_utility = cands[c].utility;
+        best_idx = static_cast<int32_t>(c);
+      }
+    }
+    artifacts->best[static_cast<std::size_t>(j)] = best_idx;
+  }
+}
+
+}  // namespace
+
+RankRunResult RankDispatch(const AuctionInstance& in) {
+  AR_CHECK(in.orders != nullptr && in.vehicles != nullptr &&
+           in.oracle != nullptr);
+  WallTimer timer;
+  const std::vector<Order>& orders = *in.orders;
+  const double alpha_per_m = in.config.alpha_d_per_km / 1000.0;
+
+  RankRunResult run;
+  RankArtifacts& art = run.artifacts;
+  art.candidates.resize(orders.size());
+  art.best.assign(orders.size(), -1);
+  art.nearest_vehicle = NearestVehicles(in);
+
+  // Phase I: pack generation, clustered when the round is large (§V-E).
+  const int m = static_cast<int>(orders.size());
+  const bool clustered = in.config.cluster_threshold > 0 &&
+                         m >= in.config.cluster_threshold &&
+                         in.config.cluster_target_size > 0;
+  if (clustered) {
+    const int num_groups =
+        std::max(2, (m + in.config.cluster_target_size - 1) /
+                        in.config.cluster_target_size);
+    const std::vector<std::vector<int32_t>> groups =
+        ClusterOrders(in, num_groups);
+    ThreadPool pool(std::thread::hardware_concurrency());
+    for (const std::vector<int32_t>& group : groups) {
+      pool.Submit([&in, &group, &art] {
+        GeneratePacksForGroup(in, group, &art);
+      });
+    }
+    pool.Wait();
+  } else {
+    std::vector<int32_t> everyone(orders.size());
+    for (std::size_t j = 0; j < everyone.size(); ++j) {
+      everyone[j] = static_cast<int32_t>(j);
+    }
+    GeneratePacksForGroup(in, everyone, &art);
+  }
+
+  // Phase II: pack dispatch by utility ranking.
+  struct RankedPack {
+    int32_t owner;  // requester whose best pack this is
+    const PackCandidate* pack;
+  };
+  std::vector<RankedPack> ranking;
+  ranking.reserve(orders.size());
+  for (std::size_t j = 0; j < orders.size(); ++j) {
+    if (art.best[j] >= 0) {
+      ranking.push_back({static_cast<int32_t>(j),
+                         &art.candidates[j][static_cast<std::size_t>(
+                             art.best[j])]});
+    }
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const RankedPack& a, const RankedPack& b) {
+              if (a.pack->utility != b.pack->utility) {
+                return a.pack->utility > b.pack->utility;
+              }
+              return a.owner < b.owner;
+            });
+
+  DispatchResult& result = run.result;
+  std::vector<char> order_taken(orders.size(), 0);
+  std::vector<char> vehicle_taken(in.vehicles->size(), 0);
+  for (const RankedPack& rp : ranking) {
+    if (rp.pack->utility < in.config.min_utility) break;  // sorted: all below
+    if (vehicle_taken[static_cast<std::size_t>(rp.pack->vehicle)]) continue;
+    bool conflict = false;
+    for (int32_t mbr : rp.pack->members) {
+      if (order_taken[static_cast<std::size_t>(mbr)]) {
+        conflict = true;
+        break;
+      }
+    }
+    if (conflict) continue;
+
+    // Dispatch the pack: recompute its (deterministic) optimal plan.
+    std::vector<const Order*> order_ptrs;
+    for (int32_t mbr : rp.pack->members) {
+      order_ptrs.push_back(&orders[static_cast<std::size_t>(mbr)]);
+    }
+    const PackPlanResult plan = PlanPack(
+        (*in.vehicles)[static_cast<std::size_t>(rp.pack->vehicle)],
+        order_ptrs, in.now_s, *in.oracle);
+    AR_CHECK(plan.feasible);
+
+    vehicle_taken[static_cast<std::size_t>(rp.pack->vehicle)] = 1;
+    const double pack_cost = alpha_per_m * plan.delta_delivery_m;
+    const double cost_share =
+        pack_cost / static_cast<double>(rp.pack->members.size());
+    for (int32_t mbr : rp.pack->members) {
+      order_taken[static_cast<std::size_t>(mbr)] = 1;
+      const Order& order = orders[static_cast<std::size_t>(mbr)];
+      result.assignments.push_back(
+          {order.id,
+           (*in.vehicles)[static_cast<std::size_t>(rp.pack->vehicle)].id,
+           cost_share, order.bid - cost_share});
+    }
+    result.updated_plans.push_back(
+        {static_cast<std::size_t>(rp.pack->vehicle), plan.new_plan});
+    result.total_utility += rp.pack->bid_sum - pack_cost;
+    result.total_delta_delivery_m += plan.delta_delivery_m;
+  }
+
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return run;
+}
+
+}  // namespace auctionride

@@ -1,0 +1,67 @@
+// Ranking-based order dispatch — Algorithm 3 of the paper.
+//
+// Phase I (pack generation): each requester r_j is matched with its nearest
+// vehicle; then the optimal pack containing r_j (at most c̄ requesters,
+// served by one of the members' nearest vehicles, routed by their optimal
+// sequence) is found. Phase II (pack dispatch): packs are dispatched in
+// descending utility order, removing conflicting packs (shared requester or
+// vehicle).
+//
+// Implementation notes:
+//  * Pack enumeration is restricted to each requester's K nearest
+//    co-requesters by origin (bid-independent, so the truthfulness argument
+//    holds within this fixed pack universe; see DESIGN.md).
+//  * For large rounds the paper's §V-E clustering optimization kicks in:
+//    orders are k-means-clustered into groups of ~cluster_target_size and
+//    packs are searched within groups, in parallel.
+//  * Every evaluated candidate pack is retained in RankArtifacts — the DnW
+//    pricing algorithm needs, per requester, the best pack excluding the
+//    priced requester (p'_j in the paper).
+
+#ifndef AUCTIONRIDE_AUCTION_RANK_H_
+#define AUCTIONRIDE_AUCTION_RANK_H_
+
+#include <vector>
+
+#include "auction/types.h"
+
+namespace auctionride {
+
+/// One evaluated candidate pack of a requester. Plans are not stored; the
+/// dispatcher recomputes the (deterministic) optimal route when a pack wins.
+struct PackCandidate {
+  std::vector<int32_t> members;  // order indices into the instance, sorted
+  int32_t vehicle = -1;          // vehicle index into the instance
+  double delta_delivery_m = 0;   // joint ΔD of inserting all members
+  double bid_sum = 0;            // Σ member bids at the instance's bids
+  double utility = 0;            // bid_sum − α_d·ΔD
+
+  bool Contains(int32_t order_idx) const {
+    for (int32_t m : members) {
+      if (m == order_idx) return true;
+    }
+    return false;
+  }
+};
+
+struct RankArtifacts {
+  // candidates[j]: all feasible packs evaluated for requester j (its
+  // restricted pack universe). best[j]: index of the maximum-utility one,
+  // -1 when none is feasible.
+  std::vector<std::vector<PackCandidate>> candidates;
+  std::vector<int32_t> best;
+  // Nearest vehicle (index) of each requester, -1 when there are none.
+  std::vector<int32_t> nearest_vehicle;
+};
+
+struct RankRunResult {
+  DispatchResult result;
+  RankArtifacts artifacts;
+};
+
+/// Runs Algorithm 3 on the instance.
+RankRunResult RankDispatch(const AuctionInstance& instance);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_AUCTION_RANK_H_

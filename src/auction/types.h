@@ -1,0 +1,114 @@
+// Shared types of the auction mechanism: configuration, dispatch input
+// (one round's requesters + vehicles), and dispatch/pricing results.
+//
+// Money is in yuan; α_d / β_d are yuan per kilometer (paper §V-A); distances
+// are meters throughout, converted at the utility boundary.
+
+#ifndef AUCTIONRIDE_AUCTION_TYPES_H_
+#define AUCTIONRIDE_AUCTION_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "model/order.h"
+#include "model/vehicle.h"
+#include "roadnet/oracle.h"
+
+namespace auctionride {
+
+struct AuctionConfig {
+  // Travel cost per km (labor & fuel), α_d. Paper default: 3.0 yuan/km.
+  double alpha_d_per_km = 3.0;
+  // Platform's payment to drivers per delivery km, β_d. The paper requires
+  // β_d >= α_d and leaves the value open; its §V-C profitability argument
+  // implies payouts equal to delivery cost, so we default β_d = α_d.
+  double beta_d_per_km = 3.0;
+
+  // Dispatch-fee ratio CR (paper §V-C): the platform withholds CR·bid_j of
+  // every dispatched requester; algorithms see deducted bids. Applied by the
+  // ChargedMechanism wrapper, not by the dispatch algorithms themselves.
+  double charge_ratio = 0.0;
+
+  // Minimum pair/pack utility to dispatch (Algorithm 1 line 9 breaks when
+  // the maximum utility drops below 0).
+  double min_utility = 0.0;
+
+  // --- Rank-specific knobs ---
+  // Candidate co-requesters per order in pack generation (restricted
+  // enumeration; see DESIGN.md substitution table).
+  int pack_candidate_limit = 12;
+  // Euclidean pre-filter size when resolving each requester's nearest
+  // vehicle by road distance.
+  int nearest_vehicle_candidates = 8;
+  // Resolve nearest vehicles with one exact reverse Dijkstra sweep per
+  // order (within the order's feasibility radius) instead of the Euclidean
+  // k-NN pre-filter. Exact but slower; the k-NN heuristic is the default.
+  bool exact_nearest_vehicle = false;
+  // When the number of requesters reaches this threshold, pack generation
+  // clusters orders into groups of ~cluster_target_size and searches packs
+  // within groups (paper §V-E optimization). 0 disables clustering.
+  int cluster_threshold = 5000;
+  int cluster_target_size = 1000;
+
+  // Exact spatial pruning of requester-vehicle pairs (see
+  // planner::MaxPickupRadiusM). Disabled only by the ablation bench.
+  bool use_spatial_pruning = true;
+
+  // Threads for parallel pricing (paper §V-C prices requesters in
+  // parallel). 0 = hardware concurrency.
+  int pricing_threads = 0;
+};
+
+/// One dispatch round's input. Orders carry the (possibly deducted) bids the
+/// algorithms optimize; vehicles are snapshots whose plans the algorithms
+/// extend. All pointers must outlive the call.
+struct AuctionInstance {
+  const std::vector<Order>* orders = nullptr;
+  const std::vector<Vehicle>* vehicles = nullptr;
+  double now_s = 0;
+  const DistanceOracle* oracle = nullptr;
+  AuctionConfig config;
+};
+
+/// One dispatched requester.
+struct Assignment {
+  OrderId order = kInvalidOrder;
+  VehicleId vehicle = kInvalidVehicle;
+  // α_d-cost attributed to this order in yuan. For Greedy this is exactly
+  // α_d·ΔD of the insertion; for Rank the pack cost is split evenly among
+  // members (reporting only — the overall utility uses exact pack costs).
+  double cost = 0;
+  // bid − cost (pack share for Rank).
+  double utility = 0;
+};
+
+struct DispatchResult {
+  // Dispatched requesters in dispatch order (Greedy's sequence semantics;
+  // Rank lists pack members in pack-dispatch order).
+  std::vector<Assignment> assignments;
+  // Updated plans of the vehicles that received orders, keyed by vehicle
+  // index in the instance's vehicle vector.
+  std::vector<std::pair<std::size_t, std::vector<PlanStop>>> updated_plans;
+  // Σ bid_j − α_d·ΣΔD over dispatched requesters (Equation 2 contribution).
+  double total_utility = 0;
+  // Σ ΔD over all insertions, meters.
+  double total_delta_delivery_m = 0;
+  double elapsed_seconds = 0;
+
+  bool IsDispatched(OrderId order) const {
+    for (const Assignment& a : assignments) {
+      if (a.order == order) return true;
+    }
+    return false;
+  }
+};
+
+/// Payment of one dispatched requester, as decided by a pricing algorithm.
+struct Payment {
+  OrderId order = kInvalidOrder;
+  double payment = 0;  // yuan
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_AUCTION_TYPES_H_

@@ -1,0 +1,179 @@
+#include "auction/verifier.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "planner/plan_eval.h"
+
+namespace auctionride {
+
+namespace {
+
+std::string OrderStr(OrderId id) { return "order " + std::to_string(id); }
+
+}  // namespace
+
+Status VerifyDispatch(const AuctionInstance& instance,
+                      const DispatchResult& result,
+                      const VerifyOptions& options) {
+  const std::vector<Order>& orders = *instance.orders;
+  const std::vector<Vehicle>& vehicles = *instance.vehicles;
+  std::unordered_map<OrderId, const Order*> order_by_id;
+  for (const Order& o : orders) order_by_id[o.id] = &o;
+
+  // 1) Assignments: known orders, known vehicles, no duplicates.
+  std::unordered_set<OrderId> assigned;
+  std::unordered_map<VehicleId, int> vehicle_new_orders;
+  for (const Assignment& a : result.assignments) {
+    if (!order_by_id.count(a.order)) {
+      return Status::Internal(OrderStr(a.order) + " not in the instance");
+    }
+    if (!assigned.insert(a.order).second) {
+      return Status::Internal(OrderStr(a.order) + " assigned twice");
+    }
+    bool vehicle_exists = false;
+    for (const Vehicle& v : vehicles) {
+      if (v.id == a.vehicle) vehicle_exists = true;
+    }
+    if (!vehicle_exists) {
+      return Status::Internal("vehicle " + std::to_string(a.vehicle) +
+                              " not in the instance");
+    }
+    ++vehicle_new_orders[a.vehicle];
+  }
+
+  // 2) Updated plans: valid indices, one per vehicle, feasible under
+  //    Definition 4, containing exactly the newly assigned orders on top of
+  //    the vehicle's previous plan.
+  std::unordered_set<std::size_t> plan_vehicles;
+  double delta_total = 0;
+  std::unordered_set<OrderId> orders_in_plans;
+  for (const auto& [veh_idx, plan] : result.updated_plans) {
+    if (veh_idx >= vehicles.size()) {
+      return Status::Internal("plan for out-of-range vehicle index " +
+                              std::to_string(veh_idx));
+    }
+    if (!plan_vehicles.insert(veh_idx).second) {
+      return Status::Internal("two plans for vehicle index " +
+                              std::to_string(veh_idx));
+    }
+    const Vehicle& vehicle = vehicles[veh_idx];
+
+    TravelPlan tp{plan};
+    if (!tp.PrecedenceHolds()) {
+      return Status::Internal("plan of vehicle index " +
+                              std::to_string(veh_idx) +
+                              " violates precedence");
+    }
+    const PlanEvaluation eval =
+        EvaluatePlan(vehicle, plan, instance.now_s, *instance.oracle);
+    if (!eval.feasible) {
+      return Status::Internal("plan of vehicle index " +
+                              std::to_string(veh_idx) +
+                              " violates capacity or deadlines");
+    }
+
+    // New orders in the plan = plan orders − previous plan orders.
+    std::unordered_set<OrderId> previous;
+    for (const PlanStop& stop : vehicle.plan.stops) previous.insert(stop.order);
+    std::unordered_set<OrderId> current;
+    for (const PlanStop& stop : plan) current.insert(stop.order);
+    for (OrderId prev : previous) {
+      if (!current.count(prev)) {
+        return Status::Internal("plan of vehicle index " +
+                                std::to_string(veh_idx) + " dropped " +
+                                OrderStr(prev));
+      }
+    }
+    int new_orders = 0;
+    for (OrderId id : current) {
+      if (previous.count(id)) continue;
+      ++new_orders;
+      orders_in_plans.insert(id);
+      if (!assigned.count(id)) {
+        return Status::Internal("plan of vehicle index " +
+                                std::to_string(veh_idx) + " contains " +
+                                OrderStr(id) + " that was never assigned");
+      }
+    }
+    if (new_orders != vehicle_new_orders[vehicle.id]) {
+      return Status::Internal("vehicle " + std::to_string(vehicle.id) +
+                              " plan/assignment count mismatch");
+    }
+
+    const double base =
+        EvaluatePlan(vehicle, vehicle.plan.stops, instance.now_s,
+                     *instance.oracle)
+            .delivery_distance_m;
+    delta_total += eval.delivery_distance_m - base;
+  }
+  for (OrderId id : assigned) {
+    if (!orders_in_plans.count(id)) {
+      return Status::Internal(OrderStr(id) +
+                              " assigned but in no updated plan");
+    }
+  }
+
+  // 3) Accounting: ΔD total, utility totals, per-pair sanity.
+  if (std::abs(delta_total - result.total_delta_delivery_m) >
+      options.epsilon * (1 + std::abs(delta_total))) {
+    return Status::Internal("ΔD accounting mismatch: plans say " +
+                            std::to_string(delta_total) + ", result says " +
+                            std::to_string(result.total_delta_delivery_m));
+  }
+  const double alpha_per_m = instance.config.alpha_d_per_km / 1000.0;
+  double utility_from_pairs = 0;
+  double cost_sum = 0;
+  for (const Assignment& a : result.assignments) {
+    const Order& order = *order_by_id.at(a.order);
+    if (std::abs((order.bid - a.cost) - a.utility) > options.epsilon) {
+      return Status::Internal(OrderStr(a.order) +
+                              ": utility != bid − cost");
+    }
+    if (options.require_nonnegative_pair_utility &&
+        a.utility < instance.config.min_utility - options.epsilon) {
+      return Status::Internal(OrderStr(a.order) + " has utility below the "
+                                                  "dispatch threshold");
+    }
+    utility_from_pairs += a.utility;
+    cost_sum += a.cost;
+  }
+  if (std::abs(utility_from_pairs - result.total_utility) >
+      options.epsilon * (1 + std::abs(result.total_utility))) {
+    return Status::Internal("total utility mismatch");
+  }
+  if (std::abs(cost_sum - alpha_per_m * result.total_delta_delivery_m) >
+      options.epsilon * (1 + cost_sum)) {
+    return Status::Internal("cost attribution does not sum to α_d·ΣΔD");
+  }
+  return Status::Ok();
+}
+
+Status VerifyPayments(const AuctionInstance& instance,
+                      const DispatchResult& result,
+                      const std::vector<Payment>& payments, double epsilon) {
+  std::unordered_map<OrderId, const Order*> order_by_id;
+  for (const Order& o : *instance.orders) order_by_id[o.id] = &o;
+  if (payments.size() != result.assignments.size()) {
+    return Status::Internal("payment count != assignment count");
+  }
+  for (std::size_t i = 0; i < payments.size(); ++i) {
+    if (payments[i].order != result.assignments[i].order) {
+      return Status::Internal("payment/assignment order mismatch at " +
+                              std::to_string(i));
+    }
+    const Order& order = *order_by_id.at(payments[i].order);
+    if (payments[i].payment < -epsilon) {
+      return Status::Internal(OrderStr(payments[i].order) +
+                              " has a negative payment");
+    }
+    if (payments[i].payment > order.bid + epsilon) {
+      return Status::Internal(OrderStr(payments[i].order) +
+                              " pays above its bid (IR violation)");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace auctionride

@@ -1,0 +1,47 @@
+// DispatchVerifier: independent validation of any DispatchResult against its
+// AuctionInstance. Checks structural integrity (each order at most once,
+// one plan per vehicle, plans contain exactly the assigned orders),
+// Definition 4 feasibility of every updated plan (precedence, capacity,
+// deadlines re-derived from the orders), and utility accounting (per-pair
+// costs and the total against α_d·ΔD).
+//
+// Dispatch algorithms are the trust root of the auction — this verifier
+// lets tests, benches, and downstream users re-check them independently of
+// the algorithms' own bookkeeping.
+
+#ifndef AUCTIONRIDE_AUCTION_VERIFIER_H_
+#define AUCTIONRIDE_AUCTION_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "auction/types.h"
+#include "common/status.h"
+
+namespace auctionride {
+
+struct VerifyOptions {
+  // Tolerance for monetary/distance comparisons.
+  double epsilon = 1e-6;
+  // When true, every dispatched pair's utility must be >= min_utility
+  // (Greedy guarantees this per-pair; Rank only guarantees it per-pack, so
+  // pack-based results should verify with this off).
+  bool require_nonnegative_pair_utility = false;
+};
+
+/// Returns OK when `result` is a valid dispatch for `instance`, otherwise
+/// an error Status describing the first violation found.
+Status VerifyDispatch(const AuctionInstance& instance,
+                      const DispatchResult& result,
+                      const VerifyOptions& options = {});
+
+/// Convenience: verifies payments against bids (individual rationality on
+/// the auction's bids) and pairing with assignments.
+Status VerifyPayments(const AuctionInstance& instance,
+                      const DispatchResult& result,
+                      const std::vector<Payment>& payments,
+                      double epsilon = 1e-6);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_AUCTION_VERIFIER_H_

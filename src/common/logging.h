@@ -1,0 +1,85 @@
+// Minimal logging and invariant-checking macros.
+//
+// AR_CHECK(cond) aborts (with file:line and the condition text) when `cond`
+// is false; it is always on, including release builds, because the auction
+// algorithms rely on invariants whose violation must never be silent.
+// AR_DCHECK compiles away in NDEBUG builds.
+
+#ifndef AUCTIONRIDE_COMMON_LOGGING_H_
+#define AUCTIONRIDE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace auctionride {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Aborts the process after flushing the streamed message.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  // Lowest-precedence operator: lets the macro discard the stream expression.
+  void operator&&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace auctionride
+
+#define AR_LOG(level)                                             \
+  ::auctionride::internal_logging::LogMessage(                    \
+      ::auctionride::LogLevel::k##level, __FILE__, __LINE__)      \
+      .stream()
+
+#define AR_CHECK(cond)                                                \
+  (cond) ? (void)0                                                    \
+         : ::auctionride::internal_logging::Voidify() &&              \
+               ::auctionride::internal_logging::FatalMessage(         \
+                   __FILE__, __LINE__, #cond)                         \
+                   .stream()
+
+#ifdef NDEBUG
+#define AR_DCHECK(cond) AR_CHECK(true || (cond))
+#else
+#define AR_DCHECK(cond) AR_CHECK(cond)
+#endif
+
+#endif  // AUCTIONRIDE_COMMON_LOGGING_H_

@@ -1,0 +1,114 @@
+// Deterministic random number generation.
+//
+// All randomness in workload generation and simulation flows through Rng so
+// experiments are reproducible from a single seed. The generator is
+// xoshiro256** seeded via splitmix64, matching the reference implementations
+// by Blackman & Vigna.
+
+#ifndef AUCTIONRIDE_COMMON_RNG_H_
+#define AUCTIONRIDE_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace auctionride {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    AR_DCHECK(n > 0);
+    // Lemire's unbiased bounded generation.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = -n % n;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    AR_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal via Box–Muller.
+  double Normal() {
+    double u1 = Uniform();
+    while (u1 <= 1e-300) u1 = Uniform();
+    const double u2 = Uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double Exponential(double rate) {
+    AR_DCHECK(rate > 0);
+    double u = Uniform();
+    while (u <= 1e-300) u = Uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Returns an independently-seeded child generator; successive calls
+  /// produce distinct streams.
+  Rng Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_COMMON_RNG_H_

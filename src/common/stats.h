@@ -1,0 +1,94 @@
+// Streaming summary statistics used by the metrics accounting and benches.
+
+#ifndef AUCTIONRIDE_COMMON_STATS_H_
+#define AUCTIONRIDE_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace auctionride {
+
+/// Accumulates count/sum/min/max/mean/variance without storing samples.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    // Welford's online update.
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores samples; supports exact quantiles. Intended for modest sample
+/// counts (per-round latencies, per-order utilities).
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double sum() const {
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s;
+  }
+
+  double mean() const {
+    return samples_.empty() ? 0.0
+                            : sum() / static_cast<double>(samples_.size());
+  }
+
+  /// Exact quantile by nearest-rank; q in [0, 1]. Requires samples.
+  double Quantile(double q) {
+    AR_CHECK(!samples_.empty());
+    AR_CHECK(q >= 0.0 && q <= 1.0);
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_COMMON_STATS_H_

@@ -1,0 +1,63 @@
+// Fixed-width console table printer for the benchmark harnesses, which print
+// the same rows/series the paper's figures report.
+
+#ifndef AUCTIONRIDE_COMMON_TABLE_H_
+#define AUCTIONRIDE_COMMON_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace auctionride {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders to stdout with columns sized to fit contents.
+  void Print() const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    auto grow = [&widths](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+        if (cells[i].size() > widths[i]) widths[i] = cells[i].size();
+      }
+    };
+    grow(headers_);
+    for (const auto& row : rows_) grow(row);
+
+    PrintRow(headers_, widths);
+    std::string rule;
+    for (std::size_t w : widths) rule += std::string(w + 2, '-') + "+";
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) PrintRow(row, widths);
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& cells,
+                       const std::vector<std::size_t>& widths) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting into std::string (benches print many cells).
+inline std::string FormatDouble(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_COMMON_TABLE_H_

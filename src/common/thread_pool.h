@@ -1,0 +1,53 @@
+// Fixed-size worker pool used for parallel order pricing (§V-C of the paper:
+// "we use multiple threads where each one prices one requester") and for the
+// clustered pack-generation of the scalability experiment (§V-E).
+
+#ifndef AUCTIONRIDE_COMMON_THREAD_POOL_H_
+#define AUCTIONRIDE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace auctionride {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after the destructor has begun.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n), distributing chunks over the pool, and
+  /// blocks until all complete. fn must be safe to invoke concurrently.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_COMMON_THREAD_POOL_H_

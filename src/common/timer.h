@@ -1,0 +1,30 @@
+// Wall-clock timing helper for the experiment harnesses.
+
+#ifndef AUCTIONRIDE_COMMON_TIMER_H_
+#define AUCTIONRIDE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace auctionride {
+
+/// Measures elapsed wall time since construction or the last Reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_COMMON_TIMER_H_

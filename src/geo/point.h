@@ -1,0 +1,61 @@
+// Planar geometry primitives.
+//
+// All coordinates are in meters on a local tangent plane; the synthetic
+// Beijing-like service area is a ~29.7 km x 29.5 km box (paper §V-A).
+
+#ifndef AUCTIONRIDE_GEO_POINT_H_
+#define AUCTIONRIDE_GEO_POINT_H_
+
+#include <cmath>
+
+namespace auctionride {
+
+struct Point {
+  double x = 0;  // meters, east
+  double y = 0;  // meters, north
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance in meters.
+inline double EuclideanDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (avoids the sqrt for comparisons).
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  Point min;
+  Point max;
+
+  double width() const { return max.x - min.x; }
+  double height() const { return max.y - min.y; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  /// Clamps p into the box.
+  Point Clamp(const Point& p) const {
+    Point q = p;
+    if (q.x < min.x) q.x = min.x;
+    if (q.x > max.x) q.x = max.x;
+    if (q.y < min.y) q.y = min.y;
+    if (q.y > max.y) q.y = max.y;
+    return q;
+  }
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_GEO_POINT_H_

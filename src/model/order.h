@@ -1,0 +1,52 @@
+// Requester (order) model — Definition 2 of the paper.
+//
+// A requester r_j is <s_j, e_j, θ_j, val_j, bid_j>: origin, destination, the
+// maximum allowed wasted time, the private valuation, and the submitted bid.
+// "Requester" and "order" are used interchangeably, as in the paper.
+//
+// The wasted-time constraint wt_j + dt_j <= θ_j collapses to a drop-off
+// deadline: wt + dt = (dropoff_time − dispatch_time) − shortest_time, so the
+// constraint is dropoff_time <= dispatch_time + θ_j + shortest_time. The
+// planner works exclusively with that deadline.
+
+#ifndef AUCTIONRIDE_MODEL_ORDER_H_
+#define AUCTIONRIDE_MODEL_ORDER_H_
+
+#include <cstdint>
+
+#include "roadnet/graph.h"
+
+namespace auctionride {
+
+using OrderId = int32_t;
+using VehicleId = int32_t;
+constexpr OrderId kInvalidOrder = -1;
+constexpr VehicleId kInvalidVehicle = -1;
+
+struct Order {
+  OrderId id = kInvalidOrder;
+  NodeId origin = kInvalidNode;       // s_j
+  NodeId destination = kInvalidNode;  // e_j
+
+  double issue_time_s = 0;  // when the requester submitted the order
+
+  // Cached shortest-path figures for the trip (filled by the workload
+  // generator / simulator from the oracle).
+  double shortest_distance_m = 0;
+  double shortest_time_s = 0;  // t(s_j, e_j)
+
+  double max_wasted_time_s = 0;  // θ_j; experiments use θ_j = (γ−1)·t(s_j,e_j)
+
+  double valuation = 0;  // val_j, yuan — private to the requester
+  double bid = 0;        // bid_j, yuan — submitted to the platform
+
+  /// Drop-off deadline implied by θ_j for an order dispatched at
+  /// `dispatch_time_s`.
+  double DropoffDeadline(double dispatch_time_s) const {
+    return dispatch_time_s + max_wasted_time_s + shortest_time_s;
+  }
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_MODEL_ORDER_H_

@@ -1,0 +1,26 @@
+#include "model/travel_plan.h"
+
+#include <unordered_set>
+
+namespace auctionride {
+
+bool TravelPlan::PrecedenceHolds() const {
+  std::unordered_set<OrderId> picked;
+  std::unordered_set<OrderId> dropped;
+  for (const PlanStop& s : stops) {
+    if (s.type == StopType::kPickup) {
+      if (picked.count(s.order) || dropped.count(s.order)) return false;
+      picked.insert(s.order);
+    } else {
+      if (dropped.count(s.order)) return false;
+      dropped.insert(s.order);
+    }
+  }
+  // Every picked order must also be dropped within the plan.
+  for (OrderId o : picked) {
+    if (!dropped.count(o)) return false;
+  }
+  return true;
+}
+
+}  // namespace auctionride

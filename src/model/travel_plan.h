@@ -1,0 +1,59 @@
+// Vehicle travel plan — the sequence of pending pickup/drop-off stops
+// (Definition 3/4 of the paper).
+//
+// Each drop-off stop carries the order's drop-off deadline, making a plan
+// self-contained for feasibility checking (see model/order.h for why the
+// wasted-time constraint is exactly a drop-off deadline).
+
+#ifndef AUCTIONRIDE_MODEL_TRAVEL_PLAN_H_
+#define AUCTIONRIDE_MODEL_TRAVEL_PLAN_H_
+
+#include <vector>
+
+#include "model/order.h"
+#include "roadnet/graph.h"
+
+namespace auctionride {
+
+enum class StopType { kPickup, kDropoff };
+
+struct PlanStop {
+  NodeId node = kInvalidNode;
+  OrderId order = kInvalidOrder;
+  StopType type = StopType::kPickup;
+  // Drop-off deadline (absolute seconds) for kDropoff stops; unused for
+  // pickups.
+  double deadline_s = 0;
+};
+
+struct TravelPlan {
+  std::vector<PlanStop> stops;
+
+  bool empty() const { return stops.empty(); }
+  std::size_t size() const { return stops.size(); }
+
+  /// Number of distinct orders with a pending pickup in the plan.
+  int PendingPickups() const {
+    int n = 0;
+    for (const PlanStop& s : stops) {
+      if (s.type == StopType::kPickup) ++n;
+    }
+    return n;
+  }
+
+  /// True if the plan contains any stop of the given order.
+  bool ContainsOrder(OrderId order) const {
+    for (const PlanStop& s : stops) {
+      if (s.order == order) return true;
+    }
+    return false;
+  }
+
+  /// Precedence sanity: every drop-off of an order not currently on board
+  /// must be preceded by its pickup.
+  bool PrecedenceHolds() const;
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_MODEL_TRAVEL_PLAN_H_

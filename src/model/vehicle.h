@@ -1,0 +1,49 @@
+// Vehicle model — Definition 3 of the paper: current location and travel
+// plan, with capacity c̄ (default 3, the Didi Chuxing taxi-sharing setting).
+//
+// Location is committed-node based: a moving vehicle is represented by the
+// next node on its path plus the remaining distance to it, so shortest-path
+// queries from a vehicle are dist = extra_distance_m + d(next_node, x).
+
+#ifndef AUCTIONRIDE_MODEL_VEHICLE_H_
+#define AUCTIONRIDE_MODEL_VEHICLE_H_
+
+#include "model/order.h"
+#include "model/travel_plan.h"
+#include "roadnet/graph.h"
+
+namespace auctionride {
+
+/// Default vehicle capacity: at most 3 co-riders (paper §V-A).
+constexpr int kDefaultCapacity = 3;
+
+struct Vehicle {
+  VehicleId id = kInvalidVehicle;
+
+  NodeId next_node = kInvalidNode;  // node the vehicle is at or moving toward
+  double extra_distance_m = 0;      // remaining meters to next_node
+
+  int onboard = 0;                  // riders currently in the vehicle
+  int capacity = kDefaultCapacity;  // c̄
+
+  TravelPlan plan;  // remaining stops
+
+  // True from the first pickup of the current delivery episode until the
+  // plan empties; while true, all travel counts toward the delivery
+  // distance D_i (Equation 1: platform pays for distance after the first
+  // pickup).
+  bool in_delivery = false;
+
+  // Lifetime accounting (simulator-maintained).
+  double delivery_distance_m = 0;  // cumulative D_i
+  double total_distance_m = 0;     // includes approach and random walk
+
+  /// Riders this vehicle is currently committed to (onboard + pending
+  /// pickups). Dispatch validity requires this to stay within capacity at
+  /// every plan stage, which planner::EvaluatePlan checks exactly.
+  int CommittedRiders() const { return onboard + plan.PendingPickups(); }
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_MODEL_VEHICLE_H_

@@ -1,0 +1,60 @@
+#include "planner/insertion.h"
+
+#include <limits>
+
+namespace auctionride {
+
+InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
+                              double now_s, const DistanceOracle& oracle) {
+  InsertionResult best;
+  if (vehicle.CommittedRiders() >= vehicle.capacity) return best;
+
+  const double base_delivery =
+      EvaluatePlan(vehicle, vehicle.plan.stops, now_s, oracle)
+          .delivery_distance_m;
+
+  const PlanStop pickup{order.origin, order.id, StopType::kPickup, 0};
+  const PlanStop dropoff{order.destination, order.id, StopType::kDropoff,
+                         order.DropoffDeadline(now_s)};
+
+  const std::size_t n = vehicle.plan.stops.size();
+  std::vector<PlanStop> candidate;
+  candidate.reserve(n + 2);
+  double best_delta = std::numeric_limits<double>::infinity();
+
+  // Insert pickup at position i and drop-off at position j (positions in the
+  // plan *after* the pickup insertion), for all i <= j.
+  for (std::size_t i = 0; i <= n; ++i) {
+    for (std::size_t j = i; j <= n; ++j) {
+      candidate.clear();
+      candidate.insert(candidate.end(), vehicle.plan.stops.begin(),
+                       vehicle.plan.stops.begin() + static_cast<long>(i));
+      candidate.push_back(pickup);
+      candidate.insert(candidate.end(),
+                       vehicle.plan.stops.begin() + static_cast<long>(i),
+                       vehicle.plan.stops.begin() + static_cast<long>(j));
+      candidate.push_back(dropoff);
+      candidate.insert(candidate.end(),
+                       vehicle.plan.stops.begin() + static_cast<long>(j),
+                       vehicle.plan.stops.end());
+
+      const PlanEvaluation eval =
+          EvaluatePlan(vehicle, candidate, now_s, oracle);
+      if (!eval.feasible) continue;
+      const double delta = eval.delivery_distance_m - base_delivery;
+      if (delta < best_delta) {
+        best_delta = delta;
+        best.feasible = true;
+        best.new_plan = candidate;
+      }
+    }
+  }
+  if (best.feasible) best.delta_delivery_m = best_delta;
+  return best;
+}
+
+double MaxPickupRadiusM(const Order& order, double speed_mps) {
+  return order.max_wasted_time_s * speed_mps;
+}
+
+}  // namespace auctionride

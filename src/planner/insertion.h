@@ -1,0 +1,46 @@
+// Insertion-based route planning (paper §III-A).
+//
+// To dispatch a new order, its pickup and drop-off are inserted into the
+// vehicle's travel plan at the pair of positions that minimizes the increase
+// in *delivery* travel distance, subject to the validity constraints of
+// Definition 4. The search space is quadratic in the plan length (which is
+// at most 2·c̄), the common practice the paper adopts from [4,10,20,21,28].
+
+#ifndef AUCTIONRIDE_PLANNER_INSERTION_H_
+#define AUCTIONRIDE_PLANNER_INSERTION_H_
+
+#include <vector>
+
+#include "model/order.h"
+#include "model/vehicle.h"
+#include "planner/plan_eval.h"
+#include "roadnet/oracle.h"
+
+namespace auctionride {
+
+struct InsertionResult {
+  bool feasible = false;
+  // Increase in delivery distance ΔD_i(r_j), meters.
+  double delta_delivery_m = 0;
+  // The vehicle's plan with the order inserted (only valid when feasible).
+  std::vector<PlanStop> new_plan;
+};
+
+/// Finds the cheapest valid insertion of `order` into `vehicle`'s plan at
+/// time `now_s` (the dispatch round time: the order's drop-off deadline is
+/// DropoffDeadline(now_s)). Returns feasible = false when no insertion
+/// position satisfies the constraints.
+InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
+                              double now_s, const DistanceOracle& oracle);
+
+/// Quick necessary condition used for exact spatial pruning: a dispatch can
+/// only be valid if the vehicle can reach the origin and complete the trip
+/// within the deadline even with an otherwise empty plan, i.e.
+/// d(vehicle, s_j)/speed + t(s_j, e_j) <= θ_j + t(s_j, e_j). This bounds the
+/// vehicle-origin distance by speed·θ_j (Euclidean distance lower-bounds the
+/// road distance, so Euclidean pruning is exact).
+double MaxPickupRadiusM(const Order& order, double speed_mps);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_PLANNER_INSERTION_H_

@@ -1,0 +1,55 @@
+#include "planner/pack_planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace auctionride {
+
+PackPlanResult PlanPack(const Vehicle& vehicle,
+                        std::span<const Order* const> orders, double now_s,
+                        const DistanceOracle& oracle) {
+  PackPlanResult best;
+  if (orders.empty()) return best;
+  if (vehicle.CommittedRiders() + static_cast<int>(orders.size()) >
+      vehicle.capacity) {
+    return best;
+  }
+#ifndef NDEBUG
+  for (const Order* o : orders) {
+    AR_DCHECK(o != nullptr);
+    AR_DCHECK(!vehicle.plan.ContainsOrder(o->id));
+  }
+#endif
+
+  std::vector<std::size_t> perm(orders.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  double best_delta = std::numeric_limits<double>::infinity();
+
+  Vehicle scratch = vehicle;  // plan mutated per permutation
+  do {
+    scratch.plan = vehicle.plan;
+    double delta_sum = 0;
+    bool ok = true;
+    for (std::size_t idx : perm) {
+      const InsertionResult ins =
+          BestInsertion(scratch, *orders[idx], now_s, oracle);
+      if (!ins.feasible) {
+        ok = false;
+        break;
+      }
+      delta_sum += ins.delta_delivery_m;
+      scratch.plan.stops = ins.new_plan;
+    }
+    if (ok && delta_sum < best_delta) {
+      best_delta = delta_sum;
+      best.feasible = true;
+      best.new_plan = scratch.plan.stops;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  if (best.feasible) best.delta_delivery_m = best_delta;
+  return best;
+}
+
+}  // namespace auctionride

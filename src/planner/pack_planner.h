@@ -1,0 +1,39 @@
+// Pack route planning for the ranking-based dispatch (paper §IV-A, Phase I).
+//
+// Dispatching a pack of up to c̄ requesters to a vehicle is conducted with
+// respect to their optimal sequence: the paper explores the c̄! requester
+// orderings, building each route incrementally. We do the same — for every
+// permutation of the pack, orders are inserted one after another with
+// BestInsertion, and the cheapest feasible resulting plan wins.
+
+#ifndef AUCTIONRIDE_PLANNER_PACK_PLANNER_H_
+#define AUCTIONRIDE_PLANNER_PACK_PLANNER_H_
+
+#include <span>
+#include <vector>
+
+#include "model/order.h"
+#include "model/vehicle.h"
+#include "planner/insertion.h"
+#include "roadnet/oracle.h"
+
+namespace auctionride {
+
+struct PackPlanResult {
+  bool feasible = false;
+  // Total increase in delivery distance of the vehicle, meters.
+  double delta_delivery_m = 0;
+  // The vehicle's plan with all pack orders inserted.
+  std::vector<PlanStop> new_plan;
+};
+
+/// Cheapest feasible joint insertion of `orders` into `vehicle`'s plan at
+/// time `now_s`, over all insertion orders (permutations). Orders must have
+/// distinct ids and none may already be in the plan.
+PackPlanResult PlanPack(const Vehicle& vehicle,
+                        std::span<const Order* const> orders, double now_s,
+                        const DistanceOracle& oracle);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_PLANNER_PACK_PLANNER_H_

@@ -1,0 +1,73 @@
+#include "planner/plan_eval.h"
+
+namespace auctionride {
+
+PlanEvaluation EvaluatePlan(const Vehicle& vehicle,
+                            std::span<const PlanStop> stops, double now_s,
+                            const DistanceOracle& oracle) {
+#ifndef NDEBUG
+  {
+    TravelPlan check;
+    check.stops.assign(stops.begin(), stops.end());
+    AR_DCHECK(check.PrecedenceHolds());
+  }
+#endif
+  PlanEvaluation eval;
+  eval.feasible = true;
+
+  double clock_s = now_s + vehicle.extra_distance_m / oracle.speed_mps();
+  double total_m = vehicle.extra_distance_m;
+  double delivery_m = 0;
+  bool in_delivery = vehicle.in_delivery;
+  // A vehicle committed to in-flight riders is in delivery regardless of the
+  // flag the caller set; keep the two consistent defensively.
+  if (vehicle.onboard > 0) in_delivery = true;
+  if (in_delivery) delivery_m += vehicle.extra_distance_m;
+
+  int onboard = vehicle.onboard;
+  NodeId prev = vehicle.next_node;
+
+  for (const PlanStop& stop : stops) {
+    const double leg_m = oracle.Distance(prev, stop.node);
+    if (leg_m == kInfDistance) {
+      eval.feasible = false;
+      break;
+    }
+    total_m += leg_m;
+    if (in_delivery) delivery_m += leg_m;
+    clock_s += leg_m / oracle.speed_mps();
+    prev = stop.node;
+
+    if (stop.type == StopType::kPickup) {
+      ++onboard;
+      if (onboard > vehicle.capacity) {
+        eval.feasible = false;
+        break;
+      }
+      in_delivery = true;  // delivery phase begins at the first pickup
+    } else {
+      --onboard;
+      if (onboard < 0) {
+        eval.feasible = false;
+        break;
+      }
+      if (clock_s > stop.deadline_s + 1e-9) {
+        eval.feasible = false;
+        break;
+      }
+    }
+  }
+
+  eval.total_distance_m = total_m;
+  eval.delivery_distance_m = delivery_m;
+  eval.completion_time_s = clock_s;
+  return eval;
+}
+
+double CurrentDeliveryDistance(const Vehicle& vehicle, double now_s,
+                               const DistanceOracle& oracle) {
+  return EvaluatePlan(vehicle, vehicle.plan.stops, now_s, oracle)
+      .delivery_distance_m;
+}
+
+}  // namespace auctionride

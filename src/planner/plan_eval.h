@@ -1,0 +1,40 @@
+// Travel-plan evaluation: arrival times, feasibility against Definition 4
+// (precedence, capacity, time/deadline constraints), and delivery distance.
+
+#ifndef AUCTIONRIDE_PLANNER_PLAN_EVAL_H_
+#define AUCTIONRIDE_PLANNER_PLAN_EVAL_H_
+
+#include <span>
+
+#include "model/vehicle.h"
+#include "roadnet/oracle.h"
+
+namespace auctionride {
+
+struct PlanEvaluation {
+  bool feasible = false;
+  // Total distance from the vehicle's position through every stop, meters.
+  double total_distance_m = 0;
+  // Distance that counts toward D_i: everything after the first pickup (all
+  // of it when the vehicle is already in its delivery phase), meters.
+  double delivery_distance_m = 0;
+  // Completion time of the last stop, absolute seconds.
+  double completion_time_s = 0;
+};
+
+/// Evaluates `stops` as the prospective plan of `vehicle` starting at time
+/// `now_s`. Checks capacity at every stage and each drop-off deadline;
+/// `feasible` is false on any violation (the distance fields are still
+/// filled for the prefix walked). Precedence is the caller's structural
+/// responsibility (checked in debug builds).
+PlanEvaluation EvaluatePlan(const Vehicle& vehicle,
+                            std::span<const PlanStop> stops, double now_s,
+                            const DistanceOracle& oracle);
+
+/// Delivery distance of the vehicle's current plan (convenience wrapper).
+double CurrentDeliveryDistance(const Vehicle& vehicle, double now_s,
+                               const DistanceOracle& oracle);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_PLANNER_PLAN_EVAL_H_

@@ -1,0 +1,75 @@
+#include "roadnet/astar.h"
+
+#include <algorithm>
+
+namespace auctionride {
+
+AStarSearch::AStarSearch(const RoadNetwork* network) : network_(network) {
+  AR_CHECK(network != nullptr);
+  AR_CHECK(network->built());
+  const auto n = static_cast<std::size_t>(network->num_nodes());
+  dist_.assign(n, kInfDistance);
+  parent_.assign(n, kInvalidNode);
+  generation_of_.assign(n, 0);
+}
+
+void AStarSearch::BeginQuery() {
+  ++generation_;
+  AR_CHECK(generation_ != 0);
+  queue_ = {};
+  last_settled_ = 0;
+}
+
+double& AStarSearch::Dist(NodeId n) {
+  if (generation_of_[n] != generation_) {
+    generation_of_[n] = generation_;
+    dist_[n] = kInfDistance;
+    parent_[n] = kInvalidNode;
+  }
+  return dist_[n];
+}
+
+double AStarSearch::ShortestDistance(NodeId source, NodeId target) {
+  AR_DCHECK(source >= 0 && source < network_->num_nodes());
+  AR_DCHECK(target >= 0 && target < network_->num_nodes());
+  if (source == target) return 0;
+  BeginQuery();
+  const Point& goal = network_->position(target);
+  auto heuristic = [this, &goal](NodeId n) {
+    return EuclideanDistance(network_->position(n), goal);
+  };
+  Dist(source) = 0;
+  queue_.push({heuristic(source), 0, source});
+  while (!queue_.empty()) {
+    const auto [f, g, u] = queue_.top();
+    queue_.pop();
+    if (g > Dist(u)) continue;  // stale
+    ++last_settled_;
+    if (u == target) return g;
+    for (const Arc& a : network_->OutArcs(u)) {
+      const double ng = g + a.length_m;
+      if (ng < Dist(a.head)) {
+        Dist(a.head) = ng;
+        parent_[a.head] = u;
+        queue_.push({ng + heuristic(a.head), ng, a.head});
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+std::vector<NodeId> AStarSearch::ShortestPath(NodeId source, NodeId target) {
+  const double d = ShortestDistance(source, target);
+  if (d == kInfDistance) return {};
+  if (source == target) return {source};
+  std::vector<NodeId> path;
+  for (NodeId n = target; n != kInvalidNode; n = parent_[n]) {
+    path.push_back(n);
+    if (n == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  AR_CHECK(path.front() == source);
+  return path;
+}
+
+}  // namespace auctionride

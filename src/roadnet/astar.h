@@ -1,0 +1,59 @@
+// A* point-to-point search with the Euclidean lower-bound heuristic.
+//
+// Edge lengths are physical road lengths, so the straight-line distance to
+// the target never overestimates the remaining road distance — the heuristic
+// is admissible and A* returns exact shortest paths while settling far fewer
+// nodes than Dijkstra. The simulator uses it to trace the node paths that
+// vehicles drive along (distance queries go through the CH oracle instead).
+
+#ifndef AUCTIONRIDE_ROADNET_ASTAR_H_
+#define AUCTIONRIDE_ROADNET_ASTAR_H_
+
+#include <queue>
+#include <vector>
+
+#include "roadnet/dijkstra.h"
+#include "roadnet/graph.h"
+
+namespace auctionride {
+
+class AStarSearch {
+ public:
+  /// The network must outlive this object and be Build()-frozen.
+  explicit AStarSearch(const RoadNetwork* network);
+
+  /// Exact shortest distance in meters; kInfDistance if unreachable.
+  double ShortestDistance(NodeId source, NodeId target);
+
+  /// Shortest path as a node sequence including both endpoints; empty when
+  /// unreachable.
+  std::vector<NodeId> ShortestPath(NodeId source, NodeId target);
+
+  /// Nodes settled by the last query (exposed for the efficiency tests).
+  int last_settled() const { return last_settled_; }
+
+ private:
+  struct QueueEntry {
+    double f;  // g + heuristic
+    double g;
+    NodeId node;
+    bool operator>(const QueueEntry& o) const { return f > o.f; }
+  };
+
+  void BeginQuery();
+  double& Dist(NodeId n);
+
+  const RoadNetwork* network_;
+  std::vector<double> dist_;
+  std::vector<NodeId> parent_;
+  std::vector<uint32_t> generation_of_;
+  uint32_t generation_ = 0;
+  int last_settled_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_ROADNET_ASTAR_H_

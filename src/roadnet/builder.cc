@@ -1,0 +1,124 @@
+#include "roadnet/builder.h"
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace auctionride {
+
+namespace {
+
+// Union-find used to guarantee connectivity after segment removal.
+class DisjointSets {
+ public:
+  explicit DisjointSets(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns false if already joined.
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+RoadNetwork BuildGridNetwork(const GridNetworkOptions& options) {
+  AR_CHECK(options.columns >= 2 && options.rows >= 2);
+  AR_CHECK(options.spacing_m > 0);
+  AR_CHECK(options.removal_fraction >= 0 && options.removal_fraction < 0.5);
+  AR_CHECK(options.detour_min >= 1.0 &&
+           options.detour_max >= options.detour_min);
+  Rng rng(options.seed);
+
+  RoadNetwork net;
+  const int cols = options.columns;
+  const int rows = options.rows;
+  auto node_at = [cols](int c, int r) -> NodeId { return r * cols + c; };
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double jitter = options.jitter_fraction * options.spacing_m;
+      net.AddNode({c * options.spacing_m + rng.Uniform(-jitter, jitter),
+                   r * options.spacing_m + rng.Uniform(-jitter, jitter)});
+    }
+  }
+
+  struct Segment {
+    NodeId a, b;
+  };
+  std::vector<Segment> segments;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) segments.push_back({node_at(c, r), node_at(c + 1, r)});
+      if (r + 1 < rows) segments.push_back({node_at(c, r), node_at(c, r + 1)});
+    }
+  }
+
+  // Random removal with a connectivity repair pass: first tentatively keep or
+  // drop each segment, then re-add dropped segments that bridge components.
+  std::vector<char> keep(segments.size(), 1);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (rng.Bernoulli(options.removal_fraction)) keep[i] = 0;
+  }
+  DisjointSets components(cols * rows);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (keep[i]) components.Union(segments[i].a, segments[i].b);
+  }
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (!keep[i] && components.Union(segments[i].a, segments[i].b)) {
+      keep[i] = 1;
+    }
+  }
+
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (!keep[i]) continue;
+    const Segment& s = segments[i];
+    const double detour = rng.Uniform(options.detour_min, options.detour_max);
+    const double len =
+        EuclideanDistance(net.position(s.a), net.position(s.b)) * detour;
+    net.AddBidirectionalEdge(s.a, s.b, len);
+  }
+
+  // Diagonal arterials through the center, mimicking expressways: slightly
+  // shorter effective lengths than the local streets they parallel.
+  const int num_diagonals = std::min(cols, rows) - 1;
+  for (int i = 0; i < num_diagonals; ++i) {
+    const NodeId a = node_at(i, i);
+    const NodeId b = node_at(i + 1, i + 1);
+    const double len =
+        EuclideanDistance(net.position(a), net.position(b)) * 1.02;
+    net.AddBidirectionalEdge(a, b, len);
+  }
+
+  net.Build();
+  AR_CHECK(net.IsStronglyConnected());
+  return net;
+}
+
+RoadNetwork BuildBeijingLikeNetwork(uint64_t seed) {
+  GridNetworkOptions options;
+  options.columns = 80;
+  options.rows = 80;
+  options.spacing_m = 375;  // 80 x 375 m ~ 29.6 km, matching the paper's area
+  options.seed = seed;
+  return BuildGridNetwork(options);
+}
+
+}  // namespace auctionride

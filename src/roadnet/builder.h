@@ -1,0 +1,42 @@
+// Synthetic road-network builders.
+//
+// The paper evaluates on the OpenStreetMap network of Beijing within the 5th
+// Ring Road (29.7 km x 29.5 km). That data is not redistributable here, so we
+// generate an urban grid of comparable scale: a jittered lattice of local
+// streets with faster diagonal/arterial connections and a controlled fraction
+// of removed segments for irregularity. Edge lengths are Euclidean distances
+// scaled by a per-edge detour factor, giving realistic road/straight-line
+// ratios. All generation is deterministic in the seed.
+
+#ifndef AUCTIONRIDE_ROADNET_BUILDER_H_
+#define AUCTIONRIDE_ROADNET_BUILDER_H_
+
+#include <cstdint>
+
+#include "roadnet/graph.h"
+
+namespace auctionride {
+
+struct GridNetworkOptions {
+  int columns = 80;            // lattice width in nodes
+  int rows = 80;               // lattice height in nodes
+  double spacing_m = 375;      // mean distance between adjacent nodes
+  double jitter_fraction = 0.25;   // node position jitter, fraction of spacing
+  double removal_fraction = 0.10;  // fraction of segments removed (kept
+                                   // connected)
+  double detour_min = 1.0;     // per-edge length multipliers over Euclidean
+  double detour_max = 1.25;
+  uint64_t seed = 7;
+};
+
+/// Builds (and freezes) a connected grid-style road network. The returned
+/// network is strongly connected; all edges are bidirectional.
+RoadNetwork BuildGridNetwork(const GridNetworkOptions& options);
+
+/// Convenience: the default Beijing-like network used across benches —
+/// 80 x 80 nodes over ~29.6 km x 29.6 km.
+RoadNetwork BuildBeijingLikeNetwork(uint64_t seed = 7);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_ROADNET_BUILDER_H_

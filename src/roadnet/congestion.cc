@@ -1,0 +1,48 @@
+#include "roadnet/congestion.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace auctionride {
+
+CongestionField::CongestionField(double base_factor) : base_(base_factor) {
+  AR_CHECK(base_factor >= 1.0) << "congestion cannot speed roads up";
+}
+
+void CongestionField::AddHotspot(Point center, double extra_factor,
+                                 double radius_m) {
+  AR_CHECK(extra_factor >= 0);
+  AR_CHECK(radius_m > 0);
+  hotspots_.push_back({center, extra_factor, radius_m});
+}
+
+double CongestionField::FactorAt(const Point& p) const {
+  double factor = base_;
+  for (const Hotspot& h : hotspots_) {
+    const double sq = SquaredDistance(p, h.center);
+    factor += h.extra * std::exp(-sq / (2.0 * h.radius_m * h.radius_m));
+  }
+  return factor;
+}
+
+RoadNetwork ApplyCongestion(const RoadNetwork& network,
+                            const CongestionField& field) {
+  AR_CHECK(network.built());
+  RoadNetwork scaled;
+  for (NodeId n = 0; n < network.num_nodes(); ++n) {
+    scaled.AddNode(network.position(n));
+  }
+  for (NodeId n = 0; n < network.num_nodes(); ++n) {
+    const Point& a = network.position(n);
+    for (const Arc& arc : network.OutArcs(n)) {
+      const Point& b = network.position(arc.head);
+      const Point mid{(a.x + b.x) / 2, (a.y + b.y) / 2};
+      scaled.AddEdge(n, arc.head, arc.length_m * field.FactorAt(mid));
+    }
+  }
+  scaled.Build();
+  return scaled;
+}
+
+}  // namespace auctionride

@@ -1,0 +1,54 @@
+// Alternative travel-cost measures (paper §III-A): "measures other than
+// shortest path distance can also be adopted. For example, the average
+// historical travel distance between the two locations. Our proposed
+// algorithms still work and the theoretical properties still apply."
+//
+// We model historical congestion as a spatial field of slowdown factors:
+// every edge's effective length is scaled by the field value at its
+// midpoint (factors >= 1). The scaled network plugs into the same
+// DistanceOracle; because factors never shrink an edge below its physical
+// length, the Euclidean lower bound — and thus the exact spatial pruning —
+// remains valid.
+
+#ifndef AUCTIONRIDE_ROADNET_CONGESTION_H_
+#define AUCTIONRIDE_ROADNET_CONGESTION_H_
+
+#include <vector>
+
+#include "geo/point.h"
+#include "roadnet/graph.h"
+
+namespace auctionride {
+
+/// Smooth congestion field: a base factor plus Gaussian bumps.
+class CongestionField {
+ public:
+  /// `base_factor` must be >= 1 (1 = free flow everywhere).
+  explicit CongestionField(double base_factor = 1.0);
+
+  /// Adds a congested area: factor increases by `extra_factor` at `center`,
+  /// decaying with a Gaussian of the given radius. extra_factor >= 0.
+  void AddHotspot(Point center, double extra_factor, double radius_m);
+
+  /// Slowdown factor at a point (always >= base factor >= 1).
+  double FactorAt(const Point& p) const;
+
+ private:
+  struct Hotspot {
+    Point center;
+    double extra;
+    double radius_m;
+  };
+  double base_;
+  std::vector<Hotspot> hotspots_;
+};
+
+/// Returns a rebuilt copy of `network` whose edge lengths are scaled by the
+/// field factor at each edge midpoint — the "average historical travel
+/// distance" substitute measure. The input must be built.
+RoadNetwork ApplyCongestion(const RoadNetwork& network,
+                            const CongestionField& field);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_ROADNET_CONGESTION_H_

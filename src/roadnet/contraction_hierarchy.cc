@@ -1,0 +1,307 @@
+#include "roadnet/contraction_hierarchy.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace auctionride {
+
+namespace {
+
+// Workspace for the local witness searches run during contraction.
+struct WitnessSearcher {
+  explicit WitnessSearcher(NodeId n)
+      : dist(static_cast<std::size_t>(n), kInfDistance),
+        generation_of(static_cast<std::size_t>(n), 0) {}
+
+  struct Entry {
+    double d;
+    NodeId node;
+    bool operator>(const Entry& o) const { return d > o.d; }
+  };
+
+  double& Dist(NodeId n) {
+    if (generation_of[n] != generation) {
+      generation_of[n] = generation;
+      dist[n] = kInfDistance;
+    }
+    return dist[n];
+  }
+
+  std::vector<double> dist;
+  std::vector<uint32_t> generation_of;
+  uint32_t generation = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+};
+
+}  // namespace
+
+ContractionHierarchy::ContractionHierarchy(const RoadNetwork* network,
+                                           int witness_settle_limit)
+    : num_nodes_(network->num_nodes()) {
+  AR_CHECK(network != nullptr);
+  AR_CHECK(network->built());
+  AR_CHECK(witness_settle_limit > 0);
+
+  // Dynamic adjacency used during contraction: original arcs + shortcuts.
+  // Parallel arcs are deduplicated keeping the minimum weight.
+  const NodeId n = num_nodes_;
+  std::vector<std::vector<DynArc>> out_adj(n), in_adj(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Arc& a : network->OutArcs(u)) {
+      if (a.head == u) continue;  // self loops never help shortest paths
+      out_adj[u].push_back({a.head, a.length_m});
+      in_adj[a.head].push_back({u, a.length_m});
+    }
+  }
+  auto dedup = [](std::vector<DynArc>& arcs) {
+    std::sort(arcs.begin(), arcs.end(), [](const DynArc& a, const DynArc& b) {
+      return a.head < b.head || (a.head == b.head && a.weight < b.weight);
+    });
+    arcs.erase(std::unique(arcs.begin(), arcs.end(),
+                           [](const DynArc& a, const DynArc& b) {
+                             return a.head == b.head;
+                           }),
+               arcs.end());
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    dedup(out_adj[u]);
+    dedup(in_adj[u]);
+  }
+
+  std::vector<char> contracted(n, 0);
+  std::vector<int32_t> deleted_neighbors(n, 0);
+  rank_.assign(n, 0);
+  WitnessSearcher witness(n);
+
+  // Runs witness searches for contracting `v`; returns the shortcuts needed.
+  // A shortcut u->w is needed iff the shortest u->w path bypassing v is
+  // longer than d(u,v)+d(v,w). The witness search is capped; on cap we
+  // conservatively add the shortcut (correct, possibly redundant).
+  auto shortcuts_for = [&](NodeId v, bool record,
+                           std::vector<std::pair<NodeId, DynArc>>* out)
+      -> int {
+    int count = 0;
+    // Active outgoing neighbors and the cap for witness searches.
+    double max_out = 0;
+    int num_out = 0;
+    for (const DynArc& a : out_adj[v]) {
+      if (contracted[a.head]) continue;
+      max_out = std::max(max_out, a.weight);
+      ++num_out;
+    }
+    if (num_out == 0) return 0;
+
+    for (const DynArc& in : in_adj[v]) {
+      const NodeId u = in.head;
+      if (contracted[u] || u == v) continue;
+      const double cap = in.weight + max_out;
+
+      // Local Dijkstra from u avoiding v over uncontracted nodes.
+      ++witness.generation;
+      AR_CHECK(witness.generation != 0);
+      witness.queue = {};
+      witness.Dist(u) = 0;
+      witness.queue.push({0, u});
+      int settled = 0;
+      while (!witness.queue.empty() && settled < witness_settle_limit) {
+        const auto [d, x] = witness.queue.top();
+        witness.queue.pop();
+        if (d > witness.Dist(x)) continue;
+        if (d > cap) break;
+        ++settled;
+        for (const DynArc& a : out_adj[x]) {
+          if (a.head == v || contracted[a.head]) continue;
+          const double nd = d + a.weight;
+          if (nd < witness.Dist(a.head)) {
+            witness.Dist(a.head) = nd;
+            witness.queue.push({nd, a.head});
+          }
+        }
+      }
+
+      for (const DynArc& outa : out_adj[v]) {
+        const NodeId w = outa.head;
+        if (contracted[w] || w == u || w == v) continue;
+        const double via = in.weight + outa.weight;
+        const double alt = witness.generation_of[w] == witness.generation
+                               ? witness.dist[w]
+                               : kInfDistance;
+        if (alt <= via) continue;  // witness found
+        ++count;
+        if (record) out->push_back({u, {w, via}});
+      }
+    }
+    return count;
+  };
+
+  auto active_degree = [&](const std::vector<DynArc>& arcs) {
+    int deg = 0;
+    for (const DynArc& a : arcs) {
+      if (!contracted[a.head]) ++deg;
+    }
+    return deg;
+  };
+  auto priority_of = [&](NodeId v) -> int64_t {
+    const int shortcuts = shortcuts_for(v, /*record=*/false, nullptr);
+    const int degree = active_degree(out_adj[v]) + active_degree(in_adj[v]);
+    return 2 * static_cast<int64_t>(shortcuts - degree) +
+           deleted_neighbors[v];
+  };
+
+  struct PQEntry {
+    int64_t priority;
+    NodeId node;
+    bool operator>(const PQEntry& o) const { return priority > o.priority; }
+  };
+  std::priority_queue<PQEntry, std::vector<PQEntry>, std::greater<PQEntry>>
+      order_queue;
+  for (NodeId v = 0; v < n; ++v) order_queue.push({priority_of(v), v});
+
+  int32_t next_rank = 0;
+  std::vector<std::pair<NodeId, DynArc>> new_shortcuts;
+  while (!order_queue.empty()) {
+    const auto [prio, v] = order_queue.top();
+    order_queue.pop();
+    if (contracted[v]) continue;
+    // Lazy update: recompute; if the node is no longer the minimum, requeue.
+    const int64_t fresh = priority_of(v);
+    if (!order_queue.empty() && fresh > order_queue.top().priority) {
+      order_queue.push({fresh, v});
+      continue;
+    }
+
+    new_shortcuts.clear();
+    shortcuts_for(v, /*record=*/true, &new_shortcuts);
+    contracted[v] = 1;
+    rank_[v] = next_rank++;
+    for (const DynArc& a : out_adj[v]) {
+      if (!contracted[a.head]) ++deleted_neighbors[a.head];
+    }
+    for (const DynArc& a : in_adj[v]) {
+      if (!contracted[a.head]) ++deleted_neighbors[a.head];
+    }
+    for (const auto& [u, arc] : new_shortcuts) {
+      // Keep only the cheapest parallel arc.
+      bool replaced = false;
+      for (DynArc& existing : out_adj[u]) {
+        if (existing.head == arc.head) {
+          existing.weight = std::min(existing.weight, arc.weight);
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) out_adj[u].push_back(arc);
+      replaced = false;
+      for (DynArc& existing : in_adj[arc.head]) {
+        if (existing.head == u) {
+          existing.weight = std::min(existing.weight, arc.weight);
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) in_adj[arc.head].push_back({u, arc.weight});
+      ++num_shortcuts_;
+    }
+  }
+
+  // Freeze the upward graphs into CSR form.
+  up_out_begin_.assign(n + 1, 0);
+  up_in_begin_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const DynArc& a : out_adj[u]) {
+      if (rank_[a.head] > rank_[u]) ++up_out_begin_[u + 1];
+    }
+    for (const DynArc& a : in_adj[u]) {
+      if (rank_[a.head] > rank_[u]) ++up_in_begin_[u + 1];
+    }
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    up_out_begin_[i + 1] += up_out_begin_[i];
+    up_in_begin_[i + 1] += up_in_begin_[i];
+  }
+  up_out_arcs_.resize(static_cast<std::size_t>(up_out_begin_[n]));
+  up_in_arcs_.resize(static_cast<std::size_t>(up_in_begin_[n]));
+  std::vector<int64_t> out_pos(up_out_begin_.begin(), up_out_begin_.end() - 1);
+  std::vector<int64_t> in_pos(up_in_begin_.begin(), up_in_begin_.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const DynArc& a : out_adj[u]) {
+      if (rank_[a.head] > rank_[u]) up_out_arcs_[out_pos[u]++] = a;
+    }
+    for (const DynArc& a : in_adj[u]) {
+      if (rank_[a.head] > rank_[u]) up_in_arcs_[in_pos[u]++] = a;
+    }
+  }
+}
+
+ContractionHierarchy::Query::Query(const ContractionHierarchy* ch) : ch_(ch) {
+  AR_CHECK(ch != nullptr);
+  const auto n = static_cast<std::size_t>(ch->num_nodes_);
+  dist_fwd_.assign(n, kInfDistance);
+  dist_bwd_.assign(n, kInfDistance);
+  gen_fwd_.assign(n, 0);
+  gen_bwd_.assign(n, 0);
+}
+
+double ContractionHierarchy::Query::ShortestDistance(NodeId source,
+                                                     NodeId target) {
+  AR_DCHECK(source >= 0 && source < ch_->num_nodes_);
+  AR_DCHECK(target >= 0 && target < ch_->num_nodes_);
+  if (source == target) return 0;
+  ++generation_;
+  AR_CHECK(generation_ != 0);
+
+  auto dist = [this](std::vector<double>& d, std::vector<uint32_t>& g,
+                     NodeId node) -> double& {
+    if (g[node] != generation_) {
+      g[node] = generation_;
+      d[node] = kInfDistance;
+    }
+    return d[node];
+  };
+
+  MinQueue fwd, bwd;
+  dist(dist_fwd_, gen_fwd_, source) = 0;
+  dist(dist_bwd_, gen_bwd_, target) = 0;
+  fwd.push({0, source});
+  bwd.push({0, target});
+  double best = kInfDistance;
+
+  auto relax_side = [&](MinQueue& queue, std::vector<double>& my_dist,
+                        std::vector<uint32_t>& my_gen,
+                        std::vector<double>& other_dist,
+                        std::vector<uint32_t>& other_gen,
+                        const std::vector<int64_t>& begin,
+                        const std::vector<DynArc>& arcs) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist(my_dist, my_gen, u)) return;
+    if (other_gen[u] == generation_ && other_dist[u] != kInfDistance) {
+      best = std::min(best, d + other_dist[u]);
+    }
+    for (int64_t i = begin[u]; i < begin[u + 1]; ++i) {
+      const DynArc& a = arcs[static_cast<std::size_t>(i)];
+      const double nd = d + a.weight;
+      if (nd < dist(my_dist, my_gen, a.head)) {
+        dist(my_dist, my_gen, a.head) = nd;
+        queue.push({nd, a.head});
+      }
+    }
+  };
+
+  while (!fwd.empty() || !bwd.empty()) {
+    const double f_top = fwd.empty() ? kInfDistance : fwd.top().dist;
+    const double b_top = bwd.empty() ? kInfDistance : bwd.top().dist;
+    if (std::min(f_top, b_top) >= best) break;
+    if (f_top <= b_top) {
+      relax_side(fwd, dist_fwd_, gen_fwd_, dist_bwd_, gen_bwd_,
+                 ch_->up_out_begin_, ch_->up_out_arcs_);
+    } else {
+      relax_side(bwd, dist_bwd_, gen_bwd_, dist_fwd_, gen_fwd_,
+                 ch_->up_in_begin_, ch_->up_in_arcs_);
+    }
+  }
+  return best;
+}
+
+}  // namespace auctionride

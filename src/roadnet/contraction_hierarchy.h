@@ -1,0 +1,87 @@
+// Contraction hierarchies (Geisberger et al. 2008) for fast exact
+// point-to-point shortest distances on road networks.
+//
+// Preprocessing contracts nodes in increasing importance order, inserting
+// shortcut arcs that preserve all shortest distances among the remaining
+// nodes. Queries run two *upward* Dijkstra searches (forward from the source,
+// backward from the target) over the hierarchy and meet in the middle;
+// on road-like graphs each search settles only a few hundred nodes.
+//
+// Queries are served through ContractionHierarchy::Query objects, which own
+// the per-search workspace; create one Query per thread for concurrent use.
+
+#ifndef AUCTIONRIDE_ROADNET_CONTRACTION_HIERARCHY_H_
+#define AUCTIONRIDE_ROADNET_CONTRACTION_HIERARCHY_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "roadnet/dijkstra.h"
+#include "roadnet/graph.h"
+
+namespace auctionride {
+
+class ContractionHierarchy {
+ public:
+  /// Builds the hierarchy; the network must stay alive and unchanged.
+  /// `witness_settle_limit` caps each local witness search (larger = fewer
+  /// redundant shortcuts, slower preprocessing).
+  explicit ContractionHierarchy(const RoadNetwork* network,
+                                int witness_settle_limit = 60);
+
+  ContractionHierarchy(const ContractionHierarchy&) = delete;
+  ContractionHierarchy& operator=(const ContractionHierarchy&) = delete;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  int64_t num_shortcuts() const { return num_shortcuts_; }
+
+  /// Per-thread query context.
+  class Query {
+   public:
+    explicit Query(const ContractionHierarchy* ch);
+
+    /// Exact shortest distance in meters; kInfDistance if unreachable.
+    double ShortestDistance(NodeId source, NodeId target);
+
+   private:
+    struct QueueEntry {
+      double dist;
+      NodeId node;
+      bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+    };
+    using MinQueue = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                                         std::greater<QueueEntry>>;
+
+    const ContractionHierarchy* ch_;
+    std::vector<double> dist_fwd_, dist_bwd_;
+    std::vector<uint32_t> gen_fwd_, gen_bwd_;
+    uint32_t generation_ = 0;
+  };
+
+ private:
+  friend class Query;
+
+  struct DynArc {
+    NodeId head;
+    double weight;
+  };
+
+  void BuildHierarchy(int witness_settle_limit);
+
+  NodeId num_nodes_ = 0;
+  int64_t num_shortcuts_ = 0;
+  std::vector<int32_t> rank_;  // contraction order; higher = more important
+
+  // Upward search graphs in CSR form. up_out: arcs u->v with rank v > rank u
+  // (forward search). up_in: reversed arcs; for node v, the sources u of
+  // original arcs u->v with rank u > rank v (backward search).
+  std::vector<int64_t> up_out_begin_;
+  std::vector<DynArc> up_out_arcs_;
+  std::vector<int64_t> up_in_begin_;
+  std::vector<DynArc> up_in_arcs_;
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_ROADNET_CONTRACTION_HIERARCHY_H_

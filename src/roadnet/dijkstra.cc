@@ -1,0 +1,195 @@
+#include "roadnet/dijkstra.h"
+
+#include <algorithm>
+
+namespace auctionride {
+
+DijkstraSearch::DijkstraSearch(const RoadNetwork* network)
+    : network_(network) {
+  AR_CHECK(network != nullptr);
+  AR_CHECK(network->built());
+  const auto n = static_cast<std::size_t>(network->num_nodes());
+  dist_.assign(n, kInfDistance);
+  parent_.assign(n, kInvalidNode);
+  generation_of_.assign(n, 0);
+}
+
+void DijkstraSearch::BeginQuery() {
+  ++generation_;
+  AR_CHECK(generation_ != 0) << "generation counter wrapped";
+  queue_ = {};
+}
+
+double& DijkstraSearch::Dist(NodeId n) {
+  if (generation_of_[n] != generation_) {
+    generation_of_[n] = generation_;
+    dist_[n] = kInfDistance;
+    parent_[n] = kInvalidNode;
+  }
+  return dist_[n];
+}
+
+double DijkstraSearch::ShortestDistance(NodeId source, NodeId target) {
+  AR_DCHECK(source >= 0 && source < network_->num_nodes());
+  AR_DCHECK(target >= 0 && target < network_->num_nodes());
+  if (source == target) return 0;
+  BeginQuery();
+  Dist(source) = 0;
+  queue_.push({0, source});
+  while (!queue_.empty()) {
+    const auto [d, u] = queue_.top();
+    queue_.pop();
+    if (d > Dist(u)) continue;  // stale entry
+    if (u == target) return d;
+    for (const Arc& a : network_->OutArcs(u)) {
+      const double nd = d + a.length_m;
+      if (nd < Dist(a.head)) {
+        Dist(a.head) = nd;
+        parent_[a.head] = u;
+        queue_.push({nd, a.head});
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+const std::vector<double>& DijkstraSearch::DistancesWithin(NodeId source,
+                                                           double radius_m) {
+  AR_DCHECK(source >= 0 && source < network_->num_nodes());
+  BeginQuery();
+  result_.assign(static_cast<std::size_t>(network_->num_nodes()),
+                 kInfDistance);
+  Dist(source) = 0;
+  queue_.push({0, source});
+  while (!queue_.empty()) {
+    const auto [d, u] = queue_.top();
+    queue_.pop();
+    if (d > Dist(u)) continue;
+    if (d > radius_m) break;  // queue is monotone; everything further is out
+    result_[u] = d;
+    for (const Arc& a : network_->OutArcs(u)) {
+      const double nd = d + a.length_m;
+      if (nd < Dist(a.head)) {
+        Dist(a.head) = nd;
+        queue_.push({nd, a.head});
+      }
+    }
+  }
+  return result_;
+}
+
+const std::vector<double>& DijkstraSearch::ReverseDistancesWithin(
+    NodeId target, double radius_m) {
+  AR_DCHECK(target >= 0 && target < network_->num_nodes());
+  BeginQuery();
+  result_.assign(static_cast<std::size_t>(network_->num_nodes()),
+                 kInfDistance);
+  Dist(target) = 0;
+  queue_.push({0, target});
+  while (!queue_.empty()) {
+    const auto [d, u] = queue_.top();
+    queue_.pop();
+    if (d > Dist(u)) continue;
+    if (d > radius_m) break;
+    result_[u] = d;
+    // Relax incoming arcs: InArcs(u)'s head is the *source* of an arc into
+    // u, so d(head -> target) <= length + d(u -> target).
+    for (const Arc& a : network_->InArcs(u)) {
+      const double nd = d + a.length_m;
+      if (nd < Dist(a.head)) {
+        Dist(a.head) = nd;
+        queue_.push({nd, a.head});
+      }
+    }
+  }
+  return result_;
+}
+
+std::vector<NodeId> DijkstraSearch::ShortestPath(NodeId source,
+                                                 NodeId target) {
+  const double d = ShortestDistance(source, target);
+  if (d == kInfDistance) return {};
+  std::vector<NodeId> path;
+  if (source == target) return {source};
+  for (NodeId n = target; n != kInvalidNode; n = parent_[n]) {
+    path.push_back(n);
+    if (n == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  AR_CHECK(path.front() == source);
+  return path;
+}
+
+BidirectionalDijkstra::BidirectionalDijkstra(const RoadNetwork* network)
+    : network_(network) {
+  AR_CHECK(network != nullptr);
+  AR_CHECK(network->built());
+  const auto n = static_cast<std::size_t>(network->num_nodes());
+  dist_fwd_.assign(n, kInfDistance);
+  dist_bwd_.assign(n, kInfDistance);
+  gen_fwd_.assign(n, 0);
+  gen_bwd_.assign(n, 0);
+}
+
+double BidirectionalDijkstra::ShortestDistance(NodeId source, NodeId target) {
+  AR_DCHECK(source >= 0 && source < network_->num_nodes());
+  AR_DCHECK(target >= 0 && target < network_->num_nodes());
+  if (source == target) return 0;
+  ++generation_;
+  AR_CHECK(generation_ != 0);
+
+  auto dist = [this](std::vector<double>& d, std::vector<uint32_t>& g,
+                     NodeId n) -> double& {
+    if (g[n] != generation_) {
+      g[n] = generation_;
+      d[n] = kInfDistance;
+    }
+    return d[n];
+  };
+
+  MinQueue fwd, bwd;
+  dist(dist_fwd_, gen_fwd_, source) = 0;
+  dist(dist_bwd_, gen_bwd_, target) = 0;
+  fwd.push({0, source});
+  bwd.push({0, target});
+  double best = kInfDistance;
+
+  while (!fwd.empty() || !bwd.empty()) {
+    const double f_top = fwd.empty() ? kInfDistance : fwd.top().dist;
+    const double b_top = bwd.empty() ? kInfDistance : bwd.top().dist;
+    if (f_top + b_top >= best) break;  // standard termination criterion
+
+    if (f_top <= b_top) {
+      const auto [d, u] = fwd.top();
+      fwd.pop();
+      if (d > dist(dist_fwd_, gen_fwd_, u)) continue;
+      if (gen_bwd_[u] == generation_ && dist_bwd_[u] != kInfDistance) {
+        best = std::min(best, d + dist_bwd_[u]);
+      }
+      for (const Arc& a : network_->OutArcs(u)) {
+        const double nd = d + a.length_m;
+        if (nd < dist(dist_fwd_, gen_fwd_, a.head)) {
+          dist(dist_fwd_, gen_fwd_, a.head) = nd;
+          fwd.push({nd, a.head});
+        }
+      }
+    } else {
+      const auto [d, u] = bwd.top();
+      bwd.pop();
+      if (d > dist(dist_bwd_, gen_bwd_, u)) continue;
+      if (gen_fwd_[u] == generation_ && dist_fwd_[u] != kInfDistance) {
+        best = std::min(best, d + dist_fwd_[u]);
+      }
+      for (const Arc& a : network_->InArcs(u)) {
+        const double nd = d + a.length_m;
+        if (nd < dist(dist_bwd_, gen_bwd_, a.head)) {
+          dist(dist_bwd_, gen_bwd_, a.head) = nd;
+          bwd.push({nd, a.head});
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace auctionride

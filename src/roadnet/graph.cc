@@ -1,0 +1,95 @@
+#include "roadnet/graph.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace auctionride {
+
+NodeId RoadNetwork::AddNode(Point position) {
+  AR_CHECK(!built_) << "AddNode after Build()";
+  points_.push_back(position);
+  return static_cast<NodeId>(points_.size() - 1);
+}
+
+void RoadNetwork::AddEdge(NodeId from, NodeId to, double length_m) {
+  AR_CHECK(!built_) << "AddEdge after Build()";
+  AR_CHECK(from >= 0 && from < num_nodes());
+  AR_CHECK(to >= 0 && to < num_nodes());
+  AR_CHECK(length_m >= 0);
+  pending_.push_back({from, to, length_m});
+}
+
+void RoadNetwork::Build() {
+  AR_CHECK(!built_) << "Build() called twice";
+  AR_CHECK(!points_.empty()) << "graph has no nodes";
+  const NodeId n = num_nodes();
+
+  out_begin_.assign(n + 1, 0);
+  in_begin_.assign(n + 1, 0);
+  for (const PendingEdge& e : pending_) {
+    ++out_begin_[e.from + 1];
+    ++in_begin_[e.to + 1];
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    out_begin_[i + 1] += out_begin_[i];
+    in_begin_[i + 1] += in_begin_[i];
+  }
+
+  arcs_.resize(pending_.size());
+  rev_arcs_.resize(pending_.size());
+  std::vector<int64_t> out_pos(out_begin_.begin(), out_begin_.end() - 1);
+  std::vector<int64_t> in_pos(in_begin_.begin(), in_begin_.end() - 1);
+  for (const PendingEdge& e : pending_) {
+    arcs_[out_pos[e.from]++] = {e.to, e.length_m};
+    rev_arcs_[in_pos[e.to]++] = {e.from, e.length_m};
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+  built_ = true;
+}
+
+BoundingBox RoadNetwork::ComputeBounds() const {
+  AR_CHECK(!points_.empty());
+  BoundingBox box{points_[0], points_[0]};
+  for (const Point& p : points_) {
+    box.min.x = std::min(box.min.x, p.x);
+    box.min.y = std::min(box.min.y, p.y);
+    box.max.x = std::max(box.max.x, p.x);
+    box.max.y = std::max(box.max.y, p.y);
+  }
+  return box;
+}
+
+namespace {
+
+// Iterative DFS reachability over either arc direction.
+int CountReachable(const RoadNetwork& net, NodeId start, bool forward) {
+  std::vector<char> seen(net.num_nodes(), 0);
+  std::vector<NodeId> stack = {start};
+  seen[start] = 1;
+  int count = 0;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    ++count;
+    const auto arcs = forward ? net.OutArcs(u) : net.InArcs(u);
+    for (const Arc& a : arcs) {
+      if (!seen[a.head]) {
+        seen[a.head] = 1;
+        stack.push_back(a.head);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+bool RoadNetwork::IsStronglyConnected() const {
+  AR_CHECK(built_);
+  if (num_nodes() == 0) return true;
+  return CountReachable(*this, 0, /*forward=*/true) == num_nodes() &&
+         CountReachable(*this, 0, /*forward=*/false) == num_nodes();
+}
+
+}  // namespace auctionride

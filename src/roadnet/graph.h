@@ -1,0 +1,105 @@
+// Directed road-network graph in compressed sparse row (CSR) form.
+//
+// Nodes carry planar coordinates (meters). Edge weights are road lengths in
+// meters. The graph is mutable until Build() is called; query structures
+// (Dijkstra, contraction hierarchies) operate on the built CSR arrays.
+
+#ifndef AUCTIONRIDE_ROADNET_GRAPH_H_
+#define AUCTIONRIDE_ROADNET_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "geo/point.h"
+
+namespace auctionride {
+
+using NodeId = int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+/// Outgoing (or incoming) arc of the CSR representation.
+struct Arc {
+  NodeId head = kInvalidNode;  // target node (source node for reverse arcs)
+  double length_m = 0;
+};
+
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  // Move-only: query structures hold pointers into the CSR arrays.
+  RoadNetwork(const RoadNetwork&) = delete;
+  RoadNetwork& operator=(const RoadNetwork&) = delete;
+  RoadNetwork(RoadNetwork&&) = default;
+  RoadNetwork& operator=(RoadNetwork&&) = default;
+
+  /// Adds a node and returns its id. Only valid before Build().
+  NodeId AddNode(Point position);
+
+  /// Adds a directed edge. Only valid before Build(). length_m must be >= 0.
+  void AddEdge(NodeId from, NodeId to, double length_m);
+
+  /// Adds edges in both directions with the same length.
+  void AddBidirectionalEdge(NodeId a, NodeId b, double length_m) {
+    AddEdge(a, b, length_m);
+    AddEdge(b, a, length_m);
+  }
+
+  /// Freezes the graph into CSR form. Must be called exactly once before any
+  /// query. Idempotent calls after the first are checked failures.
+  void Build();
+
+  bool built() const { return built_; }
+  NodeId num_nodes() const { return static_cast<NodeId>(points_.size()); }
+  int64_t num_edges() const { return static_cast<int64_t>(arcs_.size()); }
+
+  const Point& position(NodeId n) const {
+    AR_DCHECK(n >= 0 && n < num_nodes());
+    return points_[n];
+  }
+
+  /// Outgoing arcs of n. Requires Build().
+  std::span<const Arc> OutArcs(NodeId n) const {
+    AR_DCHECK(built_);
+    AR_DCHECK(n >= 0 && n < num_nodes());
+    return {arcs_.data() + out_begin_[n],
+            static_cast<std::size_t>(out_begin_[n + 1] - out_begin_[n])};
+  }
+
+  /// Incoming arcs of n (arc.head is the *source* node). Requires Build().
+  std::span<const Arc> InArcs(NodeId n) const {
+    AR_DCHECK(built_);
+    AR_DCHECK(n >= 0 && n < num_nodes());
+    return {rev_arcs_.data() + in_begin_[n],
+            static_cast<std::size_t>(in_begin_[n + 1] - in_begin_[n])};
+  }
+
+  /// Bounding box of all node positions. Requires at least one node.
+  BoundingBox ComputeBounds() const;
+
+  /// True if every node can reach every other node (strong connectivity).
+  bool IsStronglyConnected() const;
+
+ private:
+  struct PendingEdge {
+    NodeId from;
+    NodeId to;
+    double length_m;
+  };
+
+  bool built_ = false;
+  std::vector<Point> points_;
+  std::vector<PendingEdge> pending_;
+
+  // CSR arrays, valid after Build().
+  std::vector<int64_t> out_begin_;
+  std::vector<Arc> arcs_;
+  std::vector<int64_t> in_begin_;
+  std::vector<Arc> rev_arcs_;
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_ROADNET_GRAPH_H_

@@ -1,0 +1,28 @@
+// Road-network persistence: a simple CSV interchange format so users can
+// bring their own networks (e.g. preprocessed OpenStreetMap extracts, as the
+// paper uses) instead of the synthetic builders.
+//
+// Format: one row per record.
+//   node,<id>,<x_meters>,<y_meters>        ids must be dense, 0-based
+//   edge,<from>,<to>,<length_meters>       directed
+// Rows may appear in any order as long as every edge's nodes exist.
+
+#ifndef AUCTIONRIDE_ROADNET_IO_H_
+#define AUCTIONRIDE_ROADNET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "roadnet/graph.h"
+
+namespace auctionride {
+
+/// Writes the built network to `path`.
+Status SaveNetworkCsv(const RoadNetwork& network, const std::string& path);
+
+/// Loads a network from `path` and freezes it (Build() already called).
+StatusOr<RoadNetwork> LoadNetworkCsv(const std::string& path);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_ROADNET_IO_H_

@@ -1,0 +1,71 @@
+#include "roadnet/nearest_node.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace auctionride {
+
+NearestNodeIndex::NearestNodeIndex(const RoadNetwork* network,
+                                   double cell_size_m)
+    : network_(network), cell_size_(cell_size_m) {
+  AR_CHECK(network != nullptr);
+  AR_CHECK(network->num_nodes() > 0);
+  AR_CHECK(cell_size_m > 0);
+  bounds_ = network->ComputeBounds();
+  cols_ = std::max(1, static_cast<int>(bounds_.width() / cell_size_) + 1);
+  rows_ = std::max(1, static_cast<int>(bounds_.height() / cell_size_) + 1);
+  cells_.resize(static_cast<std::size_t>(cols_) * rows_);
+  for (NodeId n = 0; n < network->num_nodes(); ++n) {
+    const Point& p = network->position(n);
+    cells_[static_cast<std::size_t>(CellY(p.y)) * cols_ + CellX(p.x)]
+        .push_back(n);
+  }
+}
+
+int NearestNodeIndex::CellX(double x) const {
+  const int cx = static_cast<int>((x - bounds_.min.x) / cell_size_);
+  return std::clamp(cx, 0, cols_ - 1);
+}
+
+int NearestNodeIndex::CellY(double y) const {
+  const int cy = static_cast<int>((y - bounds_.min.y) / cell_size_);
+  return std::clamp(cy, 0, rows_ - 1);
+}
+
+NodeId NearestNodeIndex::Nearest(const Point& p) const {
+  const int cx = CellX(p.x);
+  const int cy = CellY(p.y);
+  NodeId best = kInvalidNode;
+  double best_sq = std::numeric_limits<double>::infinity();
+
+  // Expand rings of cells until the closest possible cell in the next ring
+  // cannot beat the best found so far.
+  const int max_ring = std::max(cols_, rows_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    if (best != kInvalidNode) {
+      // Any node in ring r is at least (r-1)*cell_size_ away.
+      const double min_possible = (ring - 1) * cell_size_;
+      if (min_possible > 0 && min_possible * min_possible > best_sq) break;
+    }
+    for (int dy = -ring; dy <= ring; ++dy) {
+      for (int dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        const int x = cx + dx;
+        const int y = cy + dy;
+        if (x < 0 || x >= cols_ || y < 0 || y >= rows_) continue;
+        for (NodeId n : Cell(x, y)) {
+          const double sq = SquaredDistance(p, network_->position(n));
+          if (sq < best_sq) {
+            best_sq = sq;
+            best = n;
+          }
+        }
+      }
+    }
+  }
+  AR_CHECK(best != kInvalidNode);
+  return best;
+}
+
+}  // namespace auctionride

@@ -1,0 +1,42 @@
+// Uniform-grid index mapping arbitrary planar points to their nearest road
+// network node. Used to snap generated order origins/destinations and vehicle
+// spawn locations onto the graph.
+
+#ifndef AUCTIONRIDE_ROADNET_NEAREST_NODE_H_
+#define AUCTIONRIDE_ROADNET_NEAREST_NODE_H_
+
+#include <vector>
+
+#include "roadnet/graph.h"
+
+namespace auctionride {
+
+class NearestNodeIndex {
+ public:
+  /// Indexes all nodes of `network` (must outlive this object).
+  /// `cell_size_m` should be on the order of the node spacing.
+  explicit NearestNodeIndex(const RoadNetwork* network,
+                            double cell_size_m = 400);
+
+  /// Nearest node to `p` by Euclidean distance. The network must be
+  /// non-empty, so this always succeeds.
+  NodeId Nearest(const Point& p) const;
+
+ private:
+  int CellX(double x) const;
+  int CellY(double y) const;
+  const std::vector<NodeId>& Cell(int cx, int cy) const {
+    return cells_[static_cast<std::size_t>(cy) * cols_ + cx];
+  }
+
+  const RoadNetwork* network_;
+  BoundingBox bounds_;
+  double cell_size_;
+  int cols_ = 0;
+  int rows_ = 0;
+  std::vector<std::vector<NodeId>> cells_;
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_ROADNET_NEAREST_NODE_H_

@@ -1,0 +1,81 @@
+#include "roadnet/oracle.h"
+
+namespace auctionride {
+
+DistanceOracle::DistanceOracle(const RoadNetwork* network, Backend backend,
+                               double speed_mps)
+    : network_(network), backend_(backend), speed_mps_(speed_mps) {
+  AR_CHECK(network != nullptr);
+  AR_CHECK(network->built());
+  AR_CHECK(speed_mps > 0);
+  if (backend_ == Backend::kContractionHierarchy) {
+    ch_ = std::make_unique<ContractionHierarchy>(network);
+  }
+  shards_ = std::make_unique<CacheShard[]>(kNumShards);
+}
+
+double DistanceOracle::ComputeUncached(NodeId source, NodeId target) const {
+  if (backend_ == Backend::kContractionHierarchy) {
+    std::unique_ptr<ContractionHierarchy::Query> query;
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      if (!ch_pool_.empty()) {
+        query = std::move(ch_pool_.back());
+        ch_pool_.pop_back();
+      }
+    }
+    if (query == nullptr) {
+      query = std::make_unique<ContractionHierarchy::Query>(ch_.get());
+    }
+    const double d = query->ShortestDistance(source, target);
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      ch_pool_.push_back(std::move(query));
+    }
+    return d;
+  }
+
+  std::unique_ptr<DijkstraSearch> search;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!dijkstra_pool_.empty()) {
+      search = std::move(dijkstra_pool_.back());
+      dijkstra_pool_.pop_back();
+    }
+  }
+  if (search == nullptr) search = std::make_unique<DijkstraSearch>(network_);
+  const double d = search->ShortestDistance(source, target);
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    dijkstra_pool_.push_back(std::move(search));
+  }
+  return d;
+}
+
+double DistanceOracle::Distance(NodeId source, NodeId target) const {
+  AR_DCHECK(source >= 0 && source < network_->num_nodes());
+  AR_DCHECK(target >= 0 && target < network_->num_nodes());
+  num_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (source == target) return 0;
+
+  const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(source))
+                        << 32) |
+                       static_cast<uint32_t>(target);
+  CacheShard& shard = shards_[key % kNumShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  const double d = ComputeUncached(source, target);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.emplace(key, d);
+  }
+  return d;
+}
+
+}  // namespace auctionride

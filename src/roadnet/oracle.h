@@ -1,0 +1,89 @@
+// DistanceOracle: the single entry point through which all auction and
+// simulation code obtains road-network shortest distances and travel times.
+//
+// The paper (§III-A) treats the inter-location distances purely as inputs
+// with per-query cost O(q); this oracle makes q small via contraction
+// hierarchies plus a sharded memo cache. A plain Dijkstra backend is kept as
+// the reference implementation for correctness tests and ablations.
+//
+// Thread-safety: Distance()/TravelTime() may be called concurrently; query
+// contexts are pooled internally and the cache uses sharded locks.
+
+#ifndef AUCTIONRIDE_ROADNET_ORACLE_H_
+#define AUCTIONRIDE_ROADNET_ORACLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "roadnet/contraction_hierarchy.h"
+#include "roadnet/dijkstra.h"
+#include "roadnet/graph.h"
+
+namespace auctionride {
+
+/// Default urban driving speed: 30 km/h (paper's Beijing peak setting).
+constexpr double kDefaultSpeedMps = 30.0 * 1000.0 / 3600.0;
+
+class DistanceOracle {
+ public:
+  enum class Backend { kContractionHierarchy, kDijkstra };
+
+  /// The network must outlive the oracle. Building with the CH backend runs
+  /// preprocessing up front.
+  DistanceOracle(const RoadNetwork* network, Backend backend,
+                 double speed_mps = kDefaultSpeedMps);
+
+  DistanceOracle(const DistanceOracle&) = delete;
+  DistanceOracle& operator=(const DistanceOracle&) = delete;
+
+  /// Shortest road distance in meters; kInfDistance if unreachable.
+  double Distance(NodeId source, NodeId target) const;
+
+  /// Shortest travel time in seconds at the configured constant speed.
+  double TravelTime(NodeId source, NodeId target) const {
+    return Distance(source, target) / speed_mps_;
+  }
+
+  double speed_mps() const { return speed_mps_; }
+  const RoadNetwork& network() const { return *network_; }
+
+  /// Cumulative query statistics (for the ablation bench).
+  int64_t num_queries() const {
+    return num_queries_.load(std::memory_order_relaxed);
+  }
+  int64_t num_cache_hits() const {
+    return num_cache_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int kNumShards = 16;
+
+  struct CacheShard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, double> map;
+  };
+
+  double ComputeUncached(NodeId source, NodeId target) const;
+
+  const RoadNetwork* network_;
+  Backend backend_;
+  double speed_mps_;
+  std::unique_ptr<ContractionHierarchy> ch_;
+
+  // Pools of per-thread query contexts, lazily grown.
+  mutable std::mutex pool_mu_;
+  mutable std::vector<std::unique_ptr<ContractionHierarchy::Query>> ch_pool_;
+  mutable std::vector<std::unique_ptr<DijkstraSearch>> dijkstra_pool_;
+
+  mutable std::unique_ptr<CacheShard[]> shards_;
+  mutable std::atomic<int64_t> num_queries_{0};
+  mutable std::atomic<int64_t> num_cache_hits_{0};
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_ROADNET_ORACLE_H_

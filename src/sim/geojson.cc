@@ -1,0 +1,140 @@
+#include "sim/geojson.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace auctionride {
+
+namespace {
+
+class JsonFile {
+ public:
+  static StatusOr<JsonFile> Open(const std::string& path) {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      return Status::NotFound("cannot open for writing: " + path);
+    }
+    return JsonFile(file);
+  }
+
+  JsonFile(JsonFile&& other) noexcept : file_(other.file_) {
+    other.file_ = nullptr;
+  }
+  JsonFile(const JsonFile&) = delete;
+  JsonFile& operator=(const JsonFile&) = delete;
+  JsonFile& operator=(JsonFile&&) = delete;
+  ~JsonFile() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  void Print(const char* format, ...) __attribute__((format(printf, 2, 3))) {
+    va_list args;
+    va_start(args, format);
+    std::vfprintf(file_, format, args);
+    va_end(args);
+  }
+
+  Status Close() {
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    return rc == 0 ? Status::Ok() : Status::Internal("fclose failed");
+  }
+
+ private:
+  explicit JsonFile(std::FILE* file) : file_(file) {}
+  std::FILE* file_;
+};
+
+void BeginCollection(JsonFile* out) {
+  out->Print("{\"type\":\"FeatureCollection\",\"features\":[\n");
+}
+
+void EndCollection(JsonFile* out) { out->Print("\n]}\n"); }
+
+}  // namespace
+
+Status WriteNetworkGeoJson(const RoadNetwork& network,
+                           const std::string& path,
+                           const GeoProjection& projection) {
+  if (!network.built()) {
+    return Status::FailedPrecondition("network must be built");
+  }
+  StatusOr<JsonFile> out = JsonFile::Open(path);
+  if (!out.ok()) return out.status();
+  BeginCollection(&*out);
+  bool first = true;
+  for (NodeId n = 0; n < network.num_nodes(); ++n) {
+    const auto [lng_a, lat_a] = projection.ToLngLat(network.position(n));
+    for (const Arc& arc : network.OutArcs(n)) {
+      if (arc.head < n) continue;  // draw each segment once
+      const auto [lng_b, lat_b] =
+          projection.ToLngLat(network.position(arc.head));
+      out->Print(
+          "%s{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\","
+          "\"coordinates\":[[%.6f,%.6f],[%.6f,%.6f]]},\"properties\":"
+          "{\"length_m\":%.1f}}",
+          first ? "" : ",\n", lng_a, lat_a, lng_b, lat_b, arc.length_m);
+      first = false;
+    }
+  }
+  EndCollection(&*out);
+  return out->Close();
+}
+
+Status WriteOrdersGeoJson(const RoadNetwork& network,
+                          const std::vector<Order>& orders,
+                          const std::string& path,
+                          const GeoProjection& projection) {
+  StatusOr<JsonFile> out = JsonFile::Open(path);
+  if (!out.ok()) return out.status();
+  BeginCollection(&*out);
+  bool first = true;
+  for (const Order& order : orders) {
+    const auto [lng, lat] =
+        projection.ToLngLat(network.position(order.origin));
+    const auto [dlng, dlat] =
+        projection.ToLngLat(network.position(order.destination));
+    out->Print(
+        "%s{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\","
+        "\"coordinates\":[%.6f,%.6f]},\"properties\":{\"order\":%d,"
+        "\"dest_lng\":%.6f,\"dest_lat\":%.6f,\"bid\":%.2f,"
+        "\"trip_km\":%.2f,\"theta_s\":%.0f}}",
+        first ? "" : ",\n", lng, lat, order.id, dlng, dlat, order.bid,
+        order.shortest_distance_m / 1000.0, order.max_wasted_time_s);
+    first = false;
+  }
+  EndCollection(&*out);
+  return out->Close();
+}
+
+Status WritePlansGeoJson(const RoadNetwork& network,
+                         const std::vector<Vehicle>& vehicles,
+                         const std::string& path,
+                         const GeoProjection& projection) {
+  StatusOr<JsonFile> out = JsonFile::Open(path);
+  if (!out.ok()) return out.status();
+  BeginCollection(&*out);
+  bool first = true;
+  for (const Vehicle& vehicle : vehicles) {
+    if (vehicle.plan.empty()) continue;
+    out->Print(
+        "%s{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\","
+        "\"coordinates\":[",
+        first ? "" : ",\n");
+    first = false;
+    const auto [lng0, lat0] =
+        projection.ToLngLat(network.position(vehicle.next_node));
+    out->Print("[%.6f,%.6f]", lng0, lat0);
+    for (const PlanStop& stop : vehicle.plan.stops) {
+      const auto [lng, lat] =
+          projection.ToLngLat(network.position(stop.node));
+      out->Print(",[%.6f,%.6f]", lng, lat);
+    }
+    out->Print("]},\"properties\":{\"vehicle\":%d,\"stops\":%zu}}",
+               vehicle.id, vehicle.plan.size());
+  }
+  EndCollection(&*out);
+  return out->Close();
+}
+
+}  // namespace auctionride

@@ -1,0 +1,51 @@
+// GeoJSON export of networks, workloads, and vehicle plans for
+// visualization (QGIS, geojson.io, kepler.gl). Planar meters are emitted as
+// pseudo-lon/lat by scaling around a configurable anchor so the shapes are
+// viewable in any standard tool.
+
+#ifndef AUCTIONRIDE_SIM_GEOJSON_H_
+#define AUCTIONRIDE_SIM_GEOJSON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/vehicle.h"
+#include "roadnet/graph.h"
+#include "workload/generator.h"
+
+namespace auctionride {
+
+struct GeoProjection {
+  // Anchor (Beijing-ish by default) and meters-per-degree scaling.
+  double anchor_lng = 116.0;
+  double anchor_lat = 39.75;
+  double meters_per_degree = 111320;
+
+  std::pair<double, double> ToLngLat(const Point& p) const {
+    return {anchor_lng + p.x / meters_per_degree,
+            anchor_lat + p.y / meters_per_degree};
+  }
+};
+
+/// Network edges as a LineString FeatureCollection.
+Status WriteNetworkGeoJson(const RoadNetwork& network,
+                           const std::string& path,
+                           const GeoProjection& projection = {});
+
+/// Orders as origin Points with destination/bid/θ properties.
+Status WriteOrdersGeoJson(const RoadNetwork& network,
+                          const std::vector<Order>& orders,
+                          const std::string& path,
+                          const GeoProjection& projection = {});
+
+/// Vehicle plans as LineStrings through their stops (straight segments
+/// between stops; for road-accurate shapes export the network too).
+Status WritePlansGeoJson(const RoadNetwork& network,
+                         const std::vector<Vehicle>& vehicles,
+                         const std::string& path,
+                         const GeoProjection& projection = {});
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_SIM_GEOJSON_H_

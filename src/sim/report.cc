@@ -1,0 +1,89 @@
+#include "sim/report.h"
+
+#include <cstdio>
+
+#include "common/csv.h"
+
+namespace auctionride {
+
+namespace {
+
+std::string Num(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatSummary(const SimResult& result) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "orders: %d total, %d dispatched (%.1f%%), %d expired, %d completed\n"
+      "U_auc = %.2f | U_plf = %.2f | requesters = %.2f | drivers = %.2f\n"
+      "payments = %.2f | delivery = %.1f km\n"
+      "rider experience: wait %.0f s, detour %.0f s, shared %.0f%%\n"
+      "dispatch/round: mean %.3f s, max %.3f s | pricing/round: mean %.3f s\n",
+      result.orders_total, result.orders_dispatched,
+      100 * result.dispatch_rate(), result.orders_expired,
+      result.orders_completed, result.total_utility, result.platform_utility,
+      result.requester_utility, result.driver_utility, result.total_payments,
+      result.total_delivery_m / 1000.0, result.mean_waiting_s,
+      result.mean_detour_s, 100 * result.shared_ride_fraction,
+      result.mean_dispatch_seconds, result.max_dispatch_seconds,
+      result.mean_pricing_seconds);
+  return buf;
+}
+
+Status WriteRoundsCsv(const SimResult& result, const std::string& path) {
+  StatusOr<CsvWriter> writer = CsvWriter::Open(path);
+  if (!writer.ok()) return writer.status();
+  writer->WriteRow({"time_s", "pending", "online_vehicles", "dispatched",
+                    "round_utility", "dispatch_seconds", "pricing_seconds"});
+  for (const RoundRecord& round : result.rounds) {
+    writer->WriteRow({Num(round.time_s, 1), std::to_string(round.pending_orders),
+                      std::to_string(round.online_vehicles),
+                      std::to_string(round.dispatched),
+                      Num(round.round_utility),
+                      Num(round.dispatch_seconds, 6),
+                      Num(round.pricing_seconds, 6)});
+  }
+  return writer->Close();
+}
+
+Status WriteSummaryCsv(const SimResult& result, const std::string& path) {
+  StatusOr<CsvWriter> writer = CsvWriter::Open(path);
+  if (!writer.ok()) return writer.status();
+  writer->WriteRow({"orders_total", "orders_dispatched", "orders_expired",
+                    "orders_completed", "u_auc", "u_plf",
+                    "requester_utility", "driver_utility", "payments",
+                    "delivery_km", "mean_wait_s", "mean_detour_s",
+                    "shared_fraction", "mean_dispatch_s", "max_dispatch_s"});
+  writer->WriteRow(
+      {std::to_string(result.orders_total),
+       std::to_string(result.orders_dispatched),
+       std::to_string(result.orders_expired),
+       std::to_string(result.orders_completed), Num(result.total_utility),
+       Num(result.platform_utility), Num(result.requester_utility),
+       Num(result.driver_utility), Num(result.total_payments),
+       Num(result.total_delivery_m / 1000.0), Num(result.mean_waiting_s),
+       Num(result.mean_detour_s), Num(result.shared_ride_fraction, 4),
+       Num(result.mean_dispatch_seconds, 6),
+       Num(result.max_dispatch_seconds, 6)});
+  return writer->Close();
+}
+
+Status WriteEventsCsv(const SimResult& result, const std::string& path) {
+  StatusOr<CsvWriter> writer = CsvWriter::Open(path);
+  if (!writer.ok()) return writer.status();
+  writer->WriteRow({"time_s", "order", "event", "vehicle"});
+  for (const OrderEvent& event : result.events) {
+    writer->WriteRow({Num(event.time_s, 1), std::to_string(event.order),
+                      std::string(OrderEventKindName(event.kind)),
+                      std::to_string(event.vehicle)});
+  }
+  return writer->Close();
+}
+
+}  // namespace auctionride

@@ -1,0 +1,30 @@
+// Reporting helpers for simulation results: console summaries and CSV
+// exports (per-round series + aggregate), so experiment outputs can be
+// plotted or diffed outside the binary.
+
+#ifndef AUCTIONRIDE_SIM_REPORT_H_
+#define AUCTIONRIDE_SIM_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace auctionride {
+
+/// Multi-line human-readable summary of a simulation result.
+std::string FormatSummary(const SimResult& result);
+
+/// Writes one row per round: time_s, pending, online, dispatched,
+/// round_utility, dispatch_seconds, pricing_seconds (with a header row).
+Status WriteRoundsCsv(const SimResult& result, const std::string& path);
+
+/// Writes a two-row (header + values) CSV of the aggregate metrics.
+Status WriteSummaryCsv(const SimResult& result, const std::string& path);
+
+/// Writes the order lifecycle trace: time_s, order, event, vehicle.
+Status WriteEventsCsv(const SimResult& result, const std::string& path);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_SIM_REPORT_H_

@@ -1,0 +1,351 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "auction/verifier.h"
+#include "common/timer.h"
+
+namespace auctionride {
+
+std::string_view OrderEventKindName(OrderEventKind kind) {
+  switch (kind) {
+    case OrderEventKind::kIssued:
+      return "issued";
+    case OrderEventKind::kDispatched:
+      return "dispatched";
+    case OrderEventKind::kPickedUp:
+      return "picked_up";
+    case OrderEventKind::kDroppedOff:
+      return "dropped_off";
+    case OrderEventKind::kExpired:
+      return "expired";
+  }
+  return "unknown";
+}
+
+Simulator::Simulator(const DistanceOracle* oracle, Workload workload,
+                     SimOptions options)
+    : oracle_(oracle),
+      workload_(std::move(workload)),
+      options_(options),
+      rng_(options.seed) {
+  AR_CHECK(oracle_ != nullptr);
+  AR_CHECK(options_.round_duration_s > 0);
+  path_search_ = std::make_unique<AStarSearch>(&oracle_->network());
+  if (options_.run_pricing) {
+    const int threads = options_.pricing_threads > 0
+                            ? options_.pricing_threads
+                            : static_cast<int>(
+                                  std::thread::hardware_concurrency());
+    pricing_pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(std::max(1, threads)));
+  }
+
+  vehicles_.reserve(workload_.vehicles.size());
+  for (const VehicleSpawn& spawn : workload_.vehicles) {
+    SimVehicle sv;
+    sv.state = spawn.vehicle;
+    sv.online_s = spawn.online_s;
+    sv.offline_s = spawn.offline_s;
+    vehicles_.push_back(std::move(sv));
+  }
+  order_records_.resize(workload_.orders.size());
+}
+
+double Simulator::EdgeLength(NodeId from, NodeId to) const {
+  double best = kInfDistance;
+  for (const Arc& a : oracle_->network().OutArcs(from)) {
+    if (a.head == to) best = std::min(best, a.length_m);
+  }
+  AR_CHECK(best != kInfDistance) << "leg path nodes are not adjacent";
+  return best;
+}
+
+void Simulator::ProcessArrivalStops(SimVehicle* vehicle,
+                                    double arrival_time_s) {
+  Vehicle& v = vehicle->state;
+  while (!v.plan.stops.empty() && v.plan.stops.front().node == v.next_node) {
+    const PlanStop stop = v.plan.stops.front();
+    v.plan.stops.erase(v.plan.stops.begin());
+    OrderRecord& rec = order_records_[static_cast<std::size_t>(stop.order)];
+    if (stop.type == StopType::kPickup) {
+      ++v.onboard;
+      AR_CHECK(v.onboard <= v.capacity);
+      v.in_delivery = true;
+      rec.pickup_time_s = arrival_time_s;
+      if (active_result_ != nullptr) {
+        active_result_->events.push_back(
+            {arrival_time_s, stop.order, OrderEventKind::kPickedUp, v.id});
+      }
+      // Shared-ride accounting: everyone in the car (including the new
+      // rider) is now sharing.
+      vehicle->riding.push_back(stop.order);
+      if (vehicle->riding.size() > 1) {
+        for (OrderId rider : vehicle->riding) {
+          order_records_[static_cast<std::size_t>(rider)].shared = true;
+        }
+      }
+    } else {
+      --v.onboard;
+      AR_CHECK(v.onboard >= 0);
+      std::erase(vehicle->riding, stop.order);
+      rec.dropoff_time_s = arrival_time_s;
+      rec.completed = true;
+      if (active_result_ != nullptr) {
+        active_result_->events.push_back(
+            {arrival_time_s, stop.order, OrderEventKind::kDroppedOff, v.id});
+        ++active_result_->orders_completed;
+        const Order& order =
+            workload_.orders[static_cast<std::size_t>(stop.order)];
+        const double wasted =
+            (rec.dropoff_time_s - rec.dispatch_time_s) - order.shortest_time_s;
+        active_result_->max_wasted_time_violation_s =
+            std::max(active_result_->max_wasted_time_violation_s,
+                     wasted - order.max_wasted_time_s);
+      }
+    }
+    vehicle->leg_path.clear();  // next leg targets a new stop
+    vehicle->path_pos = 0;
+  }
+  if (v.plan.stops.empty()) v.in_delivery = false;
+}
+
+void Simulator::StartNextLeg(SimVehicle* vehicle) {
+  Vehicle& v = vehicle->state;
+  if (!v.plan.stops.empty()) {
+    const NodeId target = v.plan.stops.front().node;
+    if (vehicle->leg_path.empty() ||
+        vehicle->leg_path[vehicle->path_pos] != v.next_node ||
+        vehicle->leg_path.back() != target) {
+      vehicle->leg_path = path_search_->ShortestPath(v.next_node, target);
+      vehicle->path_pos = 0;
+      AR_CHECK(!vehicle->leg_path.empty()) << "stop unreachable";
+    }
+    if (vehicle->path_pos + 1 < vehicle->leg_path.size()) {
+      const NodeId next = vehicle->leg_path[vehicle->path_pos + 1];
+      v.extra_distance_m = EdgeLength(v.next_node, next);
+      v.next_node = next;
+      ++vehicle->path_pos;
+    }
+    return;
+  }
+  // Idle: random walk over the road network.
+  const auto arcs = oracle_->network().OutArcs(v.next_node);
+  if (arcs.empty()) return;  // stranded (cannot happen on connected graphs)
+  const Arc& arc =
+      arcs[rng_.UniformInt(static_cast<uint64_t>(arcs.size()))];
+  v.next_node = arc.head;
+  v.extra_distance_m = arc.length_m;
+  vehicle->leg_path.clear();
+  vehicle->path_pos = 0;
+}
+
+void Simulator::AdvanceVehicle(SimVehicle* vehicle, double dt_s) {
+  Vehicle& v = vehicle->state;
+  double budget_m = dt_s * oracle_->speed_mps();
+  double time_s = clock_s_;
+  // Bounded iterations as a defensive guard against degenerate graphs.
+  for (int iter = 0; iter < 100000 && budget_m > 1e-9; ++iter) {
+    if (v.extra_distance_m > 0) {
+      const double step = std::min(budget_m, v.extra_distance_m);
+      v.extra_distance_m -= step;
+      budget_m -= step;
+      time_s += step / oracle_->speed_mps();
+      v.total_distance_m += step;
+      if (v.in_delivery) v.delivery_distance_m += step;
+      if (v.extra_distance_m > 0) break;  // budget exhausted mid-edge
+    }
+    // Arrived at next_node.
+    ProcessArrivalStops(vehicle, time_s);
+    StartNextLeg(vehicle);
+    if (v.extra_distance_m <= 0) break;  // nowhere to go
+  }
+}
+
+void Simulator::RunRound(double now_s, SimResult* result) {
+  // Pending orders: issued, not yet dispatched/expired, within 5 minutes.
+  std::vector<Order> pending;
+  for (std::size_t j = 0; j < workload_.orders.size(); ++j) {
+    const Order& order = workload_.orders[j];
+    OrderRecord& rec = order_records_[j];
+    if (rec.dispatched || rec.expired) continue;
+    if (order.issue_time_s > now_s) continue;
+    if (now_s - order.issue_time_s < options_.round_duration_s) {
+      result->events.push_back(
+          {order.issue_time_s, order.id, OrderEventKind::kIssued,
+           kInvalidVehicle});
+    }
+    if (now_s - order.issue_time_s > options_.max_pending_s) {
+      rec.expired = true;
+      ++result->orders_expired;
+      result->events.push_back(
+          {now_s, order.id, OrderEventKind::kExpired, kInvalidVehicle});
+      continue;
+    }
+    Order submitted = order;
+    if (options_.pending_bid_increment > 0) {
+      // Bonus escalation for pended orders (§II-B): each elapsed round adds
+      // to the offered bid.
+      const double rounds_pended = std::floor(
+          (now_s - order.issue_time_s) / options_.round_duration_s);
+      submitted.bid += options_.pending_bid_increment * rounds_pended;
+    }
+    pending.push_back(submitted);
+  }
+  if (pending.empty()) return;
+
+  // Online vehicles with spare capacity.
+  std::vector<Vehicle> online;
+  std::vector<std::size_t> online_idx;
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    const SimVehicle& sv = vehicles_[i];
+    if (now_s < sv.online_s || now_s >= sv.offline_s) continue;
+    if (sv.state.CommittedRiders() >= sv.state.capacity) continue;
+    online.push_back(sv.state);
+    online_idx.push_back(i);
+  }
+  if (online.empty()) return;
+
+  AuctionInstance instance;
+  instance.orders = &pending;
+  instance.vehicles = &online;
+  instance.now_s = now_s;
+  instance.oracle = oracle_;
+  instance.config = options_.auction;
+
+  MechanismOptions mech_options;
+  mech_options.run_pricing = options_.run_pricing;
+  const MechanismOutcome outcome = RunMechanism(
+      options_.mechanism, instance, mech_options, pricing_pool_.get());
+
+  if (options_.verify_dispatch) {
+    // The dispatch ran on charge-deducted bids; re-derive them for the
+    // verifier's utility accounting.
+    std::vector<Order> deducted = pending;
+    for (Order& o : deducted) o.bid *= (1.0 - options_.auction.charge_ratio);
+    AuctionInstance charged = instance;
+    charged.orders = &deducted;
+    const Status verified = VerifyDispatch(charged, outcome.dispatch);
+    AR_CHECK(verified.ok()) << verified.ToString();
+  }
+
+  // Apply updated plans to the live vehicles.
+  for (const auto& [snapshot_idx, plan] : outcome.dispatch.updated_plans) {
+    SimVehicle& sv = vehicles_[online_idx[snapshot_idx]];
+    sv.state.plan.stops = plan;
+    sv.leg_path.clear();
+    sv.path_pos = 0;
+  }
+  for (const Assignment& a : outcome.dispatch.assignments) {
+    OrderRecord& rec = order_records_[static_cast<std::size_t>(a.order)];
+    rec.dispatched = true;
+    rec.dispatch_time_s = now_s;
+    ++result->orders_dispatched;
+    result->events.push_back(
+        {now_s, a.order, OrderEventKind::kDispatched, a.vehicle});
+  }
+  for (const Payment& p : outcome.payments) {
+    order_records_[static_cast<std::size_t>(p.order)].payment = p.payment;
+    result->total_payments += p.payment;
+  }
+
+  result->total_utility += outcome.dispatch.total_utility;
+  result->platform_utility += outcome.platform_utility;
+  result->requester_utility += outcome.requester_utility;
+
+  RoundRecord record;
+  record.time_s = now_s;
+  record.pending_orders = static_cast<int>(pending.size());
+  record.online_vehicles = static_cast<int>(online.size());
+  record.dispatched = static_cast<int>(outcome.dispatch.assignments.size());
+  record.round_utility = outcome.dispatch.total_utility;
+  record.dispatch_seconds = outcome.dispatch_seconds;
+  record.pricing_seconds = outcome.pricing_seconds;
+  result->rounds.push_back(record);
+}
+
+SimResult Simulator::Run() {
+  SimResult result;
+  result.orders_total = static_cast<int>(workload_.orders.size());
+  active_result_ = &result;
+
+  double horizon = 0;
+  for (const Order& o : workload_.orders) {
+    horizon = std::max(horizon, o.issue_time_s);
+  }
+  horizon += options_.max_pending_s + options_.round_duration_s;
+
+  clock_s_ = 0;
+  while (clock_s_ < horizon) {
+    RunRound(clock_s_, &result);
+    // Advance the world by one round.
+    for (SimVehicle& sv : vehicles_) {
+      if (clock_s_ + options_.round_duration_s <= sv.online_s ||
+          clock_s_ >= sv.offline_s) {
+        continue;
+      }
+      AdvanceVehicle(&sv, options_.round_duration_s);
+    }
+    clock_s_ += options_.round_duration_s;
+  }
+
+  // Drain: let dispatched riders finish (movement only, capped).
+  const double drain_cap_s = clock_s_ + 7200;
+  while (clock_s_ < drain_cap_s) {
+    bool any_busy = false;
+    for (SimVehicle& sv : vehicles_) {
+      if (!sv.state.plan.stops.empty()) {
+        any_busy = true;
+        AdvanceVehicle(&sv, options_.round_duration_s);
+      }
+    }
+    clock_s_ += options_.round_duration_s;
+    if (!any_busy) break;
+  }
+
+  for (const SimVehicle& sv : vehicles_) {
+    result.total_delivery_m += sv.state.delivery_distance_m;
+  }
+  result.driver_utility =
+      (options_.auction.beta_d_per_km - options_.auction.alpha_d_per_km) /
+      1000.0 * result.total_delivery_m;
+  int completed = 0;
+  int shared = 0;
+  double wait_sum = 0;
+  double detour_sum = 0;
+  for (std::size_t j = 0; j < order_records_.size(); ++j) {
+    const OrderRecord& rec = order_records_[j];
+    if (!rec.completed) continue;
+    ++completed;
+    if (rec.shared) ++shared;
+    wait_sum += rec.pickup_time_s - rec.dispatch_time_s;
+    detour_sum += (rec.dropoff_time_s - rec.pickup_time_s) -
+                  workload_.orders[j].shortest_time_s;
+  }
+  if (completed > 0) {
+    result.mean_waiting_s = wait_sum / completed;
+    result.mean_detour_s = detour_sum / completed;
+    result.shared_ride_fraction =
+        static_cast<double>(shared) / static_cast<double>(completed);
+  }
+  double dispatch_sum = 0;
+  double pricing_sum = 0;
+  for (const RoundRecord& r : result.rounds) {
+    dispatch_sum += r.dispatch_seconds;
+    pricing_sum += r.pricing_seconds;
+    result.max_dispatch_seconds =
+        std::max(result.max_dispatch_seconds, r.dispatch_seconds);
+  }
+  if (!result.rounds.empty()) {
+    result.mean_dispatch_seconds =
+        dispatch_sum / static_cast<double>(result.rounds.size());
+    result.mean_pricing_seconds =
+        pricing_sum / static_cast<double>(result.rounds.size());
+  }
+  active_result_ = nullptr;
+  return result;
+}
+
+}  // namespace auctionride

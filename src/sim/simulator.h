@@ -1,0 +1,177 @@
+// Round-based ridesharing simulator (paper §V-A).
+//
+// Orders are issued at their recorded timestamps; undispatched orders pend
+// to the next round and are dropped after 5 minutes. Vehicles come online at
+// their recorded locations, random-walk over the road network while idle,
+// and follow their travel plans (shortest paths, constant speed) when
+// dispatched. Every `round_duration_s` the configured mechanism runs on the
+// pending orders and online vehicles; accepted plans are applied and
+// payments accounted.
+
+#ifndef AUCTIONRIDE_SIM_SIMULATOR_H_
+#define AUCTIONRIDE_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "auction/mechanism.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "roadnet/astar.h"
+#include "roadnet/oracle.h"
+#include "workload/generator.h"
+
+namespace auctionride {
+
+struct SimOptions {
+  MechanismKind mechanism = MechanismKind::kRank;
+  AuctionConfig auction;
+
+  double round_duration_s = 10;  // t_rnd, paper default 10 s
+  double max_pending_s = 300;    // orders are dropped after 5 minutes
+
+  // Bonus escalation (paper §II-B: "the losing requesters in a round can
+  // increase their bids in the next dispatch round"): every round an order
+  // stays pended, its bid grows by this amount (yuan). 0 disables.
+  double pending_bid_increment = 0;
+
+  // Pricing (GPri/DnW) is much more expensive than dispatch; the
+  // dispatch-only experiments (Figs 3-5, 8) turn it off.
+  bool run_pricing = false;
+  int pricing_threads = 0;  // 0 = hardware concurrency
+
+  // Re-validate every round's dispatch with auction::VerifyDispatch
+  // (structure, Definition 4 feasibility, accounting). Cheap relative to
+  // dispatch; on by default in tests, available in production for paranoia.
+  bool verify_dispatch = false;
+
+  uint64_t seed = 1;  // drives the idle random walk
+};
+
+/// Lifecycle events of one order, for tracing/analysis.
+enum class OrderEventKind {
+  kIssued,
+  kDispatched,
+  kPickedUp,
+  kDroppedOff,
+  kExpired,
+};
+
+std::string_view OrderEventKindName(OrderEventKind kind);
+
+struct OrderEvent {
+  double time_s = 0;
+  OrderId order = kInvalidOrder;
+  OrderEventKind kind = OrderEventKind::kIssued;
+  VehicleId vehicle = kInvalidVehicle;  // dispatch/pickup/dropoff events
+};
+
+struct RoundRecord {
+  double time_s = 0;
+  int pending_orders = 0;
+  int online_vehicles = 0;
+  int dispatched = 0;
+  double round_utility = 0;
+  double dispatch_seconds = 0;
+  double pricing_seconds = 0;
+};
+
+struct SimResult {
+  // Overall utility U_auc accumulated over rounds (Equation 2, on the
+  // deducted bids the algorithms optimized).
+  double total_utility = 0;
+  // Platform utility U_plf (only populated when pricing ran).
+  double platform_utility = 0;
+  double requester_utility = 0;
+  double total_payments = 0;
+
+  int orders_total = 0;
+  int orders_dispatched = 0;
+  int orders_expired = 0;
+  int orders_completed = 0;  // delivered before the simulation ended
+
+  double total_delivery_m = 0;  // ΣD_i actually driven in delivery phase
+  // Σ (β_d − α_d)·D_i: the drivers' side of Definition 7.
+  double driver_utility = 0;
+
+  // Rider experience over completed orders.
+  double mean_waiting_s = 0;     // pickup − dispatch
+  double mean_detour_s = 0;      // (dropoff − pickup) − shortest trip time
+  double shared_ride_fraction = 0;  // rode together with another order
+
+  double mean_dispatch_seconds = 0;  // per-round wall time of dispatch
+  double max_dispatch_seconds = 0;
+  double mean_pricing_seconds = 0;
+
+  // Largest observed wt+dt−θ over completed orders (should be ≈ 0 or
+  // negative: the simulator must never violate Definition 4).
+  double max_wasted_time_violation_s = -1e18;
+
+  std::vector<RoundRecord> rounds;
+  // Chronological order lifecycle trace (issued/dispatched/picked up/
+  // dropped off/expired).
+  std::vector<OrderEvent> events;
+
+  double dispatch_rate() const {
+    return orders_total == 0
+               ? 0.0
+               : static_cast<double>(orders_dispatched) / orders_total;
+  }
+};
+
+class Simulator {
+ public:
+  /// The oracle (and its network) must outlive the simulator.
+  Simulator(const DistanceOracle* oracle, Workload workload,
+            SimOptions options);
+
+  /// Runs the simulation to completion and returns aggregate results.
+  SimResult Run();
+
+ private:
+  struct SimVehicle {
+    Vehicle state;
+    double online_s = 0;
+    double offline_s = 0;
+    // Node path of the current leg (state.next_node == path[path_pos]).
+    std::vector<NodeId> leg_path;
+    std::size_t path_pos = 0;
+    // Orders currently riding (for shared-ride accounting).
+    std::vector<OrderId> riding;
+  };
+
+  struct OrderRecord {
+    bool dispatched = false;
+    bool expired = false;
+    bool completed = false;
+    double dispatch_time_s = 0;
+    double pickup_time_s = 0;
+    double dropoff_time_s = 0;
+    double payment = 0;
+    bool shared = false;  // shared the vehicle with another order
+  };
+
+  void AdvanceVehicle(SimVehicle* vehicle, double dt_s);
+  void ProcessArrivalStops(SimVehicle* vehicle, double arrival_time_s);
+  void StartNextLeg(SimVehicle* vehicle);
+  double EdgeLength(NodeId from, NodeId to) const;
+  void RunRound(double now_s, SimResult* result);
+
+  const DistanceOracle* oracle_;
+  Workload workload_;
+  SimOptions options_;
+  Rng rng_;
+  std::unique_ptr<AStarSearch> path_search_;
+  std::unique_ptr<ThreadPool> pricing_pool_;
+
+  std::vector<SimVehicle> vehicles_;
+  std::vector<OrderRecord> order_records_;
+  double clock_s_ = 0;
+  SimResult* active_result_ = nullptr;  // set during Run() for stop events
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_SIM_SIMULATOR_H_

@@ -1,0 +1,117 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace auctionride {
+
+GridIndex::GridIndex(std::vector<Item> items, double cell_size_m)
+    : items_(std::move(items)), cell_size_(cell_size_m) {
+  AR_CHECK(cell_size_m > 0);
+  if (items_.empty()) {
+    cells_.resize(1);
+    return;
+  }
+  bounds_ = {items_[0].position, items_[0].position};
+  for (const Item& item : items_) {
+    bounds_.min.x = std::min(bounds_.min.x, item.position.x);
+    bounds_.min.y = std::min(bounds_.min.y, item.position.y);
+    bounds_.max.x = std::max(bounds_.max.x, item.position.x);
+    bounds_.max.y = std::max(bounds_.max.y, item.position.y);
+  }
+  cols_ = std::max(1, static_cast<int>(bounds_.width() / cell_size_) + 1);
+  rows_ = std::max(1, static_cast<int>(bounds_.height() / cell_size_) + 1);
+  cells_.resize(static_cast<std::size_t>(cols_) * rows_);
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    const Point& p = items_[i].position;
+    cells_[static_cast<std::size_t>(CellY(p.y)) * cols_ + CellX(p.x)]
+        .push_back(static_cast<int32_t>(i));
+  }
+}
+
+int GridIndex::CellX(double x) const {
+  const int cx = static_cast<int>((x - bounds_.min.x) / cell_size_);
+  return std::clamp(cx, 0, cols_ - 1);
+}
+
+int GridIndex::CellY(double y) const {
+  const int cy = static_cast<int>((y - bounds_.min.y) / cell_size_);
+  return std::clamp(cy, 0, rows_ - 1);
+}
+
+std::vector<int32_t> GridIndex::WithinRadius(const Point& center,
+                                             double radius_m) const {
+  std::vector<int32_t> result;
+  if (items_.empty() || radius_m < 0) return result;
+  const double r_sq = radius_m * radius_m;
+  const int x_lo = CellX(center.x - radius_m);
+  const int x_hi = CellX(center.x + radius_m);
+  const int y_lo = CellY(center.y - radius_m);
+  const int y_hi = CellY(center.y + radius_m);
+  for (int cy = y_lo; cy <= y_hi; ++cy) {
+    for (int cx = x_lo; cx <= x_hi; ++cx) {
+      for (int32_t idx : Cell(cx, cy)) {
+        const Item& item = items_[static_cast<std::size_t>(idx)];
+        if (SquaredDistance(center, item.position) <= r_sq) {
+          result.push_back(item.id);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int32_t> GridIndex::KNearest(const Point& center, int k,
+                                         int32_t exclude_id) const {
+  std::vector<int32_t> result;
+  if (items_.empty() || k <= 0) return result;
+
+  // (squared distance, item index) max-heap of the best k so far.
+  using HeapEntry = std::pair<double, int32_t>;
+  std::priority_queue<HeapEntry> heap;
+
+  const int cx = CellX(center.x);
+  const int cy = CellY(center.y);
+  const int max_ring = std::max(cols_, rows_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    // Stop when the k-th best cannot be beaten by anything in this ring.
+    if (static_cast<int>(heap.size()) == k) {
+      const double min_possible = (ring - 1) * cell_size_;
+      if (min_possible > 0 && min_possible * min_possible > heap.top().first) {
+        break;
+      }
+    }
+    for (int dy = -ring; dy <= ring; ++dy) {
+      for (int dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        const int x = cx + dx;
+        const int y = cy + dy;
+        if (x < 0 || x >= cols_ || y < 0 || y >= rows_) continue;
+        for (int32_t idx : Cell(x, y)) {
+          const Item& item = items_[static_cast<std::size_t>(idx)];
+          if (item.id == exclude_id) continue;
+          const double sq = SquaredDistance(center, item.position);
+          if (static_cast<int>(heap.size()) < k) {
+            heap.push({sq, idx});
+          } else if (sq < heap.top().first) {
+            heap.pop();
+            heap.push({sq, idx});
+          }
+        }
+      }
+    }
+  }
+
+  result.resize(heap.size());
+  for (std::size_t i = result.size(); i-- > 0;) {
+    result[i] = items_[static_cast<std::size_t>(heap.top().second)].id;
+    heap.pop();
+  }
+  return result;
+}
+
+}  // namespace auctionride

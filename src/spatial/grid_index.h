@@ -1,0 +1,59 @@
+// Uniform grid index over (id, point) items.
+//
+// Used each dispatch round to find candidate vehicles near an order's origin
+// (Greedy's exact spatial pruning) and candidate co-requesters for pack
+// generation (Rank). Rebuilt per round — construction is linear and cheap
+// relative to dispatch.
+
+#ifndef AUCTIONRIDE_SPATIAL_GRID_INDEX_H_
+#define AUCTIONRIDE_SPATIAL_GRID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace auctionride {
+
+class GridIndex {
+ public:
+  struct Item {
+    int32_t id;
+    Point position;
+  };
+
+  /// Builds the index over `items`; `cell_size_m` should be on the order of
+  /// typical query radii. Items may be empty.
+  GridIndex(std::vector<Item> items, double cell_size_m);
+
+  /// Ids of items within Euclidean `radius_m` of `center` (inclusive),
+  /// in no particular order.
+  std::vector<int32_t> WithinRadius(const Point& center,
+                                    double radius_m) const;
+
+  /// Ids of the k nearest items to `center` by Euclidean distance, closest
+  /// first. Returns fewer when the index holds fewer than k items.
+  /// `exclude_id` (if >= 0) is skipped.
+  std::vector<int32_t> KNearest(const Point& center, int k,
+                                int32_t exclude_id = -1) const;
+
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  int CellX(double x) const;
+  int CellY(double y) const;
+  const std::vector<int32_t>& Cell(int cx, int cy) const {
+    return cells_[static_cast<std::size_t>(cy) * cols_ + cx];
+  }
+
+  std::vector<Item> items_;
+  BoundingBox bounds_{};
+  double cell_size_;
+  int cols_ = 1;
+  int rows_ = 1;
+  std::vector<std::vector<int32_t>> cells_;  // indices into items_
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_SPATIAL_GRID_INDEX_H_

@@ -1,0 +1,155 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace auctionride {
+
+namespace {
+
+std::vector<Point> DrawHotspots(Rng* rng, const BoundingBox& area, int count,
+                                double margin_fraction) {
+  std::vector<Point> spots;
+  spots.reserve(static_cast<std::size_t>(count));
+  const double mx = area.width() * margin_fraction;
+  const double my = area.height() * margin_fraction;
+  for (int i = 0; i < count; ++i) {
+    spots.push_back({rng->Uniform(area.min.x + mx, area.max.x - mx),
+                     rng->Uniform(area.min.y + my, area.max.y - my)});
+  }
+  return spots;
+}
+
+Point SamplePoint(Rng* rng, const BoundingBox& area,
+                  const std::vector<Point>& hotspots,
+                  double hotspot_probability, double stddev) {
+  if (!hotspots.empty() && rng->Bernoulli(hotspot_probability)) {
+    const Point& center =
+        hotspots[rng->UniformInt(static_cast<uint64_t>(hotspots.size()))];
+    return area.Clamp(
+        {rng->Normal(center.x, stddev), rng->Normal(center.y, stddev)});
+  }
+  return {rng->Uniform(area.min.x, area.max.x),
+          rng->Uniform(area.min.y, area.max.y)};
+}
+
+std::vector<Order> GenerateOrders(const WorkloadOptions& options,
+                                  const DistanceOracle& oracle,
+                                  const NearestNodeIndex& nearest,
+                                  const std::vector<Point>& origin_spots,
+                                  double duration_s, Rng* rng) {
+  const BoundingBox area = oracle.network().ComputeBounds();
+  const std::vector<Point> dest_spots = DrawHotspots(
+      rng, area, options.num_destination_hotspots, /*margin_fraction=*/0.2);
+
+  std::vector<Order> orders;
+  orders.reserve(static_cast<std::size_t>(options.num_orders));
+  for (int j = 0; j < options.num_orders; ++j) {
+    Order order;
+    order.id = j;
+    // Resample until the trip is long enough (synthetic hotspots can
+    // coincide); bounded retries keep generation total.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const Point origin_pt =
+          SamplePoint(rng, area, origin_spots, options.hotspot_probability,
+                      options.hotspot_stddev_m);
+      const Point dest_pt =
+          SamplePoint(rng, area, dest_spots, options.hotspot_probability,
+                      options.hotspot_stddev_m);
+      order.origin = nearest.Nearest(origin_pt);
+      order.destination = nearest.Nearest(dest_pt);
+      if (order.origin == order.destination) continue;
+      order.shortest_distance_m =
+          oracle.Distance(order.origin, order.destination);
+      if (order.shortest_distance_m >= options.min_trip_m &&
+          order.shortest_distance_m != kInfDistance) {
+        break;
+      }
+    }
+    AR_CHECK(order.shortest_distance_m >= options.min_trip_m)
+        << "could not sample a valid trip";
+    order.shortest_time_s = order.shortest_distance_m / oracle.speed_mps();
+    order.issue_time_s = duration_s <= 0 ? 0 : rng->Uniform(0, duration_s);
+    order.max_wasted_time_s = (options.gamma - 1.0) * order.shortest_time_s;
+    const double price =
+        options.base_fare +
+        options.per_km_rate * order.shortest_distance_m / 1000.0 +
+        rng->Normal(0, options.price_noise_stddev);
+    order.valuation = std::max(price, options.base_fare * 0.5);
+    order.bid = order.valuation;  // truthful bidding
+    orders.push_back(order);
+  }
+  std::sort(orders.begin(), orders.end(), [](const Order& a, const Order& b) {
+    return a.issue_time_s < b.issue_time_s ||
+           (a.issue_time_s == b.issue_time_s && a.id < b.id);
+  });
+  // Re-number so that order id == index in the workload (the simulator
+  // indexes its per-order records by id).
+  for (std::size_t j = 0; j < orders.size(); ++j) {
+    orders[j].id = static_cast<OrderId>(j);
+  }
+  return orders;
+}
+
+std::vector<VehicleSpawn> GenerateVehicles(const WorkloadOptions& options,
+                                           const DistanceOracle& oracle,
+                                           const NearestNodeIndex& nearest,
+                                           const std::vector<Point>& origin_spots,
+                                           double duration_s, Rng* rng) {
+  const BoundingBox area = oracle.network().ComputeBounds();
+  std::vector<VehicleSpawn> spawns;
+  spawns.reserve(static_cast<std::size_t>(options.num_vehicles));
+  for (int i = 0; i < options.num_vehicles; ++i) {
+    VehicleSpawn spawn;
+    spawn.vehicle.id = i;
+    // Supply follows demand: a share of drivers idles near the origin
+    // hotspots (with a wider spread than the orders themselves).
+    spawn.vehicle.next_node = nearest.Nearest(SamplePoint(
+        rng, area, origin_spots, options.vehicle_hotspot_probability,
+        options.hotspot_stddev_m * 2));
+    spawn.vehicle.capacity = options.vehicle_capacity;
+    if (duration_s <= 0 ||
+        rng->Bernoulli(options.initially_online_fraction)) {
+      spawn.online_s = 0;
+    } else {
+      spawn.online_s = rng->Uniform(0, duration_s * 0.5);
+    }
+    // Stay online well past the window so accepted plans can complete.
+    spawn.offline_s = duration_s + 7200;
+    spawns.push_back(spawn);
+  }
+  return spawns;
+}
+
+}  // namespace
+
+Workload GenerateWorkload(const WorkloadOptions& options,
+                          const DistanceOracle& oracle,
+                          const NearestNodeIndex& nearest) {
+  AR_CHECK(options.num_orders >= 0 && options.num_vehicles >= 0);
+  AR_CHECK(options.gamma > 1.0) << "gamma must exceed 1 (θ would be <= 0)";
+  Rng rng(options.seed);
+  Rng hotspot_rng = rng.Fork();
+  Rng order_rng = rng.Fork();
+  Rng vehicle_rng = rng.Fork();
+  const std::vector<Point> origin_spots =
+      DrawHotspots(&hotspot_rng, oracle.network().ComputeBounds(),
+                   options.num_origin_hotspots, /*margin_fraction=*/0.1);
+  Workload workload;
+  workload.orders = GenerateOrders(options, oracle, nearest, origin_spots,
+                                   options.duration_s, &order_rng);
+  workload.vehicles = GenerateVehicles(options, oracle, nearest, origin_spots,
+                                       options.duration_s, &vehicle_rng);
+  return workload;
+}
+
+Workload GenerateSingleRound(const WorkloadOptions& options,
+                             const DistanceOracle& oracle,
+                             const NearestNodeIndex& nearest) {
+  WorkloadOptions single = options;
+  single.duration_s = 0;
+  return GenerateWorkload(single, oracle, nearest);
+}
+
+}  // namespace auctionride

@@ -1,0 +1,120 @@
+#include "workload/io.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/csv.h"
+
+namespace auctionride {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+bool ParseInt(const std::string& s, long* out) {
+  char* end = nullptr;
+  *out = std::strtol(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+}  // namespace
+
+Status SaveWorkloadCsv(const Workload& workload, const std::string& path) {
+  StatusOr<CsvWriter> writer = CsvWriter::Open(path);
+  if (!writer.ok()) return writer.status();
+  for (const Order& o : workload.orders) {
+    writer->WriteRow({"order", std::to_string(o.id),
+                      std::to_string(o.origin),
+                      std::to_string(o.destination), Num(o.issue_time_s),
+                      Num(o.shortest_distance_m), Num(o.shortest_time_s),
+                      Num(o.max_wasted_time_s), Num(o.valuation),
+                      Num(o.bid)});
+  }
+  for (const VehicleSpawn& v : workload.vehicles) {
+    writer->WriteRow({"vehicle", std::to_string(v.vehicle.id),
+                      std::to_string(v.vehicle.next_node),
+                      std::to_string(v.vehicle.capacity), Num(v.online_s),
+                      Num(v.offline_s)});
+  }
+  return writer->Close();
+}
+
+StatusOr<Workload> LoadWorkloadCsv(const std::string& path,
+                                   const RoadNetwork& network) {
+  StatusOr<std::vector<std::vector<std::string>>> rows = ReadCsv(path);
+  if (!rows.ok()) return rows.status();
+
+  Workload workload;
+  for (std::size_t i = 0; i < rows->size(); ++i) {
+    const std::vector<std::string>& row = (*rows)[i];
+    const std::string line = "row " + std::to_string(i + 1);
+    if (row.empty()) continue;
+    if (row[0] == "order") {
+      if (row.size() != 10) {
+        return Status::InvalidArgument(line + ": order needs 9 fields");
+      }
+      Order o;
+      long id = 0;
+      long origin = 0;
+      long dest = 0;
+      if (!ParseInt(row[1], &id) || !ParseInt(row[2], &origin) ||
+          !ParseInt(row[3], &dest) ||
+          !ParseDouble(row[4], &o.issue_time_s) ||
+          !ParseDouble(row[5], &o.shortest_distance_m) ||
+          !ParseDouble(row[6], &o.shortest_time_s) ||
+          !ParseDouble(row[7], &o.max_wasted_time_s) ||
+          !ParseDouble(row[8], &o.valuation) ||
+          !ParseDouble(row[9], &o.bid)) {
+        return Status::InvalidArgument(line + ": bad order fields");
+      }
+      if (origin < 0 || origin >= network.num_nodes() || dest < 0 ||
+          dest >= network.num_nodes()) {
+        return Status::OutOfRange(line + ": node id outside the network");
+      }
+      o.id = static_cast<OrderId>(id);
+      o.origin = static_cast<NodeId>(origin);
+      o.destination = static_cast<NodeId>(dest);
+      workload.orders.push_back(o);
+    } else if (row[0] == "vehicle") {
+      if (row.size() != 6) {
+        return Status::InvalidArgument(line + ": vehicle needs 5 fields");
+      }
+      VehicleSpawn spawn;
+      long id = 0;
+      long node = 0;
+      long capacity = 0;
+      if (!ParseInt(row[1], &id) || !ParseInt(row[2], &node) ||
+          !ParseInt(row[3], &capacity) ||
+          !ParseDouble(row[4], &spawn.online_s) ||
+          !ParseDouble(row[5], &spawn.offline_s)) {
+        return Status::InvalidArgument(line + ": bad vehicle fields");
+      }
+      if (node < 0 || node >= network.num_nodes()) {
+        return Status::OutOfRange(line + ": node id outside the network");
+      }
+      if (capacity <= 0) {
+        return Status::InvalidArgument(line + ": capacity must be positive");
+      }
+      spawn.vehicle.id = static_cast<VehicleId>(id);
+      spawn.vehicle.next_node = static_cast<NodeId>(node);
+      spawn.vehicle.capacity = static_cast<int>(capacity);
+      workload.vehicles.push_back(spawn);
+    } else {
+      return Status::InvalidArgument(line + ": unknown record '" + row[0] +
+                                     "'");
+    }
+  }
+  return workload;
+}
+
+}  // namespace auctionride

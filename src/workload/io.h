@@ -1,0 +1,30 @@
+// Workload persistence: CSV interchange for orders and vehicle spawns, so
+// generated workloads can be archived, diffed, and replayed — and so users
+// can bring real trace data (the paper's Didi orders have exactly these
+// fields: timestamps, origin/destination, upfront price).
+//
+// Format, one row per record:
+//   order,<id>,<origin>,<dest>,<issue_s>,<shortest_m>,<shortest_s>,
+//         <theta_s>,<valuation>,<bid>
+//   vehicle,<id>,<node>,<capacity>,<online_s>,<offline_s>
+
+#ifndef AUCTIONRIDE_WORKLOAD_IO_H_
+#define AUCTIONRIDE_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/generator.h"
+
+namespace auctionride {
+
+/// Writes the workload to `path`.
+Status SaveWorkloadCsv(const Workload& workload, const std::string& path);
+
+/// Loads a workload from `path`. Node ids are validated against `network`.
+StatusOr<Workload> LoadWorkloadCsv(const std::string& path,
+                                   const RoadNetwork& network);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_WORKLOAD_IO_H_

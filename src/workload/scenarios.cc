@@ -1,0 +1,87 @@
+#include "workload/scenarios.h"
+
+#include <algorithm>
+#include <string>
+
+namespace auctionride {
+
+namespace {
+
+int Scaled(int paper_count, double scale) {
+  return std::max(10, static_cast<int>(paper_count * scale));
+}
+
+}  // namespace
+
+WorkloadOptions MorningPeakScenario(double scale, uint64_t seed) {
+  WorkloadOptions options;
+  options.seed = seed;
+  options.num_orders = Scaled(5000, scale);
+  options.num_vehicles = Scaled(7000, scale);
+  options.duration_s = 1800;
+  options.gamma = 1.5;
+  options.num_origin_hotspots = 8;
+  options.num_destination_hotspots = 5;
+  options.hotspot_probability = 0.8;
+  return options;
+}
+
+WorkloadOptions EveningPeakScenario(double scale, uint64_t seed) {
+  WorkloadOptions options = MorningPeakScenario(scale, seed);
+  options.num_orders = Scaled(4200, scale);
+  // Few concentrated origins (offices), many dispersed destinations.
+  options.num_origin_hotspots = 4;
+  options.num_destination_hotspots = 12;
+  options.hotspot_stddev_m = 1500;
+  return options;
+}
+
+WorkloadOptions OffPeakScenario(double scale, uint64_t seed) {
+  WorkloadOptions options = MorningPeakScenario(scale, seed);
+  options.num_orders = Scaled(1200, scale);
+  options.num_vehicles = Scaled(7000, scale);
+  options.hotspot_probability = 0.3;  // mostly uniform
+  options.gamma = 2.0;                // riders are patient off-peak
+  options.vehicle_hotspot_probability = 0.2;
+  return options;
+}
+
+WorkloadOptions DowntownShortageScenario(double scale, uint64_t seed) {
+  WorkloadOptions options = MorningPeakScenario(scale, seed);
+  options.num_orders = Scaled(5000, scale);
+  options.num_vehicles = Scaled(3000, scale);  // half the usual fleet
+  options.num_origin_hotspots = 3;
+  options.hotspot_stddev_m = 1200;
+  options.hotspot_probability = 0.9;
+  return options;
+}
+
+WorkloadOptions SuburbanScenario(double scale, uint64_t seed) {
+  WorkloadOptions options = MorningPeakScenario(scale, seed);
+  options.num_orders = Scaled(2000, scale);
+  options.num_vehicles = Scaled(3500, scale);
+  options.hotspot_probability = 0.4;
+  options.hotspot_stddev_m = 4000;
+  options.min_trip_m = 6000;  // long hauls
+  options.gamma = 1.8;
+  return options;
+}
+
+StatusOr<WorkloadOptions> ScenarioByName(std::string_view name, double scale,
+                                         uint64_t seed) {
+  if (name == "morning_peak") return MorningPeakScenario(scale, seed);
+  if (name == "evening_peak") return EveningPeakScenario(scale, seed);
+  if (name == "off_peak") return OffPeakScenario(scale, seed);
+  if (name == "downtown_shortage") {
+    return DowntownShortageScenario(scale, seed);
+  }
+  if (name == "suburban") return SuburbanScenario(scale, seed);
+  return Status::NotFound("unknown scenario: " + std::string(name));
+}
+
+std::vector<std::string_view> ScenarioNames() {
+  return {"morning_peak", "evening_peak", "off_peak", "downtown_shortage",
+          "suburban"};
+}
+
+}  // namespace auctionride

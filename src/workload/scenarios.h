@@ -1,0 +1,48 @@
+// Named workload scenarios: tuned option presets for distinct demand
+// regimes, so experiments can move beyond the calibrated morning peak
+// without hand-tuning ten knobs. All presets are relative to a `scale`
+// factor (1.0 = the paper's 5000 orders / 7000 vehicles).
+
+#ifndef AUCTIONRIDE_WORKLOAD_SCENARIOS_H_
+#define AUCTIONRIDE_WORKLOAD_SCENARIOS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/generator.h"
+
+namespace auctionride {
+
+/// The paper's §V-A setting: commuter demand from residential hotspots to
+/// few business districts, supply slightly above demand, tight θ.
+WorkloadOptions MorningPeakScenario(double scale = 1.0, uint64_t seed = 42);
+
+/// Evening reversal: many origins downtown, dispersed destinations; demand
+/// slightly lower than the morning peak.
+WorkloadOptions EveningPeakScenario(double scale = 1.0, uint64_t seed = 42);
+
+/// Quiet hours: sparse uniform demand, plentiful supply, generous θ — most
+/// rides go solo and both mechanisms should behave similarly.
+WorkloadOptions OffPeakScenario(double scale = 1.0, uint64_t seed = 42);
+
+/// Severe shortage: demand concentrated in few blocks with half the fleet —
+/// the bonus-bidding regime the paper's Use case 1 motivates.
+WorkloadOptions DowntownShortageScenario(double scale = 1.0,
+                                         uint64_t seed = 42);
+
+/// Long suburban trips: dispersed demand, long hauls, high per-trip value.
+WorkloadOptions SuburbanScenario(double scale = 1.0, uint64_t seed = 42);
+
+/// Lookup by name ("morning_peak", "evening_peak", "off_peak",
+/// "downtown_shortage", "suburban").
+StatusOr<WorkloadOptions> ScenarioByName(std::string_view name,
+                                         double scale = 1.0,
+                                         uint64_t seed = 42);
+
+/// All scenario names, for CLIs and sweeps.
+std::vector<std::string_view> ScenarioNames();
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "auction/bonus.h"
+#include "auction/gpri.h"
+#include "auction/greedy.h"
+#include "roadnet/builder.h"
+#include "testutil.h"
+
+namespace auctionride {
+namespace {
+
+using testutil::MakeOrder;
+using testutil::MakeVehicle;
+
+TEST(FareModelTest, BasePriceFormula) {
+  FareModel fare;
+  fare.flag_fall = 10;
+  fare.per_km_rate = 2;
+  Order order;
+  order.shortest_distance_m = 5000;
+  EXPECT_DOUBLE_EQ(fare.BasePrice(order), 20);
+}
+
+TEST(BonusTest, QuotesSetBidsOnTopOfBase) {
+  RoadNetwork net = testutil::LineNetwork(10, 1000);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  std::vector<Order> orders = {
+      MakeOrder(0, 1, 5, /*bid=*/0, oracle),
+      MakeOrder(1, 2, 6, /*bid=*/0, oracle),
+  };
+  FareModel fare;
+  const std::vector<Order> bidded =
+      ApplyBonusQuotes(orders, fare, {{0, 0, 3.5}});
+  EXPECT_DOUBLE_EQ(bidded[0].bid, fare.BasePrice(orders[0]) + 3.5);
+  EXPECT_DOUBLE_EQ(bidded[1].bid, fare.BasePrice(orders[1]));  // no bonus
+  EXPECT_DOUBLE_EQ(bidded[0].valuation, bidded[0].bid);
+}
+
+TEST(BonusTest, BonusPrioritizesOrderUnderContention) {
+  RoadNetwork net = testutil::LineNetwork(12, 1000);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  // Identical trips competing for one seat.
+  std::vector<Order> orders = {
+      MakeOrder(0, 2, 6, /*bid=*/0, oracle),
+      MakeOrder(1, 2, 6, /*bid=*/0, oracle),
+  };
+  std::vector<Vehicle> vehicles = {MakeVehicle(0, 2, /*capacity=*/1)};
+  FareModel fare;
+
+  AuctionInstance in;
+  in.vehicles = &vehicles;
+  in.oracle = &oracle;
+
+  // Without bonuses the lower id wins the tie; with a bonus on order 1, it
+  // takes the seat.
+  std::vector<Order> no_bonus = ApplyBonusQuotes(orders, fare, {});
+  in.orders = &no_bonus;
+  EXPECT_TRUE(GreedyDispatch(in).IsDispatched(0));
+
+  std::vector<Order> with_bonus =
+      ApplyBonusQuotes(orders, fare, {{1, 0, 2.0}});
+  in.orders = &with_bonus;
+  const DispatchResult r = GreedyDispatch(in);
+  EXPECT_TRUE(r.IsDispatched(1));
+  EXPECT_FALSE(r.IsDispatched(0));
+}
+
+TEST(BonusTest, SplitPaymentClampsAtBase) {
+  RoadNetwork net = testutil::LineNetwork(10, 1000);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  const Order order = MakeOrder(0, 1, 5, /*bid=*/0, oracle);
+  FareModel fare;
+  const double base = fare.BasePrice(order);
+
+  const PaymentBreakdown above = SplitPayment(order, fare, base + 4);
+  EXPECT_DOUBLE_EQ(above.base_part, base);
+  EXPECT_DOUBLE_EQ(above.bonus_part, 4);
+
+  const PaymentBreakdown below = SplitPayment(order, fare, base - 3);
+  EXPECT_DOUBLE_EQ(below.base_part, base - 3);
+  EXPECT_DOUBLE_EQ(below.bonus_part, 0);
+}
+
+TEST(BonusTest, ChargedBonusCanBeLessThanOffered) {
+  // Critical payments: the winner offers bonus 5 but only pays the bonus
+  // needed to beat the runner-up.
+  RoadNetwork net = testutil::LineNetwork(12, 1000);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  std::vector<Order> orders = {
+      MakeOrder(0, 2, 6, /*bid=*/0, oracle),
+      MakeOrder(1, 2, 6, /*bid=*/0, oracle),
+  };
+  std::vector<Vehicle> vehicles = {MakeVehicle(0, 2, /*capacity=*/1)};
+  FareModel fare;
+  std::vector<Order> bidded =
+      ApplyBonusQuotes(orders, fare, {{0, 0, 5.0}, {1, 0, 1.0}});
+  AuctionInstance in;
+  in.orders = &bidded;
+  in.vehicles = &vehicles;
+  in.oracle = &oracle;
+  const DispatchResult r = GreedyDispatch(in);
+  ASSERT_TRUE(r.IsDispatched(0));
+  const double pay = GPriPriceOrder(in, 0);
+  const PaymentBreakdown split = SplitPayment(bidded[0], fare, pay);
+  // Pays the runner-up's bid: base + 1, i.e. an effective bonus of 1 < 5.
+  EXPECT_NEAR(split.bonus_part, 1.0, 1e-9);
+  EXPECT_LT(split.bonus_part, 5.0);
+}
+
+}  // namespace
+}  // namespace auctionride

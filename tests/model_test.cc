@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "model/order.h"
+#include "model/travel_plan.h"
+#include "model/vehicle.h"
+
+namespace auctionride {
+namespace {
+
+PlanStop Pickup(NodeId node, OrderId order) {
+  return {node, order, StopType::kPickup, 0};
+}
+PlanStop Dropoff(NodeId node, OrderId order, double deadline = 1e18) {
+  return {node, order, StopType::kDropoff, deadline};
+}
+
+TEST(OrderTest, DropoffDeadlineFormula) {
+  Order o;
+  o.shortest_time_s = 600;
+  o.max_wasted_time_s = 300;
+  // deadline = dispatch + θ + t(s,e)
+  EXPECT_DOUBLE_EQ(o.DropoffDeadline(100), 1000);
+  EXPECT_DOUBLE_EQ(o.DropoffDeadline(0), 900);
+}
+
+TEST(TravelPlanTest, EmptyPlanProperties) {
+  TravelPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.PendingPickups(), 0);
+  EXPECT_FALSE(plan.ContainsOrder(1));
+  EXPECT_TRUE(plan.PrecedenceHolds());
+}
+
+TEST(TravelPlanTest, PendingPickupsCountsDistinctPickups) {
+  TravelPlan plan;
+  plan.stops = {Pickup(1, 10), Pickup(2, 11), Dropoff(3, 11), Dropoff(4, 10)};
+  EXPECT_EQ(plan.PendingPickups(), 2);
+  EXPECT_TRUE(plan.ContainsOrder(10));
+  EXPECT_TRUE(plan.ContainsOrder(11));
+  EXPECT_FALSE(plan.ContainsOrder(12));
+}
+
+TEST(TravelPlanTest, PrecedenceValidCases) {
+  TravelPlan plan;
+  plan.stops = {Pickup(1, 1), Dropoff(2, 1)};
+  EXPECT_TRUE(plan.PrecedenceHolds());
+
+  // Drop-off without pickup = rider already on board: valid.
+  plan.stops = {Dropoff(2, 1)};
+  EXPECT_TRUE(plan.PrecedenceHolds());
+
+  // Interleaved pairs.
+  plan.stops = {Pickup(1, 1), Pickup(2, 2), Dropoff(3, 1), Dropoff(4, 2)};
+  EXPECT_TRUE(plan.PrecedenceHolds());
+}
+
+TEST(TravelPlanTest, PrecedenceInvalidCases) {
+  TravelPlan plan;
+  // Pickup after drop-off.
+  plan.stops = {Dropoff(2, 1), Pickup(1, 1)};
+  EXPECT_FALSE(plan.PrecedenceHolds());
+
+  // Double pickup.
+  plan.stops = {Pickup(1, 1), Pickup(2, 1), Dropoff(3, 1)};
+  EXPECT_FALSE(plan.PrecedenceHolds());
+
+  // Double drop-off.
+  plan.stops = {Pickup(1, 1), Dropoff(2, 1), Dropoff(3, 1)};
+  EXPECT_FALSE(plan.PrecedenceHolds());
+
+  // Picked up but never dropped off.
+  plan.stops = {Pickup(1, 1)};
+  EXPECT_FALSE(plan.PrecedenceHolds());
+}
+
+TEST(VehicleTest, CommittedRiders) {
+  Vehicle v;
+  v.capacity = 3;
+  EXPECT_EQ(v.CommittedRiders(), 0);
+  v.onboard = 1;
+  v.plan.stops = {Pickup(1, 7), Dropoff(2, 7), Dropoff(3, 8)};
+  // one on board + one pending pickup (order 8's drop-off has no pickup:
+  // that rider is the one on board).
+  EXPECT_EQ(v.CommittedRiders(), 2);
+}
+
+TEST(VehicleTest, DefaultsMatchPaperSetting) {
+  Vehicle v;
+  EXPECT_EQ(v.capacity, 3);  // Didi taxi-sharing: at most 3 riders (§V-A)
+  EXPECT_EQ(v.onboard, 0);
+  EXPECT_FALSE(v.in_delivery);
+}
+
+}  // namespace
+}  // namespace auctionride

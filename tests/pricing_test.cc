@@ -1,0 +1,391 @@
+// Property tests of the auction guarantees (paper Definitions 11-13 and
+// Theorems III.2 / IV.2): individual rationality, critical payments,
+// monotonicity, and truthfulness for both GPri (Greedy) and DnW (Rank).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "auction/dnw.h"
+#include "auction/gpri.h"
+#include "auction/greedy.h"
+#include "auction/rank.h"
+#include "common/rng.h"
+#include "roadnet/builder.h"
+#include "testutil.h"
+
+namespace auctionride {
+namespace {
+
+using testutil::MakeOrder;
+using testutil::MakeVehicle;
+
+constexpr double kEps = 1e-4;  // bid perturbation margin for tie avoidance
+
+struct RandomScenario {
+  RoadNetwork net;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::vector<Order> orders;
+  std::vector<Vehicle> vehicles;
+
+  AuctionInstance Instance() const {
+    AuctionInstance in;
+    in.orders = &orders;
+    in.vehicles = &vehicles;
+    in.now_s = 0;
+    in.oracle = oracle.get();
+    in.config.alpha_d_per_km = 3.0;
+    return in;
+  }
+};
+
+RandomScenario MakeScenario(uint64_t seed, int m, int n) {
+  RandomScenario sc;
+  GridNetworkOptions options;
+  options.columns = 9;
+  options.rows = 9;
+  options.spacing_m = 500;
+  options.seed = seed + 1000;
+  sc.net = BuildGridNetwork(options);
+  sc.oracle = std::make_unique<DistanceOracle>(
+      &sc.net, DistanceOracle::Backend::kDijkstra);
+  Rng rng(seed);
+  for (int j = 0; j < m; ++j) {
+    NodeId s = 0;
+    NodeId e = 0;
+    while (s == e) {
+      s = static_cast<NodeId>(
+          rng.UniformInt(static_cast<uint64_t>(sc.net.num_nodes())));
+      e = static_cast<NodeId>(
+          rng.UniformInt(static_cast<uint64_t>(sc.net.num_nodes())));
+    }
+    sc.orders.push_back(
+        MakeOrder(j, s, e, rng.Uniform(5, 45), *sc.oracle, 2.0));
+  }
+  for (int i = 0; i < n; ++i) {
+    sc.vehicles.push_back(MakeVehicle(
+        i, static_cast<NodeId>(
+               rng.UniformInt(static_cast<uint64_t>(sc.net.num_nodes())))));
+  }
+  return sc;
+}
+
+// Re-runs the mechanism with order `h`'s bid replaced and reports whether h
+// is dispatched (and at which payment if requested).
+bool DispatchedWithBid(const RandomScenario& sc, OrderId h, double bid,
+                       bool use_rank) {
+  std::vector<Order> orders = sc.orders;
+  for (Order& o : orders) {
+    if (o.id == h) o.bid = bid;
+  }
+  AuctionInstance in = sc.Instance();
+  in.orders = &orders;
+  if (use_rank) {
+    return RankDispatch(in).result.IsDispatched(h);
+  }
+  return GreedyDispatch(in).IsDispatched(h);
+}
+
+double PaymentWithBid(const RandomScenario& sc, OrderId h, double bid,
+                      bool use_rank) {
+  std::vector<Order> orders = sc.orders;
+  for (Order& o : orders) {
+    if (o.id == h) o.bid = bid;
+  }
+  AuctionInstance in = sc.Instance();
+  in.orders = &orders;
+  if (use_rank) {
+    const RankRunResult run = RankDispatch(in);
+    if (!run.result.IsDispatched(h)) return -1;
+    return DnWPriceOrder(in, run.artifacts, h);
+  }
+  const DispatchResult run = GreedyDispatch(in);
+  if (!run.IsDispatched(h)) return -1;
+  return GPriPriceOrder(in, h);
+}
+
+class PricingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(PricingPropertyTest, IndividualRationalityAndCriticalPayment) {
+  const auto [seed, use_rank] = GetParam();
+  const RandomScenario sc = MakeScenario(seed, /*m=*/8, /*n=*/3);
+  const AuctionInstance in = sc.Instance();
+
+  DispatchResult dispatch;
+  RankArtifacts artifacts;
+  if (use_rank) {
+    RankRunResult run = RankDispatch(in);
+    dispatch = std::move(run.result);
+    artifacts = std::move(run.artifacts);
+  } else {
+    dispatch = GreedyDispatch(in);
+  }
+
+  for (const Assignment& a : dispatch.assignments) {
+    const Order& order = sc.orders[static_cast<std::size_t>(a.order)];
+    const double pay = use_rank
+                           ? DnWPriceOrder(in, artifacts, a.order)
+                           : GPriPriceOrder(in, a.order);
+
+    // Individual rationality (Definition 12): pay <= bid = val.
+    EXPECT_LE(pay, order.bid + 1e-9)
+        << "order " << a.order << " seed " << seed << " rank " << use_rank;
+    EXPECT_GE(pay, -1e-9);
+
+    // Critical payment: bidding just above pay still wins...
+    EXPECT_TRUE(DispatchedWithBid(sc, a.order, pay + kEps, use_rank))
+        << "order " << a.order << " pay " << pay << " seed " << seed
+        << " rank " << use_rank;
+    // ...and bidding just below pay loses.
+    if (pay > kEps) {
+      EXPECT_FALSE(DispatchedWithBid(sc, a.order, pay - kEps, use_rank))
+          << "order " << a.order << " pay " << pay << " seed " << seed
+          << " rank " << use_rank;
+    }
+  }
+}
+
+TEST_P(PricingPropertyTest, Monotonicity) {
+  const auto [seed, use_rank] = GetParam();
+  const RandomScenario sc = MakeScenario(seed, /*m=*/8, /*n=*/3);
+  const AuctionInstance in = sc.Instance();
+
+  DispatchResult dispatch;
+  if (use_rank) {
+    dispatch = RankDispatch(in).result;
+  } else {
+    dispatch = GreedyDispatch(in);
+  }
+  for (const Assignment& a : dispatch.assignments) {
+    const Order& order = sc.orders[static_cast<std::size_t>(a.order)];
+    // A winner keeps winning with any higher bid (Definition 11 companion).
+    for (double boost : {1.0, 5.0, 25.0}) {
+      EXPECT_TRUE(DispatchedWithBid(sc, a.order, order.bid + boost, use_rank))
+          << "order " << a.order << " boost " << boost << " seed " << seed
+          << " rank " << use_rank;
+    }
+  }
+}
+
+TEST_P(PricingPropertyTest, PaymentIndependentOfWinningBid) {
+  const auto [seed, use_rank] = GetParam();
+  const RandomScenario sc = MakeScenario(seed, /*m=*/8, /*n=*/3);
+  const AuctionInstance in = sc.Instance();
+
+  DispatchResult dispatch;
+  RankArtifacts artifacts;
+  if (use_rank) {
+    RankRunResult run = RankDispatch(in);
+    dispatch = std::move(run.result);
+    artifacts = std::move(run.artifacts);
+  } else {
+    dispatch = GreedyDispatch(in);
+  }
+  for (const Assignment& a : dispatch.assignments) {
+    const Order& order = sc.orders[static_cast<std::size_t>(a.order)];
+    const double pay = use_rank
+                           ? DnWPriceOrder(in, artifacts, a.order)
+                           : GPriPriceOrder(in, a.order);
+    // Raising the bid must not change the payment (second-price flavor).
+    const double pay_boosted =
+        PaymentWithBid(sc, a.order, order.bid + 10.0, use_rank);
+    ASSERT_GE(pay_boosted, 0) << "boosted bid lost? order " << a.order;
+    EXPECT_NEAR(pay_boosted, pay, 1e-6)
+        << "order " << a.order << " seed " << seed << " rank " << use_rank;
+  }
+}
+
+TEST_P(PricingPropertyTest, TruthfulBiddingIsOptimal) {
+  const auto [seed, use_rank] = GetParam();
+  const RandomScenario sc = MakeScenario(seed, /*m=*/6, /*n=*/2);
+  const AuctionInstance in = sc.Instance();
+
+  DispatchResult dispatch;
+  RankArtifacts artifacts;
+  if (use_rank) {
+    RankRunResult run = RankDispatch(in);
+    dispatch = std::move(run.result);
+    artifacts = std::move(run.artifacts);
+  } else {
+    dispatch = GreedyDispatch(in);
+  }
+
+  // Check a handful of requesters (dispatched or not): utility from any
+  // misreport never beats truthful utility.
+  for (std::size_t j = 0; j < sc.orders.size(); ++j) {
+    const Order& order = sc.orders[j];
+    const double truthful_pay =
+        PaymentWithBid(sc, order.id, order.valuation, use_rank);
+    const double truthful_utility =
+        truthful_pay < 0 ? 0.0 : order.valuation - truthful_pay;
+    EXPECT_GE(truthful_utility, -1e-6);
+
+    for (double factor : {0.4, 0.8, 1.3, 2.0}) {
+      const double lie = order.valuation * factor;
+      const double lie_pay = PaymentWithBid(sc, order.id, lie, use_rank);
+      const double lie_utility =
+          lie_pay < 0 ? 0.0 : order.valuation - lie_pay;
+      EXPECT_LE(lie_utility, truthful_utility + 1e-6)
+          << "order " << order.id << " factor " << factor << " seed " << seed
+          << " rank " << use_rank;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PricingPropertyTest,
+    ::testing::Combine(::testing::Range(uint64_t{1}, uint64_t{9}),
+                       ::testing::Bool()));
+
+// Deterministic corridor scenario with a known critical payment.
+TEST(GPriTest, SecondPriceOnSingleSeatContention) {
+  RoadNetwork net = testutil::LineNetwork(12, 1000);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  std::vector<Order> orders = {
+      MakeOrder(0, 2, 6, /*bid=*/30, oracle),  // cost 12, u = 18
+      MakeOrder(1, 2, 6, /*bid=*/20, oracle),  // cost 12, u = 8
+  };
+  std::vector<Vehicle> vehicles = {MakeVehicle(0, 2, /*capacity=*/1)};
+  AuctionInstance in;
+  in.orders = &orders;
+  in.vehicles = &vehicles;
+  in.oracle = &oracle;
+  const DispatchResult r = GreedyDispatch(in);
+  ASSERT_TRUE(r.IsDispatched(0));
+  ASSERT_FALSE(r.IsDispatched(1));
+  // Order 0 replaces order 1: critical bid = bid_1 − cost_1 + cost_0 = 20.
+  EXPECT_NEAR(GPriPriceOrder(in, 0), 20.0, 1e-9);
+}
+
+TEST(GPriTest, UncontestedWinnerPaysCost) {
+  RoadNetwork net = testutil::LineNetwork(12, 1000);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  std::vector<Order> orders = {MakeOrder(0, 2, 6, /*bid=*/30, oracle)};
+  std::vector<Vehicle> vehicles = {MakeVehicle(0, 2)};
+  AuctionInstance in;
+  in.orders = &orders;
+  in.vehicles = &vehicles;
+  in.oracle = &oracle;
+  ASSERT_TRUE(GreedyDispatch(in).IsDispatched(0));
+  // No competition: pay = dispatch cost = 3 yuan/km * 4 km.
+  EXPECT_NEAR(GPriPriceOrder(in, 0), 12.0, 1e-9);
+}
+
+TEST(DnWTest, UncontestedWinnerPaysCost) {
+  RoadNetwork net = testutil::LineNetwork(12, 1000);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  std::vector<Order> orders = {MakeOrder(0, 2, 6, /*bid=*/30, oracle)};
+  std::vector<Vehicle> vehicles = {MakeVehicle(0, 2)};
+  AuctionInstance in;
+  in.orders = &orders;
+  in.vehicles = &vehicles;
+  in.oracle = &oracle;
+  const RankRunResult run = RankDispatch(in);
+  ASSERT_TRUE(run.result.IsDispatched(0));
+  // Sole bidder: critical bid is where pack utility crosses 0, i.e. cost.
+  EXPECT_NEAR(DnWPriceOrder(in, run.artifacts, 0), 12.0, 1e-9);
+}
+
+// r_h is a member of several requesters' best packs (|S_h| > 1): DnW's
+// interval walk must consider every pack and return the cheapest way in.
+TEST(DnWTest, MultiplePacksContainingPricedRequester) {
+  RoadNetwork net = testutil::LineNetwork(20, 1000);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  // r_0 shares a corridor with r_1 and r_2, who both want to pack with it;
+  // two vehicles so two packs can be dispatched.
+  std::vector<Order> orders = {
+      MakeOrder(0, 4, 12, /*bid=*/20, oracle, 2.5),
+      MakeOrder(1, 5, 11, /*bid=*/18, oracle, 2.5),
+      MakeOrder(2, 5, 13, /*bid=*/18, oracle, 2.5),
+  };
+  std::vector<Vehicle> vehicles = {MakeVehicle(0, 4), MakeVehicle(1, 5)};
+  AuctionInstance in;
+  in.orders = &orders;
+  in.vehicles = &vehicles;
+  in.oracle = &oracle;
+  const RankRunResult run = RankDispatch(in);
+  ASSERT_TRUE(run.result.IsDispatched(0));
+
+  // S_0 should contain more than one pack (r_0's own best pack and at least
+  // one co-requester's best pack).
+  int sh_size = 0;
+  for (std::size_t j = 0; j < orders.size(); ++j) {
+    if (run.artifacts.best[j] < 0) continue;
+    if (run.artifacts
+            .candidates[j][static_cast<std::size_t>(run.artifacts.best[j])]
+            .Contains(0)) {
+      ++sh_size;
+    }
+  }
+  EXPECT_GE(sh_size, 2);
+
+  const double pay = DnWPriceOrder(in, run.artifacts, 0);
+  EXPECT_GE(pay, 0);
+  EXPECT_LE(pay, orders[0].bid + 1e-9);
+  // Exactness at the returned value.
+  std::vector<Order> probe = orders;
+  probe[0].bid = pay + kEps;
+  AuctionInstance probe_in = in;
+  probe_in.orders = &probe;
+  EXPECT_TRUE(RankDispatch(probe_in).result.IsDispatched(0));
+  if (pay > kEps) {
+    probe[0].bid = pay - kEps;
+    EXPECT_FALSE(RankDispatch(probe_in).result.IsDispatched(0));
+  }
+}
+
+// Larger randomized sweep with a small K to force pack-universe overlaps;
+// checks the exact critical-payment property end to end.
+class DnWStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DnWStressTest, CriticalPaymentsExactUnderTightPackUniverse) {
+  RandomScenario sc = MakeScenario(GetParam() + 500, /*m=*/12, /*n=*/4);
+  AuctionInstance in = sc.Instance();
+  in.config.pack_candidate_limit = 3;  // heavy pack overlap
+  const RankRunResult run = RankDispatch(in);
+  for (const Assignment& a : run.result.assignments) {
+    const double pay = DnWPriceOrder(in, run.artifacts, a.order);
+    const Order& order = sc.orders[static_cast<std::size_t>(a.order)];
+    ASSERT_LE(pay, order.bid + 1e-9);
+    std::vector<Order> probe = sc.orders;
+    AuctionInstance probe_in = in;
+    probe_in.orders = &probe;
+    probe[static_cast<std::size_t>(a.order)].bid = pay + kEps;
+    EXPECT_TRUE(RankDispatch(probe_in).result.IsDispatched(a.order))
+        << "order " << a.order << " pay " << pay << " seed " << GetParam();
+    if (pay > kEps) {
+      probe[static_cast<std::size_t>(a.order)].bid = pay - kEps;
+      EXPECT_FALSE(RankDispatch(probe_in).result.IsDispatched(a.order))
+          << "order " << a.order << " pay " << pay << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnWStressTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{7}));
+
+TEST(DnWTest, VehicleContentionYieldsReplacementPrice) {
+  RoadNetwork net = testutil::LineNetwork(16, 1000);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  // Two distant requesters (cannot share), one vehicle with one seat.
+  std::vector<Order> orders = {
+      MakeOrder(0, 2, 6, /*bid=*/30, oracle),    // cost 12, u = 18
+      MakeOrder(1, 3, 7, /*bid=*/25, oracle),    // cost 12, u = 13
+  };
+  std::vector<Vehicle> vehicles = {MakeVehicle(0, 2, /*capacity=*/1)};
+  AuctionInstance in;
+  in.orders = &orders;
+  in.vehicles = &vehicles;
+  in.oracle = &oracle;
+  const RankRunResult run = RankDispatch(in);
+  ASSERT_TRUE(run.result.IsDispatched(0));
+  ASSERT_FALSE(run.result.IsDispatched(1));
+  // To beat order 1's pack (utility 13), order 0 needs utility >= 13:
+  // bid = 13 + 12 = 25.
+  EXPECT_NEAR(DnWPriceOrder(in, run.artifacts, 0), 25.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace auctionride

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "spatial/grid_index.h"
+
+namespace auctionride {
+namespace {
+
+std::vector<GridIndex::Item> RandomItems(int n, uint64_t seed,
+                                         double extent = 10000) {
+  Rng rng(seed);
+  std::vector<GridIndex::Item> items;
+  items.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    items.push_back(
+        {i, {rng.Uniform(0, extent), rng.Uniform(0, extent)}});
+  }
+  return items;
+}
+
+TEST(GridIndexTest, EmptyIndexReturnsNothing) {
+  GridIndex index({}, 100);
+  EXPECT_TRUE(index.WithinRadius({0, 0}, 1e9).empty());
+  EXPECT_TRUE(index.KNearest({0, 0}, 5).empty());
+}
+
+TEST(GridIndexTest, WithinRadiusExact) {
+  std::vector<GridIndex::Item> items = {
+      {0, {0, 0}}, {1, {100, 0}}, {2, {0, 250}}, {3, {400, 400}}};
+  GridIndex index(items, 100);
+  std::vector<int32_t> got = index.WithinRadius({0, 0}, 260);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int32_t>{0, 1, 2}));
+}
+
+TEST(GridIndexTest, WithinRadiusBoundaryInclusive) {
+  std::vector<GridIndex::Item> items = {{7, {300, 0}}};
+  GridIndex index(items, 100);
+  EXPECT_EQ(index.WithinRadius({0, 0}, 300).size(), 1u);
+  EXPECT_TRUE(index.WithinRadius({0, 0}, 299.999).empty());
+}
+
+TEST(GridIndexTest, KNearestOrderedByDistance) {
+  std::vector<GridIndex::Item> items = {
+      {0, {500, 0}}, {1, {100, 0}}, {2, {300, 0}}, {3, {900, 0}}};
+  GridIndex index(items, 200);
+  EXPECT_EQ(index.KNearest({0, 0}, 3),
+            (std::vector<int32_t>{1, 2, 0}));
+}
+
+TEST(GridIndexTest, KNearestExcludesId) {
+  std::vector<GridIndex::Item> items = {{0, {10, 0}}, {1, {20, 0}}};
+  GridIndex index(items, 50);
+  EXPECT_EQ(index.KNearest({0, 0}, 2, /*exclude_id=*/0),
+            (std::vector<int32_t>{1}));
+}
+
+// Property sweep: grid results must match brute force for random item sets.
+class GridIndexPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridIndexPropertyTest, MatchesBruteForce) {
+  const int n = GetParam();
+  const std::vector<GridIndex::Item> items = RandomItems(n, 100 + n);
+  GridIndex index(items, 700);
+  Rng rng(n);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point q{rng.Uniform(-1000, 11000), rng.Uniform(-1000, 11000)};
+
+    // WithinRadius.
+    const double radius = rng.Uniform(100, 4000);
+    std::vector<int32_t> got = index.WithinRadius(q, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<int32_t> expected;
+    for (const auto& item : items) {
+      if (SquaredDistance(q, item.position) <= radius * radius) {
+        expected.push_back(item.id);
+      }
+    }
+    EXPECT_EQ(got, expected);
+
+    // KNearest distances (ids can tie; compare distances).
+    const int k = static_cast<int>(rng.UniformInt(int64_t{1}, int64_t{8}));
+    const std::vector<int32_t> knn = index.KNearest(q, k);
+    std::vector<double> brute_dist;
+    for (const auto& item : items) {
+      brute_dist.push_back(SquaredDistance(q, item.position));
+    }
+    std::sort(brute_dist.begin(), brute_dist.end());
+    ASSERT_EQ(knn.size(),
+              std::min<std::size_t>(items.size(), static_cast<std::size_t>(k)));
+    for (std::size_t i = 0; i < knn.size(); ++i) {
+      const auto it = std::find_if(
+          items.begin(), items.end(),
+          [&](const GridIndex::Item& item) { return item.id == knn[i]; });
+      ASSERT_NE(it, items.end());
+      EXPECT_NEAR(SquaredDistance(q, it->position), brute_dist[i], 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GridIndexPropertyTest,
+                         ::testing::Values(1, 5, 40, 200, 1000));
+
+}  // namespace
+}  // namespace auctionride

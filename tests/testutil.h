@@ -1,0 +1,86 @@
+// Shared helpers for the test suites: tiny deterministic road networks and
+// scenario builders.
+
+#ifndef AUCTIONRIDE_TESTS_TESTUTIL_H_
+#define AUCTIONRIDE_TESTS_TESTUTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "model/order.h"
+#include "model/vehicle.h"
+#include "roadnet/builder.h"
+#include "roadnet/graph.h"
+#include "roadnet/oracle.h"
+
+namespace auctionride {
+namespace testutil {
+
+/// A straight line of `n` nodes spaced `spacing_m` apart (bidirectional).
+/// Node i sits at x = i * spacing_m.
+inline RoadNetwork LineNetwork(int n, double spacing_m = 1000) {
+  RoadNetwork net;
+  for (int i = 0; i < n; ++i) {
+    net.AddNode({i * spacing_m, 0});
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    net.AddBidirectionalEdge(i, i + 1, spacing_m);
+  }
+  net.Build();
+  return net;
+}
+
+/// A cols x rows lattice with unit edge length `spacing_m`, no jitter or
+/// removals — distances are exactly Manhattan * spacing_m.
+inline RoadNetwork LatticeNetwork(int cols, int rows,
+                                  double spacing_m = 1000) {
+  RoadNetwork net;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      net.AddNode({c * spacing_m, r * spacing_m});
+    }
+  }
+  auto id = [cols](int c, int r) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        net.AddBidirectionalEdge(id(c, r), id(c + 1, r), spacing_m);
+      }
+      if (r + 1 < rows) {
+        net.AddBidirectionalEdge(id(c, r), id(c, r + 1), spacing_m);
+      }
+    }
+  }
+  net.Build();
+  return net;
+}
+
+/// Order factory: θ defaults generous so feasibility is driven by the test.
+inline Order MakeOrder(OrderId id, NodeId origin, NodeId destination,
+                       double bid, const DistanceOracle& oracle,
+                       double gamma = 2.0) {
+  Order o;
+  o.id = id;
+  o.origin = origin;
+  o.destination = destination;
+  o.shortest_distance_m = oracle.Distance(origin, destination);
+  o.shortest_time_s = o.shortest_distance_m / oracle.speed_mps();
+  o.max_wasted_time_s = (gamma - 1.0) * o.shortest_time_s;
+  o.valuation = bid;
+  o.bid = bid;
+  return o;
+}
+
+/// Idle vehicle at `node`.
+inline Vehicle MakeVehicle(VehicleId id, NodeId node, int capacity = 3) {
+  Vehicle v;
+  v.id = id;
+  v.next_node = node;
+  v.capacity = capacity;
+  return v;
+}
+
+}  // namespace testutil
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_TESTS_TESTUTIL_H_

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "auction/baselines.h"
+#include "auction/greedy.h"
+#include "auction/matching.h"
+#include "auction/mechanism.h"
+#include "auction/rank.h"
+#include "auction/verifier.h"
+#include "common/rng.h"
+#include "roadnet/builder.h"
+#include "testutil.h"
+
+namespace auctionride {
+namespace {
+
+using testutil::MakeOrder;
+using testutil::MakeVehicle;
+
+struct Scenario {
+  RoadNetwork net;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::vector<Order> orders;
+  std::vector<Vehicle> vehicles;
+
+  AuctionInstance Instance() const {
+    AuctionInstance in;
+    in.orders = &orders;
+    in.vehicles = &vehicles;
+    in.oracle = oracle.get();
+    return in;
+  }
+};
+
+Scenario RandomScenario(uint64_t seed) {
+  Scenario sc;
+  GridNetworkOptions options;
+  options.columns = 9;
+  options.rows = 9;
+  options.spacing_m = 500;
+  options.seed = seed + 17;
+  sc.net = BuildGridNetwork(options);
+  sc.oracle = std::make_unique<DistanceOracle>(
+      &sc.net, DistanceOracle::Backend::kDijkstra);
+  Rng rng(seed);
+  const int m = 6 + static_cast<int>(rng.UniformInt(uint64_t{8}));
+  for (int j = 0; j < m; ++j) {
+    NodeId s = 0;
+    NodeId e = 0;
+    while (s == e) {
+      s = static_cast<NodeId>(
+          rng.UniformInt(static_cast<uint64_t>(sc.net.num_nodes())));
+      e = static_cast<NodeId>(
+          rng.UniformInt(static_cast<uint64_t>(sc.net.num_nodes())));
+    }
+    sc.orders.push_back(
+        MakeOrder(j, s, e, rng.Uniform(8, 45), *sc.oracle, 2.0));
+  }
+  for (int i = 0; i < 4; ++i) {
+    sc.vehicles.push_back(MakeVehicle(
+        i, static_cast<NodeId>(
+               rng.UniformInt(static_cast<uint64_t>(sc.net.num_nodes())))));
+  }
+  return sc;
+}
+
+// Every dispatcher's output must verify on randomized instances.
+class VerifierSweepTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(VerifierSweepTest, DispatcherOutputsVerify) {
+  const auto [seed, which] = GetParam();
+  const Scenario sc = RandomScenario(seed);
+  const AuctionInstance in = sc.Instance();
+  DispatchResult result;
+  VerifyOptions options;
+  switch (which) {
+    case 0:
+      result = GreedyDispatch(in);
+      options.require_nonnegative_pair_utility = true;
+      break;
+    case 1:
+      result = RankDispatch(in).result;
+      break;
+    case 2:
+      result = MatchingDispatch(in);
+      options.require_nonnegative_pair_utility = true;
+      break;
+    case 3:
+      result = FcfsDispatch(in, /*serve_all=*/true);
+      break;
+  }
+  const Status status = VerifyDispatch(in, result, options);
+  EXPECT_TRUE(status.ok()) << status.ToString() << " (dispatcher " << which
+                           << ", seed " << seed << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VerifierSweepTest,
+    ::testing::Combine(::testing::Range(uint64_t{1}, uint64_t{7}),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(VerifierTest, DetectsDuplicateAssignment) {
+  const Scenario sc = RandomScenario(3);
+  const AuctionInstance in = sc.Instance();
+  DispatchResult result = GreedyDispatch(in);
+  if (result.assignments.empty()) GTEST_SKIP();
+  result.assignments.push_back(result.assignments[0]);
+  EXPECT_FALSE(VerifyDispatch(in, result).ok());
+}
+
+TEST(VerifierTest, DetectsUtilityTampering) {
+  const Scenario sc = RandomScenario(4);
+  const AuctionInstance in = sc.Instance();
+  DispatchResult result = GreedyDispatch(in);
+  if (result.assignments.empty()) GTEST_SKIP();
+  result.total_utility += 5;
+  EXPECT_FALSE(VerifyDispatch(in, result).ok());
+}
+
+TEST(VerifierTest, DetectsInfeasiblePlanInjection) {
+  RoadNetwork net = testutil::LineNetwork(10, 1000);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  std::vector<Order> orders = {MakeOrder(0, 2, 6, /*bid=*/20, oracle)};
+  std::vector<Vehicle> vehicles = {MakeVehicle(0, 1)};
+  AuctionInstance in;
+  in.orders = &orders;
+  in.vehicles = &vehicles;
+  in.oracle = &oracle;
+  DispatchResult result = GreedyDispatch(in);
+  ASSERT_EQ(result.updated_plans.size(), 1u);
+  // Tamper: impossible deadline on the drop-off stop.
+  for (PlanStop& stop : result.updated_plans[0].second) {
+    if (stop.type == StopType::kDropoff) stop.deadline_s = 1.0;
+  }
+  EXPECT_FALSE(VerifyDispatch(in, result).ok());
+}
+
+TEST(VerifierTest, DetectsDroppedExistingRider) {
+  RoadNetwork net = testutil::LineNetwork(12, 1000);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  std::vector<Order> orders = {MakeOrder(0, 2, 6, /*bid=*/30, oracle)};
+  std::vector<Vehicle> vehicles = {MakeVehicle(0, 1)};
+  // The vehicle already carries order 99.
+  vehicles[0].plan.stops = {{8, 99, StopType::kDropoff, 1e9}};
+  vehicles[0].onboard = 1;
+  AuctionInstance in;
+  in.orders = &orders;
+  in.vehicles = &vehicles;
+  in.oracle = &oracle;
+  DispatchResult result = GreedyDispatch(in);
+  ASSERT_EQ(result.updated_plans.size(), 1u);
+  ASSERT_TRUE(VerifyDispatch(in, result).ok());
+  // Tamper: drop the pre-existing rider from the plan.
+  auto& plan = result.updated_plans[0].second;
+  std::erase_if(plan, [](const PlanStop& s) { return s.order == 99; });
+  EXPECT_FALSE(VerifyDispatch(in, result).ok());
+}
+
+TEST(VerifierTest, PaymentsVerifyForBothMechanisms) {
+  const Scenario sc = RandomScenario(5);
+  AuctionInstance in = sc.Instance();
+  for (MechanismKind kind : {MechanismKind::kGreedy, MechanismKind::kRank}) {
+    const MechanismOutcome outcome = RunMechanism(kind, in);
+    // Payments were computed on charge-deducted bids (CR = 0 here, so same).
+    const Status status =
+        VerifyPayments(in, outcome.dispatch, outcome.payments);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+}
+
+TEST(VerifierTest, PaymentAboveBidIsCaught) {
+  const Scenario sc = RandomScenario(6);
+  const AuctionInstance in = sc.Instance();
+  const MechanismOutcome outcome = RunMechanism(MechanismKind::kRank, in);
+  if (outcome.payments.empty()) GTEST_SKIP();
+  std::vector<Payment> tampered = outcome.payments;
+  tampered[0].payment =
+      sc.orders[static_cast<std::size_t>(tampered[0].order)].bid + 10;
+  EXPECT_FALSE(VerifyPayments(in, outcome.dispatch, tampered).ok());
+}
+
+}  // namespace
+}  // namespace auctionride
