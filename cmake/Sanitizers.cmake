@@ -1,0 +1,62 @@
+# Sanitizer and warning-hardening presets for auctionride.
+#
+# Usage (normally via CMakePresets.json):
+#   cmake -B build-asan -DARIDE_SANITIZE=address   # ASan + UBSan
+#   cmake -B build-tsan -DARIDE_SANITIZE=thread    # TSan
+#
+# ARIDE_SANITIZE=address bundles UndefinedBehaviorSanitizer: the two
+# compose, and every ASan CI run should also be a UBSan run. Sanitized
+# builds define ARIDE_ENABLE_CONTRACTS so the ARIDE_* contract macros in
+# src/common/check.h stay active even in optimized (NDEBUG) builds — the
+# sanitizer presets are the enforcement wall for algorithmic invariants,
+# not just for memory errors.
+#
+# Per-target opt-out: aride_disable_sanitizers(<target>) strips the
+# instrumentation from one target (e.g. a benchmark whose timing would be
+# distorted) while the rest of the build stays sanitized.
+
+set(ARIDE_SANITIZE
+    ""
+    CACHE STRING "Sanitizer set: empty, 'address' (ASan+UBSan) or 'thread' (TSan)")
+set_property(CACHE ARIDE_SANITIZE PROPERTY STRINGS "" "address" "thread")
+
+option(ARIDE_WERROR "Treat compiler warnings as errors" OFF)
+
+set(ARIDE_SANITIZER_COMPILE_FLAGS "")
+set(ARIDE_SANITIZER_LINK_FLAGS "")
+
+if(ARIDE_SANITIZE STREQUAL "address")
+  set(ARIDE_SANITIZER_COMPILE_FLAGS
+      -fsanitize=address,undefined
+      -fno-sanitize-recover=all
+      -fno-omit-frame-pointer)
+  set(ARIDE_SANITIZER_LINK_FLAGS -fsanitize=address,undefined)
+elseif(ARIDE_SANITIZE STREQUAL "thread")
+  set(ARIDE_SANITIZER_COMPILE_FLAGS -fsanitize=thread -fno-omit-frame-pointer)
+  set(ARIDE_SANITIZER_LINK_FLAGS -fsanitize=thread)
+elseif(NOT ARIDE_SANITIZE STREQUAL "")
+  message(FATAL_ERROR "Unknown ARIDE_SANITIZE value '${ARIDE_SANITIZE}' "
+                      "(expected empty, 'address' or 'thread')")
+endif()
+
+if(ARIDE_SANITIZER_COMPILE_FLAGS)
+  add_compile_options(${ARIDE_SANITIZER_COMPILE_FLAGS})
+  add_link_options(${ARIDE_SANITIZER_LINK_FLAGS})
+  add_compile_definitions(ARIDE_ENABLE_CONTRACTS=1)
+  message(STATUS "auctionride: building with -fsanitize=${ARIDE_SANITIZE} "
+                 "and contract checks enabled")
+endif()
+
+if(ARIDE_WERROR)
+  add_compile_options(-Werror)
+endif()
+
+# Removes sanitizer instrumentation (and the contract-enabling define) from
+# one target. Works only for flags applied via the directory-level options
+# above, which is how this module applies them.
+function(aride_disable_sanitizers target)
+  if(NOT ARIDE_SANITIZE STREQUAL "")
+    target_compile_options(${target} PRIVATE -fno-sanitize=all)
+    target_link_options(${target} PRIVATE -fno-sanitize=all)
+  endif()
+endfunction()

@@ -4,7 +4,7 @@
 // benches.
 //
 // Usage:
-//   sweep_cli --var alpha --values 2.5,3.0,3.5,4.0 \
+//   sweep_cli --var alpha --values 2.5,3.0,3.5,4.0
 //             --orders 500 --vehicles 700 --out /tmp/sweep.csv
 //   --var one of: alpha | gamma | trnd | cr (cr enables pricing)
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace auctionride {
@@ -83,10 +84,11 @@ double DnWPriceOrder(const AuctionInstance& instance,
 
   // S_h: Rank packs containing r_h, with their owners (Algorithm 4 line 1).
   struct ShEntry {
-    int32_t owner;
-    const PackCandidate* p0;       // the owner's best pack (contains r_h)
-    const PackCandidate* p_prime;  // owner's best pack excluding r_h (or null)
-    double f;                      // instance-switch bid (line 2)
+    int32_t owner = -1;
+    const PackCandidate* p0 = nullptr;  // the owner's best pack (contains r_h)
+    const PackCandidate* p_prime =
+        nullptr;       // owner's best pack excluding r_h (or null)
+    double f = -kInf;  // instance-switch bid (line 2)
   };
   std::vector<ShEntry> sh;
   for (std::size_t j = 0; j < orders.size(); ++j) {
@@ -126,6 +128,9 @@ double DnWPriceOrder(const AuctionInstance& instance,
   for (std::size_t k = 1; k <= big_k; ++k) {  // line 5
     const double interval_lo = sh[k - 1].f;
     const double interval_hi = k < big_k ? sh[k].f : kInf;
+    // Bid-monotonicity of the instance switches: f is sorted ascending, so
+    // interval k is well formed.
+    ARIDE_CHECK_LE(interval_lo, interval_hi) << "interval " << k;
 
     // Fixed (r_h-free) packs of this interval: owners outside S_h keep their
     // best pack; owners in S_h with index > k switched to p'_j (line 6).
@@ -175,6 +180,11 @@ double DnWPriceOrder(const AuctionInstance& instance,
     }
     if (pay != bid0) break;  // line 15: later intervals only yield more
   }
+  // Individual rationality at the pricing source: the critical payment is
+  // initialized to bid0 and only lowered, and every candidate bid is
+  // clamped at 0, so pay ∈ [0, bid0] holds before the defensive clamp.
+  ARIDE_CHECK_GE(pay, 0) << "order " << order_id;
+  ARIDE_CHECK_LE(pay, bid0) << "order " << order_id;
   return std::clamp(pay, 0.0, bid0);
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "auction/greedy.h"
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace auctionride {
@@ -31,9 +32,12 @@ double GPriPriceOrder(const AuctionInstance& instance, OrderId order_id) {
     if (step.h_cost_before == std::numeric_limits<double>::infinity()) {
       break;  // line 8: r_h had no valid pair left before this step
     }
+    ARIDE_CHECK_GE(step.cost, -1e-9) << "order " << order_id;
     const double replace_bid = step.bid - step.cost + step.h_cost_before;
     pay = std::min(pay, replace_bid);
   }
+  // Individual rationality: pay starts at the bid and is only lowered.
+  ARIDE_CHECK_LE(pay, priced->bid) << "order " << order_id;
   return std::max(pay, 0.0);
 }
 

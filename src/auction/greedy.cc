@@ -3,6 +3,7 @@
 #include <limits>
 #include <queue>
 
+#include "common/check.h"
 #include "common/timer.h"
 #include "planner/insertion.h"
 #include "spatial/grid_index.h"
@@ -144,6 +145,14 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
         BestInsertion(vehicle, order, in.now_s, *in.oracle);
     AR_CHECK(ins.feasible);
     const double cost = alpha_per_m * ins.delta_delivery_m;
+    // The popped entry is fresh for this vehicle version, so it was computed
+    // from exactly this insertion: the dispatched utility must match it, and
+    // it cleared the threshold at line 9 above (Algorithm 1 invariants).
+    ARIDE_CHECK_NEAR(order.bid - cost, top.utility, 1e-6)
+        << "order " << order.id;
+    ARIDE_CHECK_GE(top.utility, in.config.min_utility)
+        << "order " << order.id;
+    ARIDE_CHECK_GE(cost, -1e-9) << "order " << order.id;
 
     if (traced != nullptr) {
       traced->steps.push_back(

@@ -7,6 +7,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "planner/insertion.h"
@@ -377,6 +378,15 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
         (*in.vehicles)[static_cast<std::size_t>(rp.pack->vehicle)],
         order_ptrs, in.now_s, *in.oracle);
     AR_CHECK(plan.feasible);
+    // Pack planning is deterministic: the dispatched recomputation must
+    // reproduce the ΔD the pack was ranked with, and the winning pack
+    // cleared the dispatch threshold (Algorithm 3 Phase II invariants).
+    ARIDE_CHECK_NEAR(plan.delta_delivery_m, rp.pack->delta_delivery_m, 1e-6)
+        << "pack of requester index " << rp.owner;
+    ARIDE_CHECK_GE(rp.pack->utility, in.config.min_utility)
+        << "pack of requester index " << rp.owner;
+    ARIDE_CHECK_GE(plan.delta_delivery_m, -1e-6)
+        << "pack of requester index " << rp.owner;
 
     vehicle_taken[static_cast<std::size_t>(rp.pack->vehicle)] = 1;
     const double pack_cost = alpha_per_m * plan.delta_delivery_m;

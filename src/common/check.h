@@ -1,0 +1,97 @@
+// Contract-check macros for algorithmic invariants on hot paths.
+//
+// AR_CHECK (common/logging.h) is for cheap, always-on integrity checks.
+// The ARIDE_* macros below are for *contracts*: invariants the auction and
+// planner algorithms guarantee by construction (non-negative insertion
+// deltas, payments within [0, bid], dispatch utilities above the
+// threshold). They are free in production builds and enforced wherever we
+// also pay for sanitizers:
+//
+//   - Debug builds (!NDEBUG): enabled.
+//   - Sanitizer presets (cmake --preset asan / tsan): enabled via the
+//     ARIDE_ENABLE_CONTRACTS definition added by cmake/Sanitizers.cmake,
+//     even though those builds are optimized NDEBUG builds.
+//   - Plain release builds: compiled out. The condition is still parsed
+//     (no unused-variable warnings, no bit-rot) but never evaluated.
+//
+// On failure they abort with file:line, the literal condition, the operand
+// values (for the comparison forms), and any streamed message:
+//
+//   ARIDE_CHECK(plan.feasible) << "pack " << pack_id;
+//   ARIDE_CHECK_GE(payment, 0.0) << "order " << order.id;
+//   ARIDE_CHECK_NEAR(cost_sum, alpha * delta_m, 1e-6);
+//
+// The comparison forms may re-evaluate their operands on the failure path
+// (to print them); keep operands side-effect free, as with any assert.
+
+#ifndef AUCTIONRIDE_COMMON_CHECK_H_
+#define AUCTIONRIDE_COMMON_CHECK_H_
+
+#include <cmath>
+
+#include "common/logging.h"
+
+#if !defined(NDEBUG) || defined(ARIDE_ENABLE_CONTRACTS)
+#define ARIDE_CONTRACTS_ENABLED 1
+#else
+#define ARIDE_CONTRACTS_ENABLED 0
+#endif
+
+// Active form: aborts via FatalMessage when `cond` is false.
+#define ARIDE_INTERNAL_CHECK_IMPL(cond, cond_text)            \
+  (cond) ? (void)0                                            \
+         : ::auctionride::internal_logging::Voidify() &&      \
+               ::auctionride::internal_logging::FatalMessage( \
+                   __FILE__, __LINE__, cond_text)             \
+                   .stream()
+
+// Disabled form: the condition is parsed and type-checked but never
+// evaluated (short-circuited by `true ||`), and the whole expression folds
+// to nothing. Streamed messages compile but are dead code.
+#define ARIDE_INTERNAL_NOOP_IMPL(cond) \
+  ARIDE_INTERNAL_CHECK_IMPL(true || (cond), "")
+
+#if ARIDE_CONTRACTS_ENABLED
+
+#define ARIDE_CHECK(cond) ARIDE_INTERNAL_CHECK_IMPL(cond, #cond)
+
+#define ARIDE_INTERNAL_CHECK_OP(a, op, b)                            \
+  ARIDE_INTERNAL_CHECK_IMPL((a)op(b), #a " " #op " " #b)             \
+      << "(" << (a) << " vs " << (b) << ") "
+
+#define ARIDE_CHECK_EQ(a, b) ARIDE_INTERNAL_CHECK_OP(a, ==, b)
+#define ARIDE_CHECK_NE(a, b) ARIDE_INTERNAL_CHECK_OP(a, !=, b)
+#define ARIDE_CHECK_GE(a, b) ARIDE_INTERNAL_CHECK_OP(a, >=, b)
+#define ARIDE_CHECK_GT(a, b) ARIDE_INTERNAL_CHECK_OP(a, >, b)
+#define ARIDE_CHECK_LE(a, b) ARIDE_INTERNAL_CHECK_OP(a, <=, b)
+#define ARIDE_CHECK_LT(a, b) ARIDE_INTERNAL_CHECK_OP(a, <, b)
+
+// |a − b| <= tolerance, for monetary/distance accounting identities.
+#define ARIDE_CHECK_NEAR(a, b, tolerance)                              \
+  ARIDE_INTERNAL_CHECK_IMPL(std::fabs((a) - (b)) <= (tolerance),       \
+                            "|" #a " - " #b "| <= " #tolerance)        \
+      << "(" << (a) << " vs " << (b) << ", tol " << (tolerance) << ") "
+
+#else  // !ARIDE_CONTRACTS_ENABLED
+
+#define ARIDE_CHECK(cond) ARIDE_INTERNAL_NOOP_IMPL(cond)
+#define ARIDE_CHECK_EQ(a, b) ARIDE_INTERNAL_NOOP_IMPL((a) == (b))
+#define ARIDE_CHECK_NE(a, b) ARIDE_INTERNAL_NOOP_IMPL((a) != (b))
+#define ARIDE_CHECK_GE(a, b) ARIDE_INTERNAL_NOOP_IMPL((a) >= (b))
+#define ARIDE_CHECK_GT(a, b) ARIDE_INTERNAL_NOOP_IMPL((a) > (b))
+#define ARIDE_CHECK_LE(a, b) ARIDE_INTERNAL_NOOP_IMPL((a) <= (b))
+#define ARIDE_CHECK_LT(a, b) ARIDE_INTERNAL_NOOP_IMPL((a) < (b))
+#define ARIDE_CHECK_NEAR(a, b, tolerance) \
+  ARIDE_INTERNAL_NOOP_IMPL(std::fabs((a) - (b)) <= (tolerance))
+
+#endif  // ARIDE_CONTRACTS_ENABLED
+
+// Debug-only contract: enabled strictly by !NDEBUG, like assert(). Use for
+// checks too hot even for sanitizer builds.
+#ifdef NDEBUG
+#define ARIDE_DCHECK(cond) ARIDE_INTERNAL_NOOP_IMPL(cond)
+#else
+#define ARIDE_DCHECK(cond) ARIDE_INTERNAL_CHECK_IMPL(cond, #cond)
+#endif
+
+#endif  // AUCTIONRIDE_COMMON_CHECK_H_

@@ -2,10 +2,16 @@
 
 #include <limits>
 
+#include "common/check.h"
+
 namespace auctionride {
 
 InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
                               double now_s, const DistanceOracle& oracle) {
+  ARIDE_CHECK(order.origin != kInvalidNode &&
+              order.destination != kInvalidNode)
+      << "order " << order.id;
+  ARIDE_CHECK_GE(vehicle.extra_distance_m, 0) << "vehicle " << vehicle.id;
   InsertionResult best;
   if (vehicle.CommittedRiders() >= vehicle.capacity) return best;
 
@@ -49,7 +55,13 @@ InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
       }
     }
   }
-  if (best.feasible) best.delta_delivery_m = best_delta;
+  if (best.feasible) {
+    // Oracle distances are shortest paths, so inserting stops can never
+    // shorten the delivery distance (triangle inequality); a negative ΔD
+    // here means the oracle or the evaluator is broken.
+    ARIDE_CHECK_GE(best_delta, -1e-6) << "order " << order.id;
+    best.delta_delivery_m = best_delta;
+  }
   return best;
 }
 

@@ -1,16 +1,23 @@
 #include "planner/plan_eval.h"
 
+#include "common/check.h"
+
 namespace auctionride {
 
 PlanEvaluation EvaluatePlan(const Vehicle& vehicle,
                             std::span<const PlanStop> stops, double now_s,
                             const DistanceOracle& oracle) {
-#ifndef NDEBUG
+#if ARIDE_CONTRACTS_ENABLED
   {
     TravelPlan check;
     check.stops.assign(stops.begin(), stops.end());
-    AR_DCHECK(check.PrecedenceHolds());
+    ARIDE_CHECK(check.PrecedenceHolds()) << "vehicle " << vehicle.id;
   }
+  ARIDE_CHECK_GT(oracle.speed_mps(), 0);
+  ARIDE_CHECK_GE(vehicle.extra_distance_m, 0) << "vehicle " << vehicle.id;
+  ARIDE_CHECK_GE(vehicle.onboard, 0) << "vehicle " << vehicle.id;
+  ARIDE_CHECK_LE(vehicle.onboard, vehicle.capacity)
+      << "vehicle " << vehicle.id;
 #endif
   PlanEvaluation eval;
   eval.feasible = true;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace auctionride {
 
 AStarSearch::AStarSearch(const RoadNetwork* network) : network_(network) {
@@ -21,6 +23,7 @@ void AStarSearch::BeginQuery() {
 }
 
 double& AStarSearch::Dist(NodeId n) {
+  ARIDE_DCHECK(n >= 0 && n < network_->num_nodes());
   if (generation_of_[n] != generation_) {
     generation_of_[n] = generation_;
     dist_[n] = kInfDistance;

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "auction/verifier.h"
+#include "common/check.h"
 #include "common/timer.h"
 
 namespace auctionride {
@@ -91,6 +92,13 @@ void Simulator::ProcessArrivalStops(SimVehicle* vehicle,
       --v.onboard;
       AR_CHECK(v.onboard >= 0);
       std::erase(vehicle->riding, stop.order);
+      // Lifecycle contract: a rider is picked up after dispatch and dropped
+      // off after pickup, exactly once.
+      ARIDE_CHECK(!rec.completed) << "order " << stop.order;
+      ARIDE_CHECK_GE(rec.pickup_time_s, rec.dispatch_time_s)
+          << "order " << stop.order;
+      ARIDE_CHECK_GE(arrival_time_s, rec.pickup_time_s)
+          << "order " << stop.order;
       rec.dropoff_time_s = arrival_time_s;
       rec.completed = true;
       if (active_result_ != nullptr) {
@@ -229,6 +237,11 @@ void Simulator::RunRound(double now_s, SimResult* result) {
     charged.orders = &deducted;
     const Status verified = VerifyDispatch(charged, outcome.dispatch);
     AR_CHECK(verified.ok()) << verified.ToString();
+    if (!outcome.payments.empty()) {
+      const Status paid =
+          VerifyPayments(charged, outcome.dispatch, outcome.payments);
+      AR_CHECK(paid.ok()) << paid.ToString();
+    }
   }
 
   // Apply updated plans to the live vehicles.
@@ -247,6 +260,7 @@ void Simulator::RunRound(double now_s, SimResult* result) {
         {now_s, a.order, OrderEventKind::kDispatched, a.vehicle});
   }
   for (const Payment& p : outcome.payments) {
+    ARIDE_CHECK_GE(p.payment, 0) << "order " << p.order;
     order_records_[static_cast<std::size_t>(p.order)].payment = p.payment;
     result->total_payments += p.payment;
   }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -157,6 +158,85 @@ TEST(VerifierTest, DetectsDroppedExistingRider) {
   auto& plan = result.updated_plans[0].second;
   std::erase_if(plan, [](const PlanStop& s) { return s.order == 99; });
   EXPECT_FALSE(VerifyDispatch(in, result).ok());
+}
+
+// VerifyOptions.epsilon bounds the accounting comparisons: a perturbation
+// inside the tolerance passes, the same result fails once epsilon shrinks
+// below the perturbation.
+TEST(VerifierTest, EpsilonBoundsAccountingTolerance) {
+  const Scenario sc = RandomScenario(8);
+  const AuctionInstance in = sc.Instance();
+  DispatchResult result = GreedyDispatch(in);
+  if (result.assignments.empty()) GTEST_SKIP();
+
+  const double perturbation = 1e-7;  // < default epsilon of 1e-6
+  result.total_utility += perturbation;
+  result.assignments[0].utility += perturbation;
+
+  VerifyOptions loose;  // default epsilon 1e-6
+  EXPECT_TRUE(VerifyDispatch(in, result, loose).ok());
+
+  VerifyOptions tight;
+  tight.epsilon = 1e-9;
+  EXPECT_FALSE(VerifyDispatch(in, result, tight).ok());
+}
+
+TEST(VerifierTest, EpsilonExactZeroRejectsAnyDrift) {
+  // One order, one vehicle: the verifier re-derives every accounting figure
+  // with the identical floating-point operations, so the untampered result
+  // verifies even at epsilon = 0 and one ulp of drift is rejected.
+  Scenario sc;
+  sc.net = testutil::LineNetwork(10, 1000);
+  sc.oracle = std::make_unique<DistanceOracle>(
+      &sc.net, DistanceOracle::Backend::kDijkstra);
+  sc.orders = {MakeOrder(0, 2, 7, /*bid=*/25, *sc.oracle)};
+  sc.vehicles = {MakeVehicle(0, 1)};
+  const AuctionInstance in = sc.Instance();
+  DispatchResult result = GreedyDispatch(in);
+  ASSERT_EQ(result.assignments.size(), 1u);
+  VerifyOptions exact;
+  exact.epsilon = 0;
+  EXPECT_TRUE(VerifyDispatch(in, result, exact).ok());
+  result.assignments[0].cost =
+      std::nextafter(result.assignments[0].cost, 1e30);
+  EXPECT_FALSE(VerifyDispatch(in, result, exact).ok());
+}
+
+// A Rank pack can carry a member whose even cost share exceeds its bid:
+// the pack verifies with per-pair nonnegativity off (Rank's guarantee is
+// per-pack) and is rejected with it on.
+TEST(VerifierTest, RankPackWithNegativeMemberUtility) {
+  Scenario sc;
+  sc.net = testutil::LineNetwork(12, 1000);
+  sc.oracle = std::make_unique<DistanceOracle>(
+      &sc.net, DistanceOracle::Backend::kDijkstra);
+  // Two riders share the identical 0 -> 8 trip; the vehicle is at the
+  // origin. Packing them is optimal: pack utility = 30 + 1 − 3.0·8 = 7,
+  // solo A = 30 − 24 = 6. The even cost share of 12 sinks member B
+  // (utility 1 − 12 < 0) while the pack total stays positive.
+  sc.orders = {MakeOrder(0, 0, 8, /*bid=*/30, *sc.oracle),
+               MakeOrder(1, 0, 8, /*bid=*/1, *sc.oracle)};
+  sc.vehicles = {MakeVehicle(0, 0)};
+  const AuctionInstance in = sc.Instance();
+
+  const RankRunResult run = RankDispatch(in);
+  ASSERT_EQ(run.result.assignments.size(), 2u);
+  bool has_negative_member = false;
+  for (const Assignment& a : run.result.assignments) {
+    if (a.utility < 0) has_negative_member = true;
+  }
+  ASSERT_TRUE(has_negative_member)
+      << "scenario no longer produces a negative member share";
+
+  VerifyOptions per_pack;  // require_nonnegative_pair_utility = false
+  EXPECT_TRUE(VerifyDispatch(in, run.result, per_pack).ok());
+
+  VerifyOptions per_pair;
+  per_pair.require_nonnegative_pair_utility = true;
+  const Status status = VerifyDispatch(in, run.result, per_pair);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("below the"), std::string::npos)
+      << status.ToString();
 }
 
 TEST(VerifierTest, PaymentsVerifyForBothMechanisms) {

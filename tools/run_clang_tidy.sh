@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over every translation unit in src/.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [build_dir] [-- extra clang-tidy args]
+#
+# The build dir must contain a compile_commands.json; the default preset
+# exports one (cmake --preset default), as do asan/tsan/debug. When no
+# configured build dir exists yet, the script configures build/ first.
+# Exits non-zero on any diagnostic (CI lint gate); exits 0 with a notice
+# when clang-tidy is not installed so that sanitizer-only environments can
+# still run the full test pipeline.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+CLANG_TIDY="${CLANG_TIDY:-}"
+if [ -z "$CLANG_TIDY" ]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANG_TIDY="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CLANG_TIDY" ]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH (set CLANG_TIDY=...)." >&2
+  echo "run_clang_tidy: skipping lint — install clang-tidy to enforce it." >&2
+  exit 0
+fi
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: CLANG_TIDY='$CLANG_TIDY' is not executable." >&2
+  exit 1
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile_commands.json in $BUILD_DIR; configuring..."
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+echo "run_clang_tidy: $CLANG_TIDY over ${#SOURCES[@]} files" \
+     "(build dir: $BUILD_DIR)"
+
+status=0
+for source in "${SOURCES[@]}"; do
+  if ! "$CLANG_TIDY" --quiet -p "$BUILD_DIR" "$@" "$source"; then
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "run_clang_tidy: diagnostics found (see above)." >&2
+else
+  echo "run_clang_tidy: clean."
+fi
+exit "$status"
