@@ -129,12 +129,9 @@ BENCHMARK(auctionride::bench::BM_PackCandidateLimit)
     ->Unit(benchmark::kSecond);
 
 int main(int argc, char** argv) {
-  auctionride::bench::PrintHeader(
+  return auctionride::bench::BenchMain(
+      "ablation",
       "Ablations",
       "pruning and the CH oracle are exact (same utility, less time); "
-      "pack-candidate K trades Rank utility for time");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+      "pack-candidate K trades Rank utility for time", argc, argv);
 }

@@ -93,12 +93,9 @@ BENCHMARK(auctionride::bench::BM_Baselines)
     ->Unit(benchmark::kSecond);
 
 int main(int argc, char** argv) {
-  auctionride::bench::PrintHeader(
+  return auctionride::bench::BenchMain(
+      "baselines",
       "Baselines: FCFS / Matching / Greedy / Rank",
       "identical single-round instances; utility-aware methods dominate "
-      "FCFS, packs dominate one-rider matching");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+      "FCFS, packs dominate one-rider matching", argc, argv);
 }

@@ -13,9 +13,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <memory>
 #include <string>
 
+#include "common/check.h"
+#include "obs/bench_json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "roadnet/builder.h"
 #include "roadnet/nearest_node.h"
 #include "roadnet/oracle.h"
@@ -102,6 +108,67 @@ inline void PrintHeader(const char* figure, const char* description) {
   std::printf("\n=== %s ===\n%s\nscale=%.2fx of the paper's 5000 orders / "
               "7000 vehicles (set AR_BENCH_SCALE to change)\n\n",
               figure, description, BenchScale());
+}
+
+/// Turns span tracing on unless AR_TRACE=0 (metrics are always collected).
+inline void InitTelemetry() {
+  const char* env = std::getenv("AR_TRACE");
+  obs::Tracer::SetEnabled(env == nullptr || std::strcmp(env, "0") != 0);
+}
+
+/// Emits BENCH_<name>.json (schema-validated) and, when tracing is on,
+/// TRACE_<name>.json into AR_BENCH_OUT_DIR (default: current directory).
+inline void FinishBench(const std::string& name) {
+  const char* env = std::getenv("AR_BENCH_OUT_DIR");
+  const std::string dir = env != nullptr && env[0] != '\0' ? env : ".";
+
+  obs::BenchRunInfo info;
+  info.name = name;
+  info.timestamp_unix_s = static_cast<int64_t>(std::time(nullptr));
+  info.scale["bench_scale"] = BenchScale();
+  info.scale["orders"] = ScaledOrders();
+  info.scale["vehicles"] = ScaledVehicles();
+  const WorkloadOptions wl = PaperWorkload();
+  const AuctionConfig auction = PaperAuction();
+  info.config["gamma"] = wl.gamma;
+  info.config["duration_s"] = wl.duration_s;
+  info.config["alpha_d_per_km"] = auction.alpha_d_per_km;
+  info.config["beta_d_per_km"] = auction.beta_d_per_km;
+  info.config["charge_ratio"] = auction.charge_ratio;
+  info.config["pack_candidate_limit"] = auction.pack_candidate_limit;
+
+  const obs::MetricsSnapshot snap =
+      obs::MetricRegistry::Global().Snapshot();
+  const obs::Json report = obs::BuildBenchReport(info, snap);
+  const Status valid = obs::ValidateBenchReport(report);
+  ARIDE_ACHECK(valid.ok()) << valid.ToString();
+
+  const std::string bench_path = dir + "/BENCH_" + name + ".json";
+  const Status written = obs::WriteBenchReport(report, bench_path);
+  ARIDE_ACHECK(written.ok()) << written.ToString();
+  std::printf("\ntelemetry: %s\n", bench_path.c_str());
+
+  if (obs::Tracer::enabled()) {
+    const std::string trace_path = dir + "/TRACE_" + name + ".json";
+    const Status traced = obs::Tracer::WriteChromeTrace(trace_path);
+    ARIDE_ACHECK(traced.ok()) << traced.ToString();
+    std::printf("trace:     %s (load in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+}
+
+/// Standard bench main: header, telemetry init, benchmark loop, telemetry
+/// emission. Every bench binary funnels through this.
+inline int BenchMain(const std::string& name, const char* figure,
+                     const char* description, int argc, char** argv) {
+  PrintHeader(figure, description);
+  InitTelemetry();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  FinishBench(name);
+  return 0;
 }
 
 }  // namespace bench

@@ -40,12 +40,9 @@ BENCHMARK(BM_Fig3)
     ->Unit(benchmark::kSecond);
 
 int main(int argc, char** argv) {
-  auctionride::bench::PrintHeader(
+  return auctionride::bench::BenchMain(
+      "fig3_trnd",
       "Figure 3: effect of t_rnd",
       "mech 0 = Greedy, mech 1 = Rank; counters: utility (U_auc, yuan), "
-      "dispatch_rate, per-round dispatch time (s)");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+      "dispatch_rate, per-round dispatch time (s)", argc, argv);
 }

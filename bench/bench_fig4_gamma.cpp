@@ -42,11 +42,8 @@ BENCHMARK(BM_Fig4)
     ->Unit(benchmark::kSecond);
 
 int main(int argc, char** argv) {
-  auctionride::bench::PrintHeader(
+  return auctionride::bench::BenchMain(
+      "fig4_gamma",
       "Figure 4: effect of gamma",
-      "mech 0 = Greedy, mech 1 = Rank; gamma = gamma_x10 / 10");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+      "mech 0 = Greedy, mech 1 = Rank; gamma = gamma_x10 / 10", argc, argv);
 }

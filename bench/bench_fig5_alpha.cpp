@@ -42,11 +42,8 @@ BENCHMARK(BM_Fig5)
     ->Unit(benchmark::kSecond);
 
 int main(int argc, char** argv) {
-  auctionride::bench::PrintHeader(
+  return auctionride::bench::BenchMain(
+      "fig5_alpha",
       "Figure 5: effect of alpha_d",
-      "mech 0 = Greedy, mech 1 = Rank; alpha_d = alpha_x10 / 10 yuan/km");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+      "mech 0 = Greedy, mech 1 = Rank; alpha_d = alpha_x10 / 10 yuan/km", argc, argv);
 }

@@ -50,12 +50,9 @@ BENCHMARK(BM_Fig6)
     ->Unit(benchmark::kSecond);
 
 int main(int argc, char** argv) {
-  auctionride::bench::PrintHeader(
+  return auctionride::bench::BenchMain(
+      "fig6_charge_ratio",
       "Figure 6: effect of the charge ratio",
       "mech 0 = Greedy+GPri, mech 1 = Rank+DnW; CR = cr_x10 / 10; counters "
-      "U_auc and U_plf (yuan)");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+      "U_auc and U_plf (yuan)", argc, argv);
 }

@@ -100,12 +100,9 @@ BENCHMARK(auctionride::bench::BM_Fig7a)
     ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
-  auctionride::bench::PrintHeader(
+  return auctionride::bench::BenchMain(
+      "fig7a_bid_sweep",
       "Figure 7(a): requester utility over bids",
       "Rank+DnW; the probed requester wins iff bid >= critical payment and "
-      "always pays exactly the critical payment");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+      "always pays exactly the critical payment", argc, argv);
 }

@@ -133,12 +133,9 @@ BENCHMARK(auctionride::bench::BM_Fig7b)
     ->Unit(benchmark::kSecond);
 
 int main(int argc, char** argv) {
-  auctionride::bench::PrintHeader(
+  return auctionride::bench::BenchMain(
+      "fig7b_bid_increase",
       "Figure 7(b): dispatch rate over bid increase",
       "undispatched orders raise bids by 1 yuan per round until everyone is "
-      "dispatched; Rank should reach 100% with ~2/3 of Greedy's increase");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+      "dispatched; Rank should reach 100% with ~2/3 of Greedy's increase", argc, argv);
 }

@@ -91,12 +91,9 @@ BENCHMARK(auctionride::bench::BM_OptimalComparison)
     ->Unit(benchmark::kSecond);
 
 int main(int argc, char** argv) {
-  auctionride::bench::PrintHeader(
+  return auctionride::bench::BenchMain(
+      "optimal_smallscale",
       "Small-scale optimal comparison (technical report)",
       "utility ratio of Greedy / Rank against the exhaustive optimum on "
-      "6-order, 2-vehicle instances");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+      "6-order, 2-vehicle instances", argc, argv);
 }

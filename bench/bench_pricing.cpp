@@ -94,12 +94,9 @@ BENCHMARK(auctionride::bench::BM_Pricing)
     ->MinTime(0.5);
 
 int main(int argc, char** argv) {
-  auctionride::bench::PrintHeader(
+  return auctionride::bench::BenchMain(
+      "pricing",
       "Pricing running time (GPri vs DnW, §V-C)",
       "time to price one round's dispatched orders; the paper reports "
-      "< 0.25 s with per-requester threads");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+      "< 0.25 s with per-requester threads", argc, argv);
 }

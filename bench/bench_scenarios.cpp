@@ -6,6 +6,7 @@
 #include "auction/greedy.h"
 #include "auction/rank.h"
 #include "bench_common.h"
+#include "common/check.h"
 #include "workload/scenarios.h"
 
 namespace auctionride {
@@ -21,7 +22,7 @@ void BM_Scenarios(benchmark::State& state) {
   World& world = SharedWorld();
   StatusOr<WorkloadOptions> wl =
       ScenarioByName(name, BenchScale() * 0.5, /*seed=*/42);
-  AR_CHECK(wl.ok());
+  ARIDE_ACHECK(wl.ok());
   SimResult result;
   for (auto _ : state) {
     SimOptions options;
@@ -51,12 +52,9 @@ BENCHMARK(auctionride::bench::BM_Scenarios)
     ->Unit(benchmark::kSecond);
 
 int main(int argc, char** argv) {
-  auctionride::bench::PrintHeader(
+  return auctionride::bench::BenchMain(
+      "scenarios",
       "Scenario sweep",
       "mech 0 = Greedy, mech 1 = Rank; scenarios: 0 morning_peak, "
-      "1 evening_peak, 2 off_peak, 3 downtown_shortage, 4 suburban");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+      "1 evening_peak, 2 off_peak, 3 downtown_shortage, 4 suburban", argc, argv);
 }

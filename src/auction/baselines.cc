@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.h"
 #include "common/timer.h"
 #include "planner/insertion.h"
 #include "spatial/grid_index.h"
@@ -10,7 +11,7 @@
 namespace auctionride {
 
 DispatchResult FcfsDispatch(const AuctionInstance& instance, bool serve_all) {
-  AR_CHECK(instance.orders != nullptr && instance.vehicles != nullptr &&
+  ARIDE_ACHECK(instance.orders != nullptr && instance.vehicles != nullptr &&
            instance.oracle != nullptr);
   WallTimer timer;
   const std::vector<Order>& orders = *instance.orders;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace auctionride {
 
@@ -12,7 +12,7 @@ std::vector<Order> ApplyBonusQuotes(const std::vector<Order>& orders,
                                     const std::vector<BonusQuote>& quotes) {
   std::unordered_map<OrderId, double> bonus_of;
   for (const BonusQuote& quote : quotes) {
-    AR_CHECK(quote.bonus >= 0) << "bonuses cannot be negative";
+    ARIDE_ACHECK(quote.bonus >= 0) << "bonuses cannot be negative";
     bonus_of[quote.order] = quote.bonus;
   }
   std::vector<Order> result = orders;
@@ -27,7 +27,7 @@ std::vector<Order> ApplyBonusQuotes(const std::vector<Order>& orders,
     // callers probing misreports overwrite `bid` afterwards.
     order.valuation = order.bid;
   }
-  AR_CHECK(matched == bonus_of.size())
+  ARIDE_ACHECK(matched == bonus_of.size())
       << "bonus quote references an unknown order";
   return result;
 }

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace auctionride {
 
@@ -71,6 +72,8 @@ std::vector<const PackCandidate*> SimulateFixedDispatch(
 
 double DnWPriceOrder(const AuctionInstance& instance,
                      const RankArtifacts& artifacts, OrderId order_id) {
+  OBS_SCOPED_TIMER("auction.dnw.price_order_s");
+  OBS_COUNTER_INC("auction.dnw.priced_orders");
   const std::vector<Order>& orders = *instance.orders;
   int32_t h = -1;
   for (std::size_t j = 0; j < orders.size(); ++j) {
@@ -79,7 +82,7 @@ double DnWPriceOrder(const AuctionInstance& instance,
       break;
     }
   }
-  AR_CHECK(h >= 0) << "priced order not in the instance";
+  ARIDE_ACHECK(h >= 0) << "priced order not in the instance";
   const double bid0 = orders[static_cast<std::size_t>(h)].bid;
 
   // S_h: Rank packs containing r_h, with their owners (Algorithm 4 line 1).
@@ -115,7 +118,7 @@ double DnWPriceOrder(const AuctionInstance& instance,
                   : bid0 - (entry.p0->utility - entry.p_prime->utility);
     sh.push_back(entry);
   }
-  AR_CHECK(!sh.empty()) << "DnW called for an undispatched requester";
+  ARIDE_ACHECK(!sh.empty()) << "DnW called for an undispatched requester";
 
   // Sort by f ascending (line 3): interval k is [f_k, f_{k+1}).
   std::sort(sh.begin(), sh.end(), [](const ShEntry& a, const ShEntry& b) {

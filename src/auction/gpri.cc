@@ -6,10 +6,15 @@
 #include "auction/greedy.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace auctionride {
 
 double GPriPriceOrder(const AuctionInstance& instance, OrderId order_id) {
+  // Each pricing re-runs a full greedy dispatch, so an unsampled timer is
+  // cheap relative to the work measured.
+  OBS_SCOPED_TIMER("auction.gpri.price_order_s");
+  OBS_COUNTER_INC("auction.gpri.priced_orders");
   const Order* priced = nullptr;
   for (const Order& o : *instance.orders) {
     if (o.id == order_id) {
@@ -17,7 +22,7 @@ double GPriPriceOrder(const AuctionInstance& instance, OrderId order_id) {
       break;
     }
   }
-  AR_CHECK(priced != nullptr) << "priced order not in the instance";
+  ARIDE_ACHECK(priced != nullptr) << "priced order not in the instance";
 
   const GreedyTracedResult traced =
       GreedyDispatchExcluding(instance, order_id);

@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "planner/insertion.h"
 #include "spatial/grid_index.h"
 
@@ -49,7 +51,7 @@ std::vector<int32_t> CandidateVehicles(const AuctionInstance& in,
 
 DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
                          GreedyTracedResult* traced) {
-  AR_CHECK(in.orders != nullptr && in.vehicles != nullptr &&
+  ARIDE_ACHECK(in.orders != nullptr && in.vehicles != nullptr &&
            in.oracle != nullptr);
   WallTimer timer;
   const std::vector<Order>& orders = *in.orders;
@@ -78,7 +80,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
       break;
     }
   }
-  AR_CHECK(excluded == kInvalidOrder || excluded_idx >= 0)
+  ARIDE_ACHECK(excluded == kInvalidOrder || excluded_idx >= 0)
       << "excluded order not in the instance";
 
   auto pair_utility = [&](int order_idx, int veh_idx) -> double {
@@ -129,13 +131,20 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
 
   // One-by-one dispatch (Algorithm 1 lines 7-16).
   DispatchResult result;
+  int64_t heap_pops = 0;
+  int64_t stale_pops = 0;
   while (!heap.empty()) {
     const HeapEntry top = heap.top();
     heap.pop();
+    ++heap_pops;
     if (top.utility < in.config.min_utility) break;  // line 9
-    if (dispatched[static_cast<std::size_t>(top.order_idx)]) continue;
+    if (dispatched[static_cast<std::size_t>(top.order_idx)]) {
+      ++stale_pops;
+      continue;
+    }
     if (top.version !=
         veh_version[static_cast<std::size_t>(top.veh_idx)]) {
+      ++stale_pops;
       continue;  // stale: a fresh entry for this pair exists (or it died)
     }
 
@@ -143,7 +152,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
     Vehicle& vehicle = vehicles[static_cast<std::size_t>(top.veh_idx)];
     const InsertionResult ins =
         BestInsertion(vehicle, order, in.now_s, *in.oracle);
-    AR_CHECK(ins.feasible);
+    ARIDE_ACHECK(ins.feasible);
     const double cost = alpha_per_m * ins.delta_delivery_m;
     // The popped entry is fresh for this vehicle version, so it was computed
     // from exactly this insertion: the dispatched utility must match it, and
@@ -196,6 +205,10 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
       result.updated_plans.push_back({i, vehicles[i].plan.stops});
     }
   }
+  OBS_COUNTER_ADD("auction.greedy.heap_pops", heap_pops);
+  OBS_COUNTER_ADD("auction.greedy.stale_pops", stale_pops);
+  OBS_COUNTER_ADD("auction.greedy.dispatched",
+                  static_cast<int64_t>(result.assignments.size()));
   result.elapsed_seconds = timer.ElapsedSeconds();
   if (traced != nullptr) traced->h_cost_end = current_h_cost();
   return result;
@@ -204,12 +217,15 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
 }  // namespace
 
 DispatchResult GreedyDispatch(const AuctionInstance& instance) {
+  // Span here rather than in RunGreedy: GreedyDispatchExcluding runs once
+  // per priced order inside GPri and would flood the trace.
+  OBS_TRACE_SPAN("auction.greedy.dispatch");
   return RunGreedy(instance, kInvalidOrder, nullptr);
 }
 
 GreedyTracedResult GreedyDispatchExcluding(const AuctionInstance& instance,
                                            OrderId excluded) {
-  AR_CHECK(excluded != kInvalidOrder);
+  ARIDE_ACHECK(excluded != kInvalidOrder);
   GreedyTracedResult traced;
   traced.result = RunGreedy(instance, excluded, &traced);
   return traced;

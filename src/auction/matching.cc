@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.h"
 #include "common/timer.h"
 #include "planner/insertion.h"
 #include "spatial/grid_index.h"
@@ -73,7 +74,7 @@ std::vector<int> MaxWeightMatching(
           j1 = j;
         }
       }
-      AR_CHECK(j1 >= 0);
+      ARIDE_ACHECK(j1 >= 0);
       for (int j = 0; j <= cols; ++j) {
         if (used[static_cast<std::size_t>(j)]) {
           u[static_cast<std::size_t>(p[static_cast<std::size_t>(j)])] += delta;
@@ -105,7 +106,7 @@ std::vector<int> MaxWeightMatching(
 }
 
 DispatchResult MatchingDispatch(const AuctionInstance& instance) {
-  AR_CHECK(instance.orders != nullptr && instance.vehicles != nullptr &&
+  ARIDE_ACHECK(instance.orders != nullptr && instance.vehicles != nullptr &&
            instance.oracle != nullptr);
   WallTimer timer;
   const std::vector<Order>& orders = *instance.orders;
@@ -155,7 +156,7 @@ DispatchResult MatchingDispatch(const AuctionInstance& instance) {
     Vehicle& vehicle = working[static_cast<std::size_t>(match[j])];
     const InsertionResult ins =
         BestInsertion(vehicle, orders[j], instance.now_s, *instance.oracle);
-    AR_CHECK(ins.feasible);
+    ARIDE_ACHECK(ins.feasible);
     vehicle.plan.stops = ins.new_plan;
     const double cost = alpha_per_m * ins.delta_delivery_m;
     result.assignments.push_back(

@@ -5,7 +5,10 @@
 #include "auction/dnw.h"
 #include "auction/gpri.h"
 #include "auction/greedy.h"
+#include "common/check.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace auctionride {
 
@@ -23,9 +26,9 @@ MechanismOutcome RunMechanism(MechanismKind kind,
                               const AuctionInstance& instance,
                               const MechanismOptions& options,
                               ThreadPool* pricing_pool) {
-  AR_CHECK(instance.orders != nullptr);
+  ARIDE_ACHECK(instance.orders != nullptr);
   const double cr = instance.config.charge_ratio;
-  AR_CHECK(cr >= 0 && cr < 1) << "charge ratio must be in [0, 1)";
+  ARIDE_ACHECK(cr >= 0 && cr < 1) << "charge ratio must be in [0, 1)";
 
   // Deduct the dispatch fee from every bid (§V-C).
   std::vector<Order> deducted = *instance.orders;
@@ -34,16 +37,27 @@ MechanismOutcome RunMechanism(MechanismKind kind,
   charged.orders = &deducted;
 
   MechanismOutcome outcome;
-  if (kind == MechanismKind::kGreedy) {
-    outcome.dispatch = GreedyDispatch(charged);
-  } else {
-    RankRunResult run = RankDispatch(charged);
-    outcome.dispatch = std::move(run.result);
-    outcome.rank_artifacts = std::move(run.artifacts);
+  {
+    OBS_TRACE_SPAN("auction.dispatch");
+    if (kind == MechanismKind::kGreedy) {
+      outcome.dispatch = GreedyDispatch(charged);
+    } else {
+      RankRunResult run = RankDispatch(charged);
+      outcome.dispatch = std::move(run.result);
+      outcome.rank_artifacts = std::move(run.artifacts);
+    }
   }
   outcome.dispatch_seconds = outcome.dispatch.elapsed_seconds;
+  // Reuse the mechanism's own wall-clock measurements so the telemetry
+  // matches what the paper-facing tables report.
+  OBS_HISTOGRAM_OBSERVE("auction.dispatch_s", outcome.dispatch_seconds);
+  OBS_COUNTER_ADD("auction.orders_submitted",
+                  static_cast<int64_t>(instance.orders->size()));
+  OBS_COUNTER_ADD("auction.assignments",
+                  static_cast<int64_t>(outcome.dispatch.assignments.size()));
 
   if (options.run_pricing) {
+    OBS_TRACE_SPAN("auction.pricing");
     WallTimer pricing_timer;
     if (kind == MechanismKind::kGreedy) {
       outcome.payments =
@@ -53,6 +67,7 @@ MechanismOutcome RunMechanism(MechanismKind kind,
                                      outcome.dispatch, pricing_pool);
     }
     outcome.pricing_seconds = pricing_timer.ElapsedSeconds();
+    OBS_HISTOGRAM_OBSERVE("auction.pricing_s", outcome.pricing_seconds);
 
     std::unordered_map<OrderId, const Order*> by_id;
     for (const Order& o : *instance.orders) by_id[o.id] = &o;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.h"
 #include "planner/plan_eval.h"
 
 namespace auctionride {
@@ -152,7 +153,7 @@ struct AssignmentSearch {
 }  // namespace
 
 OptimalResult OptimalDispatch(const AuctionInstance& instance) {
-  AR_CHECK(instance.orders->size() <= 10)
+  ARIDE_ACHECK(instance.orders->size() <= 10)
       << "OptimalDispatch is exhaustive; use <= 10 orders";
   AssignmentSearch search;
   search.in = &instance;

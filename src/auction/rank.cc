@@ -10,6 +10,8 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "planner/insertion.h"
 #include "planner/pack_planner.h"
 #include "spatial/grid_index.h"
@@ -294,7 +296,7 @@ void GeneratePacksForGroup(const AuctionInstance& in,
 }  // namespace
 
 RankRunResult RankDispatch(const AuctionInstance& in) {
-  AR_CHECK(in.orders != nullptr && in.vehicles != nullptr &&
+  ARIDE_ACHECK(in.orders != nullptr && in.vehicles != nullptr &&
            in.oracle != nullptr);
   WallTimer timer;
   const std::vector<Order>& orders = *in.orders;
@@ -311,28 +313,37 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
   const bool clustered = in.config.cluster_threshold > 0 &&
                          m >= in.config.cluster_threshold &&
                          in.config.cluster_target_size > 0;
-  if (clustered) {
-    const int num_groups =
-        std::max(2, (m + in.config.cluster_target_size - 1) /
-                        in.config.cluster_target_size);
-    const std::vector<std::vector<int32_t>> groups =
-        ClusterOrders(in, num_groups);
-    ThreadPool pool(std::thread::hardware_concurrency());
-    for (const std::vector<int32_t>& group : groups) {
-      pool.Submit([&in, &group, &art] {
-        GeneratePacksForGroup(in, group, &art);
-      });
+  {
+    OBS_TRACE_SPAN("auction.rank.packgen");
+    if (clustered) {
+      const int num_groups =
+          std::max(2, (m + in.config.cluster_target_size - 1) /
+                          in.config.cluster_target_size);
+      const std::vector<std::vector<int32_t>> groups =
+          ClusterOrders(in, num_groups);
+      ThreadPool pool(std::thread::hardware_concurrency());
+      for (const std::vector<int32_t>& group : groups) {
+        pool.Submit([&in, &group, &art] {
+          GeneratePacksForGroup(in, group, &art);
+        });
+      }
+      pool.Wait();
+    } else {
+      std::vector<int32_t> everyone(orders.size());
+      for (std::size_t j = 0; j < everyone.size(); ++j) {
+        everyone[j] = static_cast<int32_t>(j);
+      }
+      GeneratePacksForGroup(in, everyone, &art);
     }
-    pool.Wait();
-  } else {
-    std::vector<int32_t> everyone(orders.size());
-    for (std::size_t j = 0; j < everyone.size(); ++j) {
-      everyone[j] = static_cast<int32_t>(j);
-    }
-    GeneratePacksForGroup(in, everyone, &art);
   }
+  int64_t packs_generated = 0;
+  for (const std::vector<PackCandidate>& cands : art.candidates) {
+    packs_generated += static_cast<int64_t>(cands.size());
+  }
+  OBS_COUNTER_ADD("auction.rank.packs_generated", packs_generated);
 
   // Phase II: pack dispatch by utility ranking.
+  OBS_TRACE_SPAN("auction.rank.dispatch");
   struct RankedPack {
     int32_t owner;  // requester whose best pack this is
     const PackCandidate* pack;
@@ -377,7 +388,7 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
     const PackPlanResult plan = PlanPack(
         (*in.vehicles)[static_cast<std::size_t>(rp.pack->vehicle)],
         order_ptrs, in.now_s, *in.oracle);
-    AR_CHECK(plan.feasible);
+    ARIDE_ACHECK(plan.feasible);
     // Pack planning is deterministic: the dispatched recomputation must
     // reproduce the ΔD the pack was ranked with, and the winning pack
     // cleared the dispatch threshold (Algorithm 3 Phase II invariants).
@@ -406,6 +417,8 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
     result.total_delta_delivery_m += plan.delta_delivery_m;
   }
 
+  OBS_COUNTER_ADD("auction.rank.packs_dispatched",
+                  static_cast<int64_t>(result.updated_plans.size()));
   result.elapsed_seconds = timer.ElapsedSeconds();
   return run;
 }

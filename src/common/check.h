@@ -1,11 +1,13 @@
-// Contract-check macros for algorithmic invariants on hot paths.
+// The repo's single check-macro family.
 //
-// AR_CHECK (common/logging.h) is for cheap, always-on integrity checks.
-// The ARIDE_* macros below are for *contracts*: invariants the auction and
-// planner algorithms guarantee by construction (non-negative insertion
-// deltas, payments within [0, bid], dispatch utilities above the
-// threshold). They are free in production builds and enforced wherever we
-// also pay for sanitizers:
+// ARIDE_ACHECK is for cheap, always-on integrity checks (file I/O, input
+// validation, cross-module preconditions): it aborts in every build type,
+// because the auction algorithms rely on invariants whose violation must
+// never be silent. The ARIDE_CHECK* macros are for *contracts*: invariants
+// the auction and planner algorithms guarantee by construction
+// (non-negative insertion deltas, payments within [0, bid], dispatch
+// utilities above the threshold). Contracts are free in production builds
+// and enforced wherever we also pay for sanitizers:
 //
 //   - Debug builds (!NDEBUG): enabled.
 //   - Sanitizer presets (cmake --preset asan / tsan): enabled via the
@@ -36,6 +38,11 @@
 #else
 #define ARIDE_CONTRACTS_ENABLED 0
 #endif
+
+// Always-on integrity check: active in every build type, including plain
+// release. Use for conditions whose violation must never pass silently
+// (I/O failures, malformed inputs, API misuse by callers).
+#define ARIDE_ACHECK(cond) ARIDE_INTERNAL_CHECK_IMPL(cond, #cond)
 
 // Active form: aborts via FatalMessage when `cond` is false.
 #define ARIDE_INTERNAL_CHECK_IMPL(cond, cond_text)            \

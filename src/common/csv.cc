@@ -2,7 +2,7 @@
 
 #include <cstdio>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace auctionride {
 
@@ -19,9 +19,9 @@ CsvWriter::~CsvWriter() {
 }
 
 void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
-  AR_CHECK(file_ != nullptr) << "writer already closed";
+  ARIDE_ACHECK(file_ != nullptr) << "writer already closed";
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    AR_DCHECK(cells[i].find(',') == std::string::npos);
+    ARIDE_DCHECK(cells[i].find(',') == std::string::npos);
     std::fputs(cells[i].c_str(), file_);
     std::fputc(i + 1 < cells.size() ? ',' : '\n', file_);
   }
@@ -29,7 +29,7 @@ void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
 }
 
 Status CsvWriter::Close() {
-  AR_CHECK(file_ != nullptr) << "writer already closed";
+  ARIDE_ACHECK(file_ != nullptr) << "writer already closed";
   const int rc = std::fclose(file_);
   file_ = nullptr;
   if (rc != 0) return Status::Internal("fclose failed");

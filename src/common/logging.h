@@ -1,9 +1,6 @@
-// Minimal logging and invariant-checking macros.
-//
-// AR_CHECK(cond) aborts (with file:line and the condition text) when `cond`
-// is false; it is always on, including release builds, because the auction
-// algorithms rely on invariants whose violation must never be silent.
-// AR_DCHECK compiles away in NDEBUG builds.
+// Minimal logging macros and the fatal-message machinery behind the
+// ARIDE_* check family (common/check.h). The check macros themselves live
+// in check.h — this header only provides AR_LOG and the internal classes.
 
 #ifndef AUCTIONRIDE_COMMON_LOGGING_H_
 #define AUCTIONRIDE_COMMON_LOGGING_H_
@@ -68,18 +65,5 @@ struct Voidify {
   ::auctionride::internal_logging::LogMessage(                    \
       ::auctionride::LogLevel::k##level, __FILE__, __LINE__)      \
       .stream()
-
-#define AR_CHECK(cond)                                                \
-  (cond) ? (void)0                                                    \
-         : ::auctionride::internal_logging::Voidify() &&              \
-               ::auctionride::internal_logging::FatalMessage(         \
-                   __FILE__, __LINE__, #cond)                         \
-                   .stream()
-
-#ifdef NDEBUG
-#define AR_DCHECK(cond) AR_CHECK(true || (cond))
-#else
-#define AR_DCHECK(cond) AR_CHECK(cond)
-#endif
 
 #endif  // AUCTIONRIDE_COMMON_LOGGING_H_

@@ -11,7 +11,7 @@
 #include <cmath>
 #include <cstdint>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace auctionride {
 
@@ -50,7 +50,7 @@ class Rng {
 
   /// Uniform integer in [0, n). Requires n > 0.
   uint64_t UniformInt(uint64_t n) {
-    AR_DCHECK(n > 0);
+    ARIDE_DCHECK(n > 0);
     // Lemire's unbiased bounded generation.
     uint64_t x = Next();
     __uint128_t m = static_cast<__uint128_t>(x) * n;
@@ -68,7 +68,7 @@ class Rng {
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   int64_t UniformInt(int64_t lo, int64_t hi) {
-    AR_DCHECK(lo <= hi);
+    ARIDE_DCHECK(lo <= hi);
     return lo + static_cast<int64_t>(
                     UniformInt(static_cast<uint64_t>(hi - lo) + 1));
   }
@@ -88,7 +88,7 @@ class Rng {
 
   /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
   double Exponential(double rate) {
-    AR_DCHECK(rate > 0);
+    ARIDE_DCHECK(rate > 0);
     double u = Uniform();
     while (u <= 1e-300) u = Uniform();
     return -std::log(u) / rate;

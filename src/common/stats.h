@@ -9,7 +9,7 @@
 #include <limits>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace auctionride {
 
@@ -49,11 +49,20 @@ class RunningStats {
 
 /// Stores samples; supports exact quantiles. Intended for modest sample
 /// counts (per-round latencies, per-order utilities).
+///
+/// Thread-safety: like std::vector — concurrent const readers are safe
+/// (Quantile() selects into a copy instead of sorting in place); writers
+/// (Add/ReplaceAt) require external synchronization against everything
+/// else (obs::Histogram wraps one behind a mutex for the concurrent case).
 class SampleSet {
  public:
-  void Add(double x) {
-    samples_.push_back(x);
-    sorted_ = false;
+  void Add(double x) { samples_.push_back(x); }
+
+  /// Overwrites the sample at index i (reservoir-sampling support for the
+  /// bounded-memory histograms in obs/metrics.h).
+  void ReplaceAt(std::size_t i, double x) {
+    ARIDE_CHECK_LT(i, samples_.size());
+    samples_[i] = x;
   }
 
   std::size_t count() const { return samples_.size(); }
@@ -70,23 +79,47 @@ class SampleSet {
   }
 
   /// Exact quantile by nearest-rank; q in [0, 1]. Requires samples.
-  double Quantile(double q) {
-    AR_CHECK(!samples_.empty());
-    AR_CHECK(q >= 0.0 && q <= 1.0);
-    if (!sorted_) {
-      std::sort(samples_.begin(), samples_.end());
-      sorted_ = true;
-    }
-    const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(samples_.size() - 1) + 0.5);
-    return samples_[std::min(idx, samples_.size() - 1)];
+  /// Const-safe: selects into a copy, so concurrent readers never race.
+  double Quantile(double q) const {
+    ARIDE_CHECK(!samples_.empty());
+    ARIDE_CHECK(q >= 0.0 && q <= 1.0);
+    std::vector<double> copy = samples_;
+    const std::size_t idx = QuantileIndex(q, copy.size());
+    std::nth_element(copy.begin(), copy.begin() + static_cast<long>(idx),
+                     copy.end());
+    return copy[idx];
+  }
+
+  // Convenience percentiles used by the histogram export (obs/metrics.h).
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+
+  /// Sorted copy of the samples: extract many quantiles for one O(n log n)
+  /// sort via QuantileOfSorted.
+  std::vector<double> SortedCopy() const {
+    std::vector<double> copy = samples_;
+    std::sort(copy.begin(), copy.end());
+    return copy;
+  }
+
+  /// Nearest-rank quantile of an already-sorted sample vector.
+  static double QuantileOfSorted(const std::vector<double>& sorted, double q) {
+    ARIDE_CHECK(!sorted.empty());
+    ARIDE_CHECK(q >= 0.0 && q <= 1.0);
+    return sorted[QuantileIndex(q, sorted.size())];
   }
 
   const std::vector<double>& samples() const { return samples_; }
 
  private:
+  static std::size_t QuantileIndex(double q, std::size_t n) {
+    const auto idx =
+        static_cast<std::size_t>(q * static_cast<double>(n - 1) + 0.5);
+    return std::min(idx, n - 1);
+  }
+
   std::vector<double> samples_;
-  bool sorted_ = true;
 };
 
 }  // namespace auctionride

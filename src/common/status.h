@@ -1,8 +1,8 @@
 // Lightweight error-propagation primitives (Status / StatusOr).
 //
 // The library does not use exceptions (Google style). Fallible operations
-// return Status or StatusOr<T>; programming errors are checked with AR_CHECK
-// from common/logging.h.
+// return Status or StatusOr<T>; programming errors are checked with
+// ARIDE_ACHECK from common/check.h.
 
 #ifndef AUCTIONRIDE_COMMON_STATUS_H_
 #define AUCTIONRIDE_COMMON_STATUS_H_

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <memory>
 
-#include "common/logging.h"
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace auctionride {
 
@@ -26,13 +28,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
-  AR_CHECK(task != nullptr);
+  ARIDE_ACHECK(task != nullptr);
+  std::size_t depth = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    AR_CHECK(!shutting_down_);
+    ARIDE_ACHECK(!shutting_down_);
     tasks_.push_back(std::move(task));
     ++in_flight_;
+    depth = tasks_.size();
   }
+  OBS_COUNTER_INC("threadpool.tasks_submitted");
+  OBS_GAUGE_MAX("threadpool.queue_depth.peak", static_cast<double>(depth));
+  OBS_TRACE_COUNTER("threadpool.queue_depth", static_cast<double>(depth));
   task_available_.notify_one();
 }
 
@@ -62,6 +69,7 @@ void ThreadPool::ParallelFor(std::size_t n,
 }
 
 void ThreadPool::WorkerLoop() {
+  obs::Tracer::SetThreadName("pool-worker");
   for (;;) {
     std::function<void()> task;
     {

@@ -1,13 +1,18 @@
-// Wall-clock timing helper for the experiment harnesses.
+// Monotonic timing helper for the experiment harnesses and telemetry spans.
 
 #ifndef AUCTIONRIDE_COMMON_TIMER_H_
 #define AUCTIONRIDE_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace auctionride {
 
-/// Measures elapsed wall time since construction or the last Reset().
+/// Measures elapsed time since construction or the last Reset() on
+/// std::chrono::steady_clock — a monotonic clock, immune to wall-clock
+/// adjustments (NTP slew, DST), which is what interval measurement needs.
+/// Despite the name, the *duration* it reports is real elapsed ("wall")
+/// time, not CPU time.
 class WallTimer {
  public:
   WallTimer() : start_(Clock::now()) {}
@@ -19,6 +24,14 @@ class WallTimer {
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Integer microseconds, for span-granularity telemetry (obs/trace.h):
+  /// Chrome trace_event timestamps are integral microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

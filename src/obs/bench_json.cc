@@ -1,0 +1,227 @@
+#include "obs/bench_json.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "obs/build_info.h"
+
+namespace auctionride {
+namespace obs {
+
+const std::vector<PhaseBinding>& StandardPhaseBindings() {
+  static const std::vector<PhaseBinding>* bindings =
+      new std::vector<PhaseBinding>{
+          {"dispatch", "auction.dispatch_s"},
+          {"pricing", "auction.pricing_s"},
+          {"insertion", "planner.insertion_s"},
+          {"shortest_path", "roadnet.sp.compute_s"},
+      };
+  return *bindings;
+}
+
+namespace {
+
+Json PhaseEntry(const HistogramSummary& h) {
+  Json entry = Json::Object();
+  entry["count"] = h.count;
+  entry["mean_s"] = h.mean;
+  entry["p50_s"] = h.p50;
+  entry["p95_s"] = h.p95;
+  entry["p99_s"] = h.p99;
+  entry["max_s"] = h.max;
+  return entry;
+}
+
+Json HistogramEntry(const HistogramSummary& h) {
+  Json entry = Json::Object();
+  entry["count"] = h.count;
+  entry["mean"] = h.mean;
+  entry["stddev"] = h.stddev;
+  entry["min"] = h.min;
+  entry["max"] = h.max;
+  entry["p50"] = h.p50;
+  entry["p95"] = h.p95;
+  entry["p99"] = h.p99;
+  return entry;
+}
+
+}  // namespace
+
+Json BuildBenchReport(const BenchRunInfo& info, const MetricsSnapshot& snap) {
+  Json report = Json::Object();
+  report["schema_version"] = kBenchSchemaVersion;
+  report["name"] = info.name;
+
+  Json run = Json::Object();
+  run["git_sha"] = ARIDE_BUILD_GIT_SHA;
+  run["build_type"] = ARIDE_BUILD_TYPE;
+  run["timestamp_unix_s"] = info.timestamp_unix_s;
+  report["run"] = std::move(run);
+
+  report["scale"] = info.scale;
+  report["config"] = info.config;
+
+  Json phases = Json::Object();
+  for (const PhaseBinding& b : StandardPhaseBindings()) {
+    auto it = snap.histograms.find(b.histogram);
+    if (it != snap.histograms.end() && it->second.count > 0) {
+      phases[b.phase] = PhaseEntry(it->second);
+    }
+  }
+  report["phases"] = std::move(phases);
+
+  int64_t queries = 0;
+  int64_t hits = 0;
+  if (auto it = snap.counters.find("roadnet.sp.queries");
+      it != snap.counters.end()) {
+    queries = it->second;
+  }
+  if (auto it = snap.counters.find("roadnet.sp.cache_hits");
+      it != snap.counters.end()) {
+    hits = it->second;
+  }
+  Json ch_cache = Json::Object();
+  ch_cache["queries"] = queries;
+  ch_cache["hits"] = hits;
+  ch_cache["hit_rate"] =
+      queries > 0 ? static_cast<double>(hits) / static_cast<double>(queries)
+                  : 0.0;
+  report["ch_cache"] = std::move(ch_cache);
+
+  Json counters = Json::Object();
+  for (const auto& [name, v] : snap.counters) counters[name] = v;
+  Json gauges = Json::Object();
+  for (const auto& [name, v] : snap.gauges) gauges[name] = v;
+  Json histograms = Json::Object();
+  for (const auto& [name, h] : snap.histograms) {
+    histograms[name] = HistogramEntry(h);
+  }
+  Json metrics = Json::Object();
+  metrics["counters"] = std::move(counters);
+  metrics["gauges"] = std::move(gauges);
+  metrics["histograms"] = std::move(histograms);
+  report["metrics"] = std::move(metrics);
+
+  return report;
+}
+
+namespace {
+
+Status Missing(const std::string& what) {
+  return Status::InvalidArgument("bench report: missing or mistyped field: " +
+                                 what);
+}
+
+bool IsNumber(const Json* j) { return j != nullptr && j->is_number(); }
+bool IsString(const Json* j) { return j != nullptr && j->is_string(); }
+bool IsObject(const Json* j) { return j != nullptr && j->is_object(); }
+
+Status ValidateSummaryFields(const Json& entry, const std::string& where,
+                             const std::vector<const char*>& fields) {
+  if (!entry.is_object()) return Missing(where);
+  for (const char* f : fields) {
+    if (!IsNumber(entry.Find(f))) return Missing(where + "." + f);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateBenchReport(const Json& report) {
+  if (!report.is_object()) return Missing("(root object)");
+
+  const Json* version = report.Find("schema_version");
+  if (!IsNumber(version)) return Missing("schema_version");
+  if (version->AsInt() != kBenchSchemaVersion) {
+    return Status::InvalidArgument(
+        "bench report: unsupported schema_version " +
+        std::to_string(version->AsInt()) + " (expected " +
+        std::to_string(kBenchSchemaVersion) + ")");
+  }
+  if (!IsString(report.Find("name"))) return Missing("name");
+
+  const Json* run = report.Find("run");
+  if (!IsObject(run)) return Missing("run");
+  if (!IsString(run->Find("git_sha"))) return Missing("run.git_sha");
+  if (!IsString(run->Find("build_type"))) return Missing("run.build_type");
+  if (!IsNumber(run->Find("timestamp_unix_s"))) {
+    return Missing("run.timestamp_unix_s");
+  }
+
+  if (!IsObject(report.Find("scale"))) return Missing("scale");
+  if (!IsObject(report.Find("config"))) return Missing("config");
+
+  const Json* phases = report.Find("phases");
+  if (!IsObject(phases)) return Missing("phases");
+  for (const auto& [phase, entry] : phases->AsObject()) {
+    Status s = ValidateSummaryFields(
+        entry, "phases." + phase,
+        {"count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s"});
+    if (!s.ok()) return s;
+  }
+
+  const Json* ch_cache = report.Find("ch_cache");
+  if (!IsObject(ch_cache)) return Missing("ch_cache");
+  for (const char* f : {"queries", "hits", "hit_rate"}) {
+    if (!IsNumber(ch_cache->Find(f))) {
+      return Missing(std::string("ch_cache.") + f);
+    }
+  }
+
+  const Json* metrics = report.Find("metrics");
+  if (!IsObject(metrics)) return Missing("metrics");
+  for (const char* section : {"counters", "gauges"}) {
+    const Json* sec = metrics->Find(section);
+    if (!IsObject(sec)) return Missing(std::string("metrics.") + section);
+    for (const auto& [name, v] : sec->AsObject()) {
+      if (!v.is_number()) {
+        return Missing(std::string("metrics.") + section + "." + name);
+      }
+    }
+  }
+  const Json* histograms = metrics->Find("histograms");
+  if (!IsObject(histograms)) return Missing("metrics.histograms");
+  for (const auto& [name, entry] : histograms->AsObject()) {
+    Status s = ValidateSummaryFields(
+        entry, "metrics.histograms." + name,
+        {"count", "mean", "stddev", "min", "max", "p50", "p95", "p99"});
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status WriteBenchReport(const Json& report, const std::string& path) {
+  const std::string text = report.DumpPretty();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open bench report file: " + path);
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size();
+  if (std::fclose(f) != 0 || !ok) {
+    return Status::Internal("error writing bench report file: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Json> ReadJsonFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open JSON file: " + path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("error reading JSON file: " + path);
+  }
+  return Json::Parse(text);
+}
+
+}  // namespace obs
+}  // namespace auctionride

@@ -1,0 +1,77 @@
+// Machine-readable benchmark telemetry: run manifest + BENCH_<name>.json.
+//
+// Every bench binary calls bench::FinishBench() (bench/bench_common.h),
+// which funnels into BuildBenchReport() here: a stable-schema JSON document
+// combining the run manifest (git SHA, build type, scale, Table-II config)
+// with per-phase latency quantiles and the full metrics snapshot. The
+// schema is versioned so tools/bench_diff can refuse documents it does not
+// understand; ValidateBenchReport() is the single source of truth for what
+// "schema-valid" means (shared by bench_diff --validate and the tests).
+//
+// Schema v1 (all latency fields in seconds):
+//   {
+//     "schema_version": 1,
+//     "name": "<bench name>",
+//     "run":    {"git_sha", "build_type", "timestamp_unix_s"},
+//     "scale":  {...},              // caller-provided (bench scale knobs)
+//     "config": {...},              // caller-provided (Table-II knobs)
+//     "phases": {"dispatch"|"pricing"|"insertion"|"shortest_path":
+//                  {"count","mean_s","p50_s","p95_s","p99_s","max_s"}},
+//     "ch_cache": {"queries", "hits", "hit_rate"},
+//     "metrics": {"counters": {name: int},
+//                 "gauges":   {name: double},
+//                 "histograms": {name: {"count","mean","stddev","min",
+//                                       "max","p50","p95","p99"}}}
+//   }
+// Phases appear only when their histogram has observations; ch_cache is
+// derived from the roadnet.sp.queries / roadnet.sp.cache_hits counters.
+
+#ifndef AUCTIONRIDE_OBS_BENCH_JSON_H_
+#define AUCTIONRIDE_OBS_BENCH_JSON_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace auctionride {
+namespace obs {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Maps report phase keys to the histogram each is computed from.
+struct PhaseBinding {
+  const char* phase;      // key under "phases"
+  const char* histogram;  // metric name in the snapshot
+};
+
+/// The canonical phase set: dispatch, pricing, insertion, shortest_path.
+const std::vector<PhaseBinding>& StandardPhaseBindings();
+
+/// Manifest fields that are not derived from the metrics snapshot.
+struct BenchRunInfo {
+  std::string name;        // e.g. "fig8_scalability"
+  Json scale = Json::Object();   // bench scale knobs
+  Json config = Json::Object();  // paper/Table-II parameters
+  int64_t timestamp_unix_s = 0;  // caller supplies (time(nullptr))
+};
+
+/// Assembles a schema-v1 report from `info` plus a metrics snapshot
+/// (git SHA and build type come from the generated build_info header).
+Json BuildBenchReport(const BenchRunInfo& info, const MetricsSnapshot& snap);
+
+/// Checks `report` against schema v1; the returned Status names the first
+/// offending field. Used by tests and `bench_diff --validate`.
+Status ValidateBenchReport(const Json& report);
+
+/// Serializes `report` pretty-printed to `path`.
+Status WriteBenchReport(const Json& report, const std::string& path);
+
+/// Reads and parses a JSON document from `path`.
+StatusOr<Json> ReadJsonFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_OBS_BENCH_JSON_H_

@@ -1,0 +1,461 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace auctionride {
+namespace obs {
+
+bool Json::AsBool() const {
+  ARIDE_ACHECK(is_bool());
+  return bool_;
+}
+
+double Json::AsDouble() const {
+  ARIDE_ACHECK(is_number());
+  return num_;
+}
+
+int64_t Json::AsInt() const {
+  ARIDE_ACHECK(is_number());
+  return static_cast<int64_t>(num_);
+}
+
+const std::string& Json::AsString() const {
+  ARIDE_ACHECK(is_string());
+  return str_;
+}
+
+const JsonArray& Json::AsArray() const {
+  ARIDE_ACHECK(is_array());
+  return arr_;
+}
+
+JsonArray& Json::AsArray() {
+  ARIDE_ACHECK(is_array());
+  return arr_;
+}
+
+const JsonObject& Json::AsObject() const {
+  ARIDE_ACHECK(is_object());
+  return obj_;
+}
+
+JsonObject& Json::AsObject() {
+  ARIDE_ACHECK(is_object());
+  return obj_;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;  // autovivify
+  ARIDE_ACHECK(is_object());
+  return obj_[key];
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+const Json* Json::FindPath(std::initializer_list<const char*> path) const {
+  const Json* cur = this;
+  for (const char* key : path) {
+    cur = cur->Find(key);
+    if (cur == nullptr) return nullptr;
+  }
+  return cur;
+}
+
+void Json::push_back(Json v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;  // autovivify
+  ARIDE_ACHECK(is_array());
+  arr_.push_back(std::move(v));
+}
+
+std::string Json::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendNumber(std::string* out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    *out += "null";
+    return;
+  }
+  // Integers print without exponent/decimals so counters stay readable.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    *out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * (depth + 1)),
+                               ' ')
+                 : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                 : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      AppendNumber(out, num_);
+      break;
+    case Type::kString:
+      *out += '"';
+      *out += Escape(str_);
+      *out += '"';
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      *out += nl;
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        *out += pad;
+        arr_[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < arr_.size()) *out += ',';
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      *out += nl;
+      std::size_t i = 0;
+      for (const auto& [key, value] : obj_) {
+        *out += pad;
+        *out += '"';
+        *out += Escape(key);
+        *out += '"';
+        *out += colon;
+        value.DumpTo(out, indent, depth + 1);
+        if (++i < obj_.size()) *out += ',';
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string Json::DumpPretty() const {
+  std::string out;
+  DumpTo(&out, /*indent=*/2, /*depth=*/0);
+  out += '\n';
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<Json> Run() {
+    SkipWs();
+    Json value;
+    Status s = ParseValue(&value, /*depth=*/0);
+    if (!s.ok()) return s;
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        Status st = ParseString(&s);
+        if (!st.ok()) return st;
+        *out = Json(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          *out = Json(true);
+          return Status::Ok();
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          *out = Json(false);
+          return Status::Ok();
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          *out = Json();
+          return Status::Ok();
+        }
+        return Error("invalid literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(Json* out, int depth) {
+    ARIDE_ACHECK(Consume('{'));
+    JsonObject obj;
+    SkipWs();
+    if (Consume('}')) {
+      *out = Json(std::move(obj));
+      return Status::Ok();
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      std::string key;
+      Status st = ParseString(&key);
+      if (!st.ok()) return st;
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWs();
+      Json value;
+      st = ParseValue(&value, depth + 1);
+      if (!st.ok()) return st;
+      obj[std::move(key)] = std::move(value);
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}'");
+    }
+    *out = Json(std::move(obj));
+    return Status::Ok();
+  }
+
+  Status ParseArray(Json* out, int depth) {
+    ARIDE_ACHECK(Consume('['));
+    JsonArray arr;
+    SkipWs();
+    if (Consume(']')) {
+      *out = Json(std::move(arr));
+      return Status::Ok();
+    }
+    for (;;) {
+      SkipWs();
+      Json value;
+      Status st = ParseValue(&value, depth + 1);
+      if (!st.ok()) return st;
+      arr.push_back(std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']'");
+    }
+    *out = Json(std::move(arr));
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    ARIDE_ACHECK(Consume('"'));
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned int cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned int>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned int>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned int>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // telemetry strings are ASCII metric names and paths).
+          if (cp < 0x80) {
+            *out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            *out += static_cast<char>(0xC0 | (cp >> 6));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (cp >> 12));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(Json* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("malformed number");
+    *out = Json(d);
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Json> Json::Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace obs
+}  // namespace auctionride

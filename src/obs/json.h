@@ -1,0 +1,105 @@
+// Minimal JSON value + parser + serializer for the observability layer.
+//
+// The repo has no third-party JSON dependency; this covers exactly what the
+// telemetry pipeline needs: building BENCH_*.json / trace files, parsing
+// them back in tools/bench_diff and the tests, and escape-correct string
+// output. Numbers are doubles (like JavaScript); integers round-trip
+// exactly up to 2^53.
+
+#ifndef AUCTIONRIDE_OBS_JSON_H_
+#define AUCTIONRIDE_OBS_JSON_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace auctionride {
+namespace obs {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps object keys sorted: emitted files are deterministic and
+// diff-friendly.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                   // NOLINT
+  Json(double d) : type_(Type::kNumber), num_(d) {}                // NOLINT
+  Json(int i) : type_(Type::kNumber), num_(i) {}                   // NOLINT
+  Json(int64_t i)                                                  // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Json(uint64_t i)                                                 // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}           // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Json(JsonArray a) : type_(Type::kArray), arr_(std::move(a)) {}   // NOLINT
+  Json(JsonObject o) : type_(Type::kObject), obj_(std::move(o)) {}  // NOLINT
+
+  static Json Array() { return Json(JsonArray{}); }
+  static Json Object() { return Json(JsonObject{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors abort (ARIDE_ACHECK) on type mismatch; use the is_*
+  // predicates or Find() first when the shape is untrusted.
+  bool AsBool() const;
+  double AsDouble() const;
+  int64_t AsInt() const;
+  const std::string& AsString() const;
+  const JsonArray& AsArray() const;
+  JsonArray& AsArray();
+  const JsonObject& AsObject() const;
+  JsonObject& AsObject();
+
+  /// Object member access; creates the member (null) when absent.
+  Json& operator[](const std::string& key);
+
+  /// Pointer to the member, or nullptr when absent / not an object.
+  const Json* Find(const std::string& key) const;
+
+  /// Member lookup through a path of keys, nullptr when any hop is missing.
+  const Json* FindPath(std::initializer_list<const char*> path) const;
+
+  void push_back(Json v);
+
+  /// Compact single-line serialization.
+  std::string Dump() const;
+  /// Pretty-printed with 2-space indentation (stable key order).
+  std::string DumpPretty() const;
+
+  /// Parses `text`; returns InvalidArgument with offset context on error.
+  static StatusOr<Json> Parse(const std::string& text);
+
+  /// Escapes `s` as the *inside* of a JSON string literal (no quotes).
+  static std::string Escape(const std::string& s);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+}  // namespace obs
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_OBS_JSON_H_

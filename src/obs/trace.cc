@@ -1,0 +1,191 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace auctionride {
+namespace obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+namespace {
+
+struct TraceEvent {
+  enum class Kind : uint8_t { kComplete, kCounter };
+  const char* name;      // string literal
+  const char* category;  // string literal (complete events only)
+  int64_t ts_us;
+  int64_t dur_us;  // complete events
+  double value;    // counter events
+  Kind kind;
+};
+
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::string thread_name;
+  int tid;
+};
+
+struct TracerState {
+  std::mutex mu;
+  // shared_ptr keeps buffers alive after their thread exits.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 1;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+TracerState& State() {
+  static TracerState* state = new TracerState();  // leaked
+  return *state;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TracerState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    b->tid = state.next_tid++;
+    state.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void AppendEvent(const TraceEvent& ev) {
+  ThreadBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(ev);
+}
+
+}  // namespace
+
+void Tracer::SetEnabled(bool on) {
+  State();  // pin the epoch before the first span
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+int64_t Tracer::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - State().epoch)
+      .count();
+}
+
+void Tracer::RecordComplete(const char* name, const char* category,
+                            int64_t ts_us, int64_t dur_us) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kComplete;
+  ev.name = name;
+  ev.category = category;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.value = 0;
+  AppendEvent(ev);
+}
+
+void Tracer::RecordCounter(const char* name, double value) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kCounter;
+  ev.name = name;
+  ev.category = "";
+  ev.ts_us = NowMicros();
+  ev.dur_us = 0;
+  ev.value = value;
+  AppendEvent(ev);
+}
+
+void Tracer::SetThreadName(const std::string& name) {
+  ThreadBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.thread_name = name;
+}
+
+std::size_t Tracer::EventCount() {
+  TracerState& state = State();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+  std::size_t n = 0;
+  for (const auto& b : buffers) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    n += b->events.size();
+  }
+  return n;
+}
+
+void Tracer::Clear() {
+  TracerState& state = State();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+  for (const auto& b : buffers) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    b->events.clear();
+  }
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) {
+  TracerState& state = State();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file: " + path);
+  }
+  std::fputs("{\"traceEvents\":[", f);
+  bool first = true;
+  auto comma = [&] {
+    if (!first) std::fputc(',', f);
+    first = false;
+  };
+  for (const auto& b : buffers) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    if (!b->thread_name.empty()) {
+      comma();
+      std::fprintf(f,
+                   "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                   "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                   b->tid, Json::Escape(b->thread_name).c_str());
+    }
+    for (const TraceEvent& ev : b->events) {
+      comma();
+      if (ev.kind == TraceEvent::Kind::kComplete) {
+        std::fprintf(f,
+                     "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                     "\"ts\":%lld,\"dur\":%lld,\"pid\":1,\"tid\":%d}",
+                     Json::Escape(ev.name).c_str(),
+                     Json::Escape(ev.category).c_str(),
+                     static_cast<long long>(ev.ts_us),
+                     static_cast<long long>(ev.dur_us), b->tid);
+      } else {
+        std::fprintf(f,
+                     "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%lld,\"pid\":1,"
+                     "\"tid\":%d,\"args\":{\"value\":%.17g}}",
+                     Json::Escape(ev.name).c_str(),
+                     static_cast<long long>(ev.ts_us), b->tid, ev.value);
+      }
+    }
+  }
+  std::fputs("],\"displayTimeUnit\":\"ms\"}\n", f);
+  if (std::fclose(f) != 0) {
+    return Status::Internal("error closing trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace auctionride

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace auctionride {
 
@@ -12,6 +13,10 @@ InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
               order.destination != kInvalidNode)
       << "order " << order.id;
   ARIDE_CHECK_GE(vehicle.extra_distance_m, 0) << "vehicle " << vehicle.id;
+  // This is the single hottest auction primitive (called per order-vehicle
+  // pair), so the timer samples 1-in-64 executions.
+  OBS_SCOPED_TIMER_SAMPLED("planner.insertion_s", 64);
+  OBS_COUNTER_INC("planner.insertion.calls");
   InsertionResult best;
   if (vehicle.CommittedRiders() >= vehicle.capacity) return best;
 
@@ -27,6 +32,8 @@ InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
   std::vector<PlanStop> candidate;
   candidate.reserve(n + 2);
   double best_delta = std::numeric_limits<double>::infinity();
+  int64_t attempts = 0;
+  int64_t infeasible = 0;
 
   // Insert pickup at position i and drop-off at position j (positions in the
   // plan *after* the pickup insertion), for all i <= j.
@@ -46,7 +53,11 @@ InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
 
       const PlanEvaluation eval =
           EvaluatePlan(vehicle, candidate, now_s, oracle);
-      if (!eval.feasible) continue;
+      ++attempts;
+      if (!eval.feasible) {
+        ++infeasible;
+        continue;
+      }
       const double delta = eval.delivery_distance_m - base_delivery;
       if (delta < best_delta) {
         best_delta = delta;
@@ -55,7 +66,10 @@ InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
       }
     }
   }
+  OBS_COUNTER_ADD("planner.insertion.attempts", attempts);
+  OBS_COUNTER_ADD("planner.insertion.infeasible", infeasible);
   if (best.feasible) {
+    OBS_COUNTER_INC("planner.insertion.feasible");
     // Oracle distances are shortest paths, so inserting stops can never
     // shorten the delivery distance (triangle inequality); a negative ΔD
     // here means the oracle or the evaluator is broken.

@@ -4,6 +4,8 @@
 #include <limits>
 #include <numeric>
 
+#include "common/check.h"
+
 namespace auctionride {
 
 PackPlanResult PlanPack(const Vehicle& vehicle,
@@ -17,8 +19,8 @@ PackPlanResult PlanPack(const Vehicle& vehicle,
   }
 #ifndef NDEBUG
   for (const Order* o : orders) {
-    AR_DCHECK(o != nullptr);
-    AR_DCHECK(!vehicle.plan.ContainsOrder(o->id));
+    ARIDE_DCHECK(o != nullptr);
+    ARIDE_DCHECK(!vehicle.plan.ContainsOrder(o->id));
   }
 #endif
 

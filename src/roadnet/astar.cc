@@ -7,8 +7,8 @@
 namespace auctionride {
 
 AStarSearch::AStarSearch(const RoadNetwork* network) : network_(network) {
-  AR_CHECK(network != nullptr);
-  AR_CHECK(network->built());
+  ARIDE_ACHECK(network != nullptr);
+  ARIDE_ACHECK(network->built());
   const auto n = static_cast<std::size_t>(network->num_nodes());
   dist_.assign(n, kInfDistance);
   parent_.assign(n, kInvalidNode);
@@ -17,7 +17,7 @@ AStarSearch::AStarSearch(const RoadNetwork* network) : network_(network) {
 
 void AStarSearch::BeginQuery() {
   ++generation_;
-  AR_CHECK(generation_ != 0);
+  ARIDE_ACHECK(generation_ != 0);
   queue_ = {};
   last_settled_ = 0;
 }
@@ -33,8 +33,8 @@ double& AStarSearch::Dist(NodeId n) {
 }
 
 double AStarSearch::ShortestDistance(NodeId source, NodeId target) {
-  AR_DCHECK(source >= 0 && source < network_->num_nodes());
-  AR_DCHECK(target >= 0 && target < network_->num_nodes());
+  ARIDE_DCHECK(source >= 0 && source < network_->num_nodes());
+  ARIDE_DCHECK(target >= 0 && target < network_->num_nodes());
   if (source == target) return 0;
   BeginQuery();
   const Point& goal = network_->position(target);
@@ -71,7 +71,7 @@ std::vector<NodeId> AStarSearch::ShortestPath(NodeId source, NodeId target) {
     if (n == source) break;
   }
   std::reverse(path.begin(), path.end());
-  AR_CHECK(path.front() == source);
+  ARIDE_ACHECK(path.front() == source);
   return path;
 }
 

@@ -3,6 +3,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace auctionride {
@@ -40,10 +41,10 @@ class DisjointSets {
 }  // namespace
 
 RoadNetwork BuildGridNetwork(const GridNetworkOptions& options) {
-  AR_CHECK(options.columns >= 2 && options.rows >= 2);
-  AR_CHECK(options.spacing_m > 0);
-  AR_CHECK(options.removal_fraction >= 0 && options.removal_fraction < 0.5);
-  AR_CHECK(options.detour_min >= 1.0 &&
+  ARIDE_ACHECK(options.columns >= 2 && options.rows >= 2);
+  ARIDE_ACHECK(options.spacing_m > 0);
+  ARIDE_ACHECK(options.removal_fraction >= 0 && options.removal_fraction < 0.5);
+  ARIDE_ACHECK(options.detour_min >= 1.0 &&
            options.detour_max >= options.detour_min);
   Rng rng(options.seed);
 
@@ -108,7 +109,7 @@ RoadNetwork BuildGridNetwork(const GridNetworkOptions& options) {
   }
 
   net.Build();
-  AR_CHECK(net.IsStronglyConnected());
+  ARIDE_ACHECK(net.IsStronglyConnected());
   return net;
 }
 

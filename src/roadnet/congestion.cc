@@ -2,18 +2,18 @@
 
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace auctionride {
 
 CongestionField::CongestionField(double base_factor) : base_(base_factor) {
-  AR_CHECK(base_factor >= 1.0) << "congestion cannot speed roads up";
+  ARIDE_ACHECK(base_factor >= 1.0) << "congestion cannot speed roads up";
 }
 
 void CongestionField::AddHotspot(Point center, double extra_factor,
                                  double radius_m) {
-  AR_CHECK(extra_factor >= 0);
-  AR_CHECK(radius_m > 0);
+  ARIDE_ACHECK(extra_factor >= 0);
+  ARIDE_ACHECK(radius_m > 0);
   hotspots_.push_back({center, extra_factor, radius_m});
 }
 
@@ -28,7 +28,7 @@ double CongestionField::FactorAt(const Point& p) const {
 
 RoadNetwork ApplyCongestion(const RoadNetwork& network,
                             const CongestionField& field) {
-  AR_CHECK(network.built());
+  ARIDE_ACHECK(network.built());
   RoadNetwork scaled;
   for (NodeId n = 0; n < network.num_nodes(); ++n) {
     scaled.AddNode(network.position(n));

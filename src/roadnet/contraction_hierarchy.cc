@@ -4,6 +4,9 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/check.h"
+#include "obs/metrics.h"
+
 namespace auctionride {
 
 namespace {
@@ -39,9 +42,9 @@ struct WitnessSearcher {
 ContractionHierarchy::ContractionHierarchy(const RoadNetwork* network,
                                            int witness_settle_limit)
     : num_nodes_(network->num_nodes()) {
-  AR_CHECK(network != nullptr);
-  AR_CHECK(network->built());
-  AR_CHECK(witness_settle_limit > 0);
+  ARIDE_ACHECK(network != nullptr);
+  ARIDE_ACHECK(network->built());
+  ARIDE_ACHECK(witness_settle_limit > 0);
 
   // Dynamic adjacency used during contraction: original arcs + shortcuts.
   // Parallel arcs are deduplicated keeping the minimum weight.
@@ -99,7 +102,7 @@ ContractionHierarchy::ContractionHierarchy(const RoadNetwork* network,
 
       // Local Dijkstra from u avoiding v over uncontracted nodes.
       ++witness.generation;
-      AR_CHECK(witness.generation != 0);
+      ARIDE_ACHECK(witness.generation != 0);
       witness.queue = {};
       witness.Dist(u) = 0;
       witness.queue.push({0, u});
@@ -235,7 +238,7 @@ ContractionHierarchy::ContractionHierarchy(const RoadNetwork* network,
 }
 
 ContractionHierarchy::Query::Query(const ContractionHierarchy* ch) : ch_(ch) {
-  AR_CHECK(ch != nullptr);
+  ARIDE_ACHECK(ch != nullptr);
   const auto n = static_cast<std::size_t>(ch->num_nodes_);
   dist_fwd_.assign(n, kInfDistance);
   dist_bwd_.assign(n, kInfDistance);
@@ -245,11 +248,11 @@ ContractionHierarchy::Query::Query(const ContractionHierarchy* ch) : ch_(ch) {
 
 double ContractionHierarchy::Query::ShortestDistance(NodeId source,
                                                      NodeId target) {
-  AR_DCHECK(source >= 0 && source < ch_->num_nodes_);
-  AR_DCHECK(target >= 0 && target < ch_->num_nodes_);
+  ARIDE_DCHECK(source >= 0 && source < ch_->num_nodes_);
+  ARIDE_DCHECK(target >= 0 && target < ch_->num_nodes_);
   if (source == target) return 0;
   ++generation_;
-  AR_CHECK(generation_ != 0);
+  ARIDE_ACHECK(generation_ != 0);
 
   auto dist = [this](std::vector<double>& d, std::vector<uint32_t>& g,
                      NodeId node) -> double& {
@@ -266,6 +269,9 @@ double ContractionHierarchy::Query::ShortestDistance(NodeId source,
   fwd.push({0, source});
   bwd.push({0, target});
   double best = kInfDistance;
+  // Search-effort metric, accumulated locally: one registry update per
+  // query, not per settled node.
+  int64_t settled = 0;
 
   auto relax_side = [&](MinQueue& queue, std::vector<double>& my_dist,
                         std::vector<uint32_t>& my_gen,
@@ -276,6 +282,7 @@ double ContractionHierarchy::Query::ShortestDistance(NodeId source,
     const auto [d, u] = queue.top();
     queue.pop();
     if (d > dist(my_dist, my_gen, u)) return;
+    ++settled;
     if (other_gen[u] == generation_ && other_dist[u] != kInfDistance) {
       best = std::min(best, d + other_dist[u]);
     }
@@ -301,6 +308,8 @@ double ContractionHierarchy::Query::ShortestDistance(NodeId source,
                  ch_->up_in_begin_, ch_->up_in_arcs_);
     }
   }
+  OBS_COUNTER_ADD("roadnet.ch.settled_nodes", settled);
+  OBS_COUNTER_INC("roadnet.ch.queries");
   return best;
 }
 

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace auctionride {
 
 DijkstraSearch::DijkstraSearch(const RoadNetwork* network)
     : network_(network) {
-  AR_CHECK(network != nullptr);
-  AR_CHECK(network->built());
+  ARIDE_ACHECK(network != nullptr);
+  ARIDE_ACHECK(network->built());
   const auto n = static_cast<std::size_t>(network->num_nodes());
   dist_.assign(n, kInfDistance);
   parent_.assign(n, kInvalidNode);
@@ -16,7 +18,7 @@ DijkstraSearch::DijkstraSearch(const RoadNetwork* network)
 
 void DijkstraSearch::BeginQuery() {
   ++generation_;
-  AR_CHECK(generation_ != 0) << "generation counter wrapped";
+  ARIDE_ACHECK(generation_ != 0) << "generation counter wrapped";
   queue_ = {};
 }
 
@@ -30,8 +32,8 @@ double& DijkstraSearch::Dist(NodeId n) {
 }
 
 double DijkstraSearch::ShortestDistance(NodeId source, NodeId target) {
-  AR_DCHECK(source >= 0 && source < network_->num_nodes());
-  AR_DCHECK(target >= 0 && target < network_->num_nodes());
+  ARIDE_DCHECK(source >= 0 && source < network_->num_nodes());
+  ARIDE_DCHECK(target >= 0 && target < network_->num_nodes());
   if (source == target) return 0;
   BeginQuery();
   Dist(source) = 0;
@@ -55,7 +57,7 @@ double DijkstraSearch::ShortestDistance(NodeId source, NodeId target) {
 
 const std::vector<double>& DijkstraSearch::DistancesWithin(NodeId source,
                                                            double radius_m) {
-  AR_DCHECK(source >= 0 && source < network_->num_nodes());
+  ARIDE_DCHECK(source >= 0 && source < network_->num_nodes());
   BeginQuery();
   result_.assign(static_cast<std::size_t>(network_->num_nodes()),
                  kInfDistance);
@@ -80,7 +82,7 @@ const std::vector<double>& DijkstraSearch::DistancesWithin(NodeId source,
 
 const std::vector<double>& DijkstraSearch::ReverseDistancesWithin(
     NodeId target, double radius_m) {
-  AR_DCHECK(target >= 0 && target < network_->num_nodes());
+  ARIDE_DCHECK(target >= 0 && target < network_->num_nodes());
   BeginQuery();
   result_.assign(static_cast<std::size_t>(network_->num_nodes()),
                  kInfDistance);
@@ -116,14 +118,14 @@ std::vector<NodeId> DijkstraSearch::ShortestPath(NodeId source,
     if (n == source) break;
   }
   std::reverse(path.begin(), path.end());
-  AR_CHECK(path.front() == source);
+  ARIDE_ACHECK(path.front() == source);
   return path;
 }
 
 BidirectionalDijkstra::BidirectionalDijkstra(const RoadNetwork* network)
     : network_(network) {
-  AR_CHECK(network != nullptr);
-  AR_CHECK(network->built());
+  ARIDE_ACHECK(network != nullptr);
+  ARIDE_ACHECK(network->built());
   const auto n = static_cast<std::size_t>(network->num_nodes());
   dist_fwd_.assign(n, kInfDistance);
   dist_bwd_.assign(n, kInfDistance);
@@ -132,11 +134,11 @@ BidirectionalDijkstra::BidirectionalDijkstra(const RoadNetwork* network)
 }
 
 double BidirectionalDijkstra::ShortestDistance(NodeId source, NodeId target) {
-  AR_DCHECK(source >= 0 && source < network_->num_nodes());
-  AR_DCHECK(target >= 0 && target < network_->num_nodes());
+  ARIDE_DCHECK(source >= 0 && source < network_->num_nodes());
+  ARIDE_DCHECK(target >= 0 && target < network_->num_nodes());
   if (source == target) return 0;
   ++generation_;
-  AR_CHECK(generation_ != 0);
+  ARIDE_ACHECK(generation_ != 0);
 
   auto dist = [this](std::vector<double>& d, std::vector<uint32_t>& g,
                      NodeId n) -> double& {

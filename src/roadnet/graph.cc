@@ -3,25 +3,27 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/check.h"
+
 namespace auctionride {
 
 NodeId RoadNetwork::AddNode(Point position) {
-  AR_CHECK(!built_) << "AddNode after Build()";
+  ARIDE_ACHECK(!built_) << "AddNode after Build()";
   points_.push_back(position);
   return static_cast<NodeId>(points_.size() - 1);
 }
 
 void RoadNetwork::AddEdge(NodeId from, NodeId to, double length_m) {
-  AR_CHECK(!built_) << "AddEdge after Build()";
-  AR_CHECK(from >= 0 && from < num_nodes());
-  AR_CHECK(to >= 0 && to < num_nodes());
-  AR_CHECK(length_m >= 0);
+  ARIDE_ACHECK(!built_) << "AddEdge after Build()";
+  ARIDE_ACHECK(from >= 0 && from < num_nodes());
+  ARIDE_ACHECK(to >= 0 && to < num_nodes());
+  ARIDE_ACHECK(length_m >= 0);
   pending_.push_back({from, to, length_m});
 }
 
 void RoadNetwork::Build() {
-  AR_CHECK(!built_) << "Build() called twice";
-  AR_CHECK(!points_.empty()) << "graph has no nodes";
+  ARIDE_ACHECK(!built_) << "Build() called twice";
+  ARIDE_ACHECK(!points_.empty()) << "graph has no nodes";
   const NodeId n = num_nodes();
 
   out_begin_.assign(n + 1, 0);
@@ -49,7 +51,7 @@ void RoadNetwork::Build() {
 }
 
 BoundingBox RoadNetwork::ComputeBounds() const {
-  AR_CHECK(!points_.empty());
+  ARIDE_ACHECK(!points_.empty());
   BoundingBox box{points_[0], points_[0]};
   for (const Point& p : points_) {
     box.min.x = std::min(box.min.x, p.x);
@@ -86,7 +88,7 @@ int CountReachable(const RoadNetwork& net, NodeId start, bool forward) {
 }  // namespace
 
 bool RoadNetwork::IsStronglyConnected() const {
-  AR_CHECK(built_);
+  ARIDE_ACHECK(built_);
   if (num_nodes() == 0) return true;
   return CountReachable(*this, 0, /*forward=*/true) == num_nodes() &&
          CountReachable(*this, 0, /*forward=*/false) == num_nodes();

@@ -11,7 +11,7 @@
 #include <span>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "geo/point.h"
 
 namespace auctionride {
@@ -56,22 +56,22 @@ class RoadNetwork {
   int64_t num_edges() const { return static_cast<int64_t>(arcs_.size()); }
 
   const Point& position(NodeId n) const {
-    AR_DCHECK(n >= 0 && n < num_nodes());
+    ARIDE_DCHECK(n >= 0 && n < num_nodes());
     return points_[n];
   }
 
   /// Outgoing arcs of n. Requires Build().
   std::span<const Arc> OutArcs(NodeId n) const {
-    AR_DCHECK(built_);
-    AR_DCHECK(n >= 0 && n < num_nodes());
+    ARIDE_DCHECK(built_);
+    ARIDE_DCHECK(n >= 0 && n < num_nodes());
     return {arcs_.data() + out_begin_[n],
             static_cast<std::size_t>(out_begin_[n + 1] - out_begin_[n])};
   }
 
   /// Incoming arcs of n (arc.head is the *source* node). Requires Build().
   std::span<const Arc> InArcs(NodeId n) const {
-    AR_DCHECK(built_);
-    AR_DCHECK(n >= 0 && n < num_nodes());
+    ARIDE_DCHECK(built_);
+    ARIDE_DCHECK(n >= 0 && n < num_nodes());
     return {rev_arcs_.data() + in_begin_[n],
             static_cast<std::size_t>(in_begin_[n + 1] - in_begin_[n])};
   }

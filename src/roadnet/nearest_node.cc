@@ -4,14 +4,16 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
+
 namespace auctionride {
 
 NearestNodeIndex::NearestNodeIndex(const RoadNetwork* network,
                                    double cell_size_m)
     : network_(network), cell_size_(cell_size_m) {
-  AR_CHECK(network != nullptr);
-  AR_CHECK(network->num_nodes() > 0);
-  AR_CHECK(cell_size_m > 0);
+  ARIDE_ACHECK(network != nullptr);
+  ARIDE_ACHECK(network->num_nodes() > 0);
+  ARIDE_ACHECK(cell_size_m > 0);
   bounds_ = network->ComputeBounds();
   cols_ = std::max(1, static_cast<int>(bounds_.width() / cell_size_) + 1);
   rows_ = std::max(1, static_cast<int>(bounds_.height() / cell_size_) + 1);
@@ -64,7 +66,7 @@ NodeId NearestNodeIndex::Nearest(const Point& p) const {
       }
     }
   }
-  AR_CHECK(best != kInvalidNode);
+  ARIDE_ACHECK(best != kInvalidNode);
   return best;
 }
 

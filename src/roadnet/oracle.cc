@@ -1,13 +1,16 @@
 #include "roadnet/oracle.h"
 
+#include "common/check.h"
+#include "obs/metrics.h"
+
 namespace auctionride {
 
 DistanceOracle::DistanceOracle(const RoadNetwork* network, Backend backend,
                                double speed_mps)
     : network_(network), backend_(backend), speed_mps_(speed_mps) {
-  AR_CHECK(network != nullptr);
-  AR_CHECK(network->built());
-  AR_CHECK(speed_mps > 0);
+  ARIDE_ACHECK(network != nullptr);
+  ARIDE_ACHECK(network->built());
+  ARIDE_ACHECK(speed_mps > 0);
   if (backend_ == Backend::kContractionHierarchy) {
     ch_ = std::make_unique<ContractionHierarchy>(network);
   }
@@ -15,6 +18,10 @@ DistanceOracle::DistanceOracle(const RoadNetwork* network, Backend backend,
 }
 
 double DistanceOracle::ComputeUncached(NodeId source, NodeId target) const {
+  // Only uncached computes are timed, and only one in 16: cache hits are map
+  // lookups that would swamp the histogram, and pooled pricing runs would
+  // otherwise contend on the histogram mutex millions of times per bench.
+  OBS_SCOPED_TIMER_SAMPLED("roadnet.sp.compute_s", 16);
   if (backend_ == Backend::kContractionHierarchy) {
     std::unique_ptr<ContractionHierarchy::Query> query;
     {
@@ -52,10 +59,47 @@ double DistanceOracle::ComputeUncached(NodeId source, NodeId target) const {
   return d;
 }
 
+#if !defined(ARIDE_OBS_DISABLED)
+namespace {
+
+// Distance() runs ~10^8 times per bench; even striped registry counters
+// are too hot for its fast path, so each thread batches locally and
+// flushes every 4096 queries (and at thread exit — the registry is leaked,
+// so flushing from a thread_local destructor is safe). Snapshots can lag
+// by at most one batch per live thread, noise at these volumes.
+struct SpQueryBatch {
+  int64_t queries = 0;
+  int64_t cache_hits = 0;
+  ~SpQueryBatch() { Flush(); }
+  void Flush() {
+    if (queries > 0) OBS_COUNTER_ADD("roadnet.sp.queries", queries);
+    if (cache_hits > 0) OBS_COUNTER_ADD("roadnet.sp.cache_hits", cache_hits);
+    queries = 0;
+    cache_hits = 0;
+  }
+};
+
+thread_local SpQueryBatch sp_query_batch;
+
+}  // namespace
+
+#define ARIDE_SP_COUNT_QUERY() \
+  do {                         \
+    if (++sp_query_batch.queries >= 4096) sp_query_batch.Flush(); \
+  } while (0)
+#define ARIDE_SP_COUNT_HIT() (++sp_query_batch.cache_hits)
+#else
+#define ARIDE_SP_COUNT_QUERY() \
+  do {                         \
+  } while (0)
+#define ARIDE_SP_COUNT_HIT() (void)0
+#endif  // ARIDE_OBS_DISABLED
+
 double DistanceOracle::Distance(NodeId source, NodeId target) const {
-  AR_DCHECK(source >= 0 && source < network_->num_nodes());
-  AR_DCHECK(target >= 0 && target < network_->num_nodes());
+  ARIDE_DCHECK(source >= 0 && source < network_->num_nodes());
+  ARIDE_DCHECK(target >= 0 && target < network_->num_nodes());
   num_queries_.fetch_add(1, std::memory_order_relaxed);
+  ARIDE_SP_COUNT_QUERY();
   if (source == target) return 0;
 
   const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(source))
@@ -67,6 +111,7 @@ double DistanceOracle::Distance(NodeId source, NodeId target) const {
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      ARIDE_SP_COUNT_HIT();
       return it->second;
     }
   }

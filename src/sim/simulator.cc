@@ -7,6 +7,8 @@
 #include "auction/verifier.h"
 #include "common/check.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace auctionride {
 
@@ -32,8 +34,8 @@ Simulator::Simulator(const DistanceOracle* oracle, Workload workload,
       workload_(std::move(workload)),
       options_(options),
       rng_(options.seed) {
-  AR_CHECK(oracle_ != nullptr);
-  AR_CHECK(options_.round_duration_s > 0);
+  ARIDE_ACHECK(oracle_ != nullptr);
+  ARIDE_ACHECK(options_.round_duration_s > 0);
   path_search_ = std::make_unique<AStarSearch>(&oracle_->network());
   if (options_.run_pricing) {
     const int threads = options_.pricing_threads > 0
@@ -60,7 +62,7 @@ double Simulator::EdgeLength(NodeId from, NodeId to) const {
   for (const Arc& a : oracle_->network().OutArcs(from)) {
     if (a.head == to) best = std::min(best, a.length_m);
   }
-  AR_CHECK(best != kInfDistance) << "leg path nodes are not adjacent";
+  ARIDE_ACHECK(best != kInfDistance) << "leg path nodes are not adjacent";
   return best;
 }
 
@@ -73,7 +75,7 @@ void Simulator::ProcessArrivalStops(SimVehicle* vehicle,
     OrderRecord& rec = order_records_[static_cast<std::size_t>(stop.order)];
     if (stop.type == StopType::kPickup) {
       ++v.onboard;
-      AR_CHECK(v.onboard <= v.capacity);
+      ARIDE_ACHECK(v.onboard <= v.capacity);
       v.in_delivery = true;
       rec.pickup_time_s = arrival_time_s;
       if (active_result_ != nullptr) {
@@ -90,7 +92,7 @@ void Simulator::ProcessArrivalStops(SimVehicle* vehicle,
       }
     } else {
       --v.onboard;
-      AR_CHECK(v.onboard >= 0);
+      ARIDE_ACHECK(v.onboard >= 0);
       std::erase(vehicle->riding, stop.order);
       // Lifecycle contract: a rider is picked up after dispatch and dropped
       // off after pickup, exactly once.
@@ -129,7 +131,7 @@ void Simulator::StartNextLeg(SimVehicle* vehicle) {
         vehicle->leg_path.back() != target) {
       vehicle->leg_path = path_search_->ShortestPath(v.next_node, target);
       vehicle->path_pos = 0;
-      AR_CHECK(!vehicle->leg_path.empty()) << "stop unreachable";
+      ARIDE_ACHECK(!vehicle->leg_path.empty()) << "stop unreachable";
     }
     if (vehicle->path_pos + 1 < vehicle->leg_path.size()) {
       const NodeId next = vehicle->leg_path[vehicle->path_pos + 1];
@@ -173,6 +175,9 @@ void Simulator::AdvanceVehicle(SimVehicle* vehicle, double dt_s) {
 }
 
 void Simulator::RunRound(double now_s, SimResult* result) {
+  OBS_TRACE_SPAN("sim.round");
+  OBS_SCOPED_TIMER("sim.round_s");
+  OBS_COUNTER_INC("sim.rounds");
   // Pending orders: issued, not yet dispatched/expired, within 5 minutes.
   std::vector<Order> pending;
   for (std::size_t j = 0; j < workload_.orders.size(); ++j) {
@@ -216,6 +221,9 @@ void Simulator::RunRound(double now_s, SimResult* result) {
   }
   if (online.empty()) return;
 
+  OBS_TRACE_COUNTER("sim.pending_orders", static_cast<double>(pending.size()));
+  OBS_TRACE_COUNTER("sim.online_vehicles", static_cast<double>(online.size()));
+
   AuctionInstance instance;
   instance.orders = &pending;
   instance.vehicles = &online;
@@ -236,11 +244,11 @@ void Simulator::RunRound(double now_s, SimResult* result) {
     AuctionInstance charged = instance;
     charged.orders = &deducted;
     const Status verified = VerifyDispatch(charged, outcome.dispatch);
-    AR_CHECK(verified.ok()) << verified.ToString();
+    ARIDE_ACHECK(verified.ok()) << verified.ToString();
     if (!outcome.payments.empty()) {
       const Status paid =
           VerifyPayments(charged, outcome.dispatch, outcome.payments);
-      AR_CHECK(paid.ok()) << paid.ToString();
+      ARIDE_ACHECK(paid.ok()) << paid.ToString();
     }
   }
 
@@ -281,6 +289,7 @@ void Simulator::RunRound(double now_s, SimResult* result) {
 }
 
 SimResult Simulator::Run() {
+  OBS_TRACE_SPAN("sim.run");
   SimResult result;
   result.orders_total = static_cast<int>(workload_.orders.size());
   active_result_ = &result;
@@ -295,12 +304,15 @@ SimResult Simulator::Run() {
   while (clock_s_ < horizon) {
     RunRound(clock_s_, &result);
     // Advance the world by one round.
-    for (SimVehicle& sv : vehicles_) {
-      if (clock_s_ + options_.round_duration_s <= sv.online_s ||
-          clock_s_ >= sv.offline_s) {
-        continue;
+    {
+      OBS_TRACE_SPAN("sim.advance");
+      for (SimVehicle& sv : vehicles_) {
+        if (clock_s_ + options_.round_duration_s <= sv.online_s ||
+            clock_s_ >= sv.offline_s) {
+          continue;
+        }
+        AdvanceVehicle(&sv, options_.round_duration_s);
       }
-      AdvanceVehicle(&sv, options_.round_duration_s);
     }
     clock_s_ += options_.round_duration_s;
   }

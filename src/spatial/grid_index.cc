@@ -5,13 +5,13 @@
 #include <limits>
 #include <queue>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace auctionride {
 
 GridIndex::GridIndex(std::vector<Item> items, double cell_size_m)
     : items_(std::move(items)), cell_size_(cell_size_m) {
-  AR_CHECK(cell_size_m > 0);
+  ARIDE_ACHECK(cell_size_m > 0);
   if (items_.empty()) {
     cells_.resize(1);
     return;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace auctionride {
@@ -67,7 +68,7 @@ std::vector<Order> GenerateOrders(const WorkloadOptions& options,
         break;
       }
     }
-    AR_CHECK(order.shortest_distance_m >= options.min_trip_m)
+    ARIDE_ACHECK(order.shortest_distance_m >= options.min_trip_m)
         << "could not sample a valid trip";
     order.shortest_time_s = order.shortest_distance_m / oracle.speed_mps();
     order.issue_time_s = duration_s <= 0 ? 0 : rng->Uniform(0, duration_s);
@@ -127,8 +128,8 @@ std::vector<VehicleSpawn> GenerateVehicles(const WorkloadOptions& options,
 Workload GenerateWorkload(const WorkloadOptions& options,
                           const DistanceOracle& oracle,
                           const NearestNodeIndex& nearest) {
-  AR_CHECK(options.num_orders >= 0 && options.num_vehicles >= 0);
-  AR_CHECK(options.gamma > 1.0) << "gamma must exceed 1 (θ would be <= 0)";
+  ARIDE_ACHECK(options.num_orders >= 0 && options.num_vehicles >= 0);
+  ARIDE_ACHECK(options.gamma > 1.0) << "gamma must exceed 1 (θ would be <= 0)";
   Rng rng(options.seed);
   Rng hotspot_rng = rng.Fork();
   Rng order_rng = rng.Fork();

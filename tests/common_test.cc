@@ -4,7 +4,7 @@
 #include <set>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -139,12 +139,12 @@ TEST(ThreadPoolTest, WaitIsReusable) {
 }
 
 TEST(LoggingTest, CheckFailureAborts) {
-  EXPECT_DEATH({ AR_CHECK(1 == 2) << "impossible arithmetic"; },
+  EXPECT_DEATH({ ARIDE_ACHECK(1 == 2) << "impossible arithmetic"; },
                "Check failed: 1 == 2");
 }
 
 TEST(LoggingTest, CheckPassesSilently) {
-  AR_CHECK(2 + 2 == 4) << "never evaluated";
+  ARIDE_ACHECK(2 + 2 == 4) << "never evaluated";
   SUCCEED();
 }
 

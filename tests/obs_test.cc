@@ -1,0 +1,355 @@
+// Unit tests for the observability layer: JSON round-tripping, metric
+// semantics (counters, gauges, histograms with and without reservoirs),
+// span tracing, and the BENCH report schema.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/bench_json.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace auctionride {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Json
+
+TEST(JsonTest, BuildDumpParseRoundTrip) {
+  Json doc = Json::Object();
+  doc["name"] = "fig8";
+  doc["pi"] = 3.5;
+  doc["count"] = int64_t{42};
+  doc["ok"] = true;
+  doc["nothing"] = Json();
+  doc["list"].push_back(1);
+  doc["list"].push_back("two");
+  doc["nested"]["deep"] = -7;
+
+  const std::string text = doc.Dump();
+  StatusOr<Json> parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("name")->AsString(), "fig8");
+  EXPECT_DOUBLE_EQ(parsed->Find("pi")->AsDouble(), 3.5);
+  EXPECT_EQ(parsed->Find("count")->AsInt(), 42);
+  EXPECT_TRUE(parsed->Find("ok")->AsBool());
+  EXPECT_TRUE(parsed->Find("nothing")->is_null());
+  EXPECT_EQ(parsed->Find("list")->AsArray().size(), 2u);
+  EXPECT_EQ(parsed->FindPath({"nested", "deep"})->AsInt(), -7);
+}
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  Json doc = Json::Object();
+  doc["s"] = std::string("a\"b\\c\n\t\x01");
+  StatusOr<Json> parsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("s")->AsString(), "a\"b\\c\n\t\x01");
+}
+
+TEST(JsonTest, ParsesEscapesAndUnicode) {
+  StatusOr<Json> parsed =
+      Json::Parse("{\"s\": \"\\u0041\\u00e9\\u20ac\", \"n\": -1.5e3}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("s")->AsString(), "A\xC3\xA9\xE2\x82\xAC");
+  EXPECT_DOUBLE_EQ(parsed->Find("n")->AsDouble(), -1500.0);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("").ok());
+}
+
+TEST(JsonTest, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, IntegersPrintWithoutDecimals) {
+  Json doc = Json::Object();
+  doc["n"] = int64_t{1234567};
+  EXPECT_NE(doc.Dump().find("1234567"), std::string::npos);
+  EXPECT_EQ(doc.Dump().find("1234567."), std::string::npos);
+}
+
+TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
+  Json doc = Json::Object();
+  doc["inf"] = std::numeric_limits<double>::infinity();
+  StatusOr<Json> parsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("inf")->is_null());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(MetricsTest, CounterAndGaugeSemantics) {
+  Counter c;
+  c.Add(3);
+  c.Add();
+  EXPECT_EQ(c.value(), 4);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+
+  Gauge g;
+  g.Set(2.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.Max(3.0);  // lower: no effect
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.Max(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+}
+
+TEST(MetricsTest, HistogramExactQuantilesAndBuckets) {
+  Histogram::Options opts;
+  opts.bucket_bounds = {1.0, 10.0, 100.0};
+  Histogram h(opts);
+  for (int i = 1; i <= 100; ++i) h.Observe(i);
+
+  const HistogramSummary s = h.Summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.p50, 50, 1);
+  EXPECT_NEAR(s.p95, 95, 1);
+  EXPECT_NEAR(s.p99, 99, 1);
+  // Buckets: x <= 1 -> 1 value, x <= 10 -> 9 more, x <= 100 -> 90, none over.
+  ASSERT_EQ(s.bucket_counts.size(), 4u);
+  EXPECT_EQ(s.bucket_counts[0], 1u);
+  EXPECT_EQ(s.bucket_counts[1], 9u);
+  EXPECT_EQ(s.bucket_counts[2], 90u);
+  EXPECT_EQ(s.bucket_counts[3], 0u);
+}
+
+TEST(MetricsTest, HistogramReservoirBoundsMemoryButKeepsCount) {
+  Histogram::Options opts;
+  opts.reservoir_capacity = 64;
+  Histogram h(opts);
+  for (int i = 0; i < 10000; ++i) h.Observe(i);
+  const HistogramSummary s = h.Summary();
+  EXPECT_EQ(s.count, 10000u);          // exact total
+  EXPECT_DOUBLE_EQ(s.max, 9999);       // RunningStats extrema stay exact
+  // Reservoir quantiles are estimates; with 64 uniform samples over
+  // [0, 10000) the median lands well inside the middle half.
+  EXPECT_GT(s.p50, 2000);
+  EXPECT_LT(s.p50, 8000);
+}
+
+TEST(MetricsTest, HistogramTickSamplesEveryPeriod) {
+  Histogram h;
+  int fired = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (h.Tick(64)) ++fired;
+  }
+  EXPECT_EQ(fired, 4);
+  EXPECT_TRUE(h.Tick(1));  // period <= 1: always true
+  EXPECT_TRUE(h.Tick(0));
+}
+
+TEST(MetricsTest, RegistryPointersAreStableAcrossReset) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  EXPECT_EQ(c, registry.GetCounter("test.counter"));
+  c->Add(5);
+  Histogram* h = registry.GetHistogram("test.hist");
+  h->Observe(1.0);
+  registry.ResetAll();
+  EXPECT_EQ(c, registry.GetCounter("test.counter"));
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(registry.GetHistogram("test.hist")->Summary().count, 0u);
+}
+
+TEST(MetricsTest, SnapshotReflectsAllMetricKinds) {
+  MetricRegistry registry;
+  registry.GetCounter("c")->Add(7);
+  registry.GetGauge("g")->Set(1.25);
+  registry.GetHistogram("h")->Observe(2.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 7);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 1.25);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("h").p50, 2.0);
+}
+
+TEST(MetricsTest, MacrosReachTheGlobalRegistry) {
+#if defined(ARIDE_OBS_DISABLED)
+  GTEST_SKIP() << "OBS_* macros are no-ops with ARIDE_OBS=OFF";
+#endif
+  MetricRegistry::Global().ResetAll();
+  OBS_COUNTER_INC("obs_test.macro_counter");
+  OBS_COUNTER_ADD("obs_test.macro_counter", 2);
+  OBS_GAUGE_SET("obs_test.macro_gauge", 1.5);
+  OBS_HISTOGRAM_OBSERVE("obs_test.macro_hist", 0.25);
+  {
+    OBS_SCOPED_TIMER("obs_test.macro_timer_s");
+  }
+  const MetricsSnapshot snap = MetricRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counters.at("obs_test.macro_counter"), 3);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("obs_test.macro_gauge"), 1.5);
+  EXPECT_EQ(snap.histograms.at("obs_test.macro_hist").count, 1u);
+  EXPECT_EQ(snap.histograms.at("obs_test.macro_timer_s").count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(TraceTest, SpansRecordOnlyWhenEnabled) {
+#if defined(ARIDE_OBS_DISABLED)
+  GTEST_SKIP() << "OBS_TRACE_* macros are no-ops with ARIDE_OBS=OFF";
+#endif
+  Tracer::Clear();
+  Tracer::SetEnabled(false);
+  {
+    OBS_TRACE_SPAN("disabled.span");
+  }
+  const std::size_t before = Tracer::EventCount();
+  Tracer::SetEnabled(true);
+  {
+    OBS_TRACE_SPAN("enabled.span");
+    OBS_TRACE_COUNTER("enabled.counter", 3.0);
+  }
+  Tracer::SetEnabled(false);
+  EXPECT_EQ(Tracer::EventCount(), before + 2);
+  Tracer::Clear();
+  EXPECT_EQ(Tracer::EventCount(), 0u);
+}
+
+TEST(TraceTest, WritesWellFormedChromeTraceJson) {
+#if defined(ARIDE_OBS_DISABLED)
+  GTEST_SKIP() << "OBS_TRACE_* macros are no-ops with ARIDE_OBS=OFF";
+#endif
+  Tracer::Clear();
+  Tracer::SetEnabled(true);
+  Tracer::SetThreadName("obs-test-main");
+  {
+    OBS_TRACE_SPAN_CAT("trace.test.span", "test");
+    OBS_TRACE_COUNTER("trace.test.counter", 42.0);
+  }
+  Tracer::SetEnabled(false);
+
+  const std::string path = ::testing::TempDir() + "/obs_trace_test.json";
+  ASSERT_TRUE(Tracer::WriteChromeTrace(path).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  StatusOr<Json> doc = Json::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const Json* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_span = false;
+  bool saw_counter = false;
+  bool saw_thread_name = false;
+  for (const Json& ev : events->AsArray()) {
+    const std::string& name = ev.Find("name")->AsString();
+    const std::string& ph = ev.Find("ph")->AsString();
+    if (name == "trace.test.span" && ph == "X") {
+      saw_span = true;
+      EXPECT_EQ(ev.Find("cat")->AsString(), "test");
+      EXPECT_GE(ev.Find("dur")->AsInt(), 0);
+    }
+    if (name == "trace.test.counter" && ph == "C") {
+      saw_counter = true;
+      EXPECT_DOUBLE_EQ(ev.FindPath({"args", "value"})->AsDouble(), 42.0);
+    }
+    if (name == "thread_name" && ph == "M") saw_thread_name = true;
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_thread_name);
+  Tracer::Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Bench report
+
+MetricsSnapshot FakeSnapshot() {
+  MetricRegistry registry;
+  registry.GetCounter("roadnet.sp.queries")->Add(100);
+  registry.GetCounter("roadnet.sp.cache_hits")->Add(80);
+  for (const PhaseBinding& b : StandardPhaseBindings()) {
+    Histogram* h = registry.GetHistogram(b.histogram);
+    h->Observe(0.010);
+    h->Observe(0.020);
+  }
+  registry.GetGauge("threadpool.queue_depth.peak")->Set(8);
+  return registry.Snapshot();
+}
+
+TEST(BenchJsonTest, ReportIsSchemaValidAndCarriesPhases) {
+  BenchRunInfo info;
+  info.name = "unit_test";
+  info.timestamp_unix_s = 1754438400;
+  info.scale["bench_scale"] = 0.2;
+  info.config["gamma"] = 1.5;
+
+  const Json report = BuildBenchReport(info, FakeSnapshot());
+  const Status valid = ValidateBenchReport(report);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+
+  EXPECT_EQ(report.Find("schema_version")->AsInt(), kBenchSchemaVersion);
+  EXPECT_EQ(report.Find("name")->AsString(), "unit_test");
+  EXPECT_FALSE(report.FindPath({"run", "git_sha"})->AsString().empty());
+  for (const PhaseBinding& b : StandardPhaseBindings()) {
+    const Json* phase = report.FindPath({"phases", b.phase});
+    ASSERT_NE(phase, nullptr) << b.phase;
+    EXPECT_EQ(phase->Find("count")->AsInt(), 2);
+    EXPECT_DOUBLE_EQ(phase->Find("max_s")->AsDouble(), 0.020);
+  }
+  EXPECT_DOUBLE_EQ(report.FindPath({"ch_cache", "hit_rate"})->AsDouble(),
+                   0.8);
+}
+
+TEST(BenchJsonTest, ReportRoundTripsThroughDiskAndParser) {
+  BenchRunInfo info;
+  info.name = "roundtrip";
+  info.timestamp_unix_s = 1;
+  const Json report = BuildBenchReport(info, FakeSnapshot());
+
+  const std::string path = ::testing::TempDir() + "/BENCH_roundtrip.json";
+  ASSERT_TRUE(WriteBenchReport(report, path).ok());
+  StatusOr<Json> loaded = ReadJsonFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Status valid = ValidateBenchReport(loaded.value());
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_EQ(loaded->Dump(), report.Dump());
+}
+
+TEST(BenchJsonTest, ValidatorNamesTheBrokenField) {
+  BenchRunInfo info;
+  info.name = "broken";
+  Json report = BuildBenchReport(info, FakeSnapshot());
+  report["phases"]["dispatch"].AsObject().erase("p95_s");
+  const Status invalid = ValidateBenchReport(report);
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_NE(invalid.message().find("phases.dispatch.p95_s"),
+            std::string::npos)
+      << invalid.message();
+
+  EXPECT_FALSE(ValidateBenchReport(Json()).ok());
+  Json wrong_version = BuildBenchReport(info, FakeSnapshot());
+  wrong_version["schema_version"] = 999;
+  EXPECT_FALSE(ValidateBenchReport(wrong_version).ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace auctionride

@@ -288,7 +288,7 @@ TEST_F(SimulatorTest, EventTraceIsConsistent) {
 TEST_F(SimulatorTest, VerifyDispatchOptionRunsClean) {
   SimOptions options;
   options.mechanism = MechanismKind::kRank;
-  options.verify_dispatch = true;  // AR_CHECK aborts on any violation
+  options.verify_dispatch = true;  // ARIDE_ACHECK aborts on any violation
   options.auction.charge_ratio = 0.2;
   options.run_pricing = true;
   Simulator sim(oracle_.get(), SmallWorkload(30, 25, /*seed=*/72), options);

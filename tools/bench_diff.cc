@@ -1,0 +1,154 @@
+// bench_diff: validate and compare BENCH_*.json telemetry documents.
+//
+// Usage:
+//   bench_diff --validate FILE...
+//       Schema-check each file; exit 1 if any is invalid.
+//   bench_diff [--threshold PCT] BASE.json NEW.json
+//       Compare per-phase latencies (mean_s, p95_s) and the CH cache hit
+//       rate. A phase metric that grew by more than PCT percent (default
+//       20) is a regression; exit 1 if any is found. Counter-style volume
+//       differences are reported but never fail the diff (they track
+//       workload size, not speed).
+//
+// The 20% default is deliberately loose: bench runs on shared CI machines
+// jitter, and the job should only trip on order-of-magnitude mistakes
+// (accidental O(n^2), a cache disabled), not scheduler noise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/bench_json.h"
+#include "obs/json.h"
+
+namespace {
+
+using auctionride::Status;
+using auctionride::StatusOr;
+using auctionride::obs::Json;
+using auctionride::obs::PhaseBinding;
+using auctionride::obs::ReadJsonFile;
+using auctionride::obs::StandardPhaseBindings;
+using auctionride::obs::ValidateBenchReport;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff --validate FILE...\n"
+               "       bench_diff [--threshold PCT] BASE.json NEW.json\n");
+  return 2;
+}
+
+StatusOr<Json> LoadReport(const std::string& path) {
+  StatusOr<Json> doc = ReadJsonFile(path);
+  if (!doc.ok()) return doc;
+  Status valid = ValidateBenchReport(doc.value());
+  if (!valid.ok()) return valid;
+  return doc;
+}
+
+int RunValidate(const std::vector<std::string>& paths) {
+  if (paths.empty()) return Usage();
+  bool all_ok = true;
+  for (const std::string& path : paths) {
+    StatusOr<Json> doc = LoadReport(path);
+    if (doc.ok()) {
+      std::printf("OK       %s\n", path.c_str());
+    } else {
+      std::printf("INVALID  %s: %s\n", path.c_str(),
+                  doc.status().message().c_str());
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+double NumberAt(const Json& report, std::initializer_list<const char*> path) {
+  const Json* j = report.FindPath(path);
+  return j != nullptr && j->is_number() ? j->AsDouble() : 0.0;
+}
+
+int RunDiff(const std::string& base_path, const std::string& new_path,
+            double threshold_pct) {
+  StatusOr<Json> base = LoadReport(base_path);
+  if (!base.ok()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", base_path.c_str(),
+                 base.status().message().c_str());
+    return 2;
+  }
+  StatusOr<Json> next = LoadReport(new_path);
+  if (!next.ok()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", new_path.c_str(),
+                 next.status().message().c_str());
+    return 2;
+  }
+
+  std::printf("bench_diff: %s -> %s (threshold %+.0f%%)\n", base_path.c_str(),
+              new_path.c_str(), threshold_pct);
+  int regressions = 0;
+  for (const PhaseBinding& binding : StandardPhaseBindings()) {
+    for (const char* field : {"mean_s", "p95_s"}) {
+      const double old_v =
+          NumberAt(base.value(), {"phases", binding.phase, field});
+      const double new_v =
+          NumberAt(next.value(), {"phases", binding.phase, field});
+      if (old_v <= 0.0 && new_v <= 0.0) continue;  // phase absent in both
+      if (old_v <= 0.0 || new_v <= 0.0) {
+        std::printf("  NOTE       %s.%s only present in one run "
+                    "(base=%.6g new=%.6g)\n",
+                    binding.phase, field, old_v, new_v);
+        continue;
+      }
+      const double delta_pct = 100.0 * (new_v - old_v) / old_v;
+      const bool regressed = delta_pct > threshold_pct;
+      std::printf("  %-10s %s.%s: %.6gs -> %.6gs (%+.1f%%)\n",
+                  regressed ? "REGRESSION" : "ok", binding.phase, field,
+                  old_v, new_v, delta_pct);
+      if (regressed) ++regressions;
+    }
+  }
+
+  // Cache effectiveness: a hit rate that *drops* by more than the threshold
+  // (in absolute percentage points, scaled) flags a disabled/broken cache.
+  const double old_rate = NumberAt(base.value(), {"ch_cache", "hit_rate"});
+  const double new_rate = NumberAt(next.value(), {"ch_cache", "hit_rate"});
+  if (old_rate > 0.0) {
+    const double drop_pct = 100.0 * (old_rate - new_rate) / old_rate;
+    const bool regressed = drop_pct > threshold_pct;
+    std::printf("  %-10s ch_cache.hit_rate: %.3f -> %.3f\n",
+                regressed ? "REGRESSION" : "ok", old_rate, new_rate);
+    if (regressed) ++regressions;
+  }
+
+  if (regressions > 0) {
+    std::printf("bench_diff: %d regression(s) beyond %+.0f%%\n", regressions,
+                threshold_pct);
+    return 1;
+  }
+  std::printf("bench_diff: no regressions\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  bool validate = false;
+  double threshold_pct = 20.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--validate") == 0) {
+      validate = true;
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold_pct = std::strtod(argv[++i], nullptr);
+      if (threshold_pct <= 0.0) return Usage();
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (validate) return RunValidate(positional);
+  if (positional.size() != 2) return Usage();
+  return RunDiff(positional[0], positional[1], threshold_pct);
+}
