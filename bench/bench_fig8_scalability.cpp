@@ -15,7 +15,7 @@
 
 #include "auction/mechanism.h"
 #include "bench_common.h"
-#include "common/thread_pool.h"
+#include "exec/thread_pool.h"
 
 namespace auctionride {
 namespace bench {

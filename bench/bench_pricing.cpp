@@ -14,7 +14,7 @@
 #include "auction/greedy.h"
 #include "auction/rank.h"
 #include "bench_common.h"
-#include "common/thread_pool.h"
+#include "exec/thread_pool.h"
 
 namespace auctionride {
 namespace bench {

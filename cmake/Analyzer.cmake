@@ -1,0 +1,44 @@
+# Compiler-built-in static analysis for `cmake --preset analyze`
+# (ARIDE_ANALYZE=ON). Mirrors tools/run_clang_tidy.sh's gating: when the
+# toolchain has no supported analyzer the preset still configures and
+# builds, it just says so and skips the analysis flags.
+#
+# GCC: -fanalyzer runs the interprocedural path analyzer during normal
+# compilation, so a plain `cmake --build --preset analyze` both builds and
+# analyzes. Diagnostics surface as warnings (never -Werror here — the C++
+# analyzer is still maturing and false positives must not break the build).
+#
+# Clang has no equivalent in-build flag (its analyzer runs via scan-build
+# or clang-tidy's clang-analyzer-* checks), so on Clang we skip and point
+# at tools/run_clang_tidy.sh.
+#
+# The flags are only applied under src/ (see src/CMakeLists.txt): analyzing
+# gtest/benchmark-heavy test TUs triples the build time for diagnostics in
+# vendored code we would not act on.
+
+option(ARIDE_ANALYZE "Run the compiler's built-in static analyzer over src/"
+       OFF)
+
+set(ARIDE_ANALYZER_FLAGS "")
+if(ARIDE_ANALYZE)
+  if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU")
+    include(CheckCXXCompilerFlag)
+    check_cxx_compiler_flag("-fanalyzer" ARIDE_CXX_HAS_FANALYZER)
+    if(ARIDE_CXX_HAS_FANALYZER)
+      set(ARIDE_ANALYZER_FLAGS "-fanalyzer")
+      message(STATUS
+        "aride: GCC -fanalyzer enabled for src/ (diagnostics are warnings)")
+    else()
+      message(STATUS
+        "aride: this GCC lacks -fanalyzer; skipping built-in analysis")
+    endif()
+  elseif(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(STATUS
+      "aride: Clang has no in-build analyzer flag; skipping — use "
+      "tools/run_clang_tidy.sh (clang-analyzer-* checks) or scan-build")
+  else()
+    message(STATUS
+      "aride: no supported built-in analyzer for "
+      "${CMAKE_CXX_COMPILER_ID}; skipping")
+  endif()
+endif()

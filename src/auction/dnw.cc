@@ -4,7 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
-#include "common/thread_pool.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 
 namespace auctionride {
@@ -31,9 +31,10 @@ bool Conflicts(const PackCandidate& a, const PackCandidate& b) {
 void SortRanking(std::vector<SimPack>* packs) {
   std::sort(packs->begin(), packs->end(),
             [](const SimPack& a, const SimPack& b) {
-              if (a.pack->utility != b.pack->utility) {
-                return a.pack->utility > b.pack->utility;
-              }
+              // Mirrors RankDispatch's comparator, including the exact float
+              // ordering (epsilon ties would break strict weak ordering).
+              if (a.pack->utility > b.pack->utility) return true;
+              if (b.pack->utility > a.pack->utility) return false;
               return a.owner < b.owner;
             });
 }
@@ -181,7 +182,9 @@ double DnWPriceOrder(const AuctionInstance& instance,
         pay = std::min(pay, bid_a);
       }
     }
-    if (pay != bid0) break;  // line 15: later intervals only yield more
+    // line 15: later intervals only yield more. pay starts at bid0 and is
+    // only ever lowered, so "pay was reduced" is exactly pay < bid0.
+    if (pay < bid0) break;
   }
   // Individual rationality at the pricing source: the critical payment is
   // initialized to bid0 and only lowered, and every candidate bid is

@@ -1,11 +1,12 @@
 #include "auction/gpri.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "auction/greedy.h"
 #include "common/check.h"
-#include "common/thread_pool.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 
 namespace auctionride {
@@ -34,7 +35,7 @@ double GPriPriceOrder(const AuctionInstance& instance, OrderId order_id) {
 
   // Replace one of the dispatched requesters (lines 7-11).
   for (const GreedyStepTrace& step : traced.steps) {
-    if (step.h_cost_before == std::numeric_limits<double>::infinity()) {
+    if (std::isinf(step.h_cost_before)) {
       break;  // line 8: r_h had no valid pair left before this step
     }
     ARIDE_CHECK_GE(step.cost, -1e-9) << "order " << order_id;

@@ -26,7 +26,10 @@ struct HeapEntry {
 // Max-heap ordering with deterministic tie-breaking.
 struct HeapLess {
   bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-    if (a.utility != b.utility) return a.utility < b.utility;
+    // Exact float ordering is deliberate here: an epsilon comparison would
+    // break strict weak ordering, and ties fall through to the index keys.
+    if (a.utility < b.utility) return true;
+    if (b.utility < a.utility) return false;
     if (a.order_idx != b.order_idx) return a.order_idx > b.order_idx;
     return a.veh_idx > b.veh_idx;
   }

@@ -8,7 +8,7 @@
 #include <thread>
 
 #include "common/check.h"
-#include "common/thread_pool.h"
+#include "exec/thread_pool.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -359,9 +359,10 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
   }
   std::sort(ranking.begin(), ranking.end(),
             [](const RankedPack& a, const RankedPack& b) {
-              if (a.pack->utility != b.pack->utility) {
-                return a.pack->utility > b.pack->utility;
-              }
+              // Exact float ordering: epsilon ties would break strict weak
+              // ordering; equal utilities fall through to the owner key.
+              if (a.pack->utility > b.pack->utility) return true;
+              if (b.pack->utility > a.pack->utility) return false;
               return a.owner < b.owner;
             });
 

@@ -2,8 +2,8 @@
 // "we use multiple threads where each one prices one requester") and for the
 // clustered pack-generation of the scalability experiment (§V-E).
 
-#ifndef AUCTIONRIDE_COMMON_THREAD_POOL_H_
-#define AUCTIONRIDE_COMMON_THREAD_POOL_H_
+#ifndef AUCTIONRIDE_EXEC_THREAD_POOL_H_
+#define AUCTIONRIDE_EXEC_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
@@ -50,4 +50,4 @@ class ThreadPool {
 
 }  // namespace auctionride
 
-#endif  // AUCTIONRIDE_COMMON_THREAD_POOL_H_
+#endif  // AUCTIONRIDE_EXEC_THREAD_POOL_H_

@@ -18,7 +18,7 @@
 
 #include "auction/mechanism.h"
 #include "common/rng.h"
-#include "common/thread_pool.h"
+#include "exec/thread_pool.h"
 #include "roadnet/astar.h"
 #include "roadnet/oracle.h"
 #include "workload/generator.h"

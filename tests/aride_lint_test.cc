@@ -1,0 +1,246 @@
+// Tests for tools/aride_lint: golden fixtures (one per rule, asserting the
+// exact rule IDs and lines that fire), the layer-dag analyzer against both
+// the real tree and a synthetic back-edge, and the --fix guard rewrite.
+//
+// ARIDE_LINT_TESTDATA and ARIDE_LINT_SOURCE_ROOT are compile definitions
+// set in tests/CMakeLists.txt.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aride_lint/layering.h"
+#include "aride_lint/lexer.h"
+#include "aride_lint/rules.h"
+#include "gtest/gtest.h"
+
+namespace aride_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Lints a fixture file under a simulated repo path and returns (rule, line)
+// pairs sorted by line.
+std::vector<std::pair<std::string, int>> LintFixture(
+    const std::string& fixture, const std::string& simulated_path) {
+  const fs::path path = fs::path(ARIDE_LINT_TESTDATA) / fixture;
+  FileInfo info = MakeFileInfo(simulated_path, ReadFile(path));
+  std::vector<std::pair<std::string, int>> got;
+  for (const Diagnostic& d : RunFileRules(info)) {
+    got.emplace_back(d.rule, d.line);
+  }
+  std::sort(got.begin(), got.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return got;
+}
+
+TEST(BannedApiGolden, FiresOnExactLines) {
+  const auto got = LintFixture("banned_api.cc", "src/fixture/banned_api.cc");
+  const std::vector<std::pair<std::string, int>> want = {
+      {"banned-api", 3},   // #include <cassert>
+      {"banned-api", 10},  // assert(...)
+      {"banned-api", 11},  // std::printf
+      {"banned-api", 12},  // std::cout
+      {"banned-api", 13},  // std::cerr
+      {"banned-api", 14},  // std::rand
+      {"banned-api", 15},  // srand
+      {"banned-api", 16},  // system_clock
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(BannedApiGolden, OutsideSrcOnlyGlobalBansApply) {
+  // Under a bench/ path the stdout/assert bans don't apply, but the
+  // nondeterminism bans (rand, system_clock) still do.
+  const auto got = LintFixture("banned_api.cc", "bench/banned_api.cc");
+  const std::vector<std::pair<std::string, int>> want = {
+      {"banned-api", 14},  // std::rand
+      {"banned-api", 15},  // srand
+      {"banned-api", 16},  // system_clock
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(FloatEqGolden, FiresOnExactLines) {
+  const auto got = LintFixture("float_eq.cc", "src/fixture/float_eq.cc");
+  const std::vector<std::pair<std::string, int>> want = {
+      {"float-eq", 5},  // bid == price
+      {"float-eq", 6},  // utility != 0.0
+      {"float-eq", 7},  // payments[0] == bid
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(GuardStyleGolden, WrongGuardReportedAndFixed) {
+  const std::string sim_path = "src/fixture/guard_style.h";
+  const auto got = LintFixture("guard_style.h", sim_path);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, "guard-style");
+  EXPECT_EQ(got[0].second, 4);  // the #ifndef line
+
+  // --fix rewrites the guard to the expected name; the result lints clean.
+  const fs::path path = fs::path(ARIDE_LINT_TESTDATA) / "guard_style.h";
+  FileInfo info = MakeFileInfo(sim_path, ReadFile(path));
+  std::string fixed;
+  ASSERT_TRUE(FixGuardStyle(info, &fixed));
+  EXPECT_NE(fixed.find("AUCTIONRIDE_FIXTURE_GUARD_STYLE_H_"),
+            std::string::npos);
+  FileInfo fixed_info = MakeFileInfo(sim_path, std::move(fixed));
+  EXPECT_TRUE(RunFileRules(fixed_info).empty());
+}
+
+TEST(CheckSideEffectsGolden, FiresOnExactLines) {
+  const auto got = LintFixture("check_side_effects.cc",
+                               "src/fixture/check_side_effects.cc");
+  const std::vector<std::pair<std::string, int>> want = {
+      {"check-side-effects", 5},  // ARIDE_DCHECK(n++ > 0)
+      {"check-side-effects", 6},  // ARIDE_CHECK_GE(pay -= 1.0, ...)
+      {"check-side-effects", 8},  // ARIDE_CHECK_NEAR(..., pay *= 2.0, ...)
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(LayerDagGolden, BackEdgeFixtureRejected) {
+  const fs::path path =
+      fs::path(ARIDE_LINT_TESTDATA) / "layering_back_edge.h";
+  FileInfo info =
+      MakeFileInfo("src/common/layering_back_edge.h", ReadFile(path));
+  LayerGraph graph;
+  graph.AddFile(info);
+  const std::vector<Diagnostic> diags = graph.Check();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "layer-dag");
+  EXPECT_EQ(diags[0].line, 7);  // the #include "auction/types.h" line
+  EXPECT_NE(diags[0].message.find("common"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("auction"), std::string::npos);
+}
+
+// The declared order must accept every include edge in the real tree: this
+// is the "tree stays layered" regression test.
+TEST(LayerDag, AcceptsCurrentTree) {
+  const fs::path src = fs::path(ARIDE_LINT_SOURCE_ROOT) / "src";
+  ASSERT_TRUE(fs::exists(src)) << src;
+  LayerGraph graph;
+  int files = 0;
+  for (fs::recursive_directory_iterator it(src), end; it != end; ++it) {
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    const std::string rel =
+        fs::relative(it->path(), fs::path(ARIDE_LINT_SOURCE_ROOT))
+            .generic_string();
+    graph.AddFile(MakeFileInfo(rel, ReadFile(it->path())));
+    ++files;
+  }
+  EXPECT_GT(files, 50);  // sanity: the walk actually saw the tree
+  const std::vector<Diagnostic> diags = graph.Check();
+  for (const Diagnostic& d : diags) {
+    ADD_FAILURE() << d.file << ":" << d.line << ": " << d.message;
+  }
+}
+
+TEST(LayerDag, SyntheticCommonToAuctionBackEdgeRejected) {
+  LayerGraph graph;
+  graph.AddEdge("common", "auction", "src/common/bad.cc", 12);
+  const std::vector<Diagnostic> diags = graph.Check();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "layer-dag");
+  EXPECT_EQ(diags[0].file, "src/common/bad.cc");
+  EXPECT_EQ(diags[0].line, 12);
+}
+
+TEST(LayerDag, CycleReportedWithChain) {
+  LayerGraph graph;
+  graph.AddEdge("auction", "sim", "src/auction/a.cc", 1);
+  graph.AddEdge("sim", "auction", "src/sim/b.cc", 2);
+  const std::vector<Diagnostic> diags = graph.Check();
+  bool saw_cycle = false;
+  for (const Diagnostic& d : diags) {
+    if (d.message.find("cycle") != std::string::npos) {
+      saw_cycle = true;
+      EXPECT_NE(d.message.find("auction"), std::string::npos);
+      EXPECT_NE(d.message.find("sim"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_cycle);
+}
+
+TEST(LayerDag, UnknownDirectoryDiagnosed) {
+  LayerGraph graph;
+  graph.AddEdge("mystery", "common", "src/mystery/a.cc", 3);
+  const std::vector<Diagnostic> diags = graph.Check();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("no declared layer"), std::string::npos);
+}
+
+TEST(MoneyIdentifier, Classification) {
+  EXPECT_TRUE(IsMoneyIdentifier("bid"));
+  EXPECT_TRUE(IsMoneyIdentifier("bid0"));
+  EXPECT_TRUE(IsMoneyIdentifier("h_cost_before"));
+  EXPECT_TRUE(IsMoneyIdentifier("Payment"));
+  EXPECT_TRUE(IsMoneyIdentifier("total_utility"));
+  EXPECT_FALSE(IsMoneyIdentifier("n_payments"));
+  EXPECT_FALSE(IsMoneyIdentifier("payment_count"));
+  EXPECT_FALSE(IsMoneyIdentifier("bid_idx"));
+  EXPECT_FALSE(IsMoneyIdentifier("order"));
+  EXPECT_FALSE(IsMoneyIdentifier("size"));
+  EXPECT_FALSE(IsMoneyIdentifier("payload"));
+}
+
+TEST(ExpectedGuardTest, Paths) {
+  EXPECT_EQ(ExpectedGuard("src/geo/point.h"), "AUCTIONRIDE_GEO_POINT_H_");
+  EXPECT_EQ(ExpectedGuard("tests/testutil.h"),
+            "AUCTIONRIDE_TESTS_TESTUTIL_H_");
+  EXPECT_EQ(ExpectedGuard("tools/aride_lint/lexer.h"),
+            "AUCTIONRIDE_TOOLS_ARIDE_LINT_LEXER_H_");
+}
+
+TEST(Lexer, StringsCommentsAndSuppressions) {
+  const std::string src =
+      "int a = 1; // NOLINT-ARIDE(float-eq)\n"
+      "/* NOLINT-ARIDE(banned-api) */ int b;\n"
+      "// NOLINTNEXTLINE-ARIDE(guard-style,layer-dag)\n"
+      "int c;\n"
+      "const char* s = \"assert(x) // not code\";\n"
+      "int d; // NOLINT-ARIDE\n";
+  LexedFile lex = Lex(src);
+  EXPECT_TRUE(IsSuppressed(lex, 1, "float-eq"));
+  EXPECT_FALSE(IsSuppressed(lex, 1, "banned-api"));
+  EXPECT_TRUE(IsSuppressed(lex, 2, "banned-api"));
+  EXPECT_TRUE(IsSuppressed(lex, 4, "guard-style"));
+  EXPECT_TRUE(IsSuppressed(lex, 4, "layer-dag"));
+  EXPECT_FALSE(IsSuppressed(lex, 3, "guard-style"));
+  EXPECT_TRUE(IsSuppressed(lex, 6, "anything"));  // bare NOLINT-ARIDE
+  // The string literal is one token; "assert" inside it never lexes as an
+  // identifier.
+  for (const Token& t : lex.tokens) {
+    EXPECT_FALSE(t.kind == TokKind::kIdentifier && t.text == "assert");
+  }
+}
+
+TEST(Lexer, RawStringsAndMultiCharOperators) {
+  const std::string src = "auto s = R\"(printf(== !=))\"; a <<= b == c;\n";
+  LexedFile lex = Lex(src);
+  int eq_tokens = 0;
+  for (const Token& t : lex.tokens) {
+    if (t.kind == TokKind::kPunct && t.text == "==") ++eq_tokens;
+    EXPECT_FALSE(t.kind == TokKind::kIdentifier && t.text == "printf");
+  }
+  EXPECT_EQ(eq_tokens, 1);  // only the one outside the raw string
+}
+
+}  // namespace
+}  // namespace aride_lint

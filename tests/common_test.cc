@@ -9,7 +9,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/table.h"
-#include "common/thread_pool.h"
+#include "exec/thread_pool.h"
 
 namespace auctionride {
 namespace {

@@ -249,7 +249,7 @@ DispatchResult NaiveGreedy(const AuctionInstance& in) {
         // order index asc, then vehicle index asc.
         const bool better =
             u > best_utility ||
-            (u == best_utility &&
+            (u == best_utility &&  // NOLINT-ARIDE(float-eq): mirrors heap tie-break exactly
              (static_cast<int>(j) < best_order ||
               (static_cast<int>(j) == best_order &&
                static_cast<int>(i) < best_vehicle)));

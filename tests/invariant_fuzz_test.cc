@@ -24,7 +24,7 @@
 #include "auction/rank.h"
 #include "auction/verifier.h"
 #include "common/rng.h"
-#include "common/thread_pool.h"
+#include "exec/thread_pool.h"
 #include "roadnet/builder.h"
 #include "testutil.h"
 

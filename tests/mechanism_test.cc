@@ -9,7 +9,7 @@
 
 #include "auction/mechanism.h"
 #include "common/rng.h"
-#include "common/thread_pool.h"
+#include "exec/thread_pool.h"
 #include "roadnet/builder.h"
 #include "testutil.h"
 

@@ -3,7 +3,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "common/thread_pool.h"
+#include "exec/thread_pool.h"
 #include "roadnet/astar.h"
 #include "roadnet/builder.h"
 #include "roadnet/contraction_hierarchy.h"

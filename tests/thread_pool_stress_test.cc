@@ -12,7 +12,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/thread_pool.h"
+#include "exec/thread_pool.h"
 
 namespace auctionride {
 namespace {

@@ -1,0 +1,145 @@
+#include "aride_lint/layering.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace aride_lint {
+namespace {
+
+// First path component of a (possibly nested) path, "" when there is none.
+std::string FirstComponent(const std::string& path) {
+  std::size_t slash = path.find('/');
+  if (slash == std::string::npos) return std::string();
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+const std::vector<std::string>& LayerOrder() {
+  static const std::vector<std::string> kOrder = {
+      "common", "obs",     "exec",     "geo",     "spatial", "roadnet",
+      "model",  "planner", "workload", "auction", "sim"};
+  return kOrder;
+}
+
+int LayerRank(const std::string& layer) {
+  const std::vector<std::string>& order = LayerOrder();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == layer) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void LayerGraph::AddFile(const FileInfo& file) {
+  if (file.path.compare(0, 4, "src/") != 0) return;
+  const std::string from = FirstComponent(file.path.substr(4));
+  if (from.empty()) return;
+  const std::vector<Token>& toks = file.lex.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct || toks[i].text != "#") continue;
+    if (toks[i + 1].kind != TokKind::kIdentifier ||
+        toks[i + 1].text != "include") {
+      continue;
+    }
+    if (toks[i + 2].kind != TokKind::kString) continue;  // <...> is system
+    std::string target = toks[i + 2].text;
+    if (target.size() >= 2 && target.front() == '"' && target.back() == '"') {
+      target = target.substr(1, target.size() - 2);
+    }
+    const std::string to = FirstComponent(target);
+    if (to.empty() || to == from) continue;
+    Edge e{from, to, file.path, toks[i + 2].line, false};
+    e.suppressed = IsSuppressed(file.lex, e.line, kRuleLayerDag);
+    edges_.push_back(std::move(e));
+  }
+}
+
+void LayerGraph::AddEdge(const std::string& from_layer,
+                         const std::string& to_layer, const std::string& file,
+                         int line) {
+  edges_.push_back({from_layer, to_layer, file, line, false});
+}
+
+std::vector<Diagnostic> LayerGraph::Check() const {
+  std::vector<Diagnostic> diags;
+  std::set<std::string> unknown_reported;
+  // Direct rank violations and unknown layers.
+  for (const Edge& e : edges_) {
+    if (e.suppressed) continue;
+    const int from_rank = LayerRank(e.from);
+    const int to_rank = LayerRank(e.to);
+    if (from_rank < 0 || to_rank < 0) {
+      const std::string& bad = from_rank < 0 ? e.from : e.to;
+      if (unknown_reported.insert(bad).second) {
+        diags.push_back(
+            {e.file, e.line, kRuleLayerDag,
+             "directory src/" + bad +
+                 " has no declared layer; add it to the layer order in "
+                 "tools/aride_lint/layering.cc (and docs/ANALYSIS.md)"});
+      }
+      continue;
+    }
+    if (to_rank > from_rank) {
+      diags.push_back(
+          {e.file, e.line, kRuleLayerDag,
+           "layer violation: " + e.from + " (rank " +
+               std::to_string(from_rank) + ") must not include " + e.to +
+               " (rank " + std::to_string(to_rank) + "); " + e.from +
+               " sits below " + e.to +
+               " in the layer order and may only include downward"});
+    }
+  }
+  // Cycle detection over the layer-level graph, reporting the chain. With a
+  // consistent rank table every cycle also contains a rank violation, but
+  // the chain names the exact includes to untangle.
+  std::map<std::string, std::vector<const Edge*>> adj;
+  for (const Edge& e : edges_) {
+    if (!e.suppressed) adj[e.from].push_back(&e);
+  }
+  std::set<std::string> done;
+  std::vector<const Edge*> stack;
+  std::set<std::string> on_stack;
+  bool cycle_reported = false;
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    if (cycle_reported || done.count(node) != 0) return;
+    on_stack.insert(node);
+    for (const Edge* e : adj[node]) {
+      if (cycle_reported) break;
+      if (on_stack.count(e->to) != 0) {
+        // Found a cycle: slice the stack from the first visit of e->to.
+        std::string chain;
+        std::string via;
+        bool in_cycle = false;
+        for (const Edge* s : stack) {
+          if (s->from == e->to) in_cycle = true;
+          if (!in_cycle) continue;
+          chain += s->from + " -> ";
+          via += s->file + ":" + std::to_string(s->line) + ", ";
+        }
+        chain += e->from + " -> " + e->to;
+        via += e->file + ":" + std::to_string(e->line);
+        diags.push_back({e->file, e->line, kRuleLayerDag,
+                         "include cycle between layers: " + chain +
+                             " (via " + via + ")"});
+        cycle_reported = true;
+        break;
+      }
+      stack.push_back(e);
+      dfs(e->to);
+      stack.pop_back();
+    }
+    on_stack.erase(node);
+    done.insert(node);
+  };
+  for (const auto& [node, edges] : adj) {
+    (void)edges;
+    dfs(node);
+  }
+  return diags;
+}
+
+}  // namespace aride_lint

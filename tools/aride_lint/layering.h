@@ -1,0 +1,59 @@
+// Cross-file layer-DAG analysis for aride-lint (rule id: layer-dag).
+//
+// The src/ tree is a strict layering, lowest first:
+//
+//   common < obs < exec < geo < spatial < roadnet < model < planner
+//          < workload < auction < sim
+//
+// A file in layer L may include headers from L or any lower layer, never
+// from a higher one, so the include graph stays acyclic as the system
+// grows. bench/, tests/, tools/ and examples/ sit above all of src/ and may
+// include anything. Edges are collected from quoted includes whose first
+// path component is a known layer directory.
+
+#ifndef AUCTIONRIDE_TOOLS_ARIDE_LINT_LAYERING_H_
+#define AUCTIONRIDE_TOOLS_ARIDE_LINT_LAYERING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aride_lint/rules.h"
+
+namespace aride_lint {
+
+// Declared layer order, lowest layer first.
+const std::vector<std::string>& LayerOrder();
+
+// Rank of a layer directory name, or -1 when unknown.
+int LayerRank(const std::string& layer);
+
+class LayerGraph {
+ public:
+  // Scans a file's quoted includes. Only files under src/ contribute
+  // edges; unknown includer directories are diagnosed in Check().
+  void AddFile(const FileInfo& file);
+
+  // Test/analysis hook: record one include edge directly.
+  void AddEdge(const std::string& from_layer, const std::string& to_layer,
+               const std::string& file, int line);
+
+  // Rank violations (upward includes) with the offending include line, a
+  // cycle report with the full layer chain if the edge set is cyclic, and
+  // unknown-layer diagnostics for directories missing from LayerOrder().
+  std::vector<Diagnostic> Check() const;
+
+ private:
+  struct Edge {
+    std::string from;
+    std::string to;
+    std::string file;  // file whose include created the edge
+    int line = 0;
+    bool suppressed = false;
+  };
+  std::vector<Edge> edges_;
+};
+
+}  // namespace aride_lint
+
+#endif  // AUCTIONRIDE_TOOLS_ARIDE_LINT_LAYERING_H_

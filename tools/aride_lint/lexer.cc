@@ -1,0 +1,212 @@
+#include "aride_lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace aride_lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuators we must not split (maximal munch). Longest
+// first within each leading character; everything else falls back to a
+// single-character token.
+const char* const kPuncts3[] = {"<<=", ">>=", "...", "->*"};
+const char* const kPuncts2[] = {"==", "!=", "<=", ">=", "&&", "||", "++",
+                                "--", "+=", "-=", "*=", "/=", "%=", "&=",
+                                "|=", "^=", "<<", ">>", "::", "->", "##"};
+
+// Parses the rule list of a NOLINT-ARIDE marker inside comment text and
+// records it for `line`. Accepts "NOLINT-ARIDE", "NOLINT-ARIDE(r1,r2)" and
+// the NEXTLINE variants.
+void ScanCommentForSuppressions(const std::string& comment, int line,
+                                LexedFile* out) {
+  static const std::string kNext = "NOLINTNEXTLINE-ARIDE";
+  static const std::string kSame = "NOLINT-ARIDE";
+  std::size_t pos = 0;
+  while (pos < comment.size()) {
+    std::size_t at = comment.find("NOLINT", pos);
+    if (at == std::string::npos) return;
+    int target_line = 0;
+    std::size_t after = 0;
+    if (comment.compare(at, kNext.size(), kNext) == 0) {
+      target_line = line + 1;
+      after = at + kNext.size();
+    } else if (comment.compare(at, kSame.size(), kSame) == 0) {
+      target_line = line;
+      after = at + kSame.size();
+    } else {
+      pos = at + 6;  // plain clang-tidy NOLINT or unrelated text; skip
+      continue;
+    }
+    std::set<std::string>& rules = out->suppressions[target_line];
+    if (after < comment.size() && comment[after] == '(') {
+      std::size_t close = comment.find(')', after);
+      std::string list = comment.substr(
+          after + 1,
+          close == std::string::npos ? std::string::npos : close - after - 1);
+      std::string cur;
+      for (char c : list) {
+        if (c == ',') {
+          if (!cur.empty()) rules.insert(cur);
+          cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+          cur.push_back(c);
+        }
+      }
+      if (!cur.empty()) rules.insert(cur);
+    } else {
+      rules.insert("*");
+    }
+    pos = after;
+  }
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& source) {
+  LexedFile out;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto advance_over = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to && k < n; ++k) {
+      if (source[k] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line continuation inside directives: treat as whitespace.
+    if (c == '\\' && i + 1 < n && (source[i + 1] == '\n' ||
+                                   (source[i + 1] == '\r' && i + 2 < n &&
+                                    source[i + 2] == '\n'))) {
+      i += source[i + 1] == '\n' ? 2 : 3;
+      ++line;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      std::size_t end = source.find('\n', i);
+      if (end == std::string::npos) end = n;
+      ScanCommentForSuppressions(source.substr(i, end - i), line, &out);
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      std::size_t end = source.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      ScanCommentForSuppressions(source.substr(i, end - i), line, &out);
+      advance_over(i, end == n ? n : end + 2);
+      i = end == n ? n : end + 2;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      std::size_t open = source.find('(', i + 2);
+      if (open != std::string::npos) {
+        std::string delim = source.substr(i + 2, open - (i + 2));
+        std::string closer = ")" + delim + "\"";
+        std::size_t end = source.find(closer, open + 1);
+        if (end == std::string::npos) end = n;
+        std::size_t stop = end == n ? n : end + closer.size();
+        out.tokens.push_back({TokKind::kString, "R\"...\"", line});
+        advance_over(i, stop);
+        i = stop;
+        continue;
+      }
+    }
+    // String / char literals (with escape handling).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        if (source[j] == '\n') break;  // unterminated; bail at line end
+        ++j;
+      }
+      std::size_t stop = j < n && source[j] == quote ? j + 1 : j;
+      out.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                            source.substr(i, stop - i), line});
+      advance_over(i, stop);
+      i = stop;
+      continue;
+    }
+    // Identifiers.
+    if (IsIdentStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      out.tokens.push_back({TokKind::kIdentifier, source.substr(i, j - i),
+                            line});
+      i = j;
+      continue;
+    }
+    // pp-numbers: digits, digit separators, dots, exponent signs, suffixes.
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(source[i + 1]))) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = source[j];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                    source[j - 1] == 'p' || source[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokKind::kNumber, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuators, longest first.
+    bool matched = false;
+    for (const char* p : kPuncts3) {
+      if (source.compare(i, 3, p) == 0) {
+        out.tokens.push_back({TokKind::kPunct, p, line});
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* p : kPuncts2) {
+      if (source.compare(i, 2, p) == 0) {
+        out.tokens.push_back({TokKind::kPunct, p, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  out.line_count = line;
+  return out;
+}
+
+bool IsSuppressed(const LexedFile& lex, int line, const std::string& rule) {
+  auto it = lex.suppressions.find(line);
+  if (it == lex.suppressions.end()) return false;
+  return it->second.count("*") != 0 || it->second.count(rule) != 0;
+}
+
+}  // namespace aride_lint

@@ -1,0 +1,52 @@
+// Minimal C++ lexer for aride-lint (tools/aride_lint). Produces a flat
+// token stream with physical line numbers, strips comments and string
+// literals (so rule matching never fires inside them), and records
+// NOLINT-ARIDE suppression comments per line.
+//
+// This is deliberately not a preprocessor: macros are not expanded and
+// conditional compilation branches are all lexed. Rules that need
+// directive structure (#include, include guards) reconstruct it from the
+// '#' tokens, which the lexer passes through.
+
+#ifndef AUCTIONRIDE_TOOLS_ARIDE_LINT_LEXER_H_
+#define AUCTIONRIDE_TOOLS_ARIDE_LINT_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace aride_lint {
+
+enum class TokKind {
+  kIdentifier,  // identifiers and keywords (no keyword table needed)
+  kNumber,      // pp-number: 1, 0x1f, 1.5e-3, 1'000, 1.0f
+  kString,      // "..." including raw strings; text is the full literal
+  kChar,        // '...'
+  kPunct,       // operators & punctuation, maximal munch ("<<=", "==", ...)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based physical line of the token's first character
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  // Rules suppressed per line, from "// NOLINT-ARIDE(rule-a,rule-b)" (same
+  // line) and "// NOLINTNEXTLINE-ARIDE(...)" (following line). A bare
+  // "NOLINT-ARIDE" with no parenthesized list suppresses every rule; that
+  // is recorded as the sentinel "*".
+  std::map<int, std::set<std::string>> suppressions;
+  int line_count = 0;
+};
+
+LexedFile Lex(const std::string& source);
+
+// True when `rule` is suppressed on `line` (exact rule id or "*").
+bool IsSuppressed(const LexedFile& lex, int line, const std::string& rule);
+
+}  // namespace aride_lint
+
+#endif  // AUCTIONRIDE_TOOLS_ARIDE_LINT_LEXER_H_

@@ -1,0 +1,65 @@
+// Per-file rules for aride-lint. Each rule has a stable ID (used in
+// diagnostics and NOLINT-ARIDE suppressions); the catalog with rationale
+// and examples lives in docs/ANALYSIS.md.
+//
+//   banned-api          std::rand/srand, system_clock, assert()/<cassert>,
+//                       bare printf / std::cout / std::cerr in src/
+//   float-eq            raw ==/!= where an operand names a money quantity
+//                       (bid/price/payment/utility/cost/...)
+//   guard-style         include guards must be AUCTIONRIDE_<PATH>_H_
+//   check-side-effects  mutating expressions inside compiled-out
+//                       ARIDE_CHECK* / ARIDE_DCHECK macros
+//
+// The cross-file layer-dag rule lives in layering.h.
+
+#ifndef AUCTIONRIDE_TOOLS_ARIDE_LINT_RULES_H_
+#define AUCTIONRIDE_TOOLS_ARIDE_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "aride_lint/lexer.h"
+
+namespace aride_lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// Stable rule identifiers.
+inline constexpr char kRuleBannedApi[] = "banned-api";
+inline constexpr char kRuleFloatEq[] = "float-eq";
+inline constexpr char kRuleGuardStyle[] = "guard-style";
+inline constexpr char kRuleCheckSideEffects[] = "check-side-effects";
+inline constexpr char kRuleLayerDag[] = "layer-dag";
+
+struct FileInfo {
+  std::string path;    // repo-relative with '/' separators, e.g. "src/a/b.h"
+  std::string source;  // full file contents
+  LexedFile lex;       // Lex(source)
+};
+
+FileInfo MakeFileInfo(std::string path, std::string source);
+
+// Runs every per-file rule; diagnostics on suppressed lines are dropped.
+std::vector<Diagnostic> RunFileRules(const FileInfo& file);
+
+// Expected include guard for a header path ("src/geo/point.h" ->
+// "AUCTIONRIDE_GEO_POINT_H_"; non-src paths keep their first component).
+std::string ExpectedGuard(const std::string& path);
+
+// Rewrites a wrong-but-present include guard to the expected one. Returns
+// true and stores the new content iff the file changed.
+bool FixGuardStyle(const FileInfo& file, std::string* fixed_source);
+
+// True if `identifier` names a money/score quantity (snake-case components
+// matched against bid/price/pay/payment/utility/cost/fare/...). Exposed for
+// tests.
+bool IsMoneyIdentifier(const std::string& identifier);
+
+}  // namespace aride_lint
+
+#endif  // AUCTIONRIDE_TOOLS_ARIDE_LINT_RULES_H_

@@ -1,0 +1,11 @@
+// Golden fixture for the check-side-effects rule. aride_lint_test.cc
+// asserts the exact lines that fire — keep line numbers stable.
+void FixtureCheckSideEffects(int n, double pay) {
+  ARIDE_CHECK(n > 0);
+  ARIDE_DCHECK(n++ > 0);
+  ARIDE_CHECK_GE(pay -= 1.0, 0.0);
+  ARIDE_ACHECK(--n > 0);  // always-on tier: side effects survive release
+  ARIDE_CHECK_NEAR(pay, pay *= 2.0, 1e-9);
+  ARIDE_CHECK(n == 3);
+  (void)pay;
+}

@@ -1,0 +1,15 @@
+// Golden fixture for the float-eq rule. aride_lint_test.cc asserts the
+// exact lines that fire — keep line numbers stable when editing.
+bool FixtureFloatEq(double bid, double price, double utility,
+                    int n_payments, const double* payments, bool flag) {
+  bool a = bid == price;
+  bool b = utility != 0.0;
+  bool c = payments[0] == bid;
+  bool d = n_payments == 3;        // count of payments, not money: clean
+  bool e = flag == a;              // no money identifier: clean
+  bool f = bid == price;  // NOLINT-ARIDE(float-eq)
+  // "bid == price" inside a string or comment never fires.
+  const char* s = "bid == price";
+  (void)s;
+  return a && b && c && d && e && f;
+}

@@ -1,0 +1,9 @@
+// Golden fixture for the guard-style rule: the guard below is wrong for
+// this path on purpose. aride_lint_test.cc lints it under the simulated
+// path src/fixture/guard_style.h and also round-trips FixGuardStyle.
+#ifndef TOTALLY_WRONG_GUARD_H
+#define TOTALLY_WRONG_GUARD_H
+
+int FixtureGuardStyle();
+
+#endif  // TOTALLY_WRONG_GUARD_H

@@ -1,0 +1,9 @@
+// Golden fixture for the layer-dag rule: linted under the simulated path
+// src/common/layering_back_edge.h, the include below is an upward
+// (common -> auction) back-edge that must be rejected.
+#ifndef AUCTIONRIDE_COMMON_LAYERING_BACK_EDGE_H_
+#define AUCTIONRIDE_COMMON_LAYERING_BACK_EDGE_H_
+
+#include "auction/types.h"
+
+#endif  // AUCTIONRIDE_COMMON_LAYERING_BACK_EDGE_H_

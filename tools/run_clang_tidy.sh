@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (config: .clang-tidy) over every translation unit in src/.
+# Runs clang-tidy (config: .clang-tidy) over translation units in src/.
 #
 # Usage:
-#   tools/run_clang_tidy.sh [build_dir] [-- extra clang-tidy args]
+#   tools/run_clang_tidy.sh [build_dir] [path...] [-- extra clang-tidy args]
+#
+# Optional paths (files or directories, e.g. "src/auction" or
+# "src/sim/simulator.cc") restrict the run so a CI job can lint only the
+# files a PR touches; with no paths every TU under src/ is checked.
 #
 # The build dir must contain a compile_commands.json; the default preset
 # exports one (cmake --preset default), as do asan/tsan/debug. When no
@@ -16,6 +20,13 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 shift || true
+
+# Collect path filters up to the "--" separator.
+PATHS=()
+while [ "$#" -gt 0 ] && [ "$1" != "--" ]; do
+  PATHS+=("$1")
+  shift
+done
 [ "${1:-}" = "--" ] && shift
 
 CLANG_TIDY="${CLANG_TIDY:-}"
@@ -43,7 +54,14 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 fi
 
-mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+if [ "${#PATHS[@]}" -eq 0 ]; then
+  PATHS=(src)
+fi
+mapfile -t SOURCES < <(find "${PATHS[@]}" -name '*.cc' 2>/dev/null | sort -u)
+if [ "${#SOURCES[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no .cc files under: ${PATHS[*]} — nothing to lint."
+  exit 0
+fi
 echo "run_clang_tidy: $CLANG_TIDY over ${#SOURCES[@]} files" \
      "(build dir: $BUILD_DIR)"
 
