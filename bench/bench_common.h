@@ -11,14 +11,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "common/check.h"
+#include "exec/thread_pool.h"
 #include "obs/bench_json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -46,6 +49,33 @@ inline int ScaledOrders(int paper_count = 5000) {
 
 inline int ScaledVehicles(int paper_count = 7000) {
   return std::max(50, static_cast<int>(paper_count * BenchScale()));
+}
+
+/// Dispatch-parallelism knob: AR_DISPATCH_THREADS. Unset or 0 = hardware
+/// concurrency, negative = serial dispatch, positive = that many workers.
+/// Dispatch results are bit-identical across all settings; only wall time
+/// changes.
+inline int DispatchThreadsEnv() {
+  static const int threads = [] {
+    const char* env = std::getenv("AR_DISPATCH_THREADS");
+    return env != nullptr && env[0] != '\0' ? std::atoi(env) : 0;
+  }();
+  return threads;
+}
+
+/// Process-wide dispatch pool honoring AR_DISPATCH_THREADS (nullptr when
+/// dispatch is forced serial).
+inline ThreadPool* DispatchPool() {
+  static ThreadPool* pool = []() -> ThreadPool* {
+    const int threads = DispatchThreadsEnv();
+    if (threads < 0) return nullptr;
+    const std::size_t n =
+        threads > 0 ? static_cast<std::size_t>(threads)
+                    : std::max<std::size_t>(
+                          1, std::thread::hardware_concurrency());
+    return new ThreadPool(n);
+  }();
+  return pool;
 }
 
 /// Shared Beijing-like world: network + CH oracle + nearest-node index,
@@ -93,6 +123,7 @@ inline SimResult RunSim(MechanismKind mechanism, const WorkloadOptions& wl,
   Workload workload = GenerateWorkload(wl, *world.oracle, *world.nearest);
   SimOptions options = sim_options;
   options.mechanism = mechanism;
+  options.dispatch_threads = DispatchThreadsEnv();
   Simulator simulator(world.oracle.get(), std::move(workload), options);
   return simulator.Run();
 }
@@ -136,6 +167,7 @@ inline void FinishBench(const std::string& name) {
   info.config["beta_d_per_km"] = auction.beta_d_per_km;
   info.config["charge_ratio"] = auction.charge_ratio;
   info.config["pack_candidate_limit"] = auction.pack_candidate_limit;
+  info.config["dispatch_threads"] = DispatchThreadsEnv();
 
   const obs::MetricsSnapshot snap =
       obs::MetricRegistry::Global().Snapshot();

@@ -51,7 +51,9 @@ DispatchResult RunSingleShot(MechanismKind mechanism, int n,
   options.run_pricing = run_pricing;
   static ThreadPool* pricing_pool =
       new ThreadPool(std::thread::hardware_concurrency());
-  return RunMechanism(mechanism, instance, options, pricing_pool).dispatch;
+  return RunMechanism(mechanism, instance, options, pricing_pool,
+                      DispatchPool())
+      .dispatch;
 }
 
 void BM_Fig8(benchmark::State& state) {

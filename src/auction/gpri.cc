@@ -51,9 +51,15 @@ std::vector<Payment> GPriPriceAll(const AuctionInstance& instance,
                                   const DispatchResult& dispatch,
                                   ThreadPool* pool) {
   std::vector<Payment> payments(dispatch.assignments.size());
+  // When pricing runs on a pool, the per-order dispatch re-runs execute
+  // inside its workers; a nested ParallelFor there would deadlock in Wait()
+  // (the caller's own task still counts as in-flight), so strip the
+  // dispatch pool from the instance the re-runs see.
+  AuctionInstance priced_instance = instance;
+  if (pool != nullptr) priced_instance.dispatch_pool = nullptr;
   auto price_one = [&](std::size_t i) {
     const OrderId id = dispatch.assignments[i].order;
-    payments[i] = {id, GPriPriceOrder(instance, id)};
+    payments[i] = {id, GPriPriceOrder(priced_instance, id)};
   };
   if (pool != nullptr) {
     pool->ParallelFor(payments.size(), price_one);

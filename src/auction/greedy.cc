@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "planner/insertion.h"
@@ -35,22 +36,38 @@ struct HeapLess {
   }
 };
 
-// Candidate vehicle indices for an order: exact spatial pruning when
-// enabled, otherwise all vehicles.
-std::vector<int32_t> CandidateVehicles(const AuctionInstance& in,
-                                       const GridIndex& vehicle_index,
-                                       const Order& order) {
-  if (in.config.use_spatial_pruning) {
-    const Point origin = in.oracle->network().position(order.origin);
-    return vehicle_index.WithinRadius(
-        origin, MaxPickupRadiusM(order, in.oracle->speed_mps()));
+// Candidate vehicle source for the run: exact spatial pruning when enabled,
+// otherwise a single all-vehicles list built once and shared by every order
+// (the previous per-order rebuild was O(|R|·|V|) redundant allocations).
+class CandidateSource {
+ public:
+  CandidateSource(const AuctionInstance& in, const GridIndex& vehicle_index)
+      : in_(in), vehicle_index_(vehicle_index) {
+    if (!in.config.use_spatial_pruning) {
+      all_vehicles_.resize(in.vehicles->size());
+      for (std::size_t i = 0; i < all_vehicles_.size(); ++i) {
+        all_vehicles_[i] = static_cast<int32_t>(i);
+      }
+    }
   }
-  std::vector<int32_t> all(in.vehicles->size());
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    all[i] = static_cast<int32_t>(i);
+
+  // Returns the candidates for `order`, using `*scratch` as backing storage
+  // when a grid query is needed. The returned reference is valid until the
+  // next call with the same scratch. Thread-safe with distinct scratches.
+  const std::vector<int32_t>& For(const Order& order,
+                                  std::vector<int32_t>* scratch) const {
+    if (!in_.config.use_spatial_pruning) return all_vehicles_;
+    const Point origin = in_.oracle->network().position(order.origin);
+    *scratch = vehicle_index_.WithinRadius(
+        origin, MaxPickupRadiusM(order, in_.oracle->speed_mps()));
+    return *scratch;
   }
-  return all;
-}
+
+ private:
+  const AuctionInstance& in_;
+  const GridIndex& vehicle_index_;
+  std::vector<int32_t> all_vehicles_;
+};
 
 DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
                          GreedyTracedResult* traced) {
@@ -60,6 +77,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   const std::vector<Order>& orders = *in.orders;
   std::vector<Vehicle> vehicles = *in.vehicles;  // working copies
   const double alpha_per_m = in.config.alpha_d_per_km / 1000.0;
+  ThreadPool* pool = in.dispatch_pool;
 
   // Vehicle spatial index for pair pruning.
   std::vector<GridIndex::Item> items;
@@ -68,9 +86,10 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
     items.push_back({static_cast<int32_t>(i),
                      in.oracle->network().position(vehicles[i].next_node)});
   }
-  const GridIndex vehicle_index(std::move(items), /*cell_size_m=*/1000);
+  const GridIndex vehicle_index(std::move(items),
+                                in.config.vehicle_grid_cell_m);
+  const CandidateSource candidates(in, vehicle_index);
 
-  // Pool initialization (Algorithm 1 lines 2-6).
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
   std::vector<uint32_t> veh_version(vehicles.size(), 0);
   std::vector<std::vector<int>> veh_candidates(vehicles.size());
@@ -95,16 +114,47 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
            alpha_per_m * ins.delta_delivery_m;
   };
 
-  for (std::size_t j = 0; j < orders.size(); ++j) {
-    if (static_cast<int>(j) == excluded_idx) continue;
-    for (int32_t v : CandidateVehicles(in, vehicle_index, orders[j])) {
-      const double u = pair_utility(static_cast<int>(j), v);
-      if (u == -kInf) continue;
-      heap.push({u, static_cast<int>(j), v, 0});
-      veh_candidates[static_cast<std::size_t>(v)].push_back(
-          static_cast<int>(j));
+  // Pool initialization (Algorithm 1 lines 2-6), the O(|R|×|V|) sweep that
+  // dominates large rounds. Workers evaluate per-order candidate lists into
+  // disjoint slots; the merge then pushes into the heap serially in the
+  // exact (order_idx, candidate order) sequence of the serial sweep, so the
+  // run is bit-identical with any thread count.
+  struct SeedPair {
+    double utility;
+    int32_t veh;
+  };
+  std::vector<std::vector<SeedPair>> seeds(orders.size());
+  int64_t seed_pairs = 0;
+  auto seed_sweep = [&] {
+    OBS_SCOPED_TIMER("auction.dispatch.seed_sweep_s");
+    ParallelForOrSerial(pool, orders.size(), [&](std::size_t j) {
+      if (static_cast<int>(j) == excluded_idx) return;
+      std::vector<int32_t> scratch;
+      for (int32_t v : candidates.For(orders[j], &scratch)) {
+        const double u = pair_utility(static_cast<int>(j), v);
+        if (u == -kInf) continue;
+        seeds[j].push_back({u, v});
+      }
+    });
+    for (std::size_t j = 0; j < orders.size(); ++j) {
+      for (const SeedPair& sp : seeds[j]) {
+        heap.push({sp.utility, static_cast<int>(j), sp.veh, 0});
+        veh_candidates[static_cast<std::size_t>(sp.veh)].push_back(
+            static_cast<int>(j));
+        ++seed_pairs;
+      }
+      seeds[j] = {};  // release as we go; the sweep can be |R|·|V| pairs
     }
+  };
+  if (traced == nullptr) {
+    // Span only on the top-level dispatch path: GreedyDispatchExcluding runs
+    // once per priced order inside GPri and would flood the trace.
+    OBS_TRACE_SPAN("auction.greedy.seed_sweep");
+    seed_sweep();
+  } else {
+    seed_sweep();
   }
+  OBS_COUNTER_ADD("auction.dispatch.seed_pairs", seed_pairs);
 
   // Excluded requester's insertion-cost tracking (for GPri).
   std::vector<int32_t> excluded_candidates;
@@ -119,8 +169,9 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
         ins.feasible ? alpha_per_m * ins.delta_delivery_m : kInf;
   };
   if (excluded_idx >= 0) {
-    excluded_candidates = CandidateVehicles(
-        in, vehicle_index, orders[static_cast<std::size_t>(excluded_idx)]);
+    std::vector<int32_t> scratch;
+    excluded_candidates = candidates.For(
+        orders[static_cast<std::size_t>(excluded_idx)], &scratch);
     excluded_cost.resize(excluded_candidates.size());
     for (std::size_t s = 0; s < excluded_candidates.size(); ++s) {
       recompute_excluded_cost(s);
@@ -136,6 +187,8 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   DispatchResult result;
   int64_t heap_pops = 0;
   int64_t stale_pops = 0;
+  int64_t refresh_pairs = 0;
+  std::vector<double> refresh_utility;
   while (!heap.empty()) {
     const HeapEntry top = heap.top();
     heap.pop();
@@ -179,14 +232,25 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
     result.total_utility += order.bid - cost;
     result.total_delta_delivery_m += ins.delta_delivery_m;
 
-    // Lines 12-15: refresh pairs of the updated vehicle.
+    // Lines 12-15: refresh pairs of the updated vehicle. The vehicle state
+    // is stable during the batch (mutation happened above), so the
+    // re-evaluations are independent; the heap pushes and the alive-list
+    // rebuild run serially afterwards in the original candidate order.
     std::vector<int>& cands =
         veh_candidates[static_cast<std::size_t>(top.veh_idx)];
+    refresh_utility.assign(cands.size(), -kInf);
+    ParallelForOrSerial(pool, cands.size(), [&](std::size_t k) {
+      const int other = cands[k];
+      if (dispatched[static_cast<std::size_t>(other)]) return;
+      refresh_utility[k] = pair_utility(other, top.veh_idx);
+    });
     std::vector<int> alive;
     alive.reserve(cands.size());
-    for (int other : cands) {
+    for (std::size_t k = 0; k < cands.size(); ++k) {
+      const int other = cands[k];
       if (dispatched[static_cast<std::size_t>(other)]) continue;
-      const double u = pair_utility(other, top.veh_idx);
+      ++refresh_pairs;
+      const double u = refresh_utility[k];
       if (u == -kInf) continue;  // pair no longer valid: removed
       heap.push({u, other, top.veh_idx,
                  veh_version[static_cast<std::size_t>(top.veh_idx)]});
@@ -210,6 +274,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   }
   OBS_COUNTER_ADD("auction.greedy.heap_pops", heap_pops);
   OBS_COUNTER_ADD("auction.greedy.stale_pops", stale_pops);
+  OBS_COUNTER_ADD("auction.dispatch.refresh_pairs", refresh_pairs);
   OBS_COUNTER_ADD("auction.greedy.dispatched",
                   static_cast<int64_t>(result.assignments.size()));
   result.elapsed_seconds = timer.ElapsedSeconds();

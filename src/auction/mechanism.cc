@@ -7,6 +7,7 @@
 #include "auction/greedy.h"
 #include "common/check.h"
 #include "common/timer.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -25,7 +26,8 @@ std::string_view MechanismName(MechanismKind kind) {
 MechanismOutcome RunMechanism(MechanismKind kind,
                               const AuctionInstance& instance,
                               const MechanismOptions& options,
-                              ThreadPool* pricing_pool) {
+                              ThreadPool* pricing_pool,
+                              ThreadPool* dispatch_pool) {
   ARIDE_ACHECK(instance.orders != nullptr);
   const double cr = instance.config.charge_ratio;
   ARIDE_ACHECK(cr >= 0 && cr < 1) << "charge ratio must be in [0, 1)";
@@ -35,6 +37,11 @@ MechanismOutcome RunMechanism(MechanismKind kind,
   for (Order& o : deducted) o.bid *= (1.0 - cr);
   AuctionInstance charged = instance;
   charged.orders = &deducted;
+  if (dispatch_pool != nullptr) charged.dispatch_pool = dispatch_pool;
+  OBS_GAUGE_SET("auction.dispatch.pool_threads",
+                charged.dispatch_pool != nullptr
+                    ? static_cast<double>(charged.dispatch_pool->num_threads())
+                    : 0.0);
 
   MechanismOutcome outcome;
   {

@@ -54,10 +54,15 @@ struct MechanismOptions {
 
 /// Runs one dispatch round end to end. `instance` carries the *original*
 /// bids; the charge ratio from instance.config is applied internally.
+/// `pricing_pool` parallelizes per-order pricing (§V-C); `dispatch_pool`
+/// parallelizes dispatch candidate generation (overrides
+/// instance.dispatch_pool when non-null). The two may be the same pool:
+/// GPri strips the dispatch pool from its re-runs when pricing is pooled.
 MechanismOutcome RunMechanism(MechanismKind kind,
                               const AuctionInstance& instance,
                               const MechanismOptions& options = {},
-                              ThreadPool* pricing_pool = nullptr);
+                              ThreadPool* pricing_pool = nullptr,
+                              ThreadPool* dispatch_pool = nullptr);
 
 }  // namespace auctionride
 

@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
-#include <map>
 #include <memory>
 #include <thread>
 
+#include "auction/pack_memo.h"
 #include "common/check.h"
-#include "exec/thread_pool.h"
 #include "common/timer.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "planner/insertion.h"
@@ -22,20 +22,11 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Memoized PlanPack outcome, keyed by (vehicle, member set).
-struct PackEval {
-  bool feasible = false;
-  double delta_delivery_m = 0;
-};
-using PackMemo = std::map<std::pair<int32_t, std::vector<int32_t>>, PackEval>;
-
-PackEval EvaluatePack(const AuctionInstance& in, int32_t vehicle_idx,
-                      const std::vector<int32_t>& members, PackMemo* memo) {
-  const auto key = std::make_pair(vehicle_idx, members);
-  if (memo != nullptr) {
-    auto it = memo->find(key);
-    if (it != memo->end()) return it->second;
-  }
+PackMemo::Eval EvaluatePack(const AuctionInstance& in, int32_t vehicle_idx,
+                            const std::vector<int32_t>& members,
+                            PackMemo* memo) {
+  PackMemo::Eval eval;
+  if (memo->Lookup(vehicle_idx, members, &eval)) return eval;
   std::vector<const Order*> order_ptrs;
   order_ptrs.reserve(members.size());
   for (int32_t m : members) {
@@ -44,8 +35,8 @@ PackEval EvaluatePack(const AuctionInstance& in, int32_t vehicle_idx,
   const PackPlanResult plan =
       PlanPack((*in.vehicles)[static_cast<std::size_t>(vehicle_idx)],
                order_ptrs, in.now_s, *in.oracle);
-  const PackEval eval{plan.feasible, plan.delta_delivery_m};
-  if (memo != nullptr) memo->emplace(key, eval);
+  eval = {plan.feasible, plan.delta_delivery_m};
+  memo->Insert(vehicle_idx, members, eval);
   return eval;
 }
 
@@ -53,8 +44,11 @@ PackEval EvaluatePack(const AuctionInstance& in, int32_t vehicle_idx,
 // refined by exact road distance (committed extra distance included), or —
 // with config.exact_nearest_vehicle — an exact reverse Dijkstra sweep per
 // order over the feasibility radius, falling back to k-NN when no vehicle
-// is within reach.
-std::vector<int32_t> NearestVehicles(const AuctionInstance& in) {
+// is within reach. The k-NN path runs per-order on `pool` (each order only
+// writes its own slot; the oracle is thread-safe); the exact path stays
+// serial because the reverse Dijkstra workspace is shared mutable state.
+std::vector<int32_t> NearestVehicles(const AuctionInstance& in,
+                                     ThreadPool* pool) {
   const std::vector<Order>& orders = *in.orders;
   const std::vector<Vehicle>& vehicles = *in.vehicles;
   std::vector<int32_t> nearest(orders.size(), -1);
@@ -73,39 +67,10 @@ std::vector<int32_t> NearestVehicles(const AuctionInstance& in) {
         .push_back(static_cast<int32_t>(i));
   }
   if (items.empty()) return nearest;
-  const GridIndex index(std::move(items), /*cell_size_m=*/1000);
+  const GridIndex index(std::move(items), in.config.vehicle_grid_cell_m);
 
-  std::unique_ptr<DijkstraSearch> reverse_search;
-  if (in.config.exact_nearest_vehicle) {
-    reverse_search = std::make_unique<DijkstraSearch>(&in.oracle->network());
-  }
-
-  for (std::size_t j = 0; j < orders.size(); ++j) {
+  const auto resolve_knn = [&](std::size_t j) {
     double best_dist = kInf;
-    if (in.config.exact_nearest_vehicle) {
-      // One reverse sweep prices every vehicle node within the order's
-      // feasibility radius exactly.
-      const double radius =
-          MaxPickupRadiusM(orders[j], in.oracle->speed_mps());
-      const std::vector<double>& to_origin =
-          reverse_search->ReverseDistancesWithin(orders[j].origin, radius);
-      for (NodeId node = 0;
-           node < static_cast<NodeId>(vehicles_at_node.size()); ++node) {
-        if (to_origin[static_cast<std::size_t>(node)] == kInfDistance) {
-          continue;
-        }
-        for (int32_t v : vehicles_at_node[static_cast<std::size_t>(node)]) {
-          const double d =
-              vehicles[static_cast<std::size_t>(v)].extra_distance_m +
-              to_origin[static_cast<std::size_t>(node)];
-          if (d < best_dist) {
-            best_dist = d;
-            nearest[j] = v;
-          }
-        }
-      }
-      if (nearest[j] >= 0) continue;  // else: fall back to k-NN below
-    }
     const Point origin = in.oracle->network().position(orders[j].origin);
     const std::vector<int32_t> knn =
         index.KNearest(origin, in.config.nearest_vehicle_candidates);
@@ -118,6 +83,38 @@ std::vector<int32_t> NearestVehicles(const AuctionInstance& in) {
         nearest[j] = v;
       }
     }
+  };
+
+  if (!in.config.exact_nearest_vehicle) {
+    ParallelForOrSerial(pool, orders.size(),
+                        [&](std::size_t j) { resolve_knn(j); });
+    return nearest;
+  }
+
+  DijkstraSearch reverse_search(&in.oracle->network());
+  for (std::size_t j = 0; j < orders.size(); ++j) {
+    // One reverse sweep prices every vehicle node within the order's
+    // feasibility radius exactly.
+    double best_dist = kInf;
+    const double radius = MaxPickupRadiusM(orders[j], in.oracle->speed_mps());
+    const std::vector<double>& to_origin =
+        reverse_search.ReverseDistancesWithin(orders[j].origin, radius);
+    for (NodeId node = 0;
+         node < static_cast<NodeId>(vehicles_at_node.size()); ++node) {
+      if (to_origin[static_cast<std::size_t>(node)] == kInfDistance) {
+        continue;
+      }
+      for (int32_t v : vehicles_at_node[static_cast<std::size_t>(node)]) {
+        const double d =
+            vehicles[static_cast<std::size_t>(v)].extra_distance_m +
+            to_origin[static_cast<std::size_t>(node)];
+        if (d < best_dist) {
+          best_dist = d;
+          nearest[j] = v;
+        }
+      }
+    }
+    if (nearest[j] < 0) resolve_knn(j);  // fall back to k-NN
   }
   return nearest;
 }
@@ -196,101 +193,127 @@ std::vector<std::vector<int32_t>> ClusterOrders(const AuctionInstance& in,
   return groups;
 }
 
-// Generates candidate packs for every order in `group` (indices into the
-// instance's order vector), writing into artifacts (disjoint slots, safe to
-// call concurrently for disjoint groups).
-void GeneratePacksForGroup(const AuctionInstance& in,
-                           const std::vector<int32_t>& group,
-                           RankArtifacts* artifacts) {
+// Generates candidate packs for requester `j` against its group's origin
+// index, writing only into artifacts' slots for j — safe to run concurrently
+// for distinct orders. The memo is shared across all orders and groups
+// (sharded, thread-safe); caching is value-deterministic because PlanPack is
+// a pure function of the key for a fixed instance.
+void GeneratePacksForOrder(const AuctionInstance& in, int32_t j,
+                           const GridIndex& origin_index, int max_pack,
+                           PackMemo* memo, RankArtifacts* artifacts) {
   const std::vector<Order>& orders = *in.orders;
   const double alpha_per_m = in.config.alpha_d_per_km / 1000.0;
-  PackMemo memo;
+  std::vector<PackCandidate>& cands =
+      artifacts->candidates[static_cast<std::size_t>(j)];
 
-  // Spatial index over this group's origins for co-requester candidates.
-  std::vector<GridIndex::Item> items;
-  items.reserve(group.size());
-  for (int32_t j : group) {
-    items.push_back(
-        {j, in.oracle->network().position(
-                orders[static_cast<std::size_t>(j)].origin)});
+  const std::vector<int32_t> partners = origin_index.KNearest(
+      in.oracle->network().position(
+          orders[static_cast<std::size_t>(j)].origin),
+      in.config.pack_candidate_limit, /*exclude_id=*/j);
+
+  // Enumerate subsets {j} ∪ S, S ⊆ partners, |S| <= max_pack − 1.
+  std::vector<std::vector<int32_t>> member_sets;
+  member_sets.push_back({j});
+  if (max_pack >= 2) {
+    for (std::size_t a = 0; a < partners.size(); ++a) {
+      std::vector<int32_t> two = {j, partners[a]};
+      std::sort(two.begin(), two.end());
+      member_sets.push_back(std::move(two));
+      if (max_pack >= 3) {
+        for (std::size_t b = a + 1; b < partners.size(); ++b) {
+          std::vector<int32_t> three = {j, partners[a], partners[b]};
+          std::sort(three.begin(), three.end());
+          member_sets.push_back(std::move(three));
+        }
+      }
+    }
   }
-  const GridIndex origin_index(std::move(items), /*cell_size_m=*/800);
+
+  for (std::vector<int32_t>& members : member_sets) {
+    // Candidate vehicles: the members' nearest vehicles (deduplicated).
+    std::vector<int32_t> veh_candidates;
+    for (int32_t m : members) {
+      const int32_t v =
+          artifacts->nearest_vehicle[static_cast<std::size_t>(m)];
+      if (v >= 0 && std::find(veh_candidates.begin(), veh_candidates.end(),
+                              v) == veh_candidates.end()) {
+        veh_candidates.push_back(v);
+      }
+    }
+    double bid_sum = 0;
+    for (int32_t m : members) {
+      bid_sum += orders[static_cast<std::size_t>(m)].bid;
+    }
+
+    PackCandidate best_for_set;
+    best_for_set.utility = -kInf;
+    for (int32_t v : veh_candidates) {
+      const PackMemo::Eval eval = EvaluatePack(in, v, members, memo);
+      if (!eval.feasible) continue;
+      const double utility = bid_sum - alpha_per_m * eval.delta_delivery_m;
+      if (utility > best_for_set.utility) {
+        best_for_set.members = members;
+        best_for_set.vehicle = v;
+        best_for_set.delta_delivery_m = eval.delta_delivery_m;
+        best_for_set.bid_sum = bid_sum;
+        best_for_set.utility = utility;
+      }
+    }
+    if (best_for_set.vehicle >= 0) cands.push_back(std::move(best_for_set));
+  }
+
+  // Best pack of r_j (Algorithm 3 line 6).
+  int32_t best_idx = -1;
+  double best_utility = -kInf;
+  for (std::size_t c = 0; c < cands.size(); ++c) {
+    if (cands[c].utility > best_utility) {
+      best_utility = cands[c].utility;
+      best_idx = static_cast<int32_t>(c);
+    }
+  }
+  artifacts->best[static_cast<std::size_t>(j)] = best_idx;
+}
+
+// Generates candidate packs for every order: the per-group origin indexes
+// are built serially (cheap), then the (order, index) tasks are flattened
+// across groups and fanned out per-order on `pool`.
+void GeneratePacks(const AuctionInstance& in,
+                   const std::vector<std::vector<int32_t>>& groups,
+                   ThreadPool* pool, PackMemo* memo,
+                   RankArtifacts* artifacts) {
+  const std::vector<Order>& orders = *in.orders;
 
   // Maximum pack size: the largest vehicle capacity (c̄, default 3).
   int max_pack = 1;
-  for (const Vehicle& v : *in.vehicles) max_pack = std::max(max_pack, v.capacity);
-
-  for (int32_t j : group) {
-    std::vector<PackCandidate>& cands =
-        artifacts->candidates[static_cast<std::size_t>(j)];
-
-    const std::vector<int32_t> partners = origin_index.KNearest(
-        in.oracle->network().position(
-            orders[static_cast<std::size_t>(j)].origin),
-        in.config.pack_candidate_limit, /*exclude_id=*/j);
-
-    // Enumerate subsets {j} ∪ S, S ⊆ partners, |S| <= max_pack − 1.
-    std::vector<std::vector<int32_t>> member_sets;
-    member_sets.push_back({j});
-    if (max_pack >= 2) {
-      for (std::size_t a = 0; a < partners.size(); ++a) {
-        std::vector<int32_t> two = {j, partners[a]};
-        std::sort(two.begin(), two.end());
-        member_sets.push_back(std::move(two));
-        if (max_pack >= 3) {
-          for (std::size_t b = a + 1; b < partners.size(); ++b) {
-            std::vector<int32_t> three = {j, partners[a], partners[b]};
-            std::sort(three.begin(), three.end());
-            member_sets.push_back(std::move(three));
-          }
-        }
-      }
-    }
-
-    for (std::vector<int32_t>& members : member_sets) {
-      // Candidate vehicles: the members' nearest vehicles (deduplicated).
-      std::vector<int32_t> veh_candidates;
-      for (int32_t m : members) {
-        const int32_t v =
-            artifacts->nearest_vehicle[static_cast<std::size_t>(m)];
-        if (v >= 0 && std::find(veh_candidates.begin(), veh_candidates.end(),
-                                v) == veh_candidates.end()) {
-          veh_candidates.push_back(v);
-        }
-      }
-      double bid_sum = 0;
-      for (int32_t m : members) {
-        bid_sum += orders[static_cast<std::size_t>(m)].bid;
-      }
-
-      PackCandidate best_for_set;
-      best_for_set.utility = -kInf;
-      for (int32_t v : veh_candidates) {
-        const PackEval eval = EvaluatePack(in, v, members, &memo);
-        if (!eval.feasible) continue;
-        const double utility = bid_sum - alpha_per_m * eval.delta_delivery_m;
-        if (utility > best_for_set.utility) {
-          best_for_set.members = members;
-          best_for_set.vehicle = v;
-          best_for_set.delta_delivery_m = eval.delta_delivery_m;
-          best_for_set.bid_sum = bid_sum;
-          best_for_set.utility = utility;
-        }
-      }
-      if (best_for_set.vehicle >= 0) cands.push_back(std::move(best_for_set));
-    }
-
-    // Best pack of r_j (Algorithm 3 line 6).
-    int32_t best_idx = -1;
-    double best_utility = -kInf;
-    for (std::size_t c = 0; c < cands.size(); ++c) {
-      if (cands[c].utility > best_utility) {
-        best_utility = cands[c].utility;
-        best_idx = static_cast<int32_t>(c);
-      }
-    }
-    artifacts->best[static_cast<std::size_t>(j)] = best_idx;
+  for (const Vehicle& v : *in.vehicles) {
+    max_pack = std::max(max_pack, v.capacity);
   }
+
+  std::vector<std::unique_ptr<GridIndex>> indexes;
+  indexes.reserve(groups.size());
+  struct Task {
+    int32_t order;
+    const GridIndex* index;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(orders.size());
+  for (const std::vector<int32_t>& group : groups) {
+    std::vector<GridIndex::Item> items;
+    items.reserve(group.size());
+    for (int32_t j : group) {
+      items.push_back(
+          {j, in.oracle->network().position(
+                  orders[static_cast<std::size_t>(j)].origin)});
+    }
+    indexes.push_back(std::make_unique<GridIndex>(
+        std::move(items), in.config.pack_origin_cell_m));
+    for (int32_t j : group) tasks.push_back({j, indexes.back().get()});
+  }
+
+  ParallelForOrSerial(pool, tasks.size(), [&](std::size_t t) {
+    GeneratePacksForOrder(in, tasks[t].order, *tasks[t].index, max_pack,
+                          memo, artifacts);
+  });
 }
 
 }  // namespace
@@ -302,45 +325,52 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
   const std::vector<Order>& orders = *in.orders;
   const double alpha_per_m = in.config.alpha_d_per_km / 1000.0;
 
-  RankRunResult run;
-  RankArtifacts& art = run.artifacts;
-  art.candidates.resize(orders.size());
-  art.best.assign(orders.size(), -1);
-  art.nearest_vehicle = NearestVehicles(in);
-
-  // Phase I: pack generation, clustered when the round is large (§V-E).
+  // Clustered rounds (paper §V-E) always ran pack generation on a pool;
+  // keep that behavior with a local pool when no dispatch pool is injected.
   const int m = static_cast<int>(orders.size());
   const bool clustered = in.config.cluster_threshold > 0 &&
                          m >= in.config.cluster_threshold &&
                          in.config.cluster_target_size > 0;
+  ThreadPool* pool = in.dispatch_pool;
+  std::unique_ptr<ThreadPool> local_pool;
+  if (pool == nullptr && clustered) {
+    local_pool =
+        std::make_unique<ThreadPool>(std::thread::hardware_concurrency());
+    pool = local_pool.get();
+  }
+
+  RankRunResult run;
+  RankArtifacts& art = run.artifacts;
+  art.candidates.resize(orders.size());
+  art.best.assign(orders.size(), -1);
+  art.nearest_vehicle = NearestVehicles(in, pool);
+
+  // Phase I: pack generation, clustered when the round is large (§V-E).
+  PackMemo memo;
   {
     OBS_TRACE_SPAN("auction.rank.packgen");
+    std::vector<std::vector<int32_t>> groups;
     if (clustered) {
       const int num_groups =
           std::max(2, (m + in.config.cluster_target_size - 1) /
                           in.config.cluster_target_size);
-      const std::vector<std::vector<int32_t>> groups =
-          ClusterOrders(in, num_groups);
-      ThreadPool pool(std::thread::hardware_concurrency());
-      for (const std::vector<int32_t>& group : groups) {
-        pool.Submit([&in, &group, &art] {
-          GeneratePacksForGroup(in, group, &art);
-        });
-      }
-      pool.Wait();
+      groups = ClusterOrders(in, num_groups);
     } else {
       std::vector<int32_t> everyone(orders.size());
       for (std::size_t j = 0; j < everyone.size(); ++j) {
         everyone[j] = static_cast<int32_t>(j);
       }
-      GeneratePacksForGroup(in, everyone, &art);
+      groups.push_back(std::move(everyone));
     }
+    GeneratePacks(in, groups, pool, &memo, &art);
   }
   int64_t packs_generated = 0;
   for (const std::vector<PackCandidate>& cands : art.candidates) {
     packs_generated += static_cast<int64_t>(cands.size());
   }
   OBS_COUNTER_ADD("auction.rank.packs_generated", packs_generated);
+  OBS_COUNTER_ADD("auction.rank.packmemo.hits", memo.hits());
+  OBS_COUNTER_ADD("auction.rank.packmemo.misses", memo.misses());
 
   // Phase II: pack dispatch by utility ranking.
   OBS_TRACE_SPAN("auction.rank.dispatch");

@@ -16,6 +16,8 @@
 
 namespace auctionride {
 
+class ThreadPool;
+
 struct AuctionConfig {
   // Travel cost per km (labor & fuel), α_d. Paper default: 3.0 yuan/km.
   double alpha_d_per_km = 3.0;
@@ -54,6 +56,13 @@ struct AuctionConfig {
   // planner::MaxPickupRadiusM). Disabled only by the ablation bench.
   bool use_spatial_pruning = true;
 
+  // Cell size of the per-round vehicle grid index (meters). One knob for
+  // both Greedy's pair pruning and Rank's nearest-vehicle resolution, so
+  // pruning radius and index resolution cannot drift apart.
+  double vehicle_grid_cell_m = 1000;
+  // Cell size of Rank's per-group co-requester origin index (meters).
+  double pack_origin_cell_m = 800;
+
   // Threads for parallel pricing (paper §V-C prices requesters in
   // parallel). 0 = hardware concurrency.
   int pricing_threads = 0;
@@ -68,6 +77,13 @@ struct AuctionInstance {
   double now_s = 0;
   const DistanceOracle* oracle = nullptr;
   AuctionConfig config;
+  // Worker pool for parallel dispatch candidate generation (Greedy's pair
+  // sweep, Rank's per-requester pack search). nullptr = serial. Results are
+  // bit-identical either way: workers only fill disjoint slots and the
+  // merge into shared state happens serially in a fixed order. Must not
+  // point at a pool this dispatch itself runs on (nested ThreadPool::Wait
+  // deadlocks) — see GPriPriceAll.
+  ThreadPool* dispatch_pool = nullptr;
 };
 
 /// One dispatched requester.

@@ -68,6 +68,15 @@ void ThreadPool::ParallelFor(std::size_t n,
   Wait();
 }
 
+void ParallelForOrSerial(ThreadPool* pool, std::size_t n,
+                         const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && n >= 2) {
+    pool->ParallelFor(n, fn);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
 void ThreadPool::WorkerLoop() {
   obs::Tracer::SetThreadName("pool-worker");
   for (;;) {

@@ -48,6 +48,15 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// Runs fn(i) for i in [0, n): on `pool` when it is non-null and n >= 2,
+/// serially (ascending i) otherwise. fn must produce results that do not
+/// depend on execution order — callers rely on the two paths being
+/// bit-identical. Must not be invoked from inside a task running on `pool`:
+/// ParallelFor's Wait() would deadlock (in_flight_ never reaches zero while
+/// the caller's own task is still counted).
+void ParallelForOrSerial(ThreadPool* pool, std::size_t n,
+                         const std::function<void(std::size_t)>& fn);
+
 }  // namespace auctionride
 
 #endif  // AUCTIONRIDE_EXEC_THREAD_POOL_H_

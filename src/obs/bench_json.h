@@ -15,16 +15,19 @@
 //     "run":    {"git_sha", "build_type", "timestamp_unix_s"},
 //     "scale":  {...},              // caller-provided (bench scale knobs)
 //     "config": {...},              // caller-provided (Table-II knobs)
-//     "phases": {"dispatch"|"pricing"|"insertion"|"shortest_path":
+//     "phases": {"dispatch"|"pricing"|"insertion"|"shortest_path"|
+//                "seed_sweep":
 //                  {"count","mean_s","p50_s","p95_s","p99_s","max_s"}},
-//     "ch_cache": {"queries", "hits", "hit_rate"},
+//     "ch_cache": {"queries", "hits", "trivial", "hit_rate"},
 //     "metrics": {"counters": {name: int},
 //                 "gauges":   {name: double},
 //                 "histograms": {name: {"count","mean","stddev","min",
 //                                       "max","p50","p95","p99"}}}
 //   }
 // Phases appear only when their histogram has observations; ch_cache is
-// derived from the roadnet.sp.queries / roadnet.sp.cache_hits counters.
+// derived from the roadnet.sp.queries / roadnet.sp.cache_hits /
+// roadnet.sp.trivial counters ("trivial" is optional for the validator so
+// pre-existing baseline reports stay loadable).
 
 #ifndef AUCTIONRIDE_OBS_BENCH_JSON_H_
 #define AUCTIONRIDE_OBS_BENCH_JSON_H_
@@ -46,7 +49,8 @@ struct PhaseBinding {
   const char* histogram;  // metric name in the snapshot
 };
 
-/// The canonical phase set: dispatch, pricing, insertion, shortest_path.
+/// The canonical phase set: dispatch, pricing, insertion, shortest_path,
+/// seed_sweep.
 const std::vector<PhaseBinding>& StandardPhaseBindings();
 
 /// Manifest fields that are not derived from the metrics snapshot.

@@ -70,12 +70,15 @@ namespace {
 struct SpQueryBatch {
   int64_t queries = 0;
   int64_t cache_hits = 0;
+  int64_t trivial = 0;
   ~SpQueryBatch() { Flush(); }
   void Flush() {
     if (queries > 0) OBS_COUNTER_ADD("roadnet.sp.queries", queries);
     if (cache_hits > 0) OBS_COUNTER_ADD("roadnet.sp.cache_hits", cache_hits);
+    if (trivial > 0) OBS_COUNTER_ADD("roadnet.sp.trivial", trivial);
     queries = 0;
     cache_hits = 0;
+    trivial = 0;
   }
 };
 
@@ -88,19 +91,28 @@ thread_local SpQueryBatch sp_query_batch;
     if (++sp_query_batch.queries >= 4096) sp_query_batch.Flush(); \
   } while (0)
 #define ARIDE_SP_COUNT_HIT() (++sp_query_batch.cache_hits)
+#define ARIDE_SP_COUNT_TRIVIAL() (++sp_query_batch.trivial)
 #else
 #define ARIDE_SP_COUNT_QUERY() \
   do {                         \
   } while (0)
 #define ARIDE_SP_COUNT_HIT() (void)0
+#define ARIDE_SP_COUNT_TRIVIAL() (void)0
 #endif  // ARIDE_OBS_DISABLED
 
 double DistanceOracle::Distance(NodeId source, NodeId target) const {
   ARIDE_DCHECK(source >= 0 && source < network_->num_nodes());
   ARIDE_DCHECK(target >= 0 && target < network_->num_nodes());
+  // Trivial queries never reach the cache, so counting them in
+  // num_queries_ would bias the hit rate downward; they get their own
+  // counter and num_queries_ stays hits + computes.
+  if (source == target) {
+    num_trivial_queries_.fetch_add(1, std::memory_order_relaxed);
+    ARIDE_SP_COUNT_TRIVIAL();
+    return 0;
+  }
   num_queries_.fetch_add(1, std::memory_order_relaxed);
   ARIDE_SP_COUNT_QUERY();
-  if (source == target) return 0;
 
   const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(source))
                         << 32) |

@@ -51,12 +51,18 @@ class DistanceOracle {
   double speed_mps() const { return speed_mps_; }
   const RoadNetwork& network() const { return *network_; }
 
-  /// Cumulative query statistics (for the ablation bench).
+  /// Cumulative query statistics (for the ablation bench). num_queries()
+  /// counts only non-trivial queries (source != target) — the ones that
+  /// reach the cache — so hit rate is hits/queries without bias from
+  /// trivial zero-distance answers, which are counted separately.
   int64_t num_queries() const {
     return num_queries_.load(std::memory_order_relaxed);
   }
   int64_t num_cache_hits() const {
     return num_cache_hits_.load(std::memory_order_relaxed);
+  }
+  int64_t num_trivial_queries() const {
+    return num_trivial_queries_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -82,6 +88,7 @@ class DistanceOracle {
   mutable std::unique_ptr<CacheShard[]> shards_;
   mutable std::atomic<int64_t> num_queries_{0};
   mutable std::atomic<int64_t> num_cache_hits_{0};
+  mutable std::atomic<int64_t> num_trivial_queries_{0};
 };
 
 }  // namespace auctionride

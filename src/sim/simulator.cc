@@ -45,6 +45,14 @@ Simulator::Simulator(const DistanceOracle* oracle, Workload workload,
     pricing_pool_ = std::make_unique<ThreadPool>(
         static_cast<std::size_t>(std::max(1, threads)));
   }
+  if (options_.dispatch_threads >= 0) {
+    const int threads = options_.dispatch_threads > 0
+                            ? options_.dispatch_threads
+                            : static_cast<int>(
+                                  std::thread::hardware_concurrency());
+    dispatch_pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(std::max(1, threads)));
+  }
 
   vehicles_.reserve(workload_.vehicles.size());
   for (const VehicleSpawn& spawn : workload_.vehicles) {
@@ -233,8 +241,9 @@ void Simulator::RunRound(double now_s, SimResult* result) {
 
   MechanismOptions mech_options;
   mech_options.run_pricing = options_.run_pricing;
-  const MechanismOutcome outcome = RunMechanism(
-      options_.mechanism, instance, mech_options, pricing_pool_.get());
+  const MechanismOutcome outcome =
+      RunMechanism(options_.mechanism, instance, mech_options,
+                   pricing_pool_.get(), dispatch_pool_.get());
 
   if (options_.verify_dispatch) {
     // The dispatch ran on charge-deducted bids; re-derive them for the

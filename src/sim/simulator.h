@@ -42,6 +42,10 @@ struct SimOptions {
   bool run_pricing = false;
   int pricing_threads = 0;  // 0 = hardware concurrency
 
+  // Workers for parallel dispatch candidate generation (results are
+  // bit-identical to serial). 0 = hardware concurrency; negative = serial.
+  int dispatch_threads = 0;
+
   // Re-validate every round's dispatch with auction::VerifyDispatch
   // (structure, Definition 4 feasibility, accounting). Cheap relative to
   // dispatch; on by default in tests, available in production for paranoia.
@@ -165,6 +169,7 @@ class Simulator {
   Rng rng_;
   std::unique_ptr<AStarSearch> path_search_;
   std::unique_ptr<ThreadPool> pricing_pool_;
+  std::unique_ptr<ThreadPool> dispatch_pool_;
 
   std::vector<SimVehicle> vehicles_;
   std::vector<OrderRecord> order_records_;

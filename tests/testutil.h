@@ -7,6 +7,8 @@
 #include <memory>
 #include <vector>
 
+#include "auction/types.h"
+#include "common/rng.h"
 #include "model/order.h"
 #include "model/vehicle.h"
 #include "roadnet/builder.h"
@@ -78,6 +80,108 @@ inline Vehicle MakeVehicle(VehicleId id, NodeId node, int capacity = 3) {
   v.next_node = node;
   v.capacity = capacity;
   return v;
+}
+
+/// A perturbed grid-network auction round: mixed bids, vehicles with
+/// pre-existing commitments and onboard riders, varying α_d, dispatch
+/// threshold and charge ratio. Shared by the invariant fuzz suite and the
+/// dispatch determinism suite so both sweep the same instance family.
+struct FuzzScenario {
+  RoadNetwork net;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::vector<Order> orders;
+  std::vector<Vehicle> vehicles;
+  double now_s = 0;
+  AuctionConfig config;
+
+  AuctionInstance Instance() const {
+    AuctionInstance in;
+    in.orders = &orders;
+    in.vehicles = &vehicles;
+    in.now_s = now_s;
+    in.oracle = oracle.get();
+    in.config = config;
+    return in;
+  }
+};
+
+/// Ids >= 1000 mark pre-existing commitments that are not part of the round.
+inline constexpr OrderId kCommittedBase = 1000;
+
+inline FuzzScenario BuildFuzzScenario(uint64_t seed) {
+  FuzzScenario sc;
+  Rng rng(seed);
+
+  GridNetworkOptions net_options;
+  net_options.columns = 7 + static_cast<int>(rng.UniformInt(uint64_t{4}));
+  net_options.rows = 7 + static_cast<int>(rng.UniformInt(uint64_t{4}));
+  net_options.spacing_m = 400 + 100 * static_cast<double>(
+                                          rng.UniformInt(uint64_t{4}));
+  net_options.seed = seed * 31 + 7;
+  sc.net = BuildGridNetwork(net_options);
+  sc.oracle = std::make_unique<DistanceOracle>(
+      &sc.net, DistanceOracle::Backend::kDijkstra);
+  const auto num_nodes = static_cast<uint64_t>(sc.net.num_nodes());
+  auto random_node = [&] {
+    return static_cast<NodeId>(rng.UniformInt(num_nodes));
+  };
+
+  sc.now_s = rng.Uniform(0, 600);
+  sc.config.alpha_d_per_km = rng.Uniform(2.0, 4.0);
+  sc.config.beta_d_per_km = sc.config.alpha_d_per_km;
+  sc.config.min_utility = rng.Uniform() < 0.3 ? rng.Uniform(0.5, 3.0) : 0.0;
+  sc.config.charge_ratio = rng.Uniform() < 0.3 ? rng.Uniform(0.05, 0.3) : 0.0;
+  sc.config.exact_nearest_vehicle = rng.Uniform() < 0.25;
+  sc.config.use_spatial_pruning = rng.Uniform() < 0.8;
+  sc.config.pricing_threads = 2;
+
+  const int m = 6 + static_cast<int>(rng.UniformInt(uint64_t{10}));
+  for (int j = 0; j < m; ++j) {
+    NodeId s = 0;
+    NodeId e = 0;
+    while (s == e) {
+      s = random_node();
+      e = random_node();
+    }
+    // Bids span marginal to generous; γ spans tight to loose deadlines.
+    const double bid = rng.Uniform() < 0.2 ? rng.Uniform(0.1, 3.0)
+                                           : rng.Uniform(5.0, 60.0);
+    sc.orders.push_back(
+        MakeOrder(j, s, e, bid, *sc.oracle, rng.Uniform(1.3, 2.5)));
+    sc.orders.back().issue_time_s = sc.now_s;
+  }
+
+  const int n = 3 + static_cast<int>(rng.UniformInt(uint64_t{4}));
+  for (int i = 0; i < n; ++i) {
+    Vehicle v = MakeVehicle(
+        i, random_node(),
+        /*capacity=*/1 + static_cast<int>(rng.UniformInt(uint64_t{3})));
+    v.extra_distance_m = rng.Uniform() < 0.5 ? rng.Uniform(0, 300) : 0;
+    const double roll = rng.Uniform();
+    if (roll < 0.25) {
+      // Rider already in the car: drop-off pending, generous deadline.
+      v.onboard = 1;
+      v.in_delivery = true;
+      v.plan.stops.push_back({random_node(), kCommittedBase + i,
+                              StopType::kDropoff, sc.now_s + 1e6});
+    } else if (roll < 0.45 && v.capacity >= 2) {
+      // Accepted but not yet picked up.
+      const NodeId pick = random_node();
+      v.plan.stops.push_back(
+          {pick, kCommittedBase + i, StopType::kPickup, 0});
+      v.plan.stops.push_back({random_node(), kCommittedBase + i,
+                              StopType::kDropoff, sc.now_s + 1e6});
+    }
+    sc.vehicles.push_back(std::move(v));
+  }
+  return sc;
+}
+
+/// Bids as the algorithms saw them after the §V-C charge deduction.
+inline std::vector<Order> DeductedOrders(const FuzzScenario& sc) {
+  std::vector<Order> deducted = sc.orders;
+  for (Order& o : deducted) o.bid *= (1.0 - sc.config.charge_ratio);
+  return deducted;
 }
 
 }  // namespace testutil

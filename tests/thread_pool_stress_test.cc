@@ -1,17 +1,20 @@
 // TSan-targeted stress tests for ThreadPool: concurrent submission from
 // many producer threads, tasks that submit tasks, Wait() racing against
 // active workers, ParallelFor nesting, and rapid construct/shutdown cycles
-// with work still queued. Run these under the tsan preset
-// (cmake --preset tsan) to get race detection; under asan they double as
-// lifetime checks on the task queue.
+// with work still queued — plus the sharded PackMemo that Rank's parallel
+// pack generation shares across pool workers. Run these under the tsan
+// preset (cmake --preset tsan) to get race detection; under asan they
+// double as lifetime checks on the task queue.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
+#include "auction/pack_memo.h"
 #include "exec/thread_pool.h"
 
 namespace auctionride {
@@ -100,6 +103,69 @@ TEST(ThreadPoolStressTest, ShutdownDrainsQueuedTasks) {
     }
     EXPECT_EQ(executed.load(), 100) << "round " << round;
   }
+}
+
+TEST(PackMemoStressTest, ConcurrentLookupInsertOverlappingKeys) {
+  // Rank's parallel pack generation: many workers race to look up and
+  // insert the same (vehicle, members) keys through the sharded memo. The
+  // value of a key is a pure function of it, so whoever inserts first must
+  // win with the identical value every reader then sees.
+  PackMemo memo;
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 2000;
+  constexpr int32_t kVehicles = 8;
+  std::atomic<int> wrong_values{0};
+  pool.ParallelFor(kTasks, [&](std::size_t t) {
+    // Small key space so distinct tasks collide on keys constantly.
+    const auto vehicle = static_cast<int32_t>(t % kVehicles);
+    const auto a = static_cast<int32_t>(t % 5);
+    const auto b = static_cast<int32_t>(t % 3 + 5);
+    const std::vector<int32_t> members = {a, b};
+    const PackMemo::Eval expect{(vehicle + a + b) % 2 == 0,
+                                static_cast<double>(vehicle * 100 + a + b)};
+    PackMemo::Eval got;
+    if (!memo.Lookup(vehicle, members, &got)) {
+      memo.Insert(vehicle, members, expect);
+      got = expect;
+    }
+    if (got.feasible != expect.feasible ||
+        got.delta_delivery_m != expect.delta_delivery_m) {
+      wrong_values.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(wrong_values.load(), 0);
+  // 8 vehicles × 5 a-values × 3 b-values distinct keys at most.
+  EXPECT_LE(memo.size(), static_cast<std::size_t>(kVehicles * 5 * 3));
+  EXPECT_GT(memo.size(), 0u);
+  EXPECT_EQ(memo.hits() + memo.misses(), static_cast<int64_t>(kTasks));
+}
+
+TEST(PackMemoStressTest, InsertIsIdempotent) {
+  PackMemo memo;
+  const std::vector<int32_t> members = {1, 4, 9};
+  memo.Insert(3, members, {true, 123.0});
+  memo.Insert(3, members, {false, 999.0});  // loses: first insert wins
+  PackMemo::Eval eval;
+  ASSERT_TRUE(memo.Lookup(3, members, &eval));
+  EXPECT_TRUE(eval.feasible);
+  EXPECT_EQ(eval.delta_delivery_m, 123.0);
+  EXPECT_EQ(memo.size(), 1u);
+}
+
+TEST(ThreadPoolStressTest, ParallelForOrSerialMatchesSerial) {
+  // Both paths must produce identical per-slot results; the serial path
+  // must also run without any pool.
+  constexpr std::size_t kN = 257;
+  std::vector<int> with_pool(kN, 0);
+  std::vector<int> without_pool(kN, 0);
+  ThreadPool pool(3);
+  ParallelForOrSerial(&pool, kN, [&](std::size_t i) {
+    with_pool[i] = static_cast<int>(i * 7 + 1);
+  });
+  ParallelForOrSerial(nullptr, kN, [&](std::size_t i) {
+    without_pool[i] = static_cast<int>(i * 7 + 1);
+  });
+  EXPECT_EQ(with_pool, without_pool);
 }
 
 TEST(ThreadPoolStressTest, WaitFromMultipleThreads) {
