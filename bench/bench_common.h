@@ -117,6 +117,8 @@ inline AuctionConfig PaperAuction() {
 }
 
 /// Runs one full simulation and reports the figure metrics as counters.
+/// Fault injection follows AR_FAULT_PROFILE (default "none", which is
+/// bit-identical to running without fault support at all).
 inline SimResult RunSim(MechanismKind mechanism, const WorkloadOptions& wl,
                         const SimOptions& sim_options) {
   World& world = SharedWorld();
@@ -124,6 +126,7 @@ inline SimResult RunSim(MechanismKind mechanism, const WorkloadOptions& wl,
   SimOptions options = sim_options;
   options.mechanism = mechanism;
   options.dispatch_threads = DispatchThreadsEnv();
+  options.faults = FaultOptionsFromEnv(options.seed);
   Simulator simulator(world.oracle.get(), std::move(workload), options);
   return simulator.Run();
 }
@@ -168,6 +171,12 @@ inline void FinishBench(const std::string& name) {
   info.config["charge_ratio"] = auction.charge_ratio;
   info.config["pack_candidate_limit"] = auction.pack_candidate_limit;
   info.config["dispatch_threads"] = DispatchThreadsEnv();
+  // Surface the active fault profile in the report (the "faults" object is
+  // omitted entirely for fault-free runs; see bench_json.h).
+  const FaultOptions faults = FaultOptionsFromEnv(/*seed=*/0);
+  if (faults.profile != FaultProfile::kNone) {
+    info.fault_profile = std::string(FaultProfileName(faults.profile));
+  }
 
   const obs::MetricsSnapshot snap =
       obs::MetricRegistry::Global().Snapshot();

@@ -57,10 +57,16 @@ int main(int argc, char** argv) {
   sim_options.run_pricing = true;
   sim_options.auction.alpha_d_per_km = 3.0;
   sim_options.auction.charge_ratio = 0.2;  // the paper's best setting
+  sim_options.faults = FaultOptionsFromEnv(sim_options.seed);
+  // Fault runs double as CI smoke coverage for the recovery invariants, so
+  // re-verify every round's dispatch and payments when faults are active.
+  sim_options.verify_dispatch = sim_options.faults.any();
 
-  std::printf("simulating with %s, t_rnd = %.0f s, CR = %.1f...\n",
+  std::printf("simulating with %s, t_rnd = %.0f s, CR = %.1f, faults = %s...\n",
               std::string(MechanismName(mechanism)).c_str(), trnd,
-              sim_options.auction.charge_ratio);
+              sim_options.auction.charge_ratio,
+              std::string(FaultProfileName(sim_options.faults.profile))
+                  .c_str());
   Simulator simulator(&oracle, std::move(workload), sim_options);
   const SimResult result = simulator.Run();
 

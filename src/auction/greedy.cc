@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "exec/deadline.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -78,6 +79,12 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   std::vector<Vehicle> vehicles = *in.vehicles;  // working copies
   const double alpha_per_m = in.config.alpha_d_per_km / 1000.0;
   ThreadPool* pool = in.dispatch_pool;
+  Deadline* const dl = in.deadline;
+  // Synthetic latency-spike charges are metered from per-slot
+  // ThreadQueryCount() deltas and booked at the serial merge points, so the
+  // accumulated total — and with it the expiry verdict — is bit-identical
+  // at any thread count (docs/ROBUSTNESS.md).
+  const bool meter = dl != nullptr && dl->charges_queries();
 
   // Vehicle spatial index for pair pruning.
   std::vector<GridIndex::Item> items;
@@ -124,18 +131,34 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
     int32_t veh;
   };
   std::vector<std::vector<SeedPair>> seeds(orders.size());
+  std::vector<int64_t> seed_queries(meter ? orders.size() : 0, 0);
   int64_t seed_pairs = 0;
+  bool sweep_complete = true;
   auto seed_sweep = [&] {
     OBS_SCOPED_TIMER("auction.dispatch.seed_sweep_s");
-    ParallelForOrSerial(pool, orders.size(), [&](std::size_t j) {
-      if (static_cast<int>(j) == excluded_idx) return;
-      std::vector<int32_t> scratch;
-      for (int32_t v : candidates.For(orders[j], &scratch)) {
-        const double u = pair_utility(static_cast<int>(j), v);
-        if (u == -kInf) continue;
-        seeds[j].push_back({u, v});
-      }
-    });
+    sweep_complete = ParallelForOrSerial(
+        pool, orders.size(),
+        [&](std::size_t j) {
+          if (static_cast<int>(j) == excluded_idx) return;
+          const int64_t before =
+              meter ? DistanceOracle::ThreadQueryCount() : 0;
+          std::vector<int32_t> scratch;
+          for (int32_t v : candidates.For(orders[j], &scratch)) {
+            const double u = pair_utility(static_cast<int>(j), v);
+            if (u == -kInf) continue;
+            seeds[j].push_back({u, v});
+          }
+          if (meter) {
+            seed_queries[j] = DistanceOracle::ThreadQueryCount() - before;
+          }
+        },
+        dl);
+    if (!sweep_complete) return;
+    if (meter) {
+      int64_t total = 0;
+      for (int64_t q : seed_queries) total += q;
+      dl->ChargeQueries(total);
+    }
     for (std::size_t j = 0; j < orders.size(); ++j) {
       for (const SeedPair& sp : seeds[j]) {
         heap.push({sp.utility, static_cast<int>(j), sp.veh, 0});
@@ -155,6 +178,14 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
     seed_sweep();
   }
   OBS_COUNTER_ADD("auction.dispatch.seed_pairs", seed_pairs);
+
+  // One-by-one dispatch (Algorithm 1 lines 7-16).
+  DispatchResult result;
+  if (!sweep_complete || (dl != nullptr && dl->expired())) {
+    result.completed = false;
+    result.elapsed_seconds = timer.ElapsedSeconds();
+    return result;
+  }
 
   // Excluded requester's insertion-cost tracking (for GPri).
   std::vector<int32_t> excluded_candidates;
@@ -183,12 +214,11 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
     return best;
   };
 
-  // One-by-one dispatch (Algorithm 1 lines 7-16).
-  DispatchResult result;
   int64_t heap_pops = 0;
   int64_t stale_pops = 0;
   int64_t refresh_pairs = 0;
   std::vector<double> refresh_utility;
+  std::vector<int64_t> refresh_queries;
   while (!heap.empty()) {
     const HeapEntry top = heap.top();
     heap.pop();
@@ -206,8 +236,12 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
 
     const Order& order = orders[static_cast<std::size_t>(top.order_idx)];
     Vehicle& vehicle = vehicles[static_cast<std::size_t>(top.veh_idx)];
+    const int64_t pop_before = meter ? DistanceOracle::ThreadQueryCount() : 0;
     const InsertionResult ins =
         BestInsertion(vehicle, order, in.now_s, *in.oracle);
+    if (meter) {
+      dl->ChargeQueries(DistanceOracle::ThreadQueryCount() - pop_before);
+    }
     ARIDE_ACHECK(ins.feasible);
     const double cost = alpha_per_m * ins.delta_delivery_m;
     // The popped entry is fresh for this vehicle version, so it was computed
@@ -239,11 +273,29 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
     std::vector<int>& cands =
         veh_candidates[static_cast<std::size_t>(top.veh_idx)];
     refresh_utility.assign(cands.size(), -kInf);
-    ParallelForOrSerial(pool, cands.size(), [&](std::size_t k) {
-      const int other = cands[k];
-      if (dispatched[static_cast<std::size_t>(other)]) return;
-      refresh_utility[k] = pair_utility(other, top.veh_idx);
-    });
+    if (meter) refresh_queries.assign(cands.size(), 0);
+    const bool refresh_complete = ParallelForOrSerial(
+        pool, cands.size(),
+        [&](std::size_t k) {
+          const int other = cands[k];
+          if (dispatched[static_cast<std::size_t>(other)]) return;
+          const int64_t before =
+              meter ? DistanceOracle::ThreadQueryCount() : 0;
+          refresh_utility[k] = pair_utility(other, top.veh_idx);
+          if (meter) {
+            refresh_queries[k] = DistanceOracle::ThreadQueryCount() - before;
+          }
+        },
+        dl);
+    if (meter) {
+      int64_t total = 0;
+      for (int64_t q : refresh_queries) total += q;
+      dl->ChargeQueries(total);
+    }
+    if (!refresh_complete) {
+      result.completed = false;
+      break;
+    }
     std::vector<int> alive;
     alive.reserve(cands.size());
     for (std::size_t k = 0; k < cands.size(); ++k) {
@@ -265,6 +317,22 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
         }
       }
     }
+
+    // Safe point: one dispatch step is fully applied, so aborting here
+    // leaves no half-mutated vehicle state in the (discarded) result.
+    if (dl != nullptr && dl->expired()) {
+      result.completed = false;
+      break;
+    }
+  }
+
+  OBS_COUNTER_ADD("auction.greedy.heap_pops", heap_pops);
+  OBS_COUNTER_ADD("auction.greedy.stale_pops", stale_pops);
+  OBS_COUNTER_ADD("auction.dispatch.refresh_pairs", refresh_pairs);
+  if (!result.completed || (dl != nullptr && dl->expired())) {
+    result.completed = false;
+    result.elapsed_seconds = timer.ElapsedSeconds();
+    return result;
   }
 
   for (std::size_t i = 0; i < vehicles.size(); ++i) {
@@ -272,9 +340,6 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
       result.updated_plans.push_back({i, vehicles[i].plan.stops});
     }
   }
-  OBS_COUNTER_ADD("auction.greedy.heap_pops", heap_pops);
-  OBS_COUNTER_ADD("auction.greedy.stale_pops", stale_pops);
-  OBS_COUNTER_ADD("auction.dispatch.refresh_pairs", refresh_pairs);
   OBS_COUNTER_ADD("auction.greedy.dispatched",
                   static_cast<int64_t>(result.assignments.size()));
   result.elapsed_seconds = timer.ElapsedSeconds();

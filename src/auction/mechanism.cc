@@ -2,11 +2,13 @@
 
 #include <unordered_map>
 
+#include "auction/baselines.h"
 #include "auction/dnw.h"
 #include "auction/gpri.h"
 #include "auction/greedy.h"
 #include "common/check.h"
 #include "common/timer.h"
+#include "exec/deadline.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -19,6 +21,18 @@ std::string_view MechanismName(MechanismKind kind) {
       return "Greedy+GPri";
     case MechanismKind::kRank:
       return "Rank+DnW";
+  }
+  return "unknown";
+}
+
+std::string_view DispatchTierName(DispatchTier tier) {
+  switch (tier) {
+    case DispatchTier::kPrimary:
+      return "primary";
+    case DispatchTier::kGreedyFallback:
+      return "greedy_fallback";
+    case DispatchTier::kFcfsFallback:
+      return "fcfs_fallback";
   }
   return "unknown";
 }
@@ -44,17 +58,59 @@ MechanismOutcome RunMechanism(MechanismKind kind,
                     : 0.0);
 
   MechanismOutcome outcome;
+  WallTimer dispatch_timer;
   {
     OBS_TRACE_SPAN("auction.dispatch");
-    if (kind == MechanismKind::kGreedy) {
-      outcome.dispatch = GreedyDispatch(charged);
-    } else {
-      RankRunResult run = RankDispatch(charged);
-      outcome.dispatch = std::move(run.result);
-      outcome.rank_artifacts = std::move(run.artifacts);
+    // Degradation ladder: each tier runs under a fresh deadline; an aborted
+    // attempt is discarded wholly and the next (cheaper) tier retries. The
+    // terminal FCFS tier is unbudgeted, so every round dispatches something.
+    std::vector<DispatchTier> tiers = {DispatchTier::kPrimary};
+    if (options.budget.active()) {
+      if (kind == MechanismKind::kRank) {
+        tiers.push_back(DispatchTier::kGreedyFallback);
+      }
+      tiers.push_back(DispatchTier::kFcfsFallback);
     }
+    for (const DispatchTier tier : tiers) {
+      const bool budgeted =
+          options.budget.active() && tier != DispatchTier::kFcfsFallback;
+      Deadline dl = [&] {
+        if (!budgeted) return Deadline::Unlimited();
+        if (options.budget.wall_clock) {
+          return Deadline::WallClock(options.budget.budget_s);
+        }
+        return Deadline::Synthetic(options.budget.budget_s,
+                                   options.budget.query_penalty_s);
+      }();
+      charged.deadline = budgeted ? &dl : nullptr;
+      outcome.rank_artifacts = RankArtifacts{};
+      if (tier == DispatchTier::kFcfsFallback) {
+        // serve_all=false keeps FCFS inside the mechanism's individual-
+        // rationality envelope (only nonnegative-utility pairs dispatch).
+        outcome.dispatch = FcfsDispatch(charged, /*serve_all=*/false);
+      } else if (kind == MechanismKind::kGreedy ||
+                 tier == DispatchTier::kGreedyFallback) {
+        outcome.dispatch = GreedyDispatch(charged);
+      } else {
+        RankRunResult run = RankDispatch(charged);
+        outcome.dispatch = std::move(run.result);
+        outcome.rank_artifacts = std::move(run.artifacts);
+      }
+      if (outcome.dispatch.completed) {
+        outcome.tier = tier;
+        break;
+      }
+      outcome.dispatch = DispatchResult{};
+      OBS_COUNTER_INC("auction.dispatch.deadline_aborts");
+    }
+    // The last rung is unbudgeted, so the ladder cannot end incomplete.
+    ARIDE_ACHECK(outcome.dispatch.completed);
+    charged.deadline = nullptr;  // dl is out of scope; pricing is unbudgeted
   }
-  outcome.dispatch_seconds = outcome.dispatch.elapsed_seconds;
+  if (outcome.tier != DispatchTier::kPrimary) {
+    OBS_COUNTER_INC("auction.degraded_rounds");
+  }
+  outcome.dispatch_seconds = dispatch_timer.ElapsedSeconds();
   // Reuse the mechanism's own wall-clock measurements so the telemetry
   // matches what the paper-facing tables report.
   OBS_HISTOGRAM_OBSERVE("auction.dispatch_s", outcome.dispatch_seconds);
@@ -63,10 +119,15 @@ MechanismOutcome RunMechanism(MechanismKind kind,
   OBS_COUNTER_ADD("auction.assignments",
                   static_cast<int64_t>(outcome.dispatch.assignments.size()));
 
-  if (options.run_pricing) {
+  // FCFS-fallback rounds skip pricing: neither GPri nor DnW is defined for
+  // an FCFS dispatch, and a degraded round's goal is just to keep serving.
+  if (options.run_pricing && outcome.tier != DispatchTier::kFcfsFallback) {
     OBS_TRACE_SPAN("auction.pricing");
     WallTimer pricing_timer;
-    if (kind == MechanismKind::kGreedy) {
+    if (kind == MechanismKind::kGreedy ||
+        outcome.tier == DispatchTier::kGreedyFallback) {
+      // Greedy-fallback rounds price with GPri: DnW needs Rank artifacts
+      // that a fallback dispatch does not have.
       outcome.payments =
           GPriPriceAll(charged, outcome.dispatch, pricing_pool);
     } else {

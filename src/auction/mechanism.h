@@ -26,6 +26,35 @@ enum class MechanismKind {
 
 std::string_view MechanismName(MechanismKind kind);
 
+/// Anytime-degradation ladder under a round time budget (docs/ROBUSTNESS.md):
+/// the configured mechanism runs first; if its deadline expires the round
+/// falls back to cheaper tiers instead of blowing the budget. Rank degrades
+/// to Greedy (priced with GPri), and any mechanism degrades to an unbudgeted
+/// FCFS sweep (unpriced — it exists so the round always dispatches something).
+enum class DispatchTier {
+  kPrimary = 0,
+  kGreedyFallback = 1,
+  kFcfsFallback = 2,
+};
+
+std::string_view DispatchTierName(DispatchTier tier);
+
+/// Per-round compute budget for the degradation ladder. Inactive (the
+/// default) preserves today's unbudgeted behavior exactly.
+struct DispatchBudget {
+  // Budget per dispatch attempt in seconds; <= 0 disables budgeting.
+  double budget_s = 0;
+  // True: budget counts real elapsed time plus synthetic charges (production
+  // behavior, not bit-reproducible). False: synthetic charges only, so runs
+  // are bit-identical for a fixed seed/profile at any thread count.
+  bool wall_clock = false;
+  // Synthetic cost charged per oracle query (latency-spike model); 0 = no
+  // per-query charges.
+  double query_penalty_s = 0;
+
+  bool active() const { return budget_s > 0; }
+};
+
 struct MechanismOutcome {
   // Dispatch computed on deducted bids. Assignment utilities/costs and
   // total_utility are in deducted-bid terms (the auction the algorithms
@@ -44,12 +73,21 @@ struct MechanismOutcome {
   double dispatch_seconds = 0;
   double pricing_seconds = 0;
 
-  // Rank artifacts (kind == kRank only), for callers that price separately.
+  // Tier that produced the dispatch (kPrimary unless a budget expired and a
+  // fallback ran; see DispatchBudget). FCFS-fallback rounds carry no
+  // payments even when pricing was requested.
+  DispatchTier tier = DispatchTier::kPrimary;
+
+  // Rank artifacts (kind == kRank only, primary tier only), for callers
+  // that price separately.
   RankArtifacts rank_artifacts;
 };
 
 struct MechanismOptions {
   bool run_pricing = true;
+  // Round compute budget driving the degradation ladder; inactive by
+  // default.
+  DispatchBudget budget;
 };
 
 /// Runs one dispatch round end to end. `instance` carries the *original*

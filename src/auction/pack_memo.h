@@ -27,6 +27,12 @@ class PackMemo {
   struct Eval {
     bool feasible = false;
     double delta_delivery_m = 0;
+    // Oracle Distance() calls PlanPack made computing this entry. PlanPack
+    // is deterministic, so the count is a pure function of the key; memoizing
+    // it lets deadline metering charge every *logical* evaluation the same
+    // amount whether it was a hit, a miss, or a racy duplicate compute —
+    // which keeps synthetic budget expiry independent of thread timing.
+    int64_t queries = 0;
   };
 
   PackMemo() : shards_(std::make_unique<Shard[]>(kNumShards)) {}

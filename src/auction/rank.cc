@@ -9,6 +9,7 @@
 #include "auction/pack_memo.h"
 #include "common/check.h"
 #include "common/timer.h"
+#include "exec/deadline.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -32,10 +33,15 @@ PackMemo::Eval EvaluatePack(const AuctionInstance& in, int32_t vehicle_idx,
   for (int32_t m : members) {
     order_ptrs.push_back(&(*in.orders)[static_cast<std::size_t>(m)]);
   }
+  // PlanPack runs entirely on this thread, so the ThreadQueryCount() delta
+  // is exactly its Distance() call count — deterministic for the key and
+  // memoized alongside the result (see PackMemo::Eval::queries).
+  const int64_t before = DistanceOracle::ThreadQueryCount();
   const PackPlanResult plan =
       PlanPack((*in.vehicles)[static_cast<std::size_t>(vehicle_idx)],
                order_ptrs, in.now_s, *in.oracle);
-  eval = {plan.feasible, plan.delta_delivery_m};
+  eval = {plan.feasible, plan.delta_delivery_m,
+          DistanceOracle::ThreadQueryCount() - before};
   memo->Insert(vehicle_idx, members, eval);
   return eval;
 }
@@ -47,8 +53,12 @@ PackMemo::Eval EvaluatePack(const AuctionInstance& in, int32_t vehicle_idx,
 // is within reach. The k-NN path runs per-order on `pool` (each order only
 // writes its own slot; the oracle is thread-safe); the exact path stays
 // serial because the reverse Dijkstra workspace is shared mutable state.
+// Sets *completed to false (result must be discarded) if `dl` expires.
 std::vector<int32_t> NearestVehicles(const AuctionInstance& in,
-                                     ThreadPool* pool) {
+                                     ThreadPool* pool, Deadline* dl,
+                                     bool* completed) {
+  *completed = true;
+  const bool meter = dl != nullptr && dl->charges_queries();
   const std::vector<Order>& orders = *in.orders;
   const std::vector<Vehicle>& vehicles = *in.vehicles;
   std::vector<int32_t> nearest(orders.size(), -1);
@@ -86,13 +96,34 @@ std::vector<int32_t> NearestVehicles(const AuctionInstance& in,
   };
 
   if (!in.config.exact_nearest_vehicle) {
-    ParallelForOrSerial(pool, orders.size(),
-                        [&](std::size_t j) { resolve_knn(j); });
+    std::vector<int64_t> slot_queries(meter ? orders.size() : 0, 0);
+    *completed = ParallelForOrSerial(
+        pool, orders.size(),
+        [&](std::size_t j) {
+          const int64_t before =
+              meter ? DistanceOracle::ThreadQueryCount() : 0;
+          resolve_knn(j);
+          if (meter) {
+            slot_queries[j] = DistanceOracle::ThreadQueryCount() - before;
+          }
+        },
+        dl);
+    if (meter) {
+      int64_t total = 0;
+      for (int64_t q : slot_queries) total += q;
+      dl->ChargeQueries(total);
+    }
     return nearest;
   }
 
   DijkstraSearch reverse_search(&in.oracle->network());
   for (std::size_t j = 0; j < orders.size(); ++j) {
+    if (dl != nullptr && (j & 7) == 0 && dl->expired()) {
+      *completed = false;
+      return nearest;
+    }
+    const int64_t order_before =
+        meter ? DistanceOracle::ThreadQueryCount() : 0;
     // One reverse sweep prices every vehicle node within the order's
     // feasibility radius exactly.
     double best_dist = kInf;
@@ -115,7 +146,11 @@ std::vector<int32_t> NearestVehicles(const AuctionInstance& in,
       }
     }
     if (nearest[j] < 0) resolve_knn(j);  // fall back to k-NN
+    if (meter) {
+      dl->ChargeQueries(DistanceOracle::ThreadQueryCount() - order_before);
+    }
   }
+  if (dl != nullptr && dl->expired()) *completed = false;
   return nearest;
 }
 
@@ -197,10 +232,15 @@ std::vector<std::vector<int32_t>> ClusterOrders(const AuctionInstance& in,
 // index, writing only into artifacts' slots for j — safe to run concurrently
 // for distinct orders. The memo is shared across all orders and groups
 // (sharded, thread-safe); caching is value-deterministic because PlanPack is
-// a pure function of the key for a fixed instance.
+// a pure function of the key for a fixed instance. *queries_out (may be
+// nullptr) receives the memoized oracle-query count of every logical pack
+// evaluation this order made — by summing Eval::queries rather than a live
+// counter delta, the total is independent of which thread happened to
+// compute (or duplicate-compute) each memo entry.
 void GeneratePacksForOrder(const AuctionInstance& in, int32_t j,
                            const GridIndex& origin_index, int max_pack,
-                           PackMemo* memo, RankArtifacts* artifacts) {
+                           PackMemo* memo, RankArtifacts* artifacts,
+                           int64_t* queries_out) {
   const std::vector<Order>& orders = *in.orders;
   const double alpha_per_m = in.config.alpha_d_per_km / 1000.0;
   std::vector<PackCandidate>& cands =
@@ -249,6 +289,7 @@ void GeneratePacksForOrder(const AuctionInstance& in, int32_t j,
     best_for_set.utility = -kInf;
     for (int32_t v : veh_candidates) {
       const PackMemo::Eval eval = EvaluatePack(in, v, members, memo);
+      if (queries_out != nullptr) *queries_out += eval.queries;
       if (!eval.feasible) continue;
       const double utility = bid_sum - alpha_per_m * eval.delta_delivery_m;
       if (utility > best_for_set.utility) {
@@ -276,10 +317,11 @@ void GeneratePacksForOrder(const AuctionInstance& in, int32_t j,
 
 // Generates candidate packs for every order: the per-group origin indexes
 // are built serially (cheap), then the (order, index) tasks are flattened
-// across groups and fanned out per-order on `pool`.
-void GeneratePacks(const AuctionInstance& in,
+// across groups and fanned out per-order on `pool`. Returns false (result
+// must be discarded) if `dl` expires mid-generation.
+bool GeneratePacks(const AuctionInstance& in,
                    const std::vector<std::vector<int32_t>>& groups,
-                   ThreadPool* pool, PackMemo* memo,
+                   ThreadPool* pool, Deadline* dl, PackMemo* memo,
                    RankArtifacts* artifacts) {
   const std::vector<Order>& orders = *in.orders;
 
@@ -310,10 +352,22 @@ void GeneratePacks(const AuctionInstance& in,
     for (int32_t j : group) tasks.push_back({j, indexes.back().get()});
   }
 
-  ParallelForOrSerial(pool, tasks.size(), [&](std::size_t t) {
-    GeneratePacksForOrder(in, tasks[t].order, *tasks[t].index, max_pack,
-                          memo, artifacts);
-  });
+  const bool meter = dl != nullptr && dl->charges_queries();
+  std::vector<int64_t> slot_queries(meter ? tasks.size() : 0, 0);
+  const bool complete = ParallelForOrSerial(
+      pool, tasks.size(),
+      [&](std::size_t t) {
+        GeneratePacksForOrder(in, tasks[t].order, *tasks[t].index, max_pack,
+                              memo, artifacts,
+                              meter ? &slot_queries[t] : nullptr);
+      },
+      dl);
+  if (meter) {
+    int64_t total = 0;
+    for (int64_t q : slot_queries) total += q;
+    dl->ChargeQueries(total);
+  }
+  return complete && !(dl != nullptr && dl->expired());
 }
 
 }  // namespace
@@ -339,14 +393,22 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
     pool = local_pool.get();
   }
 
+  Deadline* const dl = in.deadline;
   RankRunResult run;
   RankArtifacts& art = run.artifacts;
   art.candidates.resize(orders.size());
   art.best.assign(orders.size(), -1);
-  art.nearest_vehicle = NearestVehicles(in, pool);
+  bool nearest_complete = true;
+  art.nearest_vehicle = NearestVehicles(in, pool, dl, &nearest_complete);
+  if (!nearest_complete) {
+    run.result.completed = false;
+    run.result.elapsed_seconds = timer.ElapsedSeconds();
+    return run;
+  }
 
   // Phase I: pack generation, clustered when the round is large (§V-E).
   PackMemo memo;
+  bool packs_complete = true;
   {
     OBS_TRACE_SPAN("auction.rank.packgen");
     std::vector<std::vector<int32_t>> groups;
@@ -362,7 +424,7 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
       }
       groups.push_back(std::move(everyone));
     }
-    GeneratePacks(in, groups, pool, &memo, &art);
+    packs_complete = GeneratePacks(in, groups, pool, dl, &memo, &art);
   }
   int64_t packs_generated = 0;
   for (const std::vector<PackCandidate>& cands : art.candidates) {
@@ -371,6 +433,11 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
   OBS_COUNTER_ADD("auction.rank.packs_generated", packs_generated);
   OBS_COUNTER_ADD("auction.rank.packmemo.hits", memo.hits());
   OBS_COUNTER_ADD("auction.rank.packmemo.misses", memo.misses());
+  if (!packs_complete) {
+    run.result.completed = false;
+    run.result.elapsed_seconds = timer.ElapsedSeconds();
+    return run;
+  }
 
   // Phase II: pack dispatch by utility ranking.
   OBS_TRACE_SPAN("auction.rank.dispatch");
@@ -411,14 +478,27 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
     }
     if (conflict) continue;
 
+    // Safe point: the previous pack (if any) is fully applied.
+    if (dl != nullptr && dl->expired()) {
+      result.completed = false;
+      break;
+    }
+
     // Dispatch the pack: recompute its (deterministic) optimal plan.
     std::vector<const Order*> order_ptrs;
     for (int32_t mbr : rp.pack->members) {
       order_ptrs.push_back(&orders[static_cast<std::size_t>(mbr)]);
     }
+    const int64_t plan_before =
+        (dl != nullptr && dl->charges_queries())
+            ? DistanceOracle::ThreadQueryCount()
+            : 0;
     const PackPlanResult plan = PlanPack(
         (*in.vehicles)[static_cast<std::size_t>(rp.pack->vehicle)],
         order_ptrs, in.now_s, *in.oracle);
+    if (dl != nullptr && dl->charges_queries()) {
+      dl->ChargeQueries(DistanceOracle::ThreadQueryCount() - plan_before);
+    }
     ARIDE_ACHECK(plan.feasible);
     // Pack planning is deterministic: the dispatched recomputation must
     // reproduce the ΔD the pack was ranked with, and the winning pack
@@ -448,6 +528,7 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
     result.total_delta_delivery_m += plan.delta_delivery_m;
   }
 
+  if (dl != nullptr && dl->expired()) result.completed = false;
   OBS_COUNTER_ADD("auction.rank.packs_dispatched",
                   static_cast<int64_t>(result.updated_plans.size()));
   result.elapsed_seconds = timer.ElapsedSeconds();

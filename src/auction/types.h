@@ -16,6 +16,7 @@
 
 namespace auctionride {
 
+class Deadline;
 class ThreadPool;
 
 struct AuctionConfig {
@@ -84,6 +85,12 @@ struct AuctionInstance {
   // point at a pool this dispatch itself runs on (nested ThreadPool::Wait
   // deadlocks) — see GPriPriceAll.
   ThreadPool* dispatch_pool = nullptr;
+  // Cooperative compute budget for this dispatch attempt (nullptr =
+  // unlimited). Dispatchers poll it at safe points, charge synthetic
+  // per-query costs from deterministic per-slot counts, and bail out with
+  // DispatchResult::completed = false when it expires; RunMechanism then
+  // falls back to a cheaper tier. See docs/ROBUSTNESS.md.
+  Deadline* deadline = nullptr;
 };
 
 /// One dispatched requester.
@@ -110,6 +117,11 @@ struct DispatchResult {
   // Σ ΔD over all insertions, meters.
   double total_delta_delivery_m = 0;
   double elapsed_seconds = 0;
+  // False when the instance's deadline expired mid-dispatch and the attempt
+  // was abandoned. The other fields then hold an unspecified partial result
+  // that the caller must discard (RunMechanism falls back to a cheaper
+  // tier; nothing downstream ever applies an incomplete dispatch).
+  bool completed = true;
 
   bool IsDispatched(OrderId order) const {
     for (const Assignment& a : assignments) {

@@ -99,6 +99,24 @@ Json BuildBenchReport(const BenchRunInfo& info, const MetricsSnapshot& snap) {
                   : 0.0;
   report["ch_cache"] = std::move(ch_cache);
 
+  if (!info.fault_profile.empty()) {
+    // Counter pulls default to 0: a storm profile may simply never have
+    // fired a given fault kind in a short run.
+    const auto counter = [&snap](const char* name) -> int64_t {
+      auto it = snap.counters.find(name);
+      return it != snap.counters.end() ? it->second : 0;
+    };
+    Json faults = Json::Object();
+    faults["profile"] = info.fault_profile;
+    faults["breakdowns"] = counter("sim.faults.breakdowns");
+    faults["cancellations"] = counter("sim.faults.cancellations");
+    faults["spike_rounds"] = counter("sim.faults.spike_rounds");
+    faults["stranded_orders"] = counter("sim.recovery.stranded_orders");
+    faults["redispatched"] = counter("sim.recovery.redispatched");
+    faults["degraded_rounds"] = counter("auction.degraded_rounds");
+    report["faults"] = std::move(faults);
+  }
+
   Json counters = Json::Object();
   for (const auto& [name, v] : snap.counters) counters[name] = v;
   Json gauges = Json::Object();
@@ -176,6 +194,20 @@ Status ValidateBenchReport(const Json& report) {
   for (const char* f : {"queries", "hits", "hit_rate"}) {
     if (!IsNumber(ch_cache->Find(f))) {
       return Missing(std::string("ch_cache.") + f);
+    }
+  }
+
+  // "faults" is additive and optional (fault-free runs omit it), but when
+  // present it must be well-formed.
+  if (const Json* faults = report.Find("faults"); faults != nullptr) {
+    if (!faults->is_object()) return Missing("faults");
+    if (!IsString(faults->Find("profile"))) return Missing("faults.profile");
+    for (const char* f :
+         {"breakdowns", "cancellations", "spike_rounds", "stranded_orders",
+          "redispatched", "degraded_rounds"}) {
+      if (!IsNumber(faults->Find(f))) {
+        return Missing(std::string("faults.") + f);
+      }
     }
   }
 

@@ -19,6 +19,8 @@
 //                "seed_sweep":
 //                  {"count","mean_s","p50_s","p95_s","p99_s","max_s"}},
 //     "ch_cache": {"queries", "hits", "trivial", "hit_rate"},
+//     "faults":  {"profile", "breakdowns", "cancellations", "spike_rounds",
+//                 "stranded_orders", "redispatched", "degraded_rounds"},
 //     "metrics": {"counters": {name: int},
 //                 "gauges":   {name: double},
 //                 "histograms": {name: {"count","mean","stddev","min",
@@ -27,7 +29,9 @@
 // Phases appear only when their histogram has observations; ch_cache is
 // derived from the roadnet.sp.queries / roadnet.sp.cache_hits /
 // roadnet.sp.trivial counters ("trivial" is optional for the validator so
-// pre-existing baseline reports stay loadable).
+// pre-existing baseline reports stay loadable). "faults" appears only when
+// a fault profile was active (BenchRunInfo::fault_profile non-empty); it is
+// optional for the validator, so v1 reports predating it stay valid.
 
 #ifndef AUCTIONRIDE_OBS_BENCH_JSON_H_
 #define AUCTIONRIDE_OBS_BENCH_JSON_H_
@@ -59,6 +63,10 @@ struct BenchRunInfo {
   Json scale = Json::Object();   // bench scale knobs
   Json config = Json::Object();  // paper/Table-II parameters
   int64_t timestamp_unix_s = 0;  // caller supplies (time(nullptr))
+  // Active fault profile name (AR_FAULT_PROFILE). Empty = fault-free run;
+  // the report then omits its optional "faults" object, keeping fault-free
+  // reports byte-identical to pre-fault ones.
+  std::string fault_profile;
 };
 
 /// Assembles a schema-v1 report from `info` plus a metrics snapshot

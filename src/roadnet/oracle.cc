@@ -100,9 +100,19 @@ thread_local SpQueryBatch sp_query_batch;
 #define ARIDE_SP_COUNT_TRIVIAL() (void)0
 #endif  // ARIDE_OBS_DISABLED
 
+namespace {
+// Per-thread Distance() call count. Plain (non-atomic) thread_local: only
+// the owning thread mutates it, so the increment costs about as much as the
+// function-entry DCHECKs it sits next to.
+thread_local int64_t tl_thread_queries = 0;
+}  // namespace
+
+int64_t DistanceOracle::ThreadQueryCount() { return tl_thread_queries; }
+
 double DistanceOracle::Distance(NodeId source, NodeId target) const {
   ARIDE_DCHECK(source >= 0 && source < network_->num_nodes());
   ARIDE_DCHECK(target >= 0 && target < network_->num_nodes());
+  ++tl_thread_queries;
   // Trivial queries never reach the cache, so counting them in
   // num_queries_ would bias the hit rate downward; they get their own
   // counter and num_queries_ stays hits + computes.

@@ -65,6 +65,14 @@ class DistanceOracle {
     return num_trivial_queries_.load(std::memory_order_relaxed);
   }
 
+  /// Monotone count of Distance() calls made by the *calling thread* across
+  /// all oracles (trivial and cached queries included). Dispatchers meter
+  /// synthetic latency-fault budgets from deltas of this counter: because
+  /// each worker measures only its own queries into a per-slot delta, the
+  /// charged totals are bit-identical at any thread count (see
+  /// docs/ROBUSTNESS.md).
+  static int64_t ThreadQueryCount();
+
  private:
   static constexpr int kNumShards = 16;
 

@@ -33,21 +33,37 @@ std::string FormatSummary(const SimResult& result) {
       result.mean_detour_s, 100 * result.shared_ride_fraction,
       result.mean_dispatch_seconds, result.max_dispatch_seconds,
       result.mean_pricing_seconds);
-  return buf;
+  std::string out = buf;
+  // Fault line only when something actually happened, so fault-free runs
+  // keep today's byte-identical summary.
+  if (result.orders_stranded > 0 || result.orders_cancelled > 0 ||
+      result.orders_redispatched > 0 || result.degraded_rounds > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "faults: %d stranded, %d cancelled, %d re-dispatched | "
+        "refunds = %.2f | degraded rounds = %d\n",
+        result.orders_stranded, result.orders_cancelled,
+        result.orders_redispatched, result.refunded_payments,
+        result.degraded_rounds);
+    out += buf;
+  }
+  return out;
 }
 
 Status WriteRoundsCsv(const SimResult& result, const std::string& path) {
   StatusOr<CsvWriter> writer = CsvWriter::Open(path);
   if (!writer.ok()) return writer.status();
   writer->WriteRow({"time_s", "pending", "online_vehicles", "dispatched",
-                    "round_utility", "dispatch_seconds", "pricing_seconds"});
+                    "round_utility", "dispatch_seconds", "pricing_seconds",
+                    "dispatch_tier"});
   for (const RoundRecord& round : result.rounds) {
     writer->WriteRow({Num(round.time_s, 1), std::to_string(round.pending_orders),
                       std::to_string(round.online_vehicles),
                       std::to_string(round.dispatched),
                       Num(round.round_utility),
                       Num(round.dispatch_seconds, 6),
-                      Num(round.pricing_seconds, 6)});
+                      Num(round.pricing_seconds, 6),
+                      std::to_string(round.dispatch_tier)});
   }
   return writer->Close();
 }
@@ -59,7 +75,10 @@ Status WriteSummaryCsv(const SimResult& result, const std::string& path) {
                     "orders_completed", "u_auc", "u_plf",
                     "requester_utility", "driver_utility", "payments",
                     "delivery_km", "mean_wait_s", "mean_detour_s",
-                    "shared_fraction", "mean_dispatch_s", "max_dispatch_s"});
+                    "shared_fraction", "mean_dispatch_s", "max_dispatch_s",
+                    "orders_stranded", "orders_cancelled",
+                    "orders_redispatched", "degraded_rounds",
+                    "refunded_payments"});
   writer->WriteRow(
       {std::to_string(result.orders_total),
        std::to_string(result.orders_dispatched),
@@ -70,7 +89,12 @@ Status WriteSummaryCsv(const SimResult& result, const std::string& path) {
        Num(result.total_delivery_m / 1000.0), Num(result.mean_waiting_s),
        Num(result.mean_detour_s), Num(result.shared_ride_fraction, 4),
        Num(result.mean_dispatch_seconds, 6),
-       Num(result.max_dispatch_seconds, 6)});
+       Num(result.max_dispatch_seconds, 6),
+       std::to_string(result.orders_stranded),
+       std::to_string(result.orders_cancelled),
+       std::to_string(result.orders_redispatched),
+       std::to_string(result.degraded_rounds),
+       Num(result.refunded_payments)});
   return writer->Close();
 }
 

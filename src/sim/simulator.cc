@@ -24,6 +24,10 @@ std::string_view OrderEventKindName(OrderEventKind kind) {
       return "dropped_off";
     case OrderEventKind::kExpired:
       return "expired";
+    case OrderEventKind::kStranded:
+      return "stranded";
+    case OrderEventKind::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -33,7 +37,8 @@ Simulator::Simulator(const DistanceOracle* oracle, Workload workload,
     : oracle_(oracle),
       workload_(std::move(workload)),
       options_(options),
-      rng_(options.seed) {
+      rng_(options.seed),
+      fault_plan_(options.faults) {
   ARIDE_ACHECK(oracle_ != nullptr);
   ARIDE_ACHECK(options_.round_duration_s > 0);
   path_search_ = std::make_unique<AStarSearch>(&oracle_->network());
@@ -60,9 +65,104 @@ Simulator::Simulator(const DistanceOracle* oracle, Workload workload,
     sv.state = spawn.vehicle;
     sv.online_s = spawn.online_s;
     sv.offline_s = spawn.offline_s;
+    const bool inserted =
+        vehicle_index_by_id_.emplace(sv.state.id, vehicles_.size()).second;
+    ARIDE_ACHECK(inserted) << "duplicate vehicle id " << sv.state.id;
     vehicles_.push_back(std::move(sv));
   }
   order_records_.resize(workload_.orders.size());
+}
+
+void Simulator::RefundAndRequeue(OrderId order, double now_s,
+                                 OrderEventKind kind, SimResult* result) {
+  OrderRecord& rec = order_records_[static_cast<std::size_t>(order)];
+  ARIDE_ACHECK(rec.dispatched && !rec.completed) << "order " << order;
+  if (rec.payment > 0) {
+    result->refunded_payments += rec.payment;
+    result->total_payments -= rec.payment;
+    rec.payment = 0;
+    OBS_COUNTER_INC("sim.recovery.refunds");
+  }
+  rec.dispatched = false;
+  rec.recovered = true;
+  rec.dispatch_time_s = 0;
+  rec.pickup_time_s = 0;
+  rec.vehicle = kInvalidVehicle;
+  --result->orders_dispatched;
+  result->events.push_back({now_s, order, kind, kInvalidVehicle});
+}
+
+void Simulator::InjectFaults(double now_s, SimResult* result) {
+  OBS_TRACE_SPAN("sim.faults.inject");
+  // Breakdowns first: a vehicle that just broke down strands its orders, so
+  // the cancellation pass below no longer sees them as dispatched.
+  if (options_.faults.breakdown_prob_per_round > 0) {
+    for (SimVehicle& sv : vehicles_) {
+      if (now_s < sv.online_s || now_s >= sv.offline_s) continue;
+      const bool busy = !sv.state.plan.stops.empty() || !sv.riding.empty();
+      if (!busy) continue;
+      if (!fault_plan_.VehicleBreaksDown(round_index_, sv.state.id)) continue;
+
+      // Undelivered orders: every order with a remaining stop. Onboard
+      // riders restart from their origin when re-dispatched (the workload
+      // order is immutable) — a simplification documented in
+      // docs/ROBUSTNESS.md.
+      std::vector<OrderId> stranded;
+      for (const PlanStop& stop : sv.state.plan.stops) {
+        if (std::find(stranded.begin(), stranded.end(), stop.order) ==
+            stranded.end()) {
+          stranded.push_back(stop.order);
+        }
+      }
+      sv.offline_s = now_s;  // never comes back online
+      sv.state.plan.stops.clear();
+      sv.state.onboard = 0;
+      sv.state.in_delivery = false;
+      sv.riding.clear();
+      sv.leg_path.clear();
+      sv.path_pos = 0;
+      OBS_COUNTER_INC("sim.faults.breakdowns");
+      for (const OrderId order : stranded) {
+        RefundAndRequeue(order, now_s, OrderEventKind::kStranded, result);
+        ++result->orders_stranded;
+        OBS_COUNTER_INC("sim.recovery.stranded_orders");
+      }
+    }
+  }
+
+  // Cancellations: dispatched orders whose pickup has not happened yet.
+  if (options_.faults.cancel_prob_per_round > 0) {
+    for (std::size_t j = 0; j < order_records_.size(); ++j) {
+      OrderRecord& rec = order_records_[j];
+      if (!rec.dispatched || rec.completed) continue;
+      const OrderId order = workload_.orders[j].id;
+      if (!fault_plan_.OrderCancels(round_index_, order)) continue;
+      ARIDE_ACHECK(rec.vehicle != kInvalidVehicle) << "order " << order;
+      SimVehicle& sv = vehicles_[vehicle_index_by_id_.at(rec.vehicle)];
+      // Picked-up riders cannot withdraw: their pickup stop is gone.
+      bool has_pickup = false;
+      for (const PlanStop& stop : sv.state.plan.stops) {
+        if (stop.order == order && stop.type == StopType::kPickup) {
+          has_pickup = true;
+          break;
+        }
+      }
+      if (!has_pickup) continue;
+
+      std::erase_if(sv.state.plan.stops, [order](const PlanStop& stop) {
+        return stop.order == order;
+      });
+      // The current leg may target a removed stop; recompute next round.
+      sv.leg_path.clear();
+      sv.path_pos = 0;
+      if (sv.state.plan.stops.empty() && sv.state.onboard == 0) {
+        sv.state.in_delivery = false;
+      }
+      OBS_COUNTER_INC("sim.faults.cancellations");
+      RefundAndRequeue(order, now_s, OrderEventKind::kCancelled, result);
+      ++result->orders_cancelled;
+    }
+  }
 }
 
 double Simulator::EdgeLength(NodeId from, NodeId to) const {
@@ -241,9 +341,24 @@ void Simulator::RunRound(double now_s, SimResult* result) {
 
   MechanismOptions mech_options;
   mech_options.run_pricing = options_.run_pricing;
+  if (options_.faults.round_budget_s > 0) {
+    const bool spike = fault_plan_.IsSpikeRound(round_index_);
+    // A purely synthetic budget only matters on spike rounds (non-spike
+    // rounds charge nothing), so skip the ladder machinery otherwise.
+    if (options_.faults.wall_clock_budget || spike) {
+      mech_options.budget.budget_s = options_.faults.round_budget_s;
+      mech_options.budget.wall_clock = options_.faults.wall_clock_budget;
+      if (spike) {
+        mech_options.budget.query_penalty_s =
+            options_.faults.spike_query_penalty_s;
+        OBS_COUNTER_INC("sim.faults.spike_rounds");
+      }
+    }
+  }
   const MechanismOutcome outcome =
       RunMechanism(options_.mechanism, instance, mech_options,
                    pricing_pool_.get(), dispatch_pool_.get());
+  if (outcome.tier != DispatchTier::kPrimary) ++result->degraded_rounds;
 
   if (options_.verify_dispatch) {
     // The dispatch ran on charge-deducted bids; re-derive them for the
@@ -272,6 +387,12 @@ void Simulator::RunRound(double now_s, SimResult* result) {
     OrderRecord& rec = order_records_[static_cast<std::size_t>(a.order)];
     rec.dispatched = true;
     rec.dispatch_time_s = now_s;
+    rec.vehicle = a.vehicle;
+    if (rec.recovered) {
+      rec.recovered = false;
+      ++result->orders_redispatched;
+      OBS_COUNTER_INC("sim.recovery.redispatched");
+    }
     ++result->orders_dispatched;
     result->events.push_back(
         {now_s, a.order, OrderEventKind::kDispatched, a.vehicle});
@@ -294,6 +415,7 @@ void Simulator::RunRound(double now_s, SimResult* result) {
   record.round_utility = outcome.dispatch.total_utility;
   record.dispatch_seconds = outcome.dispatch_seconds;
   record.pricing_seconds = outcome.pricing_seconds;
+  record.dispatch_tier = static_cast<int>(outcome.tier);
   result->rounds.push_back(record);
 }
 
@@ -310,7 +432,9 @@ SimResult Simulator::Run() {
   horizon += options_.max_pending_s + options_.round_duration_s;
 
   clock_s_ = 0;
+  round_index_ = 0;
   while (clock_s_ < horizon) {
+    if (options_.faults.any()) InjectFaults(clock_s_, &result);
     RunRound(clock_s_, &result);
     // Advance the world by one round.
     {
@@ -324,9 +448,12 @@ SimResult Simulator::Run() {
       }
     }
     clock_s_ += options_.round_duration_s;
+    ++round_index_;
   }
 
-  // Drain: let dispatched riders finish (movement only, capped).
+  // Drain: let dispatched riders finish (movement only, capped). Faults are
+  // not injected during the drain — no auctions run, so there is no pending
+  // pool to recover a stranded order into.
   const double drain_cap_s = clock_s_ + 7200;
   while (clock_s_ < drain_cap_s) {
     bool any_busy = false;
@@ -379,6 +506,27 @@ SimResult Simulator::Run() {
     result.mean_pricing_seconds =
         pricing_sum / static_cast<double>(result.rounds.size());
   }
+
+  // Payment conservation and lifecycle contracts (always on: refund bugs
+  // corrupt money silently otherwise). The incremental total_payments must
+  // match the per-order ledger after all refunds, and no order may end the
+  // run in an impossible state.
+  double ledger_sum = 0;
+  for (const OrderRecord& rec : order_records_) {
+    ARIDE_ACHECK(!(rec.completed && rec.expired));
+    ARIDE_ACHECK(!(rec.completed && rec.recovered));
+    // Undispatched orders hold no money (refunds assign an exact zero, and
+    // payments are nonnegative, so proving <= 0 proves zero).
+    if (!rec.dispatched) ARIDE_ACHECK(!(rec.payment > 0));
+    ledger_sum += rec.payment;
+  }
+  const double tol =
+      1e-6 * std::max(1.0, std::abs(result.total_payments));
+  ARIDE_ACHECK(std::abs(ledger_sum - result.total_payments) <= tol)
+      << "payment ledger " << ledger_sum << " vs incremental total "
+      << result.total_payments;
+  ARIDE_ACHECK(result.refunded_payments >= 0);
+
   active_result_ = nullptr;
   return result;
 }

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "auction/mechanism.h"
@@ -21,6 +22,7 @@
 #include "exec/thread_pool.h"
 #include "roadnet/astar.h"
 #include "roadnet/oracle.h"
+#include "sim/faults.h"
 #include "workload/generator.h"
 
 namespace auctionride {
@@ -52,6 +54,12 @@ struct SimOptions {
   bool verify_dispatch = false;
 
   uint64_t seed = 1;  // drives the idle random walk
+
+  // Fault injection + degradation budgets (docs/ROBUSTNESS.md). Inactive by
+  // default. Callers usually set this to FaultOptionsForProfile(profile,
+  // seed) or FaultOptionsFromEnv(seed) — passing the sim seed keeps one knob
+  // reproducing the whole run.
+  FaultOptions faults;
 };
 
 /// Lifecycle events of one order, for tracing/analysis.
@@ -61,6 +69,12 @@ enum class OrderEventKind {
   kPickedUp,
   kDroppedOff,
   kExpired,
+  // Fault lifecycle (docs/ROBUSTNESS.md): the order's vehicle broke down
+  // before delivery / the order withdrew before pickup. Either way the
+  // payment is refunded and the order re-enters the pending pool with its
+  // original patience window.
+  kStranded,
+  kCancelled,
 };
 
 std::string_view OrderEventKindName(OrderEventKind kind);
@@ -80,6 +94,8 @@ struct RoundRecord {
   double round_utility = 0;
   double dispatch_seconds = 0;
   double pricing_seconds = 0;
+  // DispatchTier that produced this round (0 = primary; see mechanism.h).
+  int dispatch_tier = 0;
 };
 
 struct SimResult {
@@ -95,6 +111,23 @@ struct SimResult {
   int orders_dispatched = 0;
   int orders_expired = 0;
   int orders_completed = 0;  // delivered before the simulation ended
+
+  // Fault + recovery accounting (all zero when faults are off).
+  // orders_dispatched above is net: a refunded order decrements it and a
+  // re-dispatch increments it again, so it counts orders that ended the run
+  // dispatched. Stranded/cancelled/redispatched count events, not orders —
+  // one unlucky order can contribute several times.
+  int orders_stranded = 0;
+  int orders_cancelled = 0;
+  int orders_redispatched = 0;
+  // Rounds decided by a fallback tier of the degradation ladder.
+  int degraded_rounds = 0;
+  // Σ payments returned to stranded/cancelled requesters, yuan. Already
+  // subtracted from total_payments (refunds conserve money: Σ per-order
+  // payments == total_payments at the end of the run, enforced by an
+  // always-on contract check). Utility aggregates are not clawed back — they
+  // record what the auctions decided, not what delivery achieved.
+  double refunded_payments = 0;
 
   double total_delivery_m = 0;  // ΣD_i actually driven in delivery phase
   // Σ (β_d − α_d)·D_i: the drivers' side of Definition 7.
@@ -150,11 +183,16 @@ class Simulator {
     bool dispatched = false;
     bool expired = false;
     bool completed = false;
+    // Set when the order was stranded/cancelled and awaits re-dispatch;
+    // cleared (and counted) when a later round re-dispatches it.
+    bool recovered = false;
     double dispatch_time_s = 0;
     double pickup_time_s = 0;
     double dropoff_time_s = 0;
     double payment = 0;
     bool shared = false;  // shared the vehicle with another order
+    // Vehicle currently assigned (valid while dispatched).
+    VehicleId vehicle = kInvalidVehicle;
   };
 
   void AdvanceVehicle(SimVehicle* vehicle, double dt_s);
@@ -162,16 +200,28 @@ class Simulator {
   void StartNextLeg(SimVehicle* vehicle);
   double EdgeLength(NodeId from, NodeId to) const;
   void RunRound(double now_s, SimResult* result);
+  // Applies this round's fault schedule: vehicle breakdowns (strand their
+  // undelivered orders) then order cancellations. Runs before dispatch so
+  // recovered orders can re-enter the very same round's pending pool.
+  void InjectFaults(double now_s, SimResult* result);
+  // Refunds an order's payment, returns it to the pending pool, and emits
+  // `kind` (kStranded or kCancelled).
+  void RefundAndRequeue(OrderId order, double now_s, OrderEventKind kind,
+                        SimResult* result);
 
   const DistanceOracle* oracle_;
   Workload workload_;
   SimOptions options_;
   Rng rng_;
+  FaultPlan fault_plan_;
+  int round_index_ = 0;  // wall-clock round counter driving the fault plan
   std::unique_ptr<AStarSearch> path_search_;
   std::unique_ptr<ThreadPool> pricing_pool_;
   std::unique_ptr<ThreadPool> dispatch_pool_;
 
   std::vector<SimVehicle> vehicles_;
+  // Live-vehicle lookup for fault handling (assignments carry VehicleIds).
+  std::unordered_map<VehicleId, std::size_t> vehicle_index_by_id_;
   std::vector<OrderRecord> order_records_;
   double clock_s_ = 0;
   SimResult* active_result_ = nullptr;  // set during Run() for stop events

@@ -1,7 +1,9 @@
 #include "workload/io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <unordered_set>
 
 #include "common/csv.h"
 
@@ -25,6 +27,32 @@ bool ParseInt(const std::string& s, long* out) {
   char* end = nullptr;
   *out = std::strtol(s.c_str(), &end, 10);
   return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+// Parses a double that must be finite. strtod happily accepts "nan"/"inf",
+// and a NaN bid or valuation silently poisons every downstream comparison
+// (heap ordering, payments, utilities) — reject it at the boundary with a
+// message naming the exact field.
+Status ParseFiniteDouble(const std::string& s, const std::string& line,
+                         const char* field, double* out) {
+  if (!ParseDouble(s, out)) {
+    return Status::InvalidArgument(line + ": " + field + " '" + s +
+                                   "' is not a number");
+  }
+  if (!std::isfinite(*out)) {
+    return Status::InvalidArgument(line + ": " + field + " '" + s +
+                                   "' must be finite");
+  }
+  return Status::Ok();
+}
+
+Status ParseIntField(const std::string& s, const std::string& line,
+                     const char* field, long* out) {
+  if (!ParseInt(s, out)) {
+    return Status::InvalidArgument(line + ": " + field + " '" + s +
+                                   "' is not an integer");
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -55,6 +83,8 @@ StatusOr<Workload> LoadWorkloadCsv(const std::string& path,
   if (!rows.ok()) return rows.status();
 
   Workload workload;
+  std::unordered_set<long> order_ids;
+  std::unordered_set<long> vehicle_ids;
   for (std::size_t i = 0; i < rows->size(); ++i) {
     const std::vector<std::string>& row = (*rows)[i];
     const std::string line = "row " + std::to_string(i + 1);
@@ -67,19 +97,37 @@ StatusOr<Workload> LoadWorkloadCsv(const std::string& path,
       long id = 0;
       long origin = 0;
       long dest = 0;
-      if (!ParseInt(row[1], &id) || !ParseInt(row[2], &origin) ||
-          !ParseInt(row[3], &dest) ||
-          !ParseDouble(row[4], &o.issue_time_s) ||
-          !ParseDouble(row[5], &o.shortest_distance_m) ||
-          !ParseDouble(row[6], &o.shortest_time_s) ||
-          !ParseDouble(row[7], &o.max_wasted_time_s) ||
-          !ParseDouble(row[8], &o.valuation) ||
-          !ParseDouble(row[9], &o.bid)) {
-        return Status::InvalidArgument(line + ": bad order fields");
+      struct DoubleField {
+        int column;
+        const char* name;
+        double* out;
+      };
+      const DoubleField doubles[] = {
+          {4, "issue_time_s", &o.issue_time_s},
+          {5, "shortest_distance_m", &o.shortest_distance_m},
+          {6, "shortest_time_s", &o.shortest_time_s},
+          {7, "max_wasted_time_s", &o.max_wasted_time_s},
+          {8, "valuation", &o.valuation},
+          {9, "bid", &o.bid},
+      };
+      Status parsed = ParseIntField(row[1], line, "order id", &id);
+      if (parsed.ok()) parsed = ParseIntField(row[2], line, "origin", &origin);
+      if (parsed.ok()) {
+        parsed = ParseIntField(row[3], line, "destination", &dest);
       }
+      for (const DoubleField& f : doubles) {
+        if (!parsed.ok()) break;
+        parsed = ParseFiniteDouble(row[static_cast<std::size_t>(f.column)],
+                                   line, f.name, f.out);
+      }
+      if (!parsed.ok()) return parsed;
       if (origin < 0 || origin >= network.num_nodes() || dest < 0 ||
           dest >= network.num_nodes()) {
         return Status::OutOfRange(line + ": node id outside the network");
+      }
+      if (!order_ids.insert(id).second) {
+        return Status::InvalidArgument(line + ": duplicate order id " +
+                                       std::to_string(id));
       }
       o.id = static_cast<OrderId>(id);
       o.origin = static_cast<NodeId>(origin);
@@ -93,17 +141,33 @@ StatusOr<Workload> LoadWorkloadCsv(const std::string& path,
       long id = 0;
       long node = 0;
       long capacity = 0;
-      if (!ParseInt(row[1], &id) || !ParseInt(row[2], &node) ||
-          !ParseInt(row[3], &capacity) ||
-          !ParseDouble(row[4], &spawn.online_s) ||
-          !ParseDouble(row[5], &spawn.offline_s)) {
-        return Status::InvalidArgument(line + ": bad vehicle fields");
+      Status parsed = ParseIntField(row[1], line, "vehicle id", &id);
+      if (parsed.ok()) parsed = ParseIntField(row[2], line, "node", &node);
+      if (parsed.ok()) {
+        parsed = ParseIntField(row[3], line, "capacity", &capacity);
       }
+      if (parsed.ok()) {
+        parsed = ParseFiniteDouble(row[4], line, "online_s", &spawn.online_s);
+      }
+      if (parsed.ok()) {
+        parsed =
+            ParseFiniteDouble(row[5], line, "offline_s", &spawn.offline_s);
+      }
+      if (!parsed.ok()) return parsed;
       if (node < 0 || node >= network.num_nodes()) {
         return Status::OutOfRange(line + ": node id outside the network");
       }
       if (capacity <= 0) {
         return Status::InvalidArgument(line + ": capacity must be positive");
+      }
+      if (spawn.offline_s < spawn.online_s) {
+        return Status::InvalidArgument(
+            line + ": offline_s " + Num(spawn.offline_s) +
+            " precedes online_s " + Num(spawn.online_s));
+      }
+      if (!vehicle_ids.insert(id).second) {
+        return Status::InvalidArgument(line + ": duplicate vehicle id " +
+                                       std::to_string(id));
       }
       spawn.vehicle.id = static_cast<VehicleId>(id);
       spawn.vehicle.next_node = static_cast<NodeId>(node);

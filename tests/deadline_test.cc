@@ -1,0 +1,159 @@
+#include "exec/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace auctionride {
+namespace {
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  Deadline dl = Deadline::Unlimited();
+  EXPECT_FALSE(dl.expired());
+  dl.Charge(INT64_MAX / 2);
+  EXPECT_FALSE(dl.expired());
+  EXPECT_FALSE(dl.charges_queries());
+}
+
+TEST(DeadlineTest, SyntheticExpiresExactlyAtBudget) {
+  Deadline dl = Deadline::Synthetic(/*budget_s=*/1.0);
+  EXPECT_FALSE(dl.expired());
+  dl.Charge(999'999'999);
+  EXPECT_FALSE(dl.expired());
+  dl.Charge(1);  // reaches 1.0 s exactly
+  EXPECT_TRUE(dl.expired());
+  // Monotone: more charges cannot un-expire it.
+  dl.Charge(1);
+  EXPECT_TRUE(dl.expired());
+}
+
+TEST(DeadlineTest, SyntheticIgnoresWallTime) {
+  // A synthetic deadline with a tiny budget but no charges must not expire
+  // no matter how much real time passes — only Charge() counts.
+  Deadline dl = Deadline::Synthetic(/*budget_s=*/1e-9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(dl.expired());
+  }
+}
+
+TEST(DeadlineTest, ChargeQueriesUsesPenalty) {
+  Deadline dl = Deadline::Synthetic(/*budget_s=*/1.0, /*query_penalty_s=*/0.1);
+  EXPECT_TRUE(dl.charges_queries());
+  dl.ChargeQueries(9);
+  EXPECT_FALSE(dl.expired());
+  EXPECT_EQ(dl.charged_ns(), 900'000'000);
+  dl.ChargeQueries(1);
+  EXPECT_TRUE(dl.expired());
+}
+
+TEST(DeadlineTest, ZeroPenaltyChargesNothing) {
+  Deadline dl = Deadline::Synthetic(/*budget_s=*/1e-9);
+  EXPECT_FALSE(dl.charges_queries());
+  dl.ChargeQueries(1'000'000);
+  EXPECT_EQ(dl.charged_ns(), 0);
+  EXPECT_FALSE(dl.expired());
+}
+
+TEST(DeadlineTest, NegativeOrZeroChargeIsIgnored) {
+  Deadline dl = Deadline::Synthetic(/*budget_s=*/1.0);
+  dl.Charge(0);
+  dl.Charge(-500);
+  EXPECT_EQ(dl.charged_ns(), 0);
+}
+
+TEST(DeadlineTest, WallClockExpiresFromCharges) {
+  // Charging past the budget expires a wall-clock deadline immediately,
+  // independent of elapsed time.
+  Deadline dl = Deadline::WallClock(/*budget_s=*/3600.0);
+  EXPECT_FALSE(dl.expired());
+  dl.Charge(int64_t{3600} * 1'000'000'000);
+  EXPECT_TRUE(dl.expired());
+}
+
+TEST(DeadlineTest, ParallelForCompletesUnderGenerousBudget) {
+  ThreadPool pool(4);
+  Deadline dl = Deadline::Synthetic(/*budget_s=*/1.0);
+  std::vector<int> hits(1000, 0);
+  const bool complete = pool.ParallelFor(
+      hits.size(), [&](std::size_t i) { hits[i] = 1; }, &dl);
+  EXPECT_TRUE(complete);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << i;
+  }
+}
+
+TEST(DeadlineTest, ParallelForStopsOnExpiredDeadline) {
+  ThreadPool pool(4);
+  Deadline dl = Deadline::Synthetic(/*budget_s=*/1.0);
+  dl.Charge(2'000'000'000);  // already expired before the loop starts
+  std::atomic<int> ran{0};
+  const bool complete = pool.ParallelFor(
+      10000, [&](std::size_t) { ran.fetch_add(1); }, &dl);
+  EXPECT_FALSE(complete);
+  // Expired before any chunk was claimed, so nothing should have run.
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(DeadlineTest, ParallelForReportsMidRunExpiry) {
+  ThreadPool pool(4);
+  Deadline dl = Deadline::Synthetic(/*budget_s=*/1e-3);
+  std::atomic<int> ran{0};
+  const bool complete = pool.ParallelFor(
+      100000,
+      [&](std::size_t) {
+        ran.fetch_add(1);
+        dl.Charge(100);  // workers exhaust the budget as they go
+      },
+      &dl);
+  EXPECT_FALSE(complete);
+  EXPECT_LT(ran.load(), 100000);
+}
+
+TEST(DeadlineTest, NullDeadlineBehavesUnbudgeted) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.ParallelFor(
+      500, [&](std::size_t) { ran.fetch_add(1); }, nullptr));
+  EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(DeadlineTest, SerialParallelForOrSerialHonorsDeadline) {
+  // pool == nullptr takes the serial path, which polls every 32 iterations.
+  Deadline expired = Deadline::Synthetic(/*budget_s=*/1.0);
+  expired.Charge(2'000'000'000);
+  int ran = 0;
+  const bool complete = ParallelForOrSerial(
+      nullptr, 10000, [&](std::size_t) { ++ran; }, &expired);
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(ran, 0);
+
+  Deadline fresh = Deadline::Synthetic(/*budget_s=*/1.0);
+  ran = 0;
+  EXPECT_TRUE(ParallelForOrSerial(
+      nullptr, 100, [&](std::size_t) { ++ran; }, &fresh));
+  EXPECT_EQ(ran, 100);
+}
+
+TEST(DeadlineTest, SerialPathStopsWithinOnePollWindow) {
+  // The serial path checks every 32 iterations: after the deadline expires
+  // mid-loop, at most one poll window of additional iterations may run.
+  Deadline dl = Deadline::Synthetic(/*budget_s=*/1e-9);
+  int ran = 0;
+  const bool complete = ParallelForOrSerial(
+      nullptr, 10000,
+      [&](std::size_t) {
+        ++ran;
+        dl.Charge(1);  // expired after the first iteration
+      },
+      &dl);
+  EXPECT_FALSE(complete);
+  EXPECT_LE(ran, 32);
+}
+
+}  // namespace
+}  // namespace auctionride

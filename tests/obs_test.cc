@@ -333,6 +333,60 @@ TEST(BenchJsonTest, ReportRoundTripsThroughDiskAndParser) {
   EXPECT_EQ(loaded->Dump(), report.Dump());
 }
 
+TEST(BenchJsonTest, FaultsObjectIsOmittedForFaultFreeRuns) {
+  BenchRunInfo info;
+  info.name = "fault_free";
+  info.timestamp_unix_s = 1;
+  const Json report = BuildBenchReport(info, FakeSnapshot());
+  EXPECT_EQ(report.Find("faults"), nullptr);
+  EXPECT_TRUE(ValidateBenchReport(report).ok());
+}
+
+TEST(BenchJsonTest, FaultsObjectCarriesCountersAndValidates) {
+  MetricRegistry registry;
+  registry.GetCounter("roadnet.sp.queries")->Add(10);
+  registry.GetCounter("sim.faults.breakdowns")->Add(3);
+  registry.GetCounter("sim.recovery.stranded_orders")->Add(5);
+  registry.GetCounter("auction.degraded_rounds")->Add(2);
+
+  BenchRunInfo info;
+  info.name = "storm_run";
+  info.timestamp_unix_s = 1;
+  info.fault_profile = "storm";
+  const Json report = BuildBenchReport(info, registry.Snapshot());
+  const Status valid = ValidateBenchReport(report);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+
+  const Json* faults = report.Find("faults");
+  ASSERT_NE(faults, nullptr);
+  EXPECT_EQ(faults->Find("profile")->AsString(), "storm");
+  EXPECT_EQ(faults->Find("breakdowns")->AsInt(), 3);
+  EXPECT_EQ(faults->Find("stranded_orders")->AsInt(), 5);
+  EXPECT_EQ(faults->Find("degraded_rounds")->AsInt(), 2);
+  // Counters the run never touched default to 0, not to a missing field.
+  EXPECT_EQ(faults->Find("cancellations")->AsInt(), 0);
+  EXPECT_EQ(faults->Find("spike_rounds")->AsInt(), 0);
+  EXPECT_EQ(faults->Find("redispatched")->AsInt(), 0);
+}
+
+TEST(BenchJsonTest, ValidatorRejectsMalformedFaultsObject) {
+  BenchRunInfo info;
+  info.name = "bad_faults";
+  info.timestamp_unix_s = 1;
+  info.fault_profile = "breakdowns";
+  Json report = BuildBenchReport(info, FakeSnapshot());
+  report["faults"].AsObject().erase("stranded_orders");
+  const Status invalid = ValidateBenchReport(report);
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_NE(invalid.message().find("faults.stranded_orders"),
+            std::string::npos)
+      << invalid.message();
+
+  Json wrong_type = BuildBenchReport(info, FakeSnapshot());
+  wrong_type["faults"]["profile"] = 7;
+  EXPECT_FALSE(ValidateBenchReport(wrong_type).ok());
+}
+
 TEST(BenchJsonTest, ValidatorNamesTheBrokenField) {
   BenchRunInfo info;
   info.name = "broken";

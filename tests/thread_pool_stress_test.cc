@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "auction/pack_memo.h"
+#include "exec/deadline.h"
 #include "exec/thread_pool.h"
 
 namespace auctionride {
@@ -166,6 +167,66 @@ TEST(ThreadPoolStressTest, ParallelForOrSerialMatchesSerial) {
     without_pool[i] = static_cast<int>(i * 7 + 1);
   });
   EXPECT_EQ(with_pool, without_pool);
+}
+
+TEST(DeadlineStressTest, ConcurrentChargeAndPoll) {
+  // Workers hammer Charge() while other threads poll expired(): the relaxed
+  // atomic must stay race-free under TSan and lose no charges.
+  Deadline dl = Deadline::Synthetic(/*budget_s=*/3600.0);
+  constexpr int kThreads = 6;
+  constexpr int kChargesPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 2);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dl] {
+      for (int c = 0; c < kChargesPerThread; ++c) dl.Charge(3);
+    });
+  }
+  std::atomic<bool> stop{false};
+  for (int p = 0; p < 2; ++p) {
+    threads.emplace_back([&dl, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)dl.expired();
+      }
+    });
+  }
+  for (int t = 0; t < kThreads; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::size_t t = kThreads; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(dl.charged_ns(), int64_t{kThreads} * kChargesPerThread * 3);
+  EXPECT_FALSE(dl.expired());
+}
+
+TEST(DeadlineStressTest, RacingBudgetedParallelForCalls) {
+  // Several threads drive budgeted ParallelFor over the same pool while the
+  // shared deadline expires mid-flight. Whatever completes must have covered
+  // every index; whatever reports false must have been told so coherently.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    Deadline dl = Deadline::Synthetic(/*budget_s=*/1e-4);
+    std::atomic<long> ran{0};
+    std::vector<std::thread> callers;
+    callers.reserve(3);
+    std::atomic<int> completes{0};
+    for (int c = 0; c < 3; ++c) {
+      callers.emplace_back([&pool, &dl, &ran, &completes] {
+        const bool complete = pool.ParallelFor(
+            5000,
+            [&](std::size_t) {
+              ran.fetch_add(1, std::memory_order_relaxed);
+              dl.Charge(50);
+            },
+            &dl);
+        if (complete) completes.fetch_add(1);
+      });
+    }
+    for (std::thread& c : callers) c.join();
+    // Budget = 100us / 50ns per iteration = 2000 charged iterations max
+    // before everyone observes expiry; 3 x 5000 iterations can never all
+    // complete.
+    EXPECT_EQ(completes.load(), 0) << "round " << round;
+    EXPECT_GT(ran.load(), 0) << "round " << round;
+  }
 }
 
 TEST(ThreadPoolStressTest, WaitFromMultipleThreads) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "roadnet/builder.h"
 #include "roadnet/nearest_node.h"
@@ -193,6 +195,114 @@ TEST_F(WorkloadTest, LoadRejectsMalformedRecords) {
     ASSERT_TRUE(writer->Close().ok());
   }
   EXPECT_FALSE(LoadWorkloadCsv(path, net_).ok());
+}
+
+// Writes `rows` to a scratch CSV and loads it, returning the status.
+Status LoadRows(const RoadNetwork& net,
+                const std::vector<std::vector<std::string>>& rows,
+                const std::string& tag) {
+  const std::string path = testing::TempDir() + "/" + tag + ".csv";
+  StatusOr<CsvWriter> writer = CsvWriter::Open(path);
+  if (!writer.ok()) return writer.status();
+  for (const std::vector<std::string>& row : rows) writer->WriteRow(row);
+  const Status closed = writer->Close();
+  if (!closed.ok()) return closed;
+  return LoadWorkloadCsv(path, net).status();
+}
+
+TEST_F(WorkloadTest, LoadRejectsNonFiniteOrderFields) {
+  // strtod accepts "nan" and "inf"; the loader must not. Exercise every
+  // floating-point order column, each with a message naming the field.
+  const struct {
+    int column;
+    const char* field;
+  } cases[] = {{4, "issue_time_s"}, {5, "shortest_distance_m"},
+               {6, "shortest_time_s"}, {7, "max_wasted_time_s"},
+               {8, "valuation"}, {9, "bid"}};
+  for (const char* poison : {"nan", "inf", "-inf"}) {
+    for (const auto& c : cases) {
+      std::vector<std::string> row = {"order", "0", "1",  "2",  "0",
+                                      "100",   "10", "5", "20", "20"};
+      row[static_cast<std::size_t>(c.column)] = poison;
+      const Status status = LoadRows(net_, {row}, "nonfinite_order");
+      ASSERT_EQ(status.code(), StatusCode::kInvalidArgument)
+          << c.field << " = " << poison;
+      EXPECT_NE(status.message().find(c.field), std::string::npos)
+          << status.message();
+      EXPECT_NE(status.message().find("must be finite"), std::string::npos)
+          << status.message();
+    }
+  }
+}
+
+TEST_F(WorkloadTest, LoadRejectsNonNumericFields) {
+  const Status bad_bid = LoadRows(
+      net_,
+      {{"order", "0", "1", "2", "0", "100", "10", "5", "20", "cheap"}},
+      "bad_bid");
+  ASSERT_EQ(bad_bid.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_bid.message().find("bid 'cheap' is not a number"),
+            std::string::npos)
+      << bad_bid.message();
+
+  const Status bad_id =
+      LoadRows(net_, {{"vehicle", "v7", "1", "4", "0", "1800"}}, "bad_vid");
+  ASSERT_EQ(bad_id.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_id.message().find("vehicle id 'v7' is not an integer"),
+            std::string::npos)
+      << bad_id.message();
+}
+
+TEST_F(WorkloadTest, LoadRejectsNonFiniteVehicleTimes) {
+  for (int column : {4, 5}) {
+    std::vector<std::string> row = {"vehicle", "0", "1", "4", "0", "1800"};
+    row[static_cast<std::size_t>(column)] = "inf";
+    const Status status = LoadRows(net_, {row}, "nonfinite_vehicle");
+    ASSERT_EQ(status.code(), StatusCode::kInvalidArgument) << column;
+    EXPECT_NE(status.message().find("must be finite"), std::string::npos)
+        << status.message();
+  }
+}
+
+TEST_F(WorkloadTest, LoadRejectsNonPositiveCapacity) {
+  for (const char* capacity : {"0", "-3"}) {
+    const Status status = LoadRows(
+        net_, {{"vehicle", "0", "1", capacity, "0", "1800"}}, "bad_capacity");
+    ASSERT_EQ(status.code(), StatusCode::kInvalidArgument) << capacity;
+    EXPECT_NE(status.message().find("capacity must be positive"),
+              std::string::npos)
+        << status.message();
+  }
+}
+
+TEST_F(WorkloadTest, LoadRejectsDuplicateOrderIds) {
+  const Status status = LoadRows(
+      net_,
+      {{"order", "3", "1", "2", "0", "100", "10", "5", "20", "20"},
+       {"order", "3", "5", "6", "10", "200", "20", "10", "30", "30"}},
+      "dup_order");
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("duplicate order id 3"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(WorkloadTest, LoadRejectsDuplicateVehicleIds) {
+  const Status status = LoadRows(net_,
+                                 {{"vehicle", "9", "1", "4", "0", "1800"},
+                                  {"vehicle", "9", "2", "4", "0", "1800"}},
+                                 "dup_vehicle");
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("duplicate vehicle id 9"),
+            std::string::npos)
+      << status.message();
+}
+
+TEST_F(WorkloadTest, LoadRejectsOfflineBeforeOnline) {
+  const Status status = LoadRows(
+      net_, {{"vehicle", "0", "1", "4", "600", "300"}}, "offline_early");
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("precedes online_s"), std::string::npos)
+      << status.message();
 }
 
 }  // namespace
