@@ -1,0 +1,75 @@
+# Clang Thread Safety Analysis as a build-breaking wall (ARIDE_THREAD_SAFETY,
+# `cmake --preset clang-tsa`). The annotations live in
+# src/common/thread_annotations.h and compile to nothing outside clang, so
+# this file is the only place the analysis is actually armed.
+#
+# Gating mirrors Analyzer.cmake: the option defaults ON but only takes
+# effect under clang — GCC has no -Wthread-safety, so there we print a
+# STATUS skip and the build proceeds unchanged. Under clang the flags are
+# promoted to errors (-Werror=thread-safety*) so a guarded member accessed
+# without its mutex fails the build, not just the log.
+#
+# Self-check at configure time: two try_compile probes against fixtures in
+# tests/compile/ prove the wall is real before anything is built.
+#   thread_safety_clean.cc      canonical Mutex/MutexLock/CondVar usage —
+#                               must COMPILE, else the macros are broken.
+#   thread_safety_violation.cc  guarded read without the lock — must FAIL
+#                               to compile, else enforcement is silently
+#                               off (macros expanding empty, warning not an
+#                               error) and we abort with FATAL_ERROR.
+
+option(ARIDE_THREAD_SAFETY
+       "Enforce Clang Thread Safety Analysis (-Werror=thread-safety)" ON)
+
+set(ARIDE_THREAD_SAFETY_FLAGS "")
+if(NOT ARIDE_THREAD_SAFETY)
+  message(STATUS "aride: thread-safety analysis disabled (ARIDE_THREAD_SAFETY=OFF)")
+elseif(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  set(ARIDE_THREAD_SAFETY_FLAGS -Wthread-safety -Werror=thread-safety)
+
+  set(_aride_tsa_probe_flags
+      "-W -Wall ${ARIDE_THREAD_SAFETY_FLAGS}")
+  string(REPLACE ";" " " _aride_tsa_probe_flags
+         "${_aride_tsa_probe_flags}")
+
+  try_compile(ARIDE_TSA_CLEAN_OK
+    ${CMAKE_BINARY_DIR}/tsa_probe_clean
+    ${CMAKE_SOURCE_DIR}/tests/compile/thread_safety_clean.cc
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=20"
+      "-DCMAKE_CXX_FLAGS=${_aride_tsa_probe_flags}"
+    OUTPUT_VARIABLE _aride_tsa_clean_log)
+  if(NOT ARIDE_TSA_CLEAN_OK)
+    message(FATAL_ERROR
+      "aride: thread-safety self-check failed — the CLEAN fixture "
+      "tests/compile/thread_safety_clean.cc does not compile under "
+      "-Werror=thread-safety. The annotation macros or mutex wrappers are "
+      "broken.\n${_aride_tsa_clean_log}")
+  endif()
+
+  try_compile(ARIDE_TSA_VIOLATION_COMPILES
+    ${CMAKE_BINARY_DIR}/tsa_probe_violation
+    ${CMAKE_SOURCE_DIR}/tests/compile/thread_safety_violation.cc
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=20"
+      "-DCMAKE_CXX_FLAGS=${_aride_tsa_probe_flags}")
+  if(ARIDE_TSA_VIOLATION_COMPILES)
+    message(FATAL_ERROR
+      "aride: thread-safety self-check failed — the VIOLATION fixture "
+      "tests/compile/thread_safety_violation.cc compiled, so the analysis "
+      "is not actually enforcing anything (macros expanding to nothing or "
+      "the warning not promoted to an error).")
+  endif()
+
+  add_compile_options(${ARIDE_THREAD_SAFETY_FLAGS})
+  message(STATUS
+    "aride: clang thread-safety analysis armed (-Werror=thread-safety, "
+    "self-check passed)")
+else()
+  message(STATUS
+    "aride: ${CMAKE_CXX_COMPILER_ID} has no -Wthread-safety; annotations "
+    "compile to no-ops — use `cmake --preset clang-tsa` (or CI's "
+    "thread-safety job) for enforcement")
+endif()

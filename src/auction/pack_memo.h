@@ -16,9 +16,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace auctionride {
 
@@ -45,7 +47,7 @@ class PackMemo {
               Eval* out) const {
     const std::size_t h = Hash(vehicle, members);
     const Shard& shard = shards_[h % kNumShards];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(Key{vehicle, members});
     if (it == shard.map.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -62,7 +64,7 @@ class PackMemo {
               const Eval& eval) {
     const std::size_t h = Hash(vehicle, members);
     Shard& shard = shards_[h % kNumShards];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.map.emplace(Key{vehicle, members}, eval);
   }
 
@@ -72,7 +74,7 @@ class PackMemo {
   std::size_t size() const {
     std::size_t total = 0;
     for (int s = 0; s < kNumShards; ++s) {
-      std::lock_guard<std::mutex> lock(shards_[s].mu);
+      MutexLock lock(shards_[s].mu);
       total += shards_[s].map.size();
     }
     return total;
@@ -109,8 +111,10 @@ class PackMemo {
   }
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<Key, Eval, KeyHash> map;
+    mutable Mutex mu;
+    // Membership-only map: lookups and first-insert-wins inserts, never
+    // iterated, so its unordered layout cannot leak into results.
+    std::unordered_map<Key, Eval, KeyHash> map ARIDE_GUARDED_BY(mu);
   };
 
   std::unique_ptr<Shard[]> shards_;

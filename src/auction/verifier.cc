@@ -74,21 +74,26 @@ Status VerifyDispatch(const AuctionInstance& instance,
                               " violates capacity or deadlines");
     }
 
-    // New orders in the plan = plan orders − previous plan orders.
+    // New orders in the plan = plan orders − previous plan orders. The
+    // unordered sets answer membership only; the scans below walk the
+    // stop vectors so that which violation is reported first is a function
+    // of plan order, not of hash layout (which differs across platforms).
     std::unordered_set<OrderId> previous;
     for (const PlanStop& stop : vehicle.plan.stops) previous.insert(stop.order);
     std::unordered_set<OrderId> current;
     for (const PlanStop& stop : plan) current.insert(stop.order);
-    for (OrderId prev : previous) {
-      if (!current.count(prev)) {
+    for (const PlanStop& stop : vehicle.plan.stops) {
+      if (!current.count(stop.order)) {
         return Status::Internal("plan of vehicle index " +
                                 std::to_string(veh_idx) + " dropped " +
-                                OrderStr(prev));
+                                OrderStr(stop.order));
       }
     }
     int new_orders = 0;
-    for (OrderId id : current) {
-      if (previous.count(id)) continue;
+    std::unordered_set<OrderId> counted;
+    for (const PlanStop& stop : plan) {
+      const OrderId id = stop.order;
+      if (previous.count(id) || !counted.insert(id).second) continue;
       ++new_orders;
       orders_in_plans.insert(id);
       if (!assigned.count(id)) {
@@ -108,9 +113,12 @@ Status VerifyDispatch(const AuctionInstance& instance,
             .delivery_distance_m;
     delta_total += eval.delivery_distance_m - base;
   }
-  for (OrderId id : assigned) {
-    if (!orders_in_plans.count(id)) {
-      return Status::Internal(OrderStr(id) +
+  // Walk the assignment vector, not the `assigned` set: assignment order is
+  // part of the dispatch contract, so the first missing order reported here
+  // is the same on every platform.
+  for (const Assignment& a : result.assignments) {
+    if (!orders_in_plans.count(a.order)) {
+      return Status::Internal(OrderStr(a.order) +
                               " assigned but in no updated plan");
     }
   }

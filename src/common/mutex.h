@@ -1,0 +1,89 @@
+// Annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability attributes,
+// so clang's -Wthread-safety cannot reason about them: ARIDE_GUARDED_BY on
+// a member locked via std::lock_guard would warn on every access. These
+// thin wrappers add the attributes and nothing else — Mutex is exactly a
+// std::mutex, MutexLock exactly a lock_guard, CondVar exactly a
+// condition_variable (it borrows the Mutex's underlying std::mutex via
+// std::adopt_lock for the wait, so notify/wait performance is unchanged).
+//
+// Locked structures in src/ declare `Mutex mu_;`, guard their members with
+// ARIDE_GUARDED_BY(mu_), and take the lock with `MutexLock lock(mu_);`.
+// Condition waits use explicit while loops (the predicate-lambda overload
+// of std::condition_variable::wait is analyzed as a separate function and
+// would not see the held capability):
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(mu_);
+
+#ifndef AUCTIONRIDE_COMMON_MUTEX_H_
+#define AUCTIONRIDE_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace auctionride {
+
+class CondVar;
+
+/// std::mutex with capability attributes. Prefer MutexLock over calling
+/// lock()/unlock() directly.
+class ARIDE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ARIDE_ACQUIRE() { mu_.lock(); }      // NOLINT-ARIDE(raw-lock): the RAII layer itself
+  void unlock() ARIDE_RELEASE() { mu_.unlock(); }  // NOLINT-ARIDE(raw-lock): the RAII layer itself
+
+ private:
+  friend class CondVar;  // Wait() adopts the underlying std::mutex
+  std::mutex mu_;
+};
+
+/// RAII scope lock over Mutex (the annotated std::lock_guard).
+class ARIDE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ARIDE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }  // NOLINT-ARIDE(raw-lock): the RAII layer itself
+  ~MutexLock() ARIDE_RELEASE() { mu_.unlock(); }  // NOLINT-ARIDE(raw-lock): the RAII layer itself
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() must be called with the
+/// mutex held and returns with it held (same contract as std::condition_
+/// variable::wait), which ARIDE_REQUIRES expresses to the analysis.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
+  /// Spurious wakeups happen; always wait in a while loop.
+  void Wait(Mutex& mu) ARIDE_REQUIRES(mu) {
+    // Adopt the already-held std::mutex for the duration of the wait, then
+    // release ownership back to the caller's MutexLock without unlocking.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_COMMON_MUTEX_H_

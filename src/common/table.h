@@ -34,7 +34,7 @@ class TablePrinter {
     std::string rule;
     for (std::size_t w : widths) rule += std::string(w + 2, '-') + "+";
     // Stdout is this class's contract: benches render result tables with it.
-    std::printf("%s\n", rule.c_str());  // NOLINT-ARIDE(banned-api)
+    std::printf("%s\n", rule.c_str());  // NOLINT-ARIDE(banned-api): stdout is the renderer contract
     for (const auto& row : rows_) PrintRow(row, widths);
   }
 
@@ -43,10 +43,10 @@ class TablePrinter {
                        const std::vector<std::size_t>& widths) {
     for (std::size_t i = 0; i < widths.size(); ++i) {
       const std::string& cell = i < cells.size() ? cells[i] : std::string();
-      std::printf(" %-*s |", static_cast<int>(widths[i]),  // NOLINT-ARIDE(banned-api)
+      std::printf(" %-*s |", static_cast<int>(widths[i]),  // NOLINT-ARIDE(banned-api): stdout is the renderer contract
                   cell.c_str());
     }
-    std::printf("\n");  // NOLINT-ARIDE(banned-api)
+    std::printf("\n");  // NOLINT-ARIDE(banned-api): stdout is the renderer contract
   }
 
   std::vector<std::string> headers_;

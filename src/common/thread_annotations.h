@@ -1,0 +1,76 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// The repo's headline guarantee — bit-identical parallel dispatch at any
+// thread count — is enforced dynamically by the TSan jobs and determinism
+// tests. These macros add the static half of the wall: clang's
+// -Wthread-safety analysis proves at compile time that every access to a
+// guarded member happens with its mutex held. Under GCC (which has no such
+// analysis) every macro expands to nothing, so annotated code builds
+// everywhere; the clang-tsa CI job compiles with -Werror=thread-safety and
+// fails on any violation.
+//
+// Usage guide (see docs/ANALYSIS.md for the long form):
+//   - Declare lock-protected members with ARIDE_GUARDED_BY(mu_) and take
+//     the lock through common/mutex.h's MutexLock, never a bare
+//     std::lock_guard (libstdc++'s std::mutex carries no capability
+//     attributes, so the analysis cannot see it).
+//   - Functions that must be called with a lock held take
+//     ARIDE_REQUIRES(mu); functions that take the lock themselves and
+//     would self-deadlock if it were held take ARIDE_EXCLUDES(mu).
+//   - Members that are std::atomic with relaxed ordering by design (e.g.
+//     exec/deadline.h charges) are NOT annotated: atomics need no
+//     capability, and annotating them would force pointless locking.
+
+#ifndef AUCTIONRIDE_COMMON_THREAD_ANNOTATIONS_H_
+#define AUCTIONRIDE_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ARIDE_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define ARIDE_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define ARIDE_CAPABILITY(x) \
+  ARIDE_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases.
+#define ARIDE_SCOPED_CAPABILITY \
+  ARIDE_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Data members: may only be read/written with the capability held.
+#define ARIDE_GUARDED_BY(x) \
+  ARIDE_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Pointer members: the pointed-to data needs the capability (the pointer
+// itself does not).
+#define ARIDE_PT_GUARDED_BY(x) \
+  ARIDE_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Function acquires/releases the capability (non-RAII lock primitives).
+#define ARIDE_ACQUIRE(...) \
+  ARIDE_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ARIDE_RELEASE(...) \
+  ARIDE_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define ARIDE_TRY_ACQUIRE(...) \
+  ARIDE_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+// Caller must hold the capability for the duration of the call.
+#define ARIDE_REQUIRES(...) \
+  ARIDE_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (the function acquires it itself;
+// holding it on entry would self-deadlock).
+#define ARIDE_EXCLUDES(...) \
+  ARIDE_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Function returns a reference to the named capability.
+#define ARIDE_RETURN_CAPABILITY(x) \
+  ARIDE_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: turns the analysis off for one function. Every use needs a
+// comment explaining why the access pattern is safe.
+#define ARIDE_NO_THREAD_SAFETY_ANALYSIS \
+  ARIDE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // AUCTIONRIDE_COMMON_THREAD_ANNOTATIONS_H_

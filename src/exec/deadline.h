@@ -17,6 +17,12 @@
 // associative, so the accumulated total (and the final expired() verdict a
 // dispatcher must check before declaring an attempt complete) does not
 // depend on the order threads charge in.
+//
+// Thread-safety annotations: deliberately none. Every member is either
+// const after construction (mode_, budget_ns_, query_penalty_ns_, start_)
+// or a relaxed atomic (charged_ns_), so there is no capability to hold —
+// see src/common/thread_annotations.h for when ARIDE_GUARDED_BY applies
+// versus relying on atomics.
 
 #ifndef AUCTIONRIDE_EXEC_DEADLINE_H_
 #define AUCTIONRIDE_EXEC_DEADLINE_H_

@@ -21,10 +21,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -32,7 +32,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   ARIDE_ACHECK(task != nullptr);
   std::size_t depth = 0;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ARIDE_ACHECK(!shutting_down_);
     tasks_.push_back(std::move(task));
     ++in_flight_;
@@ -41,12 +41,12 @@ void ThreadPool::Submit(std::function<void()> task) {
   OBS_COUNTER_INC("threadpool.tasks_submitted");
   OBS_GAUGE_MAX("threadpool.queue_depth.peak", static_cast<double>(depth));
   OBS_TRACE_COUNTER("threadpool.queue_depth", static_cast<double>(depth));
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::ParallelFor(std::size_t n,
@@ -137,9 +137,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit loop rather than the predicate overload: a wait predicate
+      // is a lambda the thread-safety analysis treats as a separate
+      // function, which would not see mu_ held.
+      while (!shutting_down_ && tasks_.empty()) task_available_.Wait(mu_);
       if (tasks_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -149,9 +151,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -5,13 +5,14 @@
 #ifndef AUCTIONRIDE_EXEC_THREAD_POOL_H_
 #define AUCTIONRIDE_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace auctionride {
 
@@ -27,10 +28,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Must not be called after the destructor has begun.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) ARIDE_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished executing.
-  void Wait();
+  void Wait() ARIDE_EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, n), distributing chunks over the pool, and
   /// blocks until all complete. fn must be safe to invoke concurrently.
@@ -48,15 +49,15 @@ class ThreadPool {
   std::size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ARIDE_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> tasks_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> tasks_ ARIDE_GUARDED_BY(mu_);
+  std::size_t in_flight_ ARIDE_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ ARIDE_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written only before workers start
 };
 
 /// Runs fn(i) for i in [0, n): on `pool` when it is non-null and n >= 2,

@@ -16,9 +16,11 @@ bool TravelPlan::PrecedenceHolds() const {
       dropped.insert(s.order);
     }
   }
-  // Every picked order must also be dropped within the plan.
-  for (OrderId o : picked) {
-    if (!dropped.count(o)) return false;
+  // Every picked order must also be dropped within the plan. Re-walk the
+  // stop vector rather than draining the `picked` set: the result is the
+  // same, but iteration order stays deterministic by construction.
+  for (const PlanStop& s : stops) {
+    if (s.type == StopType::kPickup && !dropped.count(s.order)) return false;
   }
   return true;
 }

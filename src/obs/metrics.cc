@@ -54,7 +54,7 @@ Histogram::Histogram(Options opts) : opts_(std::move(opts)) {
 }
 
 void Histogram::Observe(double x) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.Add(x);
   // Bucket: first bound >= x, else overflow.
   const auto it = std::lower_bound(opts_.bucket_bounds.begin(),
@@ -74,7 +74,7 @@ void Histogram::Observe(double x) {
 }
 
 HistogramSummary Histogram::Summary() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   HistogramSummary out;
   out.count = stats_.count();
   out.sum = stats_.sum();
@@ -94,7 +94,7 @@ HistogramSummary Histogram::Summary() const {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = RunningStats();
   samples_ = SampleSet();
   bucket_counts_.assign(opts_.bucket_bounds.size() + 1, 0);
@@ -106,14 +106,14 @@ MetricRegistry& MetricRegistry::Global() {
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -121,7 +121,7 @@ Gauge* MetricRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         Histogram::Options opts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   // First creation wins; later callers share the existing options.
   if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(opts));
@@ -129,7 +129,7 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
@@ -140,7 +140,7 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
 }
 
 void MetricRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

@@ -24,11 +24,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 
 namespace auctionride {
 namespace obs {
@@ -162,12 +163,13 @@ class Histogram {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  Options opts_;
-  RunningStats stats_;
-  SampleSet samples_;
-  std::vector<uint64_t> bucket_counts_;
-  uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;  // reservoir RNG (SplitMix64)
+  mutable Mutex mu_;
+  Options opts_;  // immutable after construction
+  RunningStats stats_ ARIDE_GUARDED_BY(mu_);
+  SampleSet samples_ ARIDE_GUARDED_BY(mu_);
+  std::vector<uint64_t> bucket_counts_ ARIDE_GUARDED_BY(mu_);
+  // Reservoir RNG (SplitMix64), advanced only under mu_.
+  uint64_t rng_state_ ARIDE_GUARDED_BY(mu_) = 0x9e3779b97f4a7c15ULL;
   struct alignas(64) TickCell {
     std::atomic<uint64_t> v{0};
   };
@@ -207,10 +209,13 @@ class MetricRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      ARIDE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      ARIDE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      ARIDE_GUARDED_BY(mu_);
 };
 
 /// RAII timer observing its lifetime (seconds) into a histogram. With

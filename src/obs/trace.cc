@@ -3,9 +3,10 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 
 namespace auctionride {
@@ -26,17 +27,18 @@ struct TraceEvent {
 };
 
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<TraceEvent> events;
-  std::string thread_name;
-  int tid;
+  Mutex mu;
+  std::vector<TraceEvent> events ARIDE_GUARDED_BY(mu);
+  std::string thread_name ARIDE_GUARDED_BY(mu);
+  int tid;  // written once in LocalBuffer() before the buffer is published
 };
 
 struct TracerState {
-  std::mutex mu;
+  Mutex mu;
   // shared_ptr keeps buffers alive after their thread exits.
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  int next_tid = 1;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers ARIDE_GUARDED_BY(mu);
+  int next_tid ARIDE_GUARDED_BY(mu) = 1;
+  // Pinned at first State() call; immutable afterwards.
   std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
 };
@@ -50,7 +52,7 @@ ThreadBuffer& LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto b = std::make_shared<ThreadBuffer>();
     TracerState& state = State();
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     b->tid = state.next_tid++;
     state.buffers.push_back(b);
     return b;
@@ -60,7 +62,7 @@ ThreadBuffer& LocalBuffer() {
 
 void AppendEvent(const TraceEvent& ev) {
   ThreadBuffer& buf = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buf.mu);
+  MutexLock lock(buf.mu);
   buf.events.push_back(ev);
 }
 
@@ -102,7 +104,7 @@ void Tracer::RecordCounter(const char* name, double value) {
 
 void Tracer::SetThreadName(const std::string& name) {
   ThreadBuffer& buf = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buf.mu);
+  MutexLock lock(buf.mu);
   buf.thread_name = name;
 }
 
@@ -110,12 +112,12 @@ std::size_t Tracer::EventCount() {
   TracerState& state = State();
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     buffers = state.buffers;
   }
   std::size_t n = 0;
   for (const auto& b : buffers) {
-    std::lock_guard<std::mutex> lock(b->mu);
+    MutexLock lock(b->mu);
     n += b->events.size();
   }
   return n;
@@ -125,11 +127,11 @@ void Tracer::Clear() {
   TracerState& state = State();
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     buffers = state.buffers;
   }
   for (const auto& b : buffers) {
-    std::lock_guard<std::mutex> lock(b->mu);
+    MutexLock lock(b->mu);
     b->events.clear();
   }
 }
@@ -138,7 +140,7 @@ Status Tracer::WriteChromeTrace(const std::string& path) {
   TracerState& state = State();
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     buffers = state.buffers;
   }
 
@@ -153,7 +155,7 @@ Status Tracer::WriteChromeTrace(const std::string& path) {
     first = false;
   };
   for (const auto& b : buffers) {
-    std::lock_guard<std::mutex> lock(b->mu);
+    MutexLock lock(b->mu);
     if (!b->thread_name.empty()) {
       comma();
       std::fprintf(f,

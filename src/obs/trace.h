@@ -61,6 +61,10 @@ class Tracer {
   static void Clear();
 
  private:
+  // Relaxed atomic flag, deliberately not ARIDE_GUARDED_BY any mutex: the
+  // enabled check is the hot path (one load per span when tracing is off)
+  // and tolerates arbitrary interleaving with SetEnabled. All mutable
+  // buffer state lives behind annotated Mutexes in trace.cc.
   static std::atomic<bool> enabled_;
 };
 

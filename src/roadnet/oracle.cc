@@ -25,7 +25,7 @@ double DistanceOracle::ComputeUncached(NodeId source, NodeId target) const {
   if (backend_ == Backend::kContractionHierarchy) {
     std::unique_ptr<ContractionHierarchy::Query> query;
     {
-      std::lock_guard<std::mutex> lock(pool_mu_);
+      MutexLock lock(pool_mu_);
       if (!ch_pool_.empty()) {
         query = std::move(ch_pool_.back());
         ch_pool_.pop_back();
@@ -36,7 +36,7 @@ double DistanceOracle::ComputeUncached(NodeId source, NodeId target) const {
     }
     const double d = query->ShortestDistance(source, target);
     {
-      std::lock_guard<std::mutex> lock(pool_mu_);
+      MutexLock lock(pool_mu_);
       ch_pool_.push_back(std::move(query));
     }
     return d;
@@ -44,7 +44,7 @@ double DistanceOracle::ComputeUncached(NodeId source, NodeId target) const {
 
   std::unique_ptr<DijkstraSearch> search;
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     if (!dijkstra_pool_.empty()) {
       search = std::move(dijkstra_pool_.back());
       dijkstra_pool_.pop_back();
@@ -53,7 +53,7 @@ double DistanceOracle::ComputeUncached(NodeId source, NodeId target) const {
   if (search == nullptr) search = std::make_unique<DijkstraSearch>(network_);
   const double d = search->ShortestDistance(source, target);
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     dijkstra_pool_.push_back(std::move(search));
   }
   return d;
@@ -129,7 +129,7 @@ double DistanceOracle::Distance(NodeId source, NodeId target) const {
                        static_cast<uint32_t>(target);
   CacheShard& shard = shards_[key % kNumShards];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -139,7 +139,7 @@ double DistanceOracle::Distance(NodeId source, NodeId target) const {
   }
   const double d = ComputeUncached(source, target);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.map.emplace(key, d);
   }
   return d;

@@ -15,10 +15,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "roadnet/contraction_hierarchy.h"
 #include "roadnet/dijkstra.h"
 #include "roadnet/graph.h"
@@ -77,8 +78,9 @@ class DistanceOracle {
   static constexpr int kNumShards = 16;
 
   struct CacheShard {
-    std::mutex mu;
-    std::unordered_map<uint64_t, double> map;
+    Mutex mu;
+    // Membership-only map (find/emplace, never iterated).
+    std::unordered_map<uint64_t, double> map ARIDE_GUARDED_BY(mu);
   };
 
   double ComputeUncached(NodeId source, NodeId target) const;
@@ -89,9 +91,11 @@ class DistanceOracle {
   std::unique_ptr<ContractionHierarchy> ch_;
 
   // Pools of per-thread query contexts, lazily grown.
-  mutable std::mutex pool_mu_;
-  mutable std::vector<std::unique_ptr<ContractionHierarchy::Query>> ch_pool_;
-  mutable std::vector<std::unique_ptr<DijkstraSearch>> dijkstra_pool_;
+  mutable Mutex pool_mu_;
+  mutable std::vector<std::unique_ptr<ContractionHierarchy::Query>> ch_pool_
+      ARIDE_GUARDED_BY(pool_mu_);
+  mutable std::vector<std::unique_ptr<DijkstraSearch>> dijkstra_pool_
+      ARIDE_GUARDED_BY(pool_mu_);
 
   mutable std::unique_ptr<CacheShard[]> shards_;
   mutable std::atomic<int64_t> num_queries_{0};

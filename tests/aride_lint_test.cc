@@ -128,6 +128,120 @@ TEST(LayerDagGolden, BackEdgeFixtureRejected) {
   EXPECT_NE(diags[0].message.find("auction"), std::string::npos);
 }
 
+TEST(UnorderedIterationGolden, FiresOnExactLines) {
+  const auto got = LintFixture("unordered_iteration.cc",
+                               "src/fixture/unordered_iteration.cc");
+  const std::vector<std::pair<std::string, int>> want = {
+      {"unordered-iteration", 16},  // range-for over by_id
+      {"unordered-iteration", 17},  // range-for over seen
+      {"unordered-iteration", 18},  // range-for through the Cache alias
+      {"unordered-iteration", 19},  // explicit by_id.begin() walk
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(UnorderedIterationGolden, OutsideSrcExempt) {
+  EXPECT_TRUE(LintFixture("unordered_iteration.cc",
+                          "bench/unordered_iteration.cc")
+                  .empty());
+}
+
+TEST(RawLockGolden, FiresOnExactLines) {
+  const auto got = LintFixture("raw_lock.cc", "src/fixture/raw_lock.cc");
+  const std::vector<std::pair<std::string, int>> want = {
+      {"raw-lock", 10},  // s.mu.lock()
+      {"raw-lock", 11},  // s.mu.unlock()
+      {"raw-lock", 12},  // p->mu.try_lock()
+      {"raw-lock", 13},  // p->mu.unlock()
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(RawLockGolden, OutsideSrcExempt) {
+  EXPECT_TRUE(LintFixture("raw_lock.cc", "tests/raw_lock.cc").empty());
+}
+
+TEST(NakedThreadGolden, FiresOnExactLines) {
+  const auto got =
+      LintFixture("naked_thread.cc", "src/fixture/naked_thread.cc");
+  const std::vector<std::pair<std::string, int>> want = {
+      {"naked-thread", 9},   // std::thread t(...)
+      {"naked-thread", 10},  // std::async
+      {"naked-thread", 11},  // t.detach()
+      {"naked-thread", 15},  // std::jthread
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(NakedThreadGolden, ExecLayerExempt) {
+  // src/exec/ is where the pool lives; spawning threads there is its job.
+  EXPECT_TRUE(
+      LintFixture("naked_thread.cc", "src/exec/naked_thread.cc").empty());
+}
+
+TEST(NakedThreadGolden, OutsideSrcExempt) {
+  EXPECT_TRUE(
+      LintFixture("naked_thread.cc", "tools/naked_thread.cc").empty());
+}
+
+TEST(NondetSourceGolden, FiresOnExactLines) {
+  const std::vector<std::pair<std::string, int>> want = {
+      {"nondet-source", 14},  // std::hash<const NondetVehicle*>
+      {"nondet-source", 16},  // std::less<NondetVehicle*>
+      {"nondet-source", 17},  // std::uintptr_t
+      {"nondet-source", 18},  // &a < &b
+  };
+  // The rule guards the decision-making layers, auction and planner alike.
+  EXPECT_EQ(
+      LintFixture("nondet_source.cc", "src/auction/nondet_source.cc"), want);
+  EXPECT_EQ(
+      LintFixture("nondet_source.cc", "src/planner/nondet_source.cc"), want);
+}
+
+TEST(NondetSourceGolden, OtherLayersExempt) {
+  EXPECT_TRUE(
+      LintFixture("nondet_source.cc", "src/sim/nondet_source.cc").empty());
+}
+
+TEST(StaleNolint, ConsumedVersusStale) {
+  const fs::path path = fs::path(ARIDE_LINT_TESTDATA) / "stale_nolint.cc";
+  FileInfo info =
+      MakeFileInfo("src/fixture/stale_nolint.cc", ReadFile(path));
+  SuppressionUsage usage;
+  std::vector<Diagnostic> diags = RunFileRules(info, &usage);
+  // The only surviving regular finding: printf on line 13 (its suppression
+  // names the wrong rule, float-eq).
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "banned-api");
+  EXPECT_EQ(diags[0].line, 13);
+  // Line 7's suppression consumed a finding; it is the only usage entry.
+  EXPECT_EQ(usage, SuppressionUsage({{7, "banned-api"}}));
+
+  std::vector<Diagnostic> stale =
+      CheckStaleSuppressions(info.path, info.lex, usage);
+  std::vector<std::pair<std::string, int>> got;
+  for (const Diagnostic& d : stale) got.emplace_back(d.rule, d.line);
+  std::sort(got.begin(), got.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  const std::vector<std::pair<std::string, int>> want = {
+      {"stale-nolint", 8},   // banned-api entry, nothing fired
+      {"stale-nolint", 9},   // wildcard entry, nothing fired
+      {"stale-nolint", 13},  // float-eq entry while banned-api fired
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(StaleNolint, ConsumedSuppressionIsNotStale) {
+  // raw_lock.cc line 17 suppresses a raw-lock that really fires; after the
+  // rules run, its entry must be consumed and the stale pass silent on it.
+  const fs::path path = fs::path(ARIDE_LINT_TESTDATA) / "raw_lock.cc";
+  FileInfo info = MakeFileInfo("src/fixture/raw_lock.cc", ReadFile(path));
+  SuppressionUsage usage;
+  (void)RunFileRules(info, &usage);
+  EXPECT_EQ(usage, SuppressionUsage({{17, "raw-lock"}}));
+  EXPECT_TRUE(CheckStaleSuppressions(info.path, info.lex, usage).empty());
+}
+
 // The declared order must accept every include edge in the real tree: this
 // is the "tree stays layered" regression test.
 TEST(LayerDag, AcceptsCurrentTree) {
@@ -178,6 +292,29 @@ TEST(LayerDag, CycleReportedWithChain) {
   EXPECT_TRUE(saw_cycle);
 }
 
+TEST(LayerDag, SuppressedBackEdgeConsumesEntry) {
+  LayerGraph graph;
+  graph.AddFile(MakeFileInfo(
+      "src/common/bad.h",
+      "#include \"auction/types.h\"  // NOLINT-ARIDE(layer-dag): test\n"));
+  std::map<std::string, SuppressionUsage> usage;
+  EXPECT_TRUE(graph.Check(&usage).empty());
+  EXPECT_EQ(usage["src/common/bad.h"],
+            SuppressionUsage({{1, "layer-dag"}}));
+}
+
+TEST(LayerDag, SuppressionOnLegalIncludeStaysUnconsumed) {
+  // A NOLINT on a perfectly legal downward include consumes nothing, so
+  // the stale pass will flag it.
+  LayerGraph graph;
+  graph.AddFile(MakeFileInfo(
+      "src/auction/ok.h",
+      "#include \"common/check.h\"  // NOLINT-ARIDE(layer-dag): useless\n"));
+  std::map<std::string, SuppressionUsage> usage;
+  EXPECT_TRUE(graph.Check(&usage).empty());
+  EXPECT_TRUE(usage["src/auction/ok.h"].empty());
+}
+
 TEST(LayerDag, UnknownDirectoryDiagnosed) {
   LayerGraph graph;
   graph.AddEdge("mystery", "common", "src/mystery/a.cc", 3);
@@ -215,7 +352,10 @@ TEST(Lexer, StringsCommentsAndSuppressions) {
       "// NOLINTNEXTLINE-ARIDE(guard-style,layer-dag)\n"
       "int c;\n"
       "const char* s = \"assert(x) // not code\";\n"
-      "int d; // NOLINT-ARIDE\n";
+      "int d; // NOLINT-ARIDE(*)\n"
+      "int e; // NOLINT-ARIDE\n"
+      "// prose that mentions NOLINT-ARIDE(float-eq) mid-comment\n"
+      "int f;\n";
   LexedFile lex = Lex(src);
   EXPECT_TRUE(IsSuppressed(lex, 1, "float-eq"));
   EXPECT_FALSE(IsSuppressed(lex, 1, "banned-api"));
@@ -223,7 +363,17 @@ TEST(Lexer, StringsCommentsAndSuppressions) {
   EXPECT_TRUE(IsSuppressed(lex, 4, "guard-style"));
   EXPECT_TRUE(IsSuppressed(lex, 4, "layer-dag"));
   EXPECT_FALSE(IsSuppressed(lex, 3, "guard-style"));
-  EXPECT_TRUE(IsSuppressed(lex, 6, "anything"));  // bare NOLINT-ARIDE
+  EXPECT_TRUE(IsSuppressed(lex, 6, "anything"));  // explicit (*) wildcard
+  // A marker without a rule list, and a marker that does not start the
+  // comment, are prose — neither registers a suppression.
+  EXPECT_FALSE(IsSuppressed(lex, 7, "anything"));
+  EXPECT_FALSE(IsSuppressed(lex, 8, "float-eq"));
+  EXPECT_FALSE(IsSuppressed(lex, 9, "float-eq"));
+  // MatchSuppression prefers the exact rule id over the wildcard and
+  // returns the entry that consumed the finding (stale-nolint bookkeeping).
+  EXPECT_EQ(MatchSuppression(lex, 1, "float-eq"), "float-eq");
+  EXPECT_EQ(MatchSuppression(lex, 6, "anything"), "*");
+  EXPECT_EQ(MatchSuppression(lex, 5, "float-eq"), "");
   // The string literal is one token; "assert" inside it never lexes as an
   // identifier.
   for (const Token& t : lex.tokens) {

@@ -1,0 +1,43 @@
+// Positive fixture for cmake/ThreadSafety.cmake's configure-time
+// self-check: canonical annotated-mutex usage that MUST compile cleanly
+// under -Wthread-safety -Werror=thread-safety. If this stops compiling,
+// the annotation macros in common/thread_annotations.h (or the wrappers
+// in common/mutex.h) are broken — fix them, don't weaken the check.
+//
+// Not part of any test binary: only try_compile in cmake/ThreadSafety.cmake
+// builds this file.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    auctionride::MutexLock lock(mu_);
+    ++value_;
+    if (value_ > 0) ready_ = true;
+    cv_.NotifyAll();
+  }
+
+  int WaitAndGet() {
+    auctionride::MutexLock lock(mu_);
+    while (!ready_) cv_.Wait(mu_);
+    return value_;
+  }
+
+ private:
+  mutable auctionride::Mutex mu_;
+  auctionride::CondVar cv_;
+  int value_ ARIDE_GUARDED_BY(mu_) = 0;
+  bool ready_ ARIDE_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.WaitAndGet() == 1 ? 0 : 1;
+}

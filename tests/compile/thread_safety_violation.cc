@@ -1,0 +1,31 @@
+// Negative fixture for cmake/ThreadSafety.cmake's configure-time
+// self-check: reads a guarded member with the mutex NOT held. This file
+// MUST FAIL to compile under -Wthread-safety -Werror=thread-safety; if it
+// compiles, the enforcement is silently off (wrong compiler, macros
+// expanding to nothing, or the warning not promoted to an error) and
+// configuration aborts with FATAL_ERROR.
+//
+// Not part of any test binary: only try_compile in cmake/ThreadSafety.cmake
+// builds this file.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Deliberate violation: no lock around the guarded read.
+  int UnsafeGet() const { return value_; }
+
+ private:
+  mutable auctionride::Mutex mu_;
+  int value_ ARIDE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.UnsafeGet();
+}

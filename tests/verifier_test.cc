@@ -160,6 +160,56 @@ TEST(VerifierTest, DetectsDroppedExistingRider) {
   EXPECT_FALSE(VerifyDispatch(in, result).ok());
 }
 
+// Which violation the verifier reports first must be a function of plan /
+// assignment order, never of unordered_set hash layout — the simulator's
+// bit-identical-across-thread-counts guarantee extends to error text, and
+// hash layout differs across standard libraries. Regression tests for the
+// sorted/stable drains in verifier.cc.
+TEST(VerifierTest, FirstDroppedRiderReportIsPlanOrder) {
+  RoadNetwork net = testutil::LineNetwork(12, 1000);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  std::vector<Order> orders = {MakeOrder(0, 2, 6, /*bid=*/30, oracle)};
+  std::vector<Vehicle> vehicles = {MakeVehicle(0, 1)};
+  // The vehicle already carries orders 99 and 7, in that stop order.
+  vehicles[0].plan.stops = {{8, 99, StopType::kDropoff, 1e9},
+                           {9, 7, StopType::kDropoff, 1e9}};
+  vehicles[0].onboard = 2;
+  AuctionInstance in;
+  in.orders = &orders;
+  in.vehicles = &vehicles;
+  in.oracle = &oracle;
+  DispatchResult result = GreedyDispatch(in);
+  ASSERT_EQ(result.updated_plans.size(), 1u);
+  // Tamper: drop both pre-existing riders. The report must name order 99 —
+  // first in the previous plan's stop order — regardless of how {7, 99}
+  // happens to land in a hash table.
+  auto& plan = result.updated_plans[0].second;
+  std::erase_if(plan,
+                [](const PlanStop& s) { return s.order == 99 || s.order == 7; });
+  const Status status = VerifyDispatch(in, result);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("order 99"), std::string::npos)
+      << status.message();
+}
+
+TEST(VerifierTest, FirstMissingAssignmentReportIsAssignmentOrder) {
+  const Scenario sc = RandomScenario(11);
+  const AuctionInstance in = sc.Instance();
+  DispatchResult result = GreedyDispatch(in);
+  if (result.assignments.size() < 2) GTEST_SKIP();
+  // Tamper: throw away every updated plan. Each assignment now lacks a
+  // plan; the report must name assignments[0], the first in the dispatch
+  // contract's own order.
+  result.updated_plans.clear();
+  result.total_delta_delivery_m = 0;
+  const Status status = VerifyDispatch(in, result);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(
+                "order " + std::to_string(result.assignments[0].order)),
+            std::string::npos)
+      << status.message();
+}
+
 // VerifyOptions.epsilon bounds the accounting comparisons: a perturbation
 // inside the tolerance passes, the same result fails once epsilon shrinks
 // below the perturbation.

@@ -19,6 +19,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -86,16 +88,26 @@ fs::path FindRoot(fs::path start) {
 
 void PrintRules() {
   std::printf(
-      "banned-api          std::rand/srand, system_clock, assert() or\n"
-      "                    <cassert>, bare printf/std::cout/std::cerr in "
+      "banned-api           std::rand/srand, system_clock, assert() or\n"
+      "                     <cassert>, bare printf/std::cout/std::cerr in "
       "src/\n"
-      "float-eq            raw ==/!= touching bid/price/payment/utility/"
+      "float-eq             raw ==/!= touching bid/price/payment/utility/"
       "cost\n"
-      "guard-style         include guards must be AUCTIONRIDE_<PATH>_H_\n"
-      "check-side-effects  mutations inside compiled-out ARIDE_CHECK*/"
+      "guard-style          include guards must be AUCTIONRIDE_<PATH>_H_\n"
+      "check-side-effects   mutations inside compiled-out ARIDE_CHECK*/"
       "ARIDE_DCHECK\n"
-      "layer-dag           src/ include edges must respect the layer "
+      "layer-dag            src/ include edges must respect the layer "
       "order\n"
+      "unordered-iteration  loops over std::unordered_map/set in src/ "
+      "(order\n"
+      "                     is platform-dependent; use a sorted drain)\n"
+      "raw-lock             bare .lock()/.unlock() outside RAII in src/\n"
+      "naked-thread         std::thread/std::async/.detach() in src/ "
+      "outside\n"
+      "                     src/exec/ (use the ar_exec pool)\n"
+      "nondet-source        pointer hashing/ordering in src/auction/ and\n"
+      "                     src/planner/ (addresses are not stable ids)\n"
+      "stale-nolint         NOLINT-ARIDE entry that matched no finding\n"
       "\nSuppress with // NOLINT-ARIDE(rule-id); catalog: "
       "docs/ANALYSIS.md\n");
 }
@@ -153,6 +165,11 @@ int Run(int argc, char** argv) {
 
   std::vector<Diagnostic> diags;
   LayerGraph layers;
+  // Suppression bookkeeping for the stale-nolint pass: which NOLINT-ARIDE
+  // entries exist per file, and which of them consumed a finding. Only
+  // files that carry suppressions are retained.
+  std::map<std::string, std::map<int, std::set<std::string>>> suppressions;
+  std::map<std::string, SuppressionUsage> usage;
   int fixed_files = 0;
   for (const fs::path& path : files) {
     const std::string rel = RelPath(path, root);
@@ -166,12 +183,22 @@ int Run(int argc, char** argv) {
         info = MakeFileInfo(rel, std::move(fixed));
       }
     }
-    std::vector<Diagnostic> file_diags = RunFileRules(info);
+    std::vector<Diagnostic> file_diags = RunFileRules(info, &usage[rel]);
     diags.insert(diags.end(), file_diags.begin(), file_diags.end());
     layers.AddFile(info);
+    if (!info.lex.suppressions.empty()) {
+      suppressions[rel] = info.lex.suppressions;
+    }
   }
-  std::vector<Diagnostic> layer_diags = layers.Check();
+  std::vector<Diagnostic> layer_diags = layers.Check(&usage);
   diags.insert(diags.end(), layer_diags.begin(), layer_diags.end());
+  for (const auto& [rel, sups] : suppressions) {
+    LexedFile lex;
+    lex.suppressions = sups;
+    std::vector<Diagnostic> stale =
+        CheckStaleSuppressions(rel, lex, usage[rel]);
+    diags.insert(diags.end(), stale.begin(), stale.end());
+  }
 
   std::sort(diags.begin(), diags.end(),
             [](const Diagnostic& a, const Diagnostic& b) {

@@ -1,0 +1,333 @@
+// Determinism/concurrency rules for aride-lint (see rules.h for the rule
+// table and docs/ANALYSIS.md for the catalog):
+//
+//   unordered-iteration  iterating a std::unordered_{map,set} feeds hash-
+//                        layout-dependent order into whatever consumes the
+//                        loop; on a merge or output path that breaks the
+//                        bit-identical-at-any-thread-count guarantee, and
+//                        the layout differs across standard libraries even
+//                        serially.
+//   raw-lock             bare .lock()/.unlock() instead of RAII is how
+//                        locks leak on early returns and exceptions.
+//   naked-thread         parallelism outside the ar_exec pool escapes
+//                        Deadline metering and the slot-merge protocol.
+//   nondet-source        pointer hashing/ordering is address-layout
+//                        nondeterminism: allocator behavior leaks into
+//                        winner selection / tie-breaking.
+//
+// Like the rest of the lint this works on the token stream, not an AST:
+// declarations are tracked by name, so a variable aliased through auto or
+// passed through a template is invisible. That bounds what the rules can
+// see, but every container in src/ is declared with its full type today,
+// and the clang thread-safety wall covers the semantic half.
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "aride_lint/rules.h"
+
+namespace aride_lint {
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool IsTok(const Token& t, TokKind kind, const char* text) {
+  return t.kind == kind && t.text == text;
+}
+
+bool IsUnorderedContainerName(const std::string& t) {
+  return t == "unordered_map" || t == "unordered_set" ||
+         t == "unordered_multimap" || t == "unordered_multiset";
+}
+
+// Template-bracket depth delta of one punctuator token. The lexer munches
+// ">>" as a single token, so a nested closer like map<int, vector<int>>
+// ends in one token worth two closes.
+int AngleDelta(const Token& t) {
+  if (t.kind != TokKind::kPunct) return 0;
+  if (t.text == "<") return 1;
+  if (t.text == "<<") return 2;
+  if (t.text == ">") return -1;
+  if (t.text == ">>") return -2;
+  return 0;
+}
+
+// Given toks[open] == "<", returns the index one past the matching closer,
+// or toks.size() when unbalanced.
+std::size_t SkipTemplateArgs(const std::vector<Token>& toks,
+                             std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    depth += AngleDelta(toks[i]);
+    if (depth <= 0) return i + 1;
+    // Heuristic bail-out: '<' was a comparison, not a template opener.
+    if (IsTok(toks[i], TokKind::kPunct, ";")) return toks.size();
+  }
+  return toks.size();
+}
+
+// Collects the names declared with an unordered container type, e.g.
+//   std::unordered_map<K, V> by_id;
+//   std::unordered_set<Id> seen ARIDE_GUARDED_BY(mu);
+//   const std::unordered_map<K, V>& m   (parameters and references)
+//   using Cache = std::unordered_map<K, V>;  Cache cache_;   (aliases)
+// The declarator name is the first identifier after the closing '>' modulo
+// cv/ref/pointer tokens.
+void CollectUnorderedNames(const std::vector<Token>& toks,
+                           std::set<std::string>* vars) {
+  std::set<std::string> aliases;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    bool is_unordered_type = false;
+    std::size_t after_type = 0;
+    if (t.kind == TokKind::kIdentifier && IsUnorderedContainerName(t.text) &&
+        i + 1 < toks.size() && IsTok(toks[i + 1], TokKind::kPunct, "<")) {
+      is_unordered_type = true;
+      after_type = SkipTemplateArgs(toks, i + 1);
+    } else if (t.kind == TokKind::kIdentifier && aliases.count(t.text) != 0 &&
+               (i == 0 || !IsTok(toks[i - 1], TokKind::kPunct, "::"))) {
+      is_unordered_type = true;
+      after_type = i + 1;
+    }
+    if (!is_unordered_type) continue;
+
+    // `using Name = std::unordered_map<...>` declares an alias, not a
+    // variable: look back past std:: for the pattern `using Name =`.
+    std::size_t base = i;
+    while (base >= 2 && IsTok(toks[base - 1], TokKind::kPunct, "::") &&
+           toks[base - 2].kind == TokKind::kIdentifier) {
+      base -= 2;
+    }
+    if (base >= 3 && IsTok(toks[base - 1], TokKind::kPunct, "=") &&
+        toks[base - 2].kind == TokKind::kIdentifier &&
+        toks[base - 3].kind == TokKind::kIdentifier &&
+        (toks[base - 3].text == "using" || toks[base - 3].text == "typedef")) {
+      aliases.insert(toks[base - 2].text);
+      continue;
+    }
+
+    for (std::size_t j = after_type; j < toks.size(); ++j) {
+      const Token& d = toks[j];
+      if (d.kind == TokKind::kPunct && (d.text == "&" || d.text == "*")) {
+        continue;
+      }
+      if (d.kind == TokKind::kIdentifier) {
+        if (d.text == "const") continue;
+        vars->insert(d.text);
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iteration
+
+void CheckUnorderedIteration(const FileInfo& f,
+                             std::vector<Diagnostic>* out) {
+  if (!StartsWith(f.path, "src/")) return;
+  const std::vector<Token>& toks = f.lex.tokens;
+  std::set<std::string> vars;
+  CollectUnorderedNames(toks, &vars);
+  if (vars.empty()) return;
+
+  const char* const kMessageTail =
+      "': hash-table order is platform- and layout-dependent, so it must "
+      "never feed merges, output, or first-error selection. Iterate the "
+      "defining vector or a sorted drain instead; suppress with "
+      "NOLINT-ARIDE(unordered-iteration) only when order provably cannot "
+      "affect results";
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // Range-for whose range expression *ends in* a tracked variable
+    // (`for (x : m)`, `for (x : shard.map)`). A wrapped range like
+    // `for (x : SortedKeys(m))` ends in ')' and correctly does not fire.
+    if (toks[i].kind == TokKind::kIdentifier && toks[i].text == "for" &&
+        i + 1 < toks.size() && IsTok(toks[i + 1], TokKind::kPunct, "(")) {
+      int depth = 1;
+      std::size_t colon = 0;
+      for (std::size_t j = i + 2; j < toks.size() && depth > 0; ++j) {
+        const Token& t = toks[j];
+        if (t.kind != TokKind::kPunct) continue;
+        if (t.text == "(") {
+          ++depth;
+        } else if (t.text == ")") {
+          --depth;
+          if (depth == 0 && colon != 0) {
+            const Token& last = toks[j - 1];
+            if (last.kind == TokKind::kIdentifier &&
+                vars.count(last.text) != 0) {
+              out->push_back({f.path, last.line, kRuleUnorderedIteration,
+                              "range-for over unordered container '" +
+                                  last.text + kMessageTail});
+            }
+          }
+        } else if (t.text == ":" && depth == 1 && colon == 0) {
+          colon = j;
+        }
+      }
+    }
+    // Explicit iterator loops: m.begin() / m.cbegin() and friends.
+    if (toks[i].kind == TokKind::kIdentifier &&
+        vars.count(toks[i].text) != 0 && i + 2 < toks.size() &&
+        (IsTok(toks[i + 1], TokKind::kPunct, ".") ||
+         IsTok(toks[i + 1], TokKind::kPunct, "->")) &&
+        toks[i + 2].kind == TokKind::kIdentifier &&
+        (toks[i + 2].text == "begin" || toks[i + 2].text == "cbegin" ||
+         toks[i + 2].text == "rbegin" || toks[i + 2].text == "crbegin")) {
+      out->push_back({f.path, toks[i].line, kRuleUnorderedIteration,
+                      "iterator walk over unordered container '" +
+                          toks[i].text + kMessageTail});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// raw-lock
+
+void CheckRawLock(const FileInfo& f, std::vector<Diagnostic>* out) {
+  if (!StartsWith(f.path, "src/")) return;
+  const std::vector<Token>& toks = f.lex.tokens;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier ||
+        (t.text != "lock" && t.text != "unlock" && t.text != "try_lock")) {
+      continue;
+    }
+    if (!IsTok(toks[i - 1], TokKind::kPunct, ".") &&
+        !IsTok(toks[i - 1], TokKind::kPunct, "->")) {
+      continue;  // declarations and RAII objects named `lock`
+    }
+    if (!IsTok(toks[i + 1], TokKind::kPunct, "(")) continue;
+    out->push_back(
+        {f.path, t.line, kRuleRawLock,
+         "bare ." + t.text +
+             "() manages a mutex by hand, which leaks the lock on early "
+             "returns and hides it from the thread-safety analysis; use "
+             "MutexLock (common/mutex.h) or std::lock_guard"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// naked-thread
+
+void CheckNakedThread(const FileInfo& f, std::vector<Diagnostic>* out) {
+  if (!StartsWith(f.path, "src/") || StartsWith(f.path, "src/exec/")) {
+    return;
+  }
+  const std::vector<Token>& toks = f.lex.tokens;
+  const char* const kWhere =
+      "; all parallelism goes through the ar_exec pool "
+      "(exec/thread_pool.h) so Deadline metering and slot-merge "
+      "determinism hold";
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    const bool std_qualified =
+        i >= 2 && IsTok(toks[i - 1], TokKind::kPunct, "::") &&
+        toks[i - 2].kind == TokKind::kIdentifier && toks[i - 2].text == "std";
+    if ((t.text == "thread" || t.text == "jthread") && std_qualified) {
+      // std::thread::hardware_concurrency() is a static query, not a spawn.
+      if (i + 1 < toks.size() && IsTok(toks[i + 1], TokKind::kPunct, "::")) {
+        continue;
+      }
+      out->push_back({f.path, t.line, kRuleNakedThread,
+                      "std::" + t.text + " outside src/exec/" + kWhere});
+      continue;
+    }
+    if (t.text == "async" && std_qualified) {
+      out->push_back({f.path, t.line, kRuleNakedThread,
+                      "std::async outside src/exec/" + std::string(kWhere)});
+      continue;
+    }
+    if (t.text == "detach" && i >= 1 && i + 1 < toks.size() &&
+        (IsTok(toks[i - 1], TokKind::kPunct, ".") ||
+         IsTok(toks[i - 1], TokKind::kPunct, "->")) &&
+        IsTok(toks[i + 1], TokKind::kPunct, "(")) {
+      out->push_back({f.path, t.line, kRuleNakedThread,
+                      "detached thread outside src/exec/" +
+                          std::string(kWhere)});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// nondet-source
+
+// True when the template argument list starting at toks[open] == "<"
+// contains a raw pointer ('*' at any depth).
+bool TemplateArgsContainPointer(const std::vector<Token>& toks,
+                                std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    depth += AngleDelta(toks[i]);
+    if (depth <= 0) return false;
+    if (IsTok(toks[i], TokKind::kPunct, "*")) return true;
+    if (IsTok(toks[i], TokKind::kPunct, ";")) return false;
+  }
+  return false;
+}
+
+void CheckNondetSource(const FileInfo& f, std::vector<Diagnostic>* out) {
+  if (!StartsWith(f.path, "src/auction/") &&
+      !StartsWith(f.path, "src/planner/")) {
+    return;
+  }
+  const std::vector<Token>& toks = f.lex.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    const bool std_qualified =
+        i >= 2 && IsTok(toks[i - 1], TokKind::kPunct, "::") &&
+        toks[i - 2].kind == TokKind::kIdentifier && toks[i - 2].text == "std";
+    if ((t.text == "hash" || t.text == "less" || t.text == "greater") &&
+        std_qualified && i + 1 < toks.size() &&
+        IsTok(toks[i + 1], TokKind::kPunct, "<") &&
+        TemplateArgsContainPointer(toks, i + 1)) {
+      out->push_back(
+          {f.path, t.line, kRuleNondetSource,
+           "std::" + t.text +
+               " over a pointer type keys on allocation addresses, which "
+               "differ run to run; hash or order by a stable id instead"});
+      continue;
+    }
+    if (t.text == "uintptr_t" || t.text == "intptr_t") {
+      out->push_back(
+          {f.path, t.line, kRuleNondetSource,
+           t.text + " converts a pointer to an orderable/hashable integer; "
+                    "address-derived values must not reach winner selection "
+                    "or tie-breaking — use a stable id"});
+      continue;
+    }
+    // `&a < &b`: ordering objects by address.
+    if (i >= 1 && i + 3 < toks.size() &&
+        IsTok(toks[i - 1], TokKind::kPunct, "&") &&
+        (i < 2 || toks[i - 2].kind == TokKind::kPunct) &&
+        toks[i].kind == TokKind::kIdentifier &&
+        (IsTok(toks[i + 1], TokKind::kPunct, "<") ||
+         IsTok(toks[i + 1], TokKind::kPunct, ">")) &&
+        IsTok(toks[i + 2], TokKind::kPunct, "&") &&
+        toks[i + 3].kind == TokKind::kIdentifier) {
+      out->push_back(
+          {f.path, toks[i].line, kRuleNondetSource,
+           "comparing object addresses ('&" + toks[i].text + " " +
+               toks[i + 1].text + " &" + toks[i + 3].text +
+               "') orders by allocator layout; compare stable ids instead"});
+    }
+  }
+}
+
+}  // namespace
+
+void CheckConcurrency(const FileInfo& file, std::vector<Diagnostic>* out) {
+  CheckUnorderedIteration(file, out);
+  CheckRawLock(file, out);
+  CheckNakedThread(file, out);
+  CheckNondetSource(file, out);
+}
+
+}  // namespace aride_lint

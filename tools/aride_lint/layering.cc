@@ -51,8 +51,8 @@ void LayerGraph::AddFile(const FileInfo& file) {
     }
     const std::string to = FirstComponent(target);
     if (to.empty() || to == from) continue;
-    Edge e{from, to, file.path, toks[i + 2].line, false};
-    e.suppressed = IsSuppressed(file.lex, e.line, kRuleLayerDag);
+    Edge e{from, to, file.path, toks[i + 2].line, std::string()};
+    e.suppression = MatchSuppression(file.lex, e.line, kRuleLayerDag);
     edges_.push_back(std::move(e));
   }
 }
@@ -60,36 +60,45 @@ void LayerGraph::AddFile(const FileInfo& file) {
 void LayerGraph::AddEdge(const std::string& from_layer,
                          const std::string& to_layer, const std::string& file,
                          int line) {
-  edges_.push_back({from_layer, to_layer, file, line, false});
+  edges_.push_back({from_layer, to_layer, file, line, std::string()});
 }
 
-std::vector<Diagnostic> LayerGraph::Check() const {
+std::vector<Diagnostic> LayerGraph::Check(
+    std::map<std::string, SuppressionUsage>* usage) const {
   std::vector<Diagnostic> diags;
   std::set<std::string> unknown_reported;
+  // A suppressed edge consumes its NOLINT only when the edge would have
+  // produced a diagnostic; a suppression on a perfectly legal downward
+  // include stays unconsumed and gets reported stale.
+  auto emit = [&](const Edge& e, std::string message) {
+    if (e.suppression.empty()) {
+      diags.push_back({e.file, e.line, kRuleLayerDag, std::move(message)});
+    } else if (usage != nullptr) {
+      (*usage)[e.file].insert({e.line, e.suppression});
+    }
+  };
   // Direct rank violations and unknown layers.
   for (const Edge& e : edges_) {
-    if (e.suppressed) continue;
     const int from_rank = LayerRank(e.from);
     const int to_rank = LayerRank(e.to);
     if (from_rank < 0 || to_rank < 0) {
       const std::string& bad = from_rank < 0 ? e.from : e.to;
-      if (unknown_reported.insert(bad).second) {
-        diags.push_back(
-            {e.file, e.line, kRuleLayerDag,
-             "directory src/" + bad +
-                 " has no declared layer; add it to the layer order in "
-                 "tools/aride_lint/layering.cc (and docs/ANALYSIS.md)"});
+      // Suppressed edges always consume their entry but never enter the
+      // once-per-directory dedup, so they cannot mask an unsuppressed
+      // edge of the same unknown directory.
+      if (!e.suppression.empty() || unknown_reported.insert(bad).second) {
+        emit(e, "directory src/" + bad +
+                    " has no declared layer; add it to the layer order in "
+                    "tools/aride_lint/layering.cc (and docs/ANALYSIS.md)");
       }
       continue;
     }
     if (to_rank > from_rank) {
-      diags.push_back(
-          {e.file, e.line, kRuleLayerDag,
-           "layer violation: " + e.from + " (rank " +
-               std::to_string(from_rank) + ") must not include " + e.to +
-               " (rank " + std::to_string(to_rank) + "); " + e.from +
-               " sits below " + e.to +
-               " in the layer order and may only include downward"});
+      emit(e, "layer violation: " + e.from + " (rank " +
+                  std::to_string(from_rank) + ") must not include " + e.to +
+                  " (rank " + std::to_string(to_rank) + "); " + e.from +
+                  " sits below " + e.to +
+                  " in the layer order and may only include downward");
     }
   }
   // Cycle detection over the layer-level graph, reporting the chain. With a
@@ -97,7 +106,7 @@ std::vector<Diagnostic> LayerGraph::Check() const {
   // the chain names the exact includes to untangle.
   std::map<std::string, std::vector<const Edge*>> adj;
   for (const Edge& e : edges_) {
-    if (!e.suppressed) adj[e.from].push_back(&e);
+    if (e.suppression.empty()) adj[e.from].push_back(&e);
   }
   std::set<std::string> done;
   std::vector<const Edge*> stack;

@@ -41,7 +41,12 @@ class LayerGraph {
   // Rank violations (upward includes) with the offending include line, a
   // cycle report with the full layer chain if the edge set is cyclic, and
   // unknown-layer diagnostics for directories missing from LayerOrder().
-  std::vector<Diagnostic> Check() const;
+  // When `usage` is non-null, every suppression entry that consumed a
+  // would-be diagnostic is recorded under its file's path (stale-nolint
+  // accounting; a suppression on a legal include consumes nothing and
+  // stays stale).
+  std::vector<Diagnostic> Check(
+      std::map<std::string, SuppressionUsage>* usage = nullptr) const;
 
  private:
   struct Edge {
@@ -49,7 +54,9 @@ class LayerGraph {
     std::string to;
     std::string file;  // file whose include created the edge
     int line = 0;
-    bool suppressed = false;
+    // Matching NOLINT-ARIDE entry for layer-dag on the include line
+    // ("layer-dag" or "*"), empty when unsuppressed.
+    std::string suppression;
   };
   std::vector<Edge> edges_;
 };

@@ -22,49 +22,54 @@ const char* const kPuncts2[] = {"==", "!=", "<=", ">=", "&&", "||", "++",
                                 "--", "+=", "-=", "*=", "/=", "%=", "&=",
                                 "|=", "^=", "<<", ">>", "::", "->", "##"};
 
-// Parses the rule list of a NOLINT-ARIDE marker inside comment text and
-// records it for `line`. Accepts "NOLINT-ARIDE", "NOLINT-ARIDE(r1,r2)" and
-// the NEXTLINE variants.
+// Parses a NOLINT-ARIDE marker and records it for `line`. Accepts
+// "NOLINT-ARIDE(r1,r2)" and the NEXTLINE variant, but only when the
+// marker starts the comment AND carries a parenthesized rule list
+// ("NOLINT-ARIDE(*)" spells the every-rule wildcard explicitly): prose
+// that merely *mentions* a marker — this file, the docs, the lint's own
+// tests — must not register a suppression, both to keep suppression
+// scopes tight and so the stale-suppression check (stale-nolint) never
+// reports phantom entries.
 void ScanCommentForSuppressions(const std::string& comment, int line,
                                 LexedFile* out) {
   static const std::string kNext = "NOLINTNEXTLINE-ARIDE";
   static const std::string kSame = "NOLINT-ARIDE";
-  std::size_t pos = 0;
-  while (pos < comment.size()) {
-    std::size_t at = comment.find("NOLINT", pos);
-    if (at == std::string::npos) return;
-    int target_line = 0;
-    std::size_t after = 0;
-    if (comment.compare(at, kNext.size(), kNext) == 0) {
-      target_line = line + 1;
-      after = at + kNext.size();
-    } else if (comment.compare(at, kSame.size(), kSame) == 0) {
-      target_line = line;
-      after = at + kSame.size();
-    } else {
-      pos = at + 6;  // plain clang-tidy NOLINT or unrelated text; skip
-      continue;
-    }
-    std::set<std::string>& rules = out->suppressions[target_line];
-    if (after < comment.size() && comment[after] == '(') {
-      std::size_t close = comment.find(')', after);
-      std::string list = comment.substr(
-          after + 1,
-          close == std::string::npos ? std::string::npos : close - after - 1);
-      std::string cur;
-      for (char c : list) {
-        if (c == ',') {
-          if (!cur.empty()) rules.insert(cur);
-          cur.clear();
-        } else if (!std::isspace(static_cast<unsigned char>(c))) {
-          cur.push_back(c);
-        }
-      }
+  std::size_t at = 2;  // skip the "//" or "/*" opener
+  while (at < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[at]))) {
+    ++at;
+  }
+  int target_line = 0;
+  std::size_t after = 0;
+  if (comment.compare(at, kNext.size(), kNext) == 0) {
+    target_line = line + 1;
+    after = at + kNext.size();
+  } else if (comment.compare(at, kSame.size(), kSame) == 0) {
+    target_line = line;
+    after = at + kSame.size();
+  } else {
+    return;  // plain clang-tidy NOLINT, prose, or no marker at all
+  }
+  if (after >= comment.size() || comment[after] != '(') {
+    return;  // marker without a rule list is prose, not a suppression
+  }
+  std::size_t close = comment.find(')', after);
+  std::string list = comment.substr(
+      after + 1,
+      close == std::string::npos ? std::string::npos : close - after - 1);
+  std::set<std::string> rules;
+  std::string cur;
+  for (char c : list) {
+    if (c == ',') {
       if (!cur.empty()) rules.insert(cur);
-    } else {
-      rules.insert("*");
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur.push_back(c);
     }
-    pos = after;
+  }
+  if (!cur.empty()) rules.insert(cur);
+  if (!rules.empty()) {
+    out->suppressions[target_line].insert(rules.begin(), rules.end());
   }
 }
 
@@ -204,9 +209,18 @@ LexedFile Lex(const std::string& source) {
 }
 
 bool IsSuppressed(const LexedFile& lex, int line, const std::string& rule) {
+  return !MatchSuppression(lex, line, rule).empty();
+}
+
+std::string MatchSuppression(const LexedFile& lex, int line,
+                             const std::string& rule) {
   auto it = lex.suppressions.find(line);
-  if (it == lex.suppressions.end()) return false;
-  return it->second.count("*") != 0 || it->second.count(rule) != 0;
+  if (it == lex.suppressions.end()) return std::string();
+  // An exact rule entry is the more specific match, so it is the one the
+  // stale-suppression accounting credits.
+  if (it->second.count(rule) != 0) return rule;
+  if (it->second.count("*") != 0) return "*";
+  return std::string();
 }
 
 }  // namespace aride_lint

@@ -35,9 +35,10 @@ struct Token {
 struct LexedFile {
   std::vector<Token> tokens;
   // Rules suppressed per line, from "// NOLINT-ARIDE(rule-a,rule-b)" (same
-  // line) and "// NOLINTNEXTLINE-ARIDE(...)" (following line). A bare
-  // "NOLINT-ARIDE" with no parenthesized list suppresses every rule; that
-  // is recorded as the sentinel "*".
+  // line) and "// NOLINTNEXTLINE-ARIDE(...)" (following line). The
+  // parenthesized rule list is mandatory — a marker without one is treated
+  // as prose. "NOLINT-ARIDE(*)" suppresses every rule; the wildcard is
+  // recorded as the sentinel "*".
   std::map<int, std::set<std::string>> suppressions;
   int line_count = 0;
 };
@@ -46,6 +47,13 @@ LexedFile Lex(const std::string& source);
 
 // True when `rule` is suppressed on `line` (exact rule id or "*").
 bool IsSuppressed(const LexedFile& lex, int line, const std::string& rule);
+
+// The suppression entry that covers (line, rule): the exact rule id when
+// listed, the sentinel "*" for a NOLINT-ARIDE(*) wildcard, or "" when the
+// line is not suppressed for this rule. Callers use the returned entry to
+// track which suppressions actually matched a finding (see stale-nolint).
+std::string MatchSuppression(const LexedFile& lex, int line,
+                             const std::string& rule);
 
 }  // namespace aride_lint
 

@@ -19,9 +19,10 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
 }
 bool InSrc(const FileInfo& f) { return StartsWith(f.path, "src/"); }
 
+// Appends unconditionally; RunFileRules applies NOLINT-ARIDE filtering
+// centrally so it can record which suppression entries were consumed.
 void Emit(const FileInfo& f, int line, const char* rule, std::string message,
           std::vector<Diagnostic>* out) {
-  if (IsSuppressed(f.lex, line, rule)) return;
   out->push_back({f.path, line, rule, std::move(message)});
 }
 
@@ -429,12 +430,41 @@ FileInfo MakeFileInfo(std::string path, std::string source) {
   return f;
 }
 
-std::vector<Diagnostic> RunFileRules(const FileInfo& file) {
+std::vector<Diagnostic> RunFileRules(const FileInfo& file,
+                                     SuppressionUsage* usage) {
+  std::vector<Diagnostic> raw;
+  CheckBannedApi(file, &raw);
+  CheckFloatEq(file, &raw);
+  CheckGuardStyle(file, &raw);
+  CheckCheckSideEffects(file, &raw);
+  CheckConcurrency(file, &raw);
   std::vector<Diagnostic> diags;
-  CheckBannedApi(file, &diags);
-  CheckFloatEq(file, &diags);
-  CheckGuardStyle(file, &diags);
-  CheckCheckSideEffects(file, &diags);
+  for (Diagnostic& d : raw) {
+    const std::string entry = MatchSuppression(file.lex, d.line, d.rule);
+    if (entry.empty()) {
+      diags.push_back(std::move(d));
+    } else if (usage != nullptr) {
+      usage->insert({d.line, entry});
+    }
+  }
+  return diags;
+}
+
+std::vector<Diagnostic> CheckStaleSuppressions(const std::string& path,
+                                               const LexedFile& lex,
+                                               const SuppressionUsage& usage) {
+  std::vector<Diagnostic> diags;
+  for (const auto& [line, entries] : lex.suppressions) {
+    for (const std::string& entry : entries) {
+      if (usage.count({line, entry}) != 0) continue;
+      const std::string shown = "NOLINT-ARIDE(" + entry + ")";
+      diags.push_back(
+          {path, line, kRuleStaleSuppression,
+           shown + " matched no finding on this line; the suppressed "
+                   "problem is gone (or the rule id is misspelled) — "
+                   "delete the suppression"});
+    }
+  }
   return diags;
 }
 

@@ -1,0 +1,19 @@
+// Golden fixture for the naked-thread rule. aride_lint_test.cc asserts
+// the exact lines that fire — keep line numbers stable.
+#include <future>
+#include <thread>
+
+void NakedThreadWork();
+
+void FixtureNakedThread() {
+  std::thread t(NakedThreadWork);       // fires
+  auto f = std::async(NakedThreadWork); // fires
+  t.detach();                           // fires
+  (void)f;
+  unsigned n = std::thread::hardware_concurrency();  // static query: clean
+  (void)n;
+  std::jthread j(NakedThreadWork);      // fires
+  // NOLINTNEXTLINE-ARIDE(naked-thread): fixture suppression check
+  std::thread t2(NakedThreadWork);
+  t2.join();
+}

@@ -1,0 +1,28 @@
+// Golden fixture for the nondet-source rule. aride_lint_test.cc asserts
+// the exact lines that fire — keep line numbers stable.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+struct NondetVehicle {
+  int id;
+};
+
+void FixtureNondetSource(const NondetVehicle& a, const NondetVehicle& b) {
+  std::unordered_map<const NondetVehicle*, int,
+                     std::hash<const NondetVehicle*>>  // fires (line 14)
+      m;
+  std::map<NondetVehicle*, int, std::less<NondetVehicle*>> o;  // fires
+  auto key = reinterpret_cast<std::uintptr_t>(&a);             // fires
+  bool before = &a < &b;                                       // fires
+  std::hash<int> value_hash;  // hashing a value type: clean
+  (void)m;
+  (void)o;
+  (void)key;
+  (void)before;
+  (void)value_hash;
+  // NOLINTNEXTLINE-ARIDE(nondet-source): fixture suppression check
+  bool after = &a > &b;
+  (void)after;
+}

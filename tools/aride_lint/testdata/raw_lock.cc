@@ -1,0 +1,18 @@
+// Golden fixture for the raw-lock rule. aride_lint_test.cc asserts the
+// exact lines that fire — keep line numbers stable.
+#include <mutex>
+
+struct LockState {
+  std::mutex mu;
+};
+
+void FixtureRawLock(LockState& s, LockState* p) {
+  s.mu.lock();    // fires
+  s.mu.unlock();  // fires
+  if (p->mu.try_lock()) {  // fires
+    p->mu.unlock();        // fires
+  }
+  std::lock_guard<std::mutex> lock(s.mu);  // RAII: clean
+  (void)lock;
+  s.mu.lock();  // NOLINT-ARIDE(raw-lock): fixture suppression check
+}

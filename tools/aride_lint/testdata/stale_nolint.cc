@@ -1,0 +1,14 @@
+// Golden fixture for the stale-nolint rule: suppressions that consume a
+// finding are fine; the rest are stale. aride_lint_test.cc asserts the
+// exact lines that fire — keep line numbers stable.
+#include <cstdio>
+
+void FixtureStaleNolint() {
+  std::printf("x\n");  // NOLINT-ARIDE(banned-api): consumed — not stale
+  int a = 0;           // NOLINT-ARIDE(banned-api): nothing fires — stale
+  int b = 0;           // NOLINT-ARIDE(*): wildcard with no finding — stale
+  (void)a;
+  (void)b;
+  // NOLINTNEXTLINE-ARIDE(float-eq): wrong rule for the line below — stale
+  std::printf("y\n");
+}

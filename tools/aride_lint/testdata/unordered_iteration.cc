@@ -1,0 +1,26 @@
+// Golden fixture for the unordered-iteration rule. aride_lint_test.cc
+// asserts the exact lines that fire — keep line numbers stable.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using Cache = std::unordered_map<int, int>;
+
+std::vector<int> Sorted(const std::unordered_set<int>& s);
+
+void FixtureUnorderedIteration() {
+  std::unordered_map<int, double> by_id;
+  std::unordered_set<int> seen;
+  Cache cache;
+  std::vector<int> order;
+  for (const auto& kv : by_id) (void)kv;  // fires: range-for
+  for (int v : seen) (void)v;             // fires: range-for over a set
+  for (const auto& kv : cache) (void)kv;  // fires: through the alias
+  for (auto it = by_id.begin(); it != by_id.end(); ++it) {
+  }                            // fires (line 19): explicit iterator walk
+  for (int v : Sorted(seen)) (void)v;  // wrapped in a sorted drain: clean
+  for (int v : order) (void)v;         // vector: clean
+  (void)by_id.count(1);                // membership probe: clean
+  // NOLINTNEXTLINE-ARIDE(unordered-iteration): order feeds nothing here
+  for (const auto& kv : by_id) (void)kv;
+}
