@@ -1,0 +1,163 @@
+// Always-on sharded dispatch engine.
+//
+// The city is partitioned into region shards (engine/partition.h). Each
+// shard owns its vehicles, its slice of the pending-order pool, and an
+// auctioneer that runs batched RunMechanism rounds under exec/deadline.h
+// budgets with the Rank → Greedy → FCFS degradation ladder. Orders arrive
+// through per-shard MPSC ingestion queues (engine/ingest.h), routed by
+// pickup location; a periodic cross-shard rebalancer migrates idle vehicles
+// toward demand with a deterministic fixed-order handoff.
+//
+// Rounds are lockstep: StepRound() fans the shard tasks out over the
+// engine's exec::ThreadPool, then merges their buffered EffectBatches
+// serially in ascending shard order — so a given seed and configuration
+// produce bit-identical results at any engine thread count, and a one-shard
+// engine reproduces the legacy Simulator exactly (docs/ENGINE.md).
+//
+// Clients drive the engine: the simulator's round-driving adapter
+// (sim/engine_client.h) and the replay/load-generator CLI
+// (examples/engine_load.cpp) both submit orders and call StepRound().
+
+#ifndef AUCTIONRIDE_ENGINE_ENGINE_H_
+#define AUCTIONRIDE_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "auction/mechanism.h"
+#include "common/stats.h"
+#include "engine/faults.h"
+#include "engine/ingest.h"
+#include "engine/partition.h"
+#include "engine/result.h"
+#include "engine/world.h"
+#include "exec/thread_pool.h"
+#include "roadnet/oracle.h"
+#include "workload/generator.h"
+
+namespace auctionride {
+
+struct EngineOptions {
+  // Auction knobs, mirroring SimOptions (sim/simulator.h documents them).
+  MechanismKind mechanism = MechanismKind::kRank;
+  AuctionConfig auction;
+  double round_duration_s = 10;
+  double max_pending_s = 300;
+  double pending_bid_increment = 0;
+  bool run_pricing = false;
+  int pricing_threads = 0;   // single-shard only (legacy pool parity)
+  int dispatch_threads = 0;  // single-shard only; multi-shard runs serial
+  bool verify_dispatch = false;
+  uint64_t seed = 1;
+  FaultOptions faults;
+
+  // --- Engine-specific knobs ---
+  int num_shards = 1;
+  // Workers of the pool the shard round tasks run on. 0 = hardware
+  // concurrency, negative = serial on the caller thread. Never changes
+  // results: shard tasks are independent and merges are serial fixed-order.
+  int engine_threads = 0;
+  // Cross-shard rebalance cadence (rounds); 0 disables. Idle vehicles are
+  // migrated from surplus to deficit shards every period, lowest vehicle id
+  // first, receivers ordered by (deficit desc, shard id asc).
+  int rebalance_period_rounds = 6;
+  // Global cap on vehicle migrations per rebalance pass.
+  int rebalance_max_moves = 64;
+};
+
+/// Engine-maintained per-shard telemetry (plain counters + exact samples,
+/// independent of the obs layer so BENCH engine objects work with
+/// ARIDE_OBS=OFF).
+struct ShardStats {
+  uint64_t auction_rounds = 0;  // rounds where this shard ran a mechanism
+  uint64_t ingested = 0;
+  uint64_t migrations_in = 0;
+  uint64_t migrations_out = 0;
+  std::size_t peak_pending = 0;
+  std::size_t peak_queue_depth = 0;
+  // Per-tier auction-round counts (DispatchTier order: primary, greedy
+  // fallback, FCFS fallback).
+  uint64_t tier_counts[3] = {0, 0, 0};
+  SampleSet round_s;  // wall latency of the shard's whole round task
+};
+
+struct EngineStats {
+  uint64_t rounds = 0;  // StepRound calls
+  uint64_t migrations = 0;
+  uint64_t orders_submitted = 0;
+  // Peak of Σ_shards (pending pool + ingest queue depth), sampled once per
+  // round at the merge barrier.
+  std::size_t peak_concurrent_orders = 0;
+  uint64_t tier_counts[3] = {0, 0, 0};
+  std::vector<ShardStats> shards;
+};
+
+class Engine {
+ public:
+  /// `oracle` and `orders` (the immutable catalog, dense ids == index) must
+  /// outlive the engine. Vehicles are assigned to shards by spawn location.
+  Engine(const DistanceOracle* oracle, const std::vector<Order>* orders,
+         const std::vector<VehicleSpawn>& vehicles, EngineOptions options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  int num_shards() const { return options_.num_shards; }
+  const RegionPartition& partition() const { return partition_; }
+
+  /// Current virtual time. Thread-safe (producers poll it to pace
+  /// submissions against the round clock).
+  double now_s() const { return now_atomic_.load(std::memory_order_relaxed); }
+  int round_index() const { return round_index_; }
+
+  /// Routes the order to its pickup-location shard's ingestion queue.
+  /// Thread-safe; may be called concurrently with StepRound().
+  void SubmitOrder(const Order& order);
+
+  /// Runs one lockstep dispatch round at the current virtual time: drain
+  /// ingestion → inject faults → pending pass → per-shard auction → serial
+  /// merge → rebalance (at cadence) → advance vehicles → clock += t_rnd.
+  /// Must be called from one driver thread.
+  void StepRound();
+
+  /// Post-horizon drain: movement only, no auctions, capped at 2 h.
+  void DrainDeliveries();
+
+  /// Final aggregation + the always-on conservation contracts. The engine
+  /// is unusable afterwards. Every ingestion queue must be empty (drive
+  /// enough rounds to consume all submitted orders first).
+  SimResult Finish();
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  struct Shard;
+
+  void RunShardRound(std::size_t shard_index, double now_s);
+  void Rebalance(double now_s);
+
+  const DistanceOracle* oracle_;
+  const std::vector<Order>* orders_;
+  EngineOptions options_;
+  RegionPartition partition_;
+  FaultPlan fault_plan_;
+
+  std::vector<OrderLedgerEntry> ledger_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> engine_pool_;
+
+  double clock_s_ = 0;
+  std::atomic<double> now_atomic_{0};
+  int round_index_ = 0;
+  std::atomic<uint64_t> orders_submitted_{0};
+  SimResult result_;
+  EngineStats stats_;
+  bool finished_ = false;
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_ENGINE_ENGINE_H_

@@ -1,4 +1,4 @@
-#include "sim/faults.h"
+#include "engine/faults.h"
 
 #include <cstdlib>
 

@@ -1,4 +1,5 @@
-// Deterministic fault injection for the simulator (docs/ROBUSTNESS.md).
+// Deterministic fault injection for the dispatch engine and simulator
+// (docs/ROBUSTNESS.md).
 //
 // A FaultPlan decides — purely from (seed, round, entity id) hash chains —
 // which busy vehicles break down, which dispatched-but-unpicked orders
@@ -7,8 +8,8 @@
 // not perturb the idle random walk, and the same seed + profile reproduces
 // the exact same fault schedule regardless of thread count or mechanism.
 
-#ifndef AUCTIONRIDE_SIM_FAULTS_H_
-#define AUCTIONRIDE_SIM_FAULTS_H_
+#ifndef AUCTIONRIDE_ENGINE_FAULTS_H_
+#define AUCTIONRIDE_ENGINE_FAULTS_H_
 
 #include <cstdint>
 #include <string_view>
@@ -93,4 +94,4 @@ class FaultPlan {
 
 }  // namespace auctionride
 
-#endif  // AUCTIONRIDE_SIM_FAULTS_H_
+#endif  // AUCTIONRIDE_ENGINE_FAULTS_H_

@@ -1,0 +1,68 @@
+#include "engine/partition.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace auctionride {
+
+RegionPartition::RegionPartition(const RoadNetwork* network, int num_shards)
+    : network_(network), num_shards_(num_shards) {
+  ARIDE_ACHECK(network_ != nullptr);
+  ARIDE_ACHECK(network_->num_nodes() > 0);
+  ARIDE_ACHECK(num_shards_ >= 1);
+  bounds_ = network_->ComputeBounds();
+
+  cols_ = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(num_shards_))));
+  rows_ = (num_shards_ + cols_ - 1) / cols_;
+
+  // Cell centroids → nearest network node, one linear sweep over all nodes.
+  const double cell_w = bounds_.width() / cols_;
+  const double cell_h = bounds_.height() / rows_;
+  center_nodes_.assign(static_cast<std::size_t>(num_shards_), kInvalidNode);
+  std::vector<double> best(static_cast<std::size_t>(num_shards_), 0);
+  for (NodeId n = 0; n < network_->num_nodes(); ++n) {
+    const Point& p = network_->position(n);
+    for (int s = 0; s < num_shards_; ++s) {
+      const int row = s / cols_;
+      const int col = s % cols_;
+      const Point center{bounds_.min.x + (col + 0.5) * cell_w,
+                         bounds_.min.y + (row + 0.5) * cell_h};
+      const double d = SquaredDistance(p, center);
+      if (center_nodes_[static_cast<std::size_t>(s)] == kInvalidNode ||
+          d < best[static_cast<std::size_t>(s)]) {
+        center_nodes_[static_cast<std::size_t>(s)] = n;
+        best[static_cast<std::size_t>(s)] = d;
+      }
+    }
+  }
+}
+
+int RegionPartition::ShardOfPoint(const Point& p) const {
+  if (num_shards_ == 1) return 0;
+  const Point q = bounds_.Clamp(p);
+  const double cell_w = bounds_.width() / cols_;
+  const double cell_h = bounds_.height() / rows_;
+  int col = cell_w > 0
+                ? static_cast<int>((q.x - bounds_.min.x) / cell_w)
+                : 0;
+  int row = cell_h > 0
+                ? static_cast<int>((q.y - bounds_.min.y) / cell_h)
+                : 0;
+  if (col >= cols_) col = cols_ - 1;
+  if (row >= rows_) row = rows_ - 1;
+  const int cell = row * cols_ + col;
+  return cell < num_shards_ ? cell : num_shards_ - 1;
+}
+
+int RegionPartition::ShardOfNode(NodeId node) const {
+  return ShardOfPoint(network_->position(node));
+}
+
+NodeId RegionPartition::CenterNode(int shard) const {
+  ARIDE_ACHECK(shard >= 0 && shard < num_shards_);
+  return center_nodes_[static_cast<std::size_t>(shard)];
+}
+
+}  // namespace auctionride

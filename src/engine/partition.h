@@ -1,0 +1,50 @@
+// Region partition: maps pickup locations to engine shards.
+//
+// The service area is cut into a near-square grid of `num_shards` cells over
+// the road network's bounding box (row-major). Each shard also gets a center
+// node — the network node nearest its cell centroid — used as the relocation
+// target for vehicles the rebalancer migrates in. The mapping is a pure
+// function of the network and shard count, so order routing is deterministic
+// and identical across threads and processes.
+
+#ifndef AUCTIONRIDE_ENGINE_PARTITION_H_
+#define AUCTIONRIDE_ENGINE_PARTITION_H_
+
+#include <vector>
+
+#include "geo/point.h"
+#include "roadnet/graph.h"
+
+namespace auctionride {
+
+class RegionPartition {
+ public:
+  /// Builds the grid over `network`'s bounds. The network must outlive the
+  /// partition and have at least one node; num_shards >= 1.
+  RegionPartition(const RoadNetwork* network, int num_shards);
+
+  int num_shards() const { return num_shards_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// Shard owning a point. Points outside the bounds clamp to the border
+  /// cell. Grid cells beyond num_shards (when rows*cols > num_shards) fold
+  /// into the last shard.
+  int ShardOfPoint(const Point& p) const;
+  int ShardOfNode(NodeId node) const;
+
+  /// Network node nearest the shard's cell centroid (relocation target).
+  NodeId CenterNode(int shard) const;
+
+ private:
+  const RoadNetwork* network_;
+  int num_shards_;
+  int rows_ = 1;
+  int cols_ = 1;
+  BoundingBox bounds_;
+  std::vector<NodeId> center_nodes_;
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_ENGINE_PARTITION_H_

@@ -1,0 +1,121 @@
+// Dispatch run results shared by the engine and the simulator.
+//
+// SimResult is the common currency of every engine client: the legacy
+// round-based Simulator, the sharded Engine, and the replay/load-generator
+// CLI all aggregate into the same structure, which is what makes
+// "engine-mode is bit-identical to the simulator" a checkable contract
+// (tests/engine_determinism_test.cc).
+
+#ifndef AUCTIONRIDE_ENGINE_RESULT_H_
+#define AUCTIONRIDE_ENGINE_RESULT_H_
+
+#include <string_view>
+#include <vector>
+
+#include "model/order.h"
+#include "model/vehicle.h"
+
+namespace auctionride {
+
+/// Lifecycle events of one order, for tracing/analysis.
+enum class OrderEventKind {
+  kIssued,
+  kDispatched,
+  kPickedUp,
+  kDroppedOff,
+  kExpired,
+  // Fault lifecycle (docs/ROBUSTNESS.md): the order's vehicle broke down
+  // before delivery / the order withdrew before pickup. Either way the
+  // payment is refunded and the order re-enters the pending pool with its
+  // original patience window.
+  kStranded,
+  kCancelled,
+};
+
+std::string_view OrderEventKindName(OrderEventKind kind);
+
+struct OrderEvent {
+  double time_s = 0;
+  OrderId order = kInvalidOrder;
+  OrderEventKind kind = OrderEventKind::kIssued;
+  VehicleId vehicle = kInvalidVehicle;  // dispatch/pickup/dropoff events
+};
+
+struct RoundRecord {
+  double time_s = 0;
+  int pending_orders = 0;
+  int online_vehicles = 0;
+  int dispatched = 0;
+  double round_utility = 0;
+  double dispatch_seconds = 0;
+  double pricing_seconds = 0;
+  // DispatchTier that produced this round (0 = primary; see mechanism.h).
+  int dispatch_tier = 0;
+  // Region shard that ran this round's auction (always 0 in the legacy
+  // simulator; engine runs emit one record per shard-round that auctioned).
+  int shard = 0;
+};
+
+struct SimResult {
+  // Overall utility U_auc accumulated over rounds (Equation 2, on the
+  // deducted bids the algorithms optimized).
+  double total_utility = 0;
+  // Platform utility U_plf (only populated when pricing ran).
+  double platform_utility = 0;
+  double requester_utility = 0;
+  double total_payments = 0;
+
+  int orders_total = 0;
+  int orders_dispatched = 0;
+  int orders_expired = 0;
+  int orders_completed = 0;  // delivered before the simulation ended
+
+  // Fault + recovery accounting (all zero when faults are off).
+  // orders_dispatched above is net: a refunded order decrements it and a
+  // re-dispatch increments it again, so it counts orders that ended the run
+  // dispatched. Stranded/cancelled/redispatched count events, not orders —
+  // one unlucky order can contribute several times.
+  int orders_stranded = 0;
+  int orders_cancelled = 0;
+  int orders_redispatched = 0;
+  // Rounds decided by a fallback tier of the degradation ladder.
+  int degraded_rounds = 0;
+  // Σ payments returned to stranded/cancelled requesters, yuan. Already
+  // subtracted from total_payments (refunds conserve money: Σ per-order
+  // payments == total_payments at the end of the run, enforced by an
+  // always-on contract check). Utility aggregates are not clawed back — they
+  // record what the auctions decided, not what delivery achieved.
+  double refunded_payments = 0;
+
+  double total_delivery_m = 0;  // ΣD_i actually driven in delivery phase
+  // Σ (β_d − α_d)·D_i: the drivers' side of Definition 7.
+  double driver_utility = 0;
+
+  // Rider experience over completed orders.
+  double mean_waiting_s = 0;     // pickup − dispatch
+  double mean_detour_s = 0;      // (dropoff − pickup) − shortest trip time
+  double shared_ride_fraction = 0;  // rode together with another order
+
+  double mean_dispatch_seconds = 0;  // per-round wall time of dispatch
+  double max_dispatch_seconds = 0;
+  double mean_pricing_seconds = 0;
+
+  // Largest observed wt+dt−θ over completed orders (should be ≈ 0 or
+  // negative: the simulator must never violate Definition 4).
+  double max_wasted_time_violation_s = -1e18;
+
+  std::vector<RoundRecord> rounds;
+  // Chronological order lifecycle trace (issued/dispatched/picked up/
+  // dropped off/expired).
+  std::vector<OrderEvent> events;
+
+  double dispatch_rate() const {
+    return orders_total == 0
+               ? 0.0
+               : static_cast<double>(orders_dispatched) / orders_total;
+  }
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_ENGINE_RESULT_H_

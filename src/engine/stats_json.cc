@@ -1,0 +1,59 @@
+#include "engine/stats_json.h"
+
+#include <cstdint>
+
+namespace auctionride {
+namespace {
+
+obs::Json TiersEntry(const uint64_t counts[3]) {
+  obs::Json tiers = obs::Json::Object();
+  tiers["primary"] = static_cast<int64_t>(counts[0]);
+  tiers["greedy_fallback"] = static_cast<int64_t>(counts[1]);
+  tiers["fcfs_fallback"] = static_cast<int64_t>(counts[2]);
+  return tiers;
+}
+
+obs::Json RoundLatencyEntry(const SampleSet& round_s) {
+  obs::Json entry = obs::Json::Object();
+  entry["count"] = static_cast<int64_t>(round_s.count());
+  entry["mean_s"] = round_s.mean();
+  const bool empty = round_s.count() == 0;
+  entry["p50_s"] = empty ? 0.0 : round_s.p50();
+  entry["p95_s"] = empty ? 0.0 : round_s.p95();
+  entry["p99_s"] = empty ? 0.0 : round_s.p99();
+  entry["max_s"] = empty ? 0.0 : round_s.Quantile(1.0);
+  return entry;
+}
+
+}  // namespace
+
+obs::Json EngineStatsToJson(const EngineStats& stats) {
+  obs::Json engine = obs::Json::Object();
+  engine["num_shards"] = static_cast<int64_t>(stats.shards.size());
+  engine["rounds"] = static_cast<int64_t>(stats.rounds);
+  engine["migrations"] = static_cast<int64_t>(stats.migrations);
+  engine["peak_concurrent_orders"] =
+      static_cast<int64_t>(stats.peak_concurrent_orders);
+  engine["total_ingested"] = static_cast<int64_t>(stats.orders_submitted);
+  engine["tiers"] = TiersEntry(stats.tier_counts);
+
+  obs::Json shards = obs::Json::Array();
+  for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+    const ShardStats& s = stats.shards[i];
+    obs::Json shard = obs::Json::Object();
+    shard["id"] = static_cast<int64_t>(i);
+    shard["rounds"] = static_cast<int64_t>(s.auction_rounds);
+    shard["ingested"] = static_cast<int64_t>(s.ingested);
+    shard["peak_pending"] = static_cast<int64_t>(s.peak_pending);
+    shard["peak_queue_depth"] = static_cast<int64_t>(s.peak_queue_depth);
+    shard["migrations_in"] = static_cast<int64_t>(s.migrations_in);
+    shard["migrations_out"] = static_cast<int64_t>(s.migrations_out);
+    shard["tiers"] = TiersEntry(s.tier_counts);
+    shard["round_s"] = RoundLatencyEntry(s.round_s);
+    shards.push_back(std::move(shard));
+  }
+  engine["shards"] = std::move(shards);
+  return engine;
+}
+
+}  // namespace auctionride

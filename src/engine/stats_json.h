@@ -1,0 +1,22 @@
+// EngineStats -> BENCH JSON "engine" object (schema documented in
+// obs/bench_json.h). Engine-mode benches assign the result to
+// BenchRunInfo::engine; obs::ValidateBenchReport() strictly checks the
+// shape, so this builder is the producing half of that contract.
+
+#ifndef AUCTIONRIDE_ENGINE_STATS_JSON_H_
+#define AUCTIONRIDE_ENGINE_STATS_JSON_H_
+
+#include "engine/engine.h"
+#include "obs/json.h"
+
+namespace auctionride {
+
+/// Serializes an EngineStats snapshot (Engine::stats()) as the additive
+/// "engine" object of a BENCH report. num_shards is taken from the shard
+/// vector; per-shard round latency quantiles come out as zeroes when a
+/// shard never ran a round (short smoke runs).
+obs::Json EngineStatsToJson(const EngineStats& stats);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_ENGINE_STATS_JSON_H_

@@ -1,0 +1,206 @@
+// Shard-local world state: vehicles, pending orders, and the physics that
+// moves them (legs, arrivals, faults). Extracted from the round simulator so
+// the sharded engine and the legacy Simulator share one implementation.
+//
+// A ShardWorld owns the vehicles of one region shard plus that shard's slice
+// of the pending-order pool. Every phase method is shard-local and returns an
+// EffectBatch of buffered side effects instead of mutating shared totals;
+// the driver replays batches into the shared SimResult serially in a fixed
+// shard order. Floating-point sums are replayed element-by-element — addition
+// order is part of the bit-identity contract (docs/ENGINE.md), so a batch
+// records the exact sequence of refunds/payments, not their sum.
+//
+// The per-order ledger is global (indexed by OrderId) but access is
+// shard-disjoint: an order's ledger entry is only touched by the shard that
+// currently owns its vehicle or its pending-pool slot, and ownership only
+// changes at serial barriers (dispatch application, migration, refund).
+
+#ifndef AUCTIONRIDE_ENGINE_WORLD_H_
+#define AUCTIONRIDE_ENGINE_WORLD_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "auction/types.h"
+#include "common/rng.h"
+#include "engine/faults.h"
+#include "engine/result.h"
+#include "roadnet/astar.h"
+#include "roadnet/oracle.h"
+#include "workload/generator.h"
+
+namespace auctionride {
+
+/// Per-order lifecycle/financial ledger entry, indexed by OrderId.
+struct OrderLedgerEntry {
+  bool dispatched = false;
+  bool expired = false;
+  bool completed = false;
+  // Set when the order was stranded/cancelled and awaits re-dispatch;
+  // cleared (and counted) when a later round re-dispatches it.
+  bool recovered = false;
+  double dispatch_time_s = 0;
+  double pickup_time_s = 0;
+  double dropoff_time_s = 0;
+  double payment = 0;
+  bool shared = false;  // shared the vehicle with another order
+  // Vehicle currently assigned (valid while dispatched).
+  VehicleId vehicle = kInvalidVehicle;
+};
+
+/// A vehicle owned by one shard.
+struct WorldVehicle {
+  Vehicle state;
+  double online_s = 0;
+  double offline_s = 0;
+  // Node path of the current leg (state.next_node == path[path_pos]).
+  std::vector<NodeId> leg_path;
+  std::size_t path_pos = 0;
+  // Orders currently riding (for shared-ride accounting).
+  std::vector<OrderId> riding;
+  // Rebalancer-directed relocation target: while idle the vehicle drives
+  // toward this node instead of random-walking. kInvalidNode = not
+  // relocating. Relocation legs never consume the shard's Rng stream.
+  NodeId relocate_target = kInvalidNode;
+};
+
+/// Buffered side effects of one world phase. The driver replays batches into
+/// the shared SimResult in fixed shard order via ApplyEffects.
+struct EffectBatch {
+  std::vector<OrderEvent> events;
+  // Exact refund/payment sequences (not sums): replayed element-by-element
+  // so double accumulation order matches the legacy simulator bit-for-bit.
+  std::vector<double> refunds;
+  std::vector<double> payments;
+  int stranded = 0;
+  int cancelled = 0;
+  int expired = 0;
+  int dispatched_delta = 0;  // net change to orders_dispatched
+  int redispatched = 0;
+  int completed = 0;
+  double max_wasted_violation_s = -1e18;
+};
+
+/// Replays a batch into the aggregate result (serial, driver-side only).
+void ApplyEffects(const EffectBatch& batch, SimResult* result);
+
+/// Result of one shard's pending-order pass.
+struct PendingPass {
+  EffectBatch fx;  // issued + expired events
+  // Orders submitted to this round's auction, bid-escalated copies, in
+  // ascending order-id order (the legacy scan order).
+  std::vector<Order> submitted;
+};
+
+struct WorldOptions {
+  double round_duration_s = 10;
+  double max_pending_s = 300;
+  double pending_bid_increment = 0;
+};
+
+class ShardWorld {
+ public:
+  /// `oracle`, `orders` (the immutable order catalog, indexed by OrderId),
+  /// and `ledger` (shared, shard-disjoint) must outlive the world.
+  ShardWorld(const DistanceOracle* oracle, const std::vector<Order>* orders,
+             std::vector<OrderLedgerEntry>* ledger, WorldOptions options,
+             uint64_t rng_seed);
+
+  /// Adds a vehicle, keeping the shard's vehicle list sorted by id.
+  void AddVehicle(const VehicleSpawn& spawn);
+
+  /// Inserts one order into the pending pool at its id-sorted position.
+  void EnqueueOrder(const Order& order);
+  /// Sorts `batch` by id and merges it into the pending pool.
+  void EnqueueBatch(std::vector<Order> batch);
+
+  // --- Round phases. All shard-local; safe to run concurrently across
+  // --- distinct shards between serial barriers.
+
+  /// Breakdowns (vehicle-id order) then cancellations (order-id order),
+  /// exactly the legacy injection sequence.
+  EffectBatch InjectFaults(const FaultPlan& plan, int round, double now_s);
+
+  /// Issue/expire/escalate pass over the pending pool in order-id order.
+  PendingPass CollectPending(double now_s);
+
+  /// Online vehicles with spare capacity; `online_idx` maps snapshot index
+  /// to this shard's vehicle index (for ApplyOutcome).
+  std::vector<Vehicle> OnlineSnapshot(
+      double now_s, std::vector<std::size_t>* online_idx) const;
+
+  /// Applies a round's dispatch + payments: updated plans, ledger entries,
+  /// pool removal, dispatch events.
+  EffectBatch ApplyOutcome(const DispatchResult& dispatch,
+                           const std::vector<Payment>& payments, double now_s,
+                           const std::vector<std::size_t>& online_idx);
+
+  /// Advances every vehicle whose online window overlaps the round.
+  EffectBatch AdvanceRound(double now_s);
+
+  /// Drain-phase step: advances only vehicles with remaining plan stops.
+  /// Returns true when any vehicle was still busy.
+  bool AdvanceBusy(double now_s, EffectBatch* fx);
+
+  // --- Rebalancer support (serial barriers only).
+
+  /// Ids of migratable idle vehicles at `now_s`: online, empty plan, nobody
+  /// riding, not already relocating. Ascending id order.
+  std::vector<VehicleId> MigratableIdleVehicles(double now_s) const;
+  /// Idle supply including relocations already in flight toward this shard.
+  std::size_t IdleCount(double now_s) const;
+
+  /// Removes and returns a vehicle (must exist). Used by migration.
+  WorldVehicle ExtractVehicle(VehicleId id);
+  /// Inserts a migrated vehicle (id-sorted) and points it at
+  /// `relocate_target` (pass kInvalidNode to keep it random-walking).
+  void InsertVehicle(WorldVehicle vehicle, NodeId relocate_target);
+
+  std::size_t pending_size() const { return pending_.size(); }
+  std::size_t vehicle_count() const { return vehicles_.size(); }
+  /// Σ delivery distance over this shard's vehicles, in id order.
+  double DeliveryDistanceSum() const;
+
+ private:
+  void RefundAndRequeue(OrderId order, double now_s, OrderEventKind kind,
+                        EffectBatch* fx);
+  void ProcessArrivalStops(WorldVehicle* vehicle, double arrival_time_s,
+                           EffectBatch* fx);
+  void StartNextLeg(WorldVehicle* vehicle);
+  void AdvanceVehicle(WorldVehicle* vehicle, double start_s, double dt_s,
+                      EffectBatch* fx);
+  double EdgeLength(NodeId from, NodeId to) const;
+  void RebuildVehicleIndex();
+
+  const DistanceOracle* oracle_;
+  const std::vector<Order>* orders_;
+  std::vector<OrderLedgerEntry>* ledger_;
+  WorldOptions options_;
+  Rng rng_;
+  std::unique_ptr<AStarSearch> path_search_;
+
+  std::vector<WorldVehicle> vehicles_;  // sorted by vehicle id
+  // Live-vehicle lookup for fault handling (assignments carry VehicleIds).
+  std::unordered_map<VehicleId, std::size_t> vehicle_index_by_id_;
+  std::vector<Order> pending_;  // sorted by order id
+  // Orders dispatched on this shard and not yet refunded, sorted by id
+  // (completed entries linger and are skipped — the cancel scan checks the
+  // ledger). Gives the cancellation pass its legacy id-order scan without
+  // touching other shards' ledger slices.
+  std::vector<OrderId> dispatched_here_;
+};
+
+/// Shared end-of-run aggregation: driver utility, rider-experience means,
+/// per-round timing means, and the always-on payment-conservation and
+/// lifecycle contracts. `result` must already hold rounds/events/counters;
+/// `total_delivery_m` is the caller's vehicle-order delivery sum.
+void FinalizeResult(const AuctionConfig& config,
+                    const std::vector<Order>& orders,
+                    const std::vector<OrderLedgerEntry>& ledger,
+                    double total_delivery_m, SimResult* result);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_ENGINE_WORLD_H_

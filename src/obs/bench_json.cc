@@ -117,6 +117,10 @@ Json BuildBenchReport(const BenchRunInfo& info, const MetricsSnapshot& snap) {
     report["faults"] = std::move(faults);
   }
 
+  if (!info.engine.AsObject().empty()) {
+    report["engine"] = info.engine;
+  }
+
   Json counters = Json::Object();
   for (const auto& [name, v] : snap.counters) counters[name] = v;
   Json gauges = Json::Object();
@@ -208,6 +212,46 @@ Status ValidateBenchReport(const Json& report) {
       if (!IsNumber(faults->Find(f))) {
         return Missing(std::string("faults.") + f);
       }
+    }
+  }
+
+  // "engine" is additive and optional (non-engine benches omit it), but
+  // when present it must be well-formed: it is what bench_diff trend
+  // tooling keys on for the sharded engine.
+  if (const Json* engine = report.Find("engine"); engine != nullptr) {
+    if (!engine->is_object()) return Missing("engine");
+    for (const char* f : {"num_shards", "rounds", "migrations",
+                          "peak_concurrent_orders", "total_ingested"}) {
+      if (!IsNumber(engine->Find(f))) {
+        return Missing(std::string("engine.") + f);
+      }
+    }
+    const Json* tiers = engine->Find("tiers");
+    if (!IsObject(tiers)) return Missing("engine.tiers");
+    for (const char* f : {"primary", "greedy_fallback", "fcfs_fallback"}) {
+      if (!IsNumber(tiers->Find(f))) {
+        return Missing(std::string("engine.tiers.") + f);
+      }
+    }
+    const Json* shards = engine->Find("shards");
+    if (shards == nullptr || !shards->is_array()) {
+      return Missing("engine.shards");
+    }
+    for (std::size_t i = 0; i < shards->AsArray().size(); ++i) {
+      const Json& shard = shards->AsArray()[i];
+      const std::string where = "engine.shards[" + std::to_string(i) + "]";
+      if (!shard.is_object()) return Missing(where);
+      for (const char* f : {"id", "rounds", "ingested", "peak_pending",
+                            "peak_queue_depth", "migrations_in",
+                            "migrations_out"}) {
+        if (!IsNumber(shard.Find(f))) return Missing(where + "." + f);
+      }
+      const Json* round_s = shard.Find("round_s");
+      if (round_s == nullptr) return Missing(where + ".round_s");
+      Status s = ValidateSummaryFields(
+          *round_s, where + ".round_s",
+          {"count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s"});
+      if (!s.ok()) return s;
     }
   }
 

@@ -21,6 +21,14 @@
 //     "ch_cache": {"queries", "hits", "trivial", "hit_rate"},
 //     "faults":  {"profile", "breakdowns", "cancellations", "spike_rounds",
 //                 "stranded_orders", "redispatched", "degraded_rounds"},
+//     "engine":  {"num_shards", "rounds", "migrations",
+//                 "peak_concurrent_orders", "total_ingested",
+//                 "tiers": {"primary", "greedy_fallback", "fcfs_fallback"},
+//                 "shards": [{"id", "rounds", "ingested", "peak_pending",
+//                             "peak_queue_depth", "migrations_in",
+//                             "migrations_out",
+//                             "round_s": {"count","mean_s","p50_s","p95_s",
+//                                         "p99_s","max_s"}}]},
 //     "metrics": {"counters": {name: int},
 //                 "gauges":   {name: double},
 //                 "histograms": {name: {"count","mean","stddev","min",
@@ -32,6 +40,10 @@
 // pre-existing baseline reports stay loadable). "faults" appears only when
 // a fault profile was active (BenchRunInfo::fault_profile non-empty); it is
 // optional for the validator, so v1 reports predating it stay valid.
+// "engine" follows the same additive-optional pattern: emitted only by
+// engine-mode benches (BenchRunInfo::engine non-empty, typically built with
+// EngineStatsToJson from engine/stats_json.h) and strictly validated when
+// present.
 
 #ifndef AUCTIONRIDE_OBS_BENCH_JSON_H_
 #define AUCTIONRIDE_OBS_BENCH_JSON_H_
@@ -67,6 +79,9 @@ struct BenchRunInfo {
   // the report then omits its optional "faults" object, keeping fault-free
   // reports byte-identical to pre-fault ones.
   std::string fault_profile;
+  // Sharded-engine telemetry (see the schema comment above). Empty object =
+  // non-engine bench; the report then omits its optional "engine" object.
+  Json engine = Json::Object();
 };
 
 /// Assembles a schema-v1 report from `info` plus a metrics snapshot

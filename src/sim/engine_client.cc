@@ -1,0 +1,63 @@
+#include "sim/engine_client.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/trace.h"
+
+namespace auctionride {
+
+EngineOptions MakeEngineOptions(const SimOptions& sim,
+                                const EngineShardingOptions& sharding) {
+  EngineOptions options;
+  options.mechanism = sim.mechanism;
+  options.auction = sim.auction;
+  options.round_duration_s = sim.round_duration_s;
+  options.max_pending_s = sim.max_pending_s;
+  options.pending_bid_increment = sim.pending_bid_increment;
+  options.run_pricing = sim.run_pricing;
+  options.pricing_threads = sim.pricing_threads;
+  options.dispatch_threads = sim.dispatch_threads;
+  options.verify_dispatch = sim.verify_dispatch;
+  options.seed = sim.seed;
+  options.faults = sim.faults;
+  options.num_shards = sharding.num_shards;
+  options.engine_threads = sharding.engine_threads;
+  options.rebalance_period_rounds = sharding.rebalance_period_rounds;
+  options.rebalance_max_moves = sharding.rebalance_max_moves;
+  return options;
+}
+
+SimResult RunSimulationOnEngine(const DistanceOracle* oracle,
+                                const Workload& workload,
+                                const SimOptions& options,
+                                const EngineShardingOptions& sharding) {
+  OBS_TRACE_SPAN("sim.engine_run");
+  Engine engine(oracle, &workload.orders, workload.vehicles,
+                MakeEngineOptions(options, sharding));
+
+  double horizon = 0;
+  for (const Order& o : workload.orders) {
+    horizon = std::max(horizon, o.issue_time_s);
+  }
+  horizon += options.max_pending_s + options.round_duration_s;
+
+  // Same round protocol as Simulator::Run(): orders are submitted when
+  // their issue times come due, one batch ahead of each round.
+  std::size_t next_order = 0;  // orders are sorted by issue time
+  while (engine.now_s() < horizon) {
+    const double now = engine.now_s();
+    while (next_order < workload.orders.size() &&
+           workload.orders[next_order].issue_time_s <= now) {
+      engine.SubmitOrder(workload.orders[next_order]);
+      ++next_order;
+    }
+    engine.StepRound();
+  }
+  ARIDE_ACHECK(next_order == workload.orders.size())
+      << "orders issued beyond the simulation horizon";
+  engine.DrainDeliveries();
+  return engine.Finish();
+}
+
+}  // namespace auctionride

@@ -1,0 +1,46 @@
+// The simulator as a client of the sharded dispatch engine.
+//
+// RunSimulationOnEngine replays a Workload through engine::Engine with the
+// same round-driving protocol the legacy Simulator uses — submit orders as
+// their issue times come due, step rounds to the horizon, drain deliveries —
+// and returns the same SimResult. On the `none` fault profile with one
+// shard this must be bit-identical to Simulator::Run() (payments,
+// utilities, dispatch counts, events); tests/engine_determinism_test.cc
+// enforces it across engine thread counts.
+
+#ifndef AUCTIONRIDE_SIM_ENGINE_CLIENT_H_
+#define AUCTIONRIDE_SIM_ENGINE_CLIENT_H_
+
+#include "engine/engine.h"
+#include "engine/result.h"
+#include "roadnet/oracle.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace auctionride {
+
+/// Engine-specific knobs of an engine-mode simulation; the auction knobs
+/// come from SimOptions.
+struct EngineShardingOptions {
+  int num_shards = 1;
+  int engine_threads = 0;  // 0 = hardware concurrency, negative = serial
+  int rebalance_period_rounds = 6;
+  int rebalance_max_moves = 64;
+};
+
+/// Builds the engine-side options for a SimOptions + sharding combination
+/// (shared by the adapter below and the load generator).
+EngineOptions MakeEngineOptions(const SimOptions& sim,
+                                const EngineShardingOptions& sharding);
+
+/// Replays `workload` through a fresh Engine and returns the aggregate
+/// result. The workload must outlive the call; orders must be sorted by
+/// issue time with dense ids (the generator contract).
+SimResult RunSimulationOnEngine(const DistanceOracle* oracle,
+                                const Workload& workload,
+                                const SimOptions& options,
+                                const EngineShardingOptions& sharding);
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_SIM_ENGINE_CLIENT_H_

@@ -55,7 +55,7 @@ Status WriteRoundsCsv(const SimResult& result, const std::string& path) {
   if (!writer.ok()) return writer.status();
   writer->WriteRow({"time_s", "pending", "online_vehicles", "dispatched",
                     "round_utility", "dispatch_seconds", "pricing_seconds",
-                    "dispatch_tier"});
+                    "dispatch_tier", "shard"});
   for (const RoundRecord& round : result.rounds) {
     writer->WriteRow({Num(round.time_s, 1), std::to_string(round.pending_orders),
                       std::to_string(round.online_vehicles),
@@ -63,7 +63,8 @@ Status WriteRoundsCsv(const SimResult& result, const std::string& path) {
                       Num(round.round_utility),
                       Num(round.dispatch_seconds, 6),
                       Num(round.pricing_seconds, 6),
-                      std::to_string(round.dispatch_tier)});
+                      std::to_string(round.dispatch_tier),
+                      std::to_string(round.shard)});
   }
   return writer->Close();
 }

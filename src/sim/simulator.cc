@@ -6,42 +6,19 @@
 
 #include "auction/verifier.h"
 #include "common/check.h"
-#include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace auctionride {
-
-std::string_view OrderEventKindName(OrderEventKind kind) {
-  switch (kind) {
-    case OrderEventKind::kIssued:
-      return "issued";
-    case OrderEventKind::kDispatched:
-      return "dispatched";
-    case OrderEventKind::kPickedUp:
-      return "picked_up";
-    case OrderEventKind::kDroppedOff:
-      return "dropped_off";
-    case OrderEventKind::kExpired:
-      return "expired";
-    case OrderEventKind::kStranded:
-      return "stranded";
-    case OrderEventKind::kCancelled:
-      return "cancelled";
-  }
-  return "unknown";
-}
 
 Simulator::Simulator(const DistanceOracle* oracle, Workload workload,
                      SimOptions options)
     : oracle_(oracle),
       workload_(std::move(workload)),
       options_(options),
-      rng_(options.seed),
       fault_plan_(options.faults) {
   ARIDE_ACHECK(oracle_ != nullptr);
   ARIDE_ACHECK(options_.round_duration_s > 0);
-  path_search_ = std::make_unique<AStarSearch>(&oracle_->network());
   if (options_.run_pricing) {
     const int threads = options_.pricing_threads > 0
                             ? options_.pricing_threads
@@ -59,226 +36,20 @@ Simulator::Simulator(const DistanceOracle* oracle, Workload workload,
         static_cast<std::size_t>(std::max(1, threads)));
   }
 
-  vehicles_.reserve(workload_.vehicles.size());
+  // The ledger is indexed by OrderId; the generator contract is dense ids.
+  for (std::size_t j = 0; j < workload_.orders.size(); ++j) {
+    ARIDE_ACHECK(workload_.orders[j].id == static_cast<OrderId>(j))
+        << "order ids must be dense and index-aligned";
+  }
+  ledger_.resize(workload_.orders.size());
+  WorldOptions world_options;
+  world_options.round_duration_s = options_.round_duration_s;
+  world_options.max_pending_s = options_.max_pending_s;
+  world_options.pending_bid_increment = options_.pending_bid_increment;
+  world_ = std::make_unique<ShardWorld>(oracle_, &workload_.orders, &ledger_,
+                                        world_options, options_.seed);
   for (const VehicleSpawn& spawn : workload_.vehicles) {
-    SimVehicle sv;
-    sv.state = spawn.vehicle;
-    sv.online_s = spawn.online_s;
-    sv.offline_s = spawn.offline_s;
-    const bool inserted =
-        vehicle_index_by_id_.emplace(sv.state.id, vehicles_.size()).second;
-    ARIDE_ACHECK(inserted) << "duplicate vehicle id " << sv.state.id;
-    vehicles_.push_back(std::move(sv));
-  }
-  order_records_.resize(workload_.orders.size());
-}
-
-void Simulator::RefundAndRequeue(OrderId order, double now_s,
-                                 OrderEventKind kind, SimResult* result) {
-  OrderRecord& rec = order_records_[static_cast<std::size_t>(order)];
-  ARIDE_ACHECK(rec.dispatched && !rec.completed) << "order " << order;
-  if (rec.payment > 0) {
-    result->refunded_payments += rec.payment;
-    result->total_payments -= rec.payment;
-    rec.payment = 0;
-    OBS_COUNTER_INC("sim.recovery.refunds");
-  }
-  rec.dispatched = false;
-  rec.recovered = true;
-  rec.dispatch_time_s = 0;
-  rec.pickup_time_s = 0;
-  rec.vehicle = kInvalidVehicle;
-  --result->orders_dispatched;
-  result->events.push_back({now_s, order, kind, kInvalidVehicle});
-}
-
-void Simulator::InjectFaults(double now_s, SimResult* result) {
-  OBS_TRACE_SPAN("sim.faults.inject");
-  // Breakdowns first: a vehicle that just broke down strands its orders, so
-  // the cancellation pass below no longer sees them as dispatched.
-  if (options_.faults.breakdown_prob_per_round > 0) {
-    for (SimVehicle& sv : vehicles_) {
-      if (now_s < sv.online_s || now_s >= sv.offline_s) continue;
-      const bool busy = !sv.state.plan.stops.empty() || !sv.riding.empty();
-      if (!busy) continue;
-      if (!fault_plan_.VehicleBreaksDown(round_index_, sv.state.id)) continue;
-
-      // Undelivered orders: every order with a remaining stop. Onboard
-      // riders restart from their origin when re-dispatched (the workload
-      // order is immutable) — a simplification documented in
-      // docs/ROBUSTNESS.md.
-      std::vector<OrderId> stranded;
-      for (const PlanStop& stop : sv.state.plan.stops) {
-        if (std::find(stranded.begin(), stranded.end(), stop.order) ==
-            stranded.end()) {
-          stranded.push_back(stop.order);
-        }
-      }
-      sv.offline_s = now_s;  // never comes back online
-      sv.state.plan.stops.clear();
-      sv.state.onboard = 0;
-      sv.state.in_delivery = false;
-      sv.riding.clear();
-      sv.leg_path.clear();
-      sv.path_pos = 0;
-      OBS_COUNTER_INC("sim.faults.breakdowns");
-      for (const OrderId order : stranded) {
-        RefundAndRequeue(order, now_s, OrderEventKind::kStranded, result);
-        ++result->orders_stranded;
-        OBS_COUNTER_INC("sim.recovery.stranded_orders");
-      }
-    }
-  }
-
-  // Cancellations: dispatched orders whose pickup has not happened yet.
-  if (options_.faults.cancel_prob_per_round > 0) {
-    for (std::size_t j = 0; j < order_records_.size(); ++j) {
-      OrderRecord& rec = order_records_[j];
-      if (!rec.dispatched || rec.completed) continue;
-      const OrderId order = workload_.orders[j].id;
-      if (!fault_plan_.OrderCancels(round_index_, order)) continue;
-      ARIDE_ACHECK(rec.vehicle != kInvalidVehicle) << "order " << order;
-      SimVehicle& sv = vehicles_[vehicle_index_by_id_.at(rec.vehicle)];
-      // Picked-up riders cannot withdraw: their pickup stop is gone.
-      bool has_pickup = false;
-      for (const PlanStop& stop : sv.state.plan.stops) {
-        if (stop.order == order && stop.type == StopType::kPickup) {
-          has_pickup = true;
-          break;
-        }
-      }
-      if (!has_pickup) continue;
-
-      std::erase_if(sv.state.plan.stops, [order](const PlanStop& stop) {
-        return stop.order == order;
-      });
-      // The current leg may target a removed stop; recompute next round.
-      sv.leg_path.clear();
-      sv.path_pos = 0;
-      if (sv.state.plan.stops.empty() && sv.state.onboard == 0) {
-        sv.state.in_delivery = false;
-      }
-      OBS_COUNTER_INC("sim.faults.cancellations");
-      RefundAndRequeue(order, now_s, OrderEventKind::kCancelled, result);
-      ++result->orders_cancelled;
-    }
-  }
-}
-
-double Simulator::EdgeLength(NodeId from, NodeId to) const {
-  double best = kInfDistance;
-  for (const Arc& a : oracle_->network().OutArcs(from)) {
-    if (a.head == to) best = std::min(best, a.length_m);
-  }
-  ARIDE_ACHECK(best != kInfDistance) << "leg path nodes are not adjacent";
-  return best;
-}
-
-void Simulator::ProcessArrivalStops(SimVehicle* vehicle,
-                                    double arrival_time_s) {
-  Vehicle& v = vehicle->state;
-  while (!v.plan.stops.empty() && v.plan.stops.front().node == v.next_node) {
-    const PlanStop stop = v.plan.stops.front();
-    v.plan.stops.erase(v.plan.stops.begin());
-    OrderRecord& rec = order_records_[static_cast<std::size_t>(stop.order)];
-    if (stop.type == StopType::kPickup) {
-      ++v.onboard;
-      ARIDE_ACHECK(v.onboard <= v.capacity);
-      v.in_delivery = true;
-      rec.pickup_time_s = arrival_time_s;
-      if (active_result_ != nullptr) {
-        active_result_->events.push_back(
-            {arrival_time_s, stop.order, OrderEventKind::kPickedUp, v.id});
-      }
-      // Shared-ride accounting: everyone in the car (including the new
-      // rider) is now sharing.
-      vehicle->riding.push_back(stop.order);
-      if (vehicle->riding.size() > 1) {
-        for (OrderId rider : vehicle->riding) {
-          order_records_[static_cast<std::size_t>(rider)].shared = true;
-        }
-      }
-    } else {
-      --v.onboard;
-      ARIDE_ACHECK(v.onboard >= 0);
-      std::erase(vehicle->riding, stop.order);
-      // Lifecycle contract: a rider is picked up after dispatch and dropped
-      // off after pickup, exactly once.
-      ARIDE_CHECK(!rec.completed) << "order " << stop.order;
-      ARIDE_CHECK_GE(rec.pickup_time_s, rec.dispatch_time_s)
-          << "order " << stop.order;
-      ARIDE_CHECK_GE(arrival_time_s, rec.pickup_time_s)
-          << "order " << stop.order;
-      rec.dropoff_time_s = arrival_time_s;
-      rec.completed = true;
-      if (active_result_ != nullptr) {
-        active_result_->events.push_back(
-            {arrival_time_s, stop.order, OrderEventKind::kDroppedOff, v.id});
-        ++active_result_->orders_completed;
-        const Order& order =
-            workload_.orders[static_cast<std::size_t>(stop.order)];
-        const double wasted =
-            (rec.dropoff_time_s - rec.dispatch_time_s) - order.shortest_time_s;
-        active_result_->max_wasted_time_violation_s =
-            std::max(active_result_->max_wasted_time_violation_s,
-                     wasted - order.max_wasted_time_s);
-      }
-    }
-    vehicle->leg_path.clear();  // next leg targets a new stop
-    vehicle->path_pos = 0;
-  }
-  if (v.plan.stops.empty()) v.in_delivery = false;
-}
-
-void Simulator::StartNextLeg(SimVehicle* vehicle) {
-  Vehicle& v = vehicle->state;
-  if (!v.plan.stops.empty()) {
-    const NodeId target = v.plan.stops.front().node;
-    if (vehicle->leg_path.empty() ||
-        vehicle->leg_path[vehicle->path_pos] != v.next_node ||
-        vehicle->leg_path.back() != target) {
-      vehicle->leg_path = path_search_->ShortestPath(v.next_node, target);
-      vehicle->path_pos = 0;
-      ARIDE_ACHECK(!vehicle->leg_path.empty()) << "stop unreachable";
-    }
-    if (vehicle->path_pos + 1 < vehicle->leg_path.size()) {
-      const NodeId next = vehicle->leg_path[vehicle->path_pos + 1];
-      v.extra_distance_m = EdgeLength(v.next_node, next);
-      v.next_node = next;
-      ++vehicle->path_pos;
-    }
-    return;
-  }
-  // Idle: random walk over the road network.
-  const auto arcs = oracle_->network().OutArcs(v.next_node);
-  if (arcs.empty()) return;  // stranded (cannot happen on connected graphs)
-  const Arc& arc =
-      arcs[rng_.UniformInt(static_cast<uint64_t>(arcs.size()))];
-  v.next_node = arc.head;
-  v.extra_distance_m = arc.length_m;
-  vehicle->leg_path.clear();
-  vehicle->path_pos = 0;
-}
-
-void Simulator::AdvanceVehicle(SimVehicle* vehicle, double dt_s) {
-  Vehicle& v = vehicle->state;
-  double budget_m = dt_s * oracle_->speed_mps();
-  double time_s = clock_s_;
-  // Bounded iterations as a defensive guard against degenerate graphs.
-  for (int iter = 0; iter < 100000 && budget_m > 1e-9; ++iter) {
-    if (v.extra_distance_m > 0) {
-      const double step = std::min(budget_m, v.extra_distance_m);
-      v.extra_distance_m -= step;
-      budget_m -= step;
-      time_s += step / oracle_->speed_mps();
-      v.total_distance_m += step;
-      if (v.in_delivery) v.delivery_distance_m += step;
-      if (v.extra_distance_m > 0) break;  // budget exhausted mid-edge
-    }
-    // Arrived at next_node.
-    ProcessArrivalStops(vehicle, time_s);
-    StartNextLeg(vehicle);
-    if (v.extra_distance_m <= 0) break;  // nowhere to go
+    world_->AddVehicle(spawn);
   }
 }
 
@@ -286,54 +57,21 @@ void Simulator::RunRound(double now_s, SimResult* result) {
   OBS_TRACE_SPAN("sim.round");
   OBS_SCOPED_TIMER("sim.round_s");
   OBS_COUNTER_INC("sim.rounds");
-  // Pending orders: issued, not yet dispatched/expired, within 5 minutes.
-  std::vector<Order> pending;
-  for (std::size_t j = 0; j < workload_.orders.size(); ++j) {
-    const Order& order = workload_.orders[j];
-    OrderRecord& rec = order_records_[j];
-    if (rec.dispatched || rec.expired) continue;
-    if (order.issue_time_s > now_s) continue;
-    if (now_s - order.issue_time_s < options_.round_duration_s) {
-      result->events.push_back(
-          {order.issue_time_s, order.id, OrderEventKind::kIssued,
-           kInvalidVehicle});
-    }
-    if (now_s - order.issue_time_s > options_.max_pending_s) {
-      rec.expired = true;
-      ++result->orders_expired;
-      result->events.push_back(
-          {now_s, order.id, OrderEventKind::kExpired, kInvalidVehicle});
-      continue;
-    }
-    Order submitted = order;
-    if (options_.pending_bid_increment > 0) {
-      // Bonus escalation for pended orders (§II-B): each elapsed round adds
-      // to the offered bid.
-      const double rounds_pended = std::floor(
-          (now_s - order.issue_time_s) / options_.round_duration_s);
-      submitted.bid += options_.pending_bid_increment * rounds_pended;
-    }
-    pending.push_back(submitted);
-  }
-  if (pending.empty()) return;
+  PendingPass pass = world_->CollectPending(now_s);
+  ApplyEffects(pass.fx, result);
+  if (pass.submitted.empty()) return;
 
-  // Online vehicles with spare capacity.
-  std::vector<Vehicle> online;
   std::vector<std::size_t> online_idx;
-  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
-    const SimVehicle& sv = vehicles_[i];
-    if (now_s < sv.online_s || now_s >= sv.offline_s) continue;
-    if (sv.state.CommittedRiders() >= sv.state.capacity) continue;
-    online.push_back(sv.state);
-    online_idx.push_back(i);
-  }
+  const std::vector<Vehicle> online =
+      world_->OnlineSnapshot(now_s, &online_idx);
   if (online.empty()) return;
 
-  OBS_TRACE_COUNTER("sim.pending_orders", static_cast<double>(pending.size()));
+  OBS_TRACE_COUNTER("sim.pending_orders",
+                    static_cast<double>(pass.submitted.size()));
   OBS_TRACE_COUNTER("sim.online_vehicles", static_cast<double>(online.size()));
 
   AuctionInstance instance;
-  instance.orders = &pending;
+  instance.orders = &pass.submitted;
   instance.vehicles = &online;
   instance.now_s = now_s;
   instance.oracle = oracle_;
@@ -363,7 +101,7 @@ void Simulator::RunRound(double now_s, SimResult* result) {
   if (options_.verify_dispatch) {
     // The dispatch ran on charge-deducted bids; re-derive them for the
     // verifier's utility accounting.
-    std::vector<Order> deducted = pending;
+    std::vector<Order> deducted = pass.submitted;
     for (Order& o : deducted) o.bid *= (1.0 - options_.auction.charge_ratio);
     AuctionInstance charged = instance;
     charged.orders = &deducted;
@@ -376,32 +114,9 @@ void Simulator::RunRound(double now_s, SimResult* result) {
     }
   }
 
-  // Apply updated plans to the live vehicles.
-  for (const auto& [snapshot_idx, plan] : outcome.dispatch.updated_plans) {
-    SimVehicle& sv = vehicles_[online_idx[snapshot_idx]];
-    sv.state.plan.stops = plan;
-    sv.leg_path.clear();
-    sv.path_pos = 0;
-  }
-  for (const Assignment& a : outcome.dispatch.assignments) {
-    OrderRecord& rec = order_records_[static_cast<std::size_t>(a.order)];
-    rec.dispatched = true;
-    rec.dispatch_time_s = now_s;
-    rec.vehicle = a.vehicle;
-    if (rec.recovered) {
-      rec.recovered = false;
-      ++result->orders_redispatched;
-      OBS_COUNTER_INC("sim.recovery.redispatched");
-    }
-    ++result->orders_dispatched;
-    result->events.push_back(
-        {now_s, a.order, OrderEventKind::kDispatched, a.vehicle});
-  }
-  for (const Payment& p : outcome.payments) {
-    ARIDE_CHECK_GE(p.payment, 0) << "order " << p.order;
-    order_records_[static_cast<std::size_t>(p.order)].payment = p.payment;
-    result->total_payments += p.payment;
-  }
+  ApplyEffects(world_->ApplyOutcome(outcome.dispatch, outcome.payments, now_s,
+                                    online_idx),
+               result);
 
   result->total_utility += outcome.dispatch.total_utility;
   result->platform_utility += outcome.platform_utility;
@@ -409,7 +124,7 @@ void Simulator::RunRound(double now_s, SimResult* result) {
 
   RoundRecord record;
   record.time_s = now_s;
-  record.pending_orders = static_cast<int>(pending.size());
+  record.pending_orders = static_cast<int>(pass.submitted.size());
   record.online_vehicles = static_cast<int>(online.size());
   record.dispatched = static_cast<int>(outcome.dispatch.assignments.size());
   record.round_utility = outcome.dispatch.total_utility;
@@ -423,7 +138,6 @@ SimResult Simulator::Run() {
   OBS_TRACE_SPAN("sim.run");
   SimResult result;
   result.orders_total = static_cast<int>(workload_.orders.size());
-  active_result_ = &result;
 
   double horizon = 0;
   for (const Order& o : workload_.orders) {
@@ -431,103 +145,43 @@ SimResult Simulator::Run() {
   }
   horizon += options_.max_pending_s + options_.round_duration_s;
 
-  clock_s_ = 0;
+  double clock_s = 0;
   round_index_ = 0;
-  while (clock_s_ < horizon) {
-    if (options_.faults.any()) InjectFaults(clock_s_, &result);
-    RunRound(clock_s_, &result);
+  std::size_t next_order = 0;  // orders are sorted by issue time
+  while (clock_s < horizon) {
+    while (next_order < workload_.orders.size() &&
+           workload_.orders[next_order].issue_time_s <= clock_s) {
+      world_->EnqueueOrder(workload_.orders[next_order]);
+      ++next_order;
+    }
+    if (options_.faults.any()) {
+      ApplyEffects(world_->InjectFaults(fault_plan_, round_index_, clock_s),
+                   &result);
+    }
+    RunRound(clock_s, &result);
     // Advance the world by one round.
     {
       OBS_TRACE_SPAN("sim.advance");
-      for (SimVehicle& sv : vehicles_) {
-        if (clock_s_ + options_.round_duration_s <= sv.online_s ||
-            clock_s_ >= sv.offline_s) {
-          continue;
-        }
-        AdvanceVehicle(&sv, options_.round_duration_s);
-      }
+      ApplyEffects(world_->AdvanceRound(clock_s), &result);
     }
-    clock_s_ += options_.round_duration_s;
+    clock_s += options_.round_duration_s;
     ++round_index_;
   }
 
   // Drain: let dispatched riders finish (movement only, capped). Faults are
   // not injected during the drain — no auctions run, so there is no pending
   // pool to recover a stranded order into.
-  const double drain_cap_s = clock_s_ + 7200;
-  while (clock_s_ < drain_cap_s) {
-    bool any_busy = false;
-    for (SimVehicle& sv : vehicles_) {
-      if (!sv.state.plan.stops.empty()) {
-        any_busy = true;
-        AdvanceVehicle(&sv, options_.round_duration_s);
-      }
-    }
-    clock_s_ += options_.round_duration_s;
+  const double drain_cap_s = clock_s + 7200;
+  while (clock_s < drain_cap_s) {
+    EffectBatch fx;
+    const bool any_busy = world_->AdvanceBusy(clock_s, &fx);
+    ApplyEffects(fx, &result);
+    clock_s += options_.round_duration_s;
     if (!any_busy) break;
   }
 
-  for (const SimVehicle& sv : vehicles_) {
-    result.total_delivery_m += sv.state.delivery_distance_m;
-  }
-  result.driver_utility =
-      (options_.auction.beta_d_per_km - options_.auction.alpha_d_per_km) /
-      1000.0 * result.total_delivery_m;
-  int completed = 0;
-  int shared = 0;
-  double wait_sum = 0;
-  double detour_sum = 0;
-  for (std::size_t j = 0; j < order_records_.size(); ++j) {
-    const OrderRecord& rec = order_records_[j];
-    if (!rec.completed) continue;
-    ++completed;
-    if (rec.shared) ++shared;
-    wait_sum += rec.pickup_time_s - rec.dispatch_time_s;
-    detour_sum += (rec.dropoff_time_s - rec.pickup_time_s) -
-                  workload_.orders[j].shortest_time_s;
-  }
-  if (completed > 0) {
-    result.mean_waiting_s = wait_sum / completed;
-    result.mean_detour_s = detour_sum / completed;
-    result.shared_ride_fraction =
-        static_cast<double>(shared) / static_cast<double>(completed);
-  }
-  double dispatch_sum = 0;
-  double pricing_sum = 0;
-  for (const RoundRecord& r : result.rounds) {
-    dispatch_sum += r.dispatch_seconds;
-    pricing_sum += r.pricing_seconds;
-    result.max_dispatch_seconds =
-        std::max(result.max_dispatch_seconds, r.dispatch_seconds);
-  }
-  if (!result.rounds.empty()) {
-    result.mean_dispatch_seconds =
-        dispatch_sum / static_cast<double>(result.rounds.size());
-    result.mean_pricing_seconds =
-        pricing_sum / static_cast<double>(result.rounds.size());
-  }
-
-  // Payment conservation and lifecycle contracts (always on: refund bugs
-  // corrupt money silently otherwise). The incremental total_payments must
-  // match the per-order ledger after all refunds, and no order may end the
-  // run in an impossible state.
-  double ledger_sum = 0;
-  for (const OrderRecord& rec : order_records_) {
-    ARIDE_ACHECK(!(rec.completed && rec.expired));
-    ARIDE_ACHECK(!(rec.completed && rec.recovered));
-    // Undispatched orders hold no money (refunds assign an exact zero, and
-    // payments are nonnegative, so proving <= 0 proves zero).
-    if (!rec.dispatched) ARIDE_ACHECK(!(rec.payment > 0));
-    ledger_sum += rec.payment;
-  }
-  const double tol =
-      1e-6 * std::max(1.0, std::abs(result.total_payments));
-  ARIDE_ACHECK(std::abs(ledger_sum - result.total_payments) <= tol)
-      << "payment ledger " << ledger_sum << " vs incremental total "
-      << result.total_payments;
-  ARIDE_ACHECK(result.refunded_payments >= 0);
-
-  active_result_ = nullptr;
+  FinalizeResult(options_.auction, workload_.orders, ledger_,
+                 world_->DeliveryDistanceSum(), &result);
   return result;
 }
 

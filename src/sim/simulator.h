@@ -7,22 +7,26 @@
 // dispatched. Every `round_duration_s` the configured mechanism runs on the
 // pending orders and online vehicles; accepted plans are applied and
 // payments accounted.
+//
+// The world physics (vehicle legs, arrivals, faults, the pending pool) live
+// in engine/world.h — the simulator is the single-shard reference client of
+// that machinery, and the sharded engine (engine/engine.h) is the scaled-out
+// one. The two must agree bit-for-bit on the `none` fault profile
+// (tests/engine_determinism_test.cc).
 
 #ifndef AUCTIONRIDE_SIM_SIMULATOR_H_
 #define AUCTIONRIDE_SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <memory>
-#include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "auction/mechanism.h"
-#include "common/rng.h"
+#include "engine/faults.h"
+#include "engine/result.h"
+#include "engine/world.h"
 #include "exec/thread_pool.h"
-#include "roadnet/astar.h"
 #include "roadnet/oracle.h"
-#include "sim/faults.h"
 #include "workload/generator.h"
 
 namespace auctionride {
@@ -62,102 +66,6 @@ struct SimOptions {
   FaultOptions faults;
 };
 
-/// Lifecycle events of one order, for tracing/analysis.
-enum class OrderEventKind {
-  kIssued,
-  kDispatched,
-  kPickedUp,
-  kDroppedOff,
-  kExpired,
-  // Fault lifecycle (docs/ROBUSTNESS.md): the order's vehicle broke down
-  // before delivery / the order withdrew before pickup. Either way the
-  // payment is refunded and the order re-enters the pending pool with its
-  // original patience window.
-  kStranded,
-  kCancelled,
-};
-
-std::string_view OrderEventKindName(OrderEventKind kind);
-
-struct OrderEvent {
-  double time_s = 0;
-  OrderId order = kInvalidOrder;
-  OrderEventKind kind = OrderEventKind::kIssued;
-  VehicleId vehicle = kInvalidVehicle;  // dispatch/pickup/dropoff events
-};
-
-struct RoundRecord {
-  double time_s = 0;
-  int pending_orders = 0;
-  int online_vehicles = 0;
-  int dispatched = 0;
-  double round_utility = 0;
-  double dispatch_seconds = 0;
-  double pricing_seconds = 0;
-  // DispatchTier that produced this round (0 = primary; see mechanism.h).
-  int dispatch_tier = 0;
-};
-
-struct SimResult {
-  // Overall utility U_auc accumulated over rounds (Equation 2, on the
-  // deducted bids the algorithms optimized).
-  double total_utility = 0;
-  // Platform utility U_plf (only populated when pricing ran).
-  double platform_utility = 0;
-  double requester_utility = 0;
-  double total_payments = 0;
-
-  int orders_total = 0;
-  int orders_dispatched = 0;
-  int orders_expired = 0;
-  int orders_completed = 0;  // delivered before the simulation ended
-
-  // Fault + recovery accounting (all zero when faults are off).
-  // orders_dispatched above is net: a refunded order decrements it and a
-  // re-dispatch increments it again, so it counts orders that ended the run
-  // dispatched. Stranded/cancelled/redispatched count events, not orders —
-  // one unlucky order can contribute several times.
-  int orders_stranded = 0;
-  int orders_cancelled = 0;
-  int orders_redispatched = 0;
-  // Rounds decided by a fallback tier of the degradation ladder.
-  int degraded_rounds = 0;
-  // Σ payments returned to stranded/cancelled requesters, yuan. Already
-  // subtracted from total_payments (refunds conserve money: Σ per-order
-  // payments == total_payments at the end of the run, enforced by an
-  // always-on contract check). Utility aggregates are not clawed back — they
-  // record what the auctions decided, not what delivery achieved.
-  double refunded_payments = 0;
-
-  double total_delivery_m = 0;  // ΣD_i actually driven in delivery phase
-  // Σ (β_d − α_d)·D_i: the drivers' side of Definition 7.
-  double driver_utility = 0;
-
-  // Rider experience over completed orders.
-  double mean_waiting_s = 0;     // pickup − dispatch
-  double mean_detour_s = 0;      // (dropoff − pickup) − shortest trip time
-  double shared_ride_fraction = 0;  // rode together with another order
-
-  double mean_dispatch_seconds = 0;  // per-round wall time of dispatch
-  double max_dispatch_seconds = 0;
-  double mean_pricing_seconds = 0;
-
-  // Largest observed wt+dt−θ over completed orders (should be ≈ 0 or
-  // negative: the simulator must never violate Definition 4).
-  double max_wasted_time_violation_s = -1e18;
-
-  std::vector<RoundRecord> rounds;
-  // Chronological order lifecycle trace (issued/dispatched/picked up/
-  // dropped off/expired).
-  std::vector<OrderEvent> events;
-
-  double dispatch_rate() const {
-    return orders_total == 0
-               ? 0.0
-               : static_cast<double>(orders_dispatched) / orders_total;
-  }
-};
-
 class Simulator {
  public:
   /// The oracle (and its network) must outlive the simulator.
@@ -168,63 +76,18 @@ class Simulator {
   SimResult Run();
 
  private:
-  struct SimVehicle {
-    Vehicle state;
-    double online_s = 0;
-    double offline_s = 0;
-    // Node path of the current leg (state.next_node == path[path_pos]).
-    std::vector<NodeId> leg_path;
-    std::size_t path_pos = 0;
-    // Orders currently riding (for shared-ride accounting).
-    std::vector<OrderId> riding;
-  };
-
-  struct OrderRecord {
-    bool dispatched = false;
-    bool expired = false;
-    bool completed = false;
-    // Set when the order was stranded/cancelled and awaits re-dispatch;
-    // cleared (and counted) when a later round re-dispatches it.
-    bool recovered = false;
-    double dispatch_time_s = 0;
-    double pickup_time_s = 0;
-    double dropoff_time_s = 0;
-    double payment = 0;
-    bool shared = false;  // shared the vehicle with another order
-    // Vehicle currently assigned (valid while dispatched).
-    VehicleId vehicle = kInvalidVehicle;
-  };
-
-  void AdvanceVehicle(SimVehicle* vehicle, double dt_s);
-  void ProcessArrivalStops(SimVehicle* vehicle, double arrival_time_s);
-  void StartNextLeg(SimVehicle* vehicle);
-  double EdgeLength(NodeId from, NodeId to) const;
   void RunRound(double now_s, SimResult* result);
-  // Applies this round's fault schedule: vehicle breakdowns (strand their
-  // undelivered orders) then order cancellations. Runs before dispatch so
-  // recovered orders can re-enter the very same round's pending pool.
-  void InjectFaults(double now_s, SimResult* result);
-  // Refunds an order's payment, returns it to the pending pool, and emits
-  // `kind` (kStranded or kCancelled).
-  void RefundAndRequeue(OrderId order, double now_s, OrderEventKind kind,
-                        SimResult* result);
 
   const DistanceOracle* oracle_;
   Workload workload_;
   SimOptions options_;
-  Rng rng_;
   FaultPlan fault_plan_;
   int round_index_ = 0;  // wall-clock round counter driving the fault plan
-  std::unique_ptr<AStarSearch> path_search_;
   std::unique_ptr<ThreadPool> pricing_pool_;
   std::unique_ptr<ThreadPool> dispatch_pool_;
 
-  std::vector<SimVehicle> vehicles_;
-  // Live-vehicle lookup for fault handling (assignments carry VehicleIds).
-  std::unordered_map<VehicleId, std::size_t> vehicle_index_by_id_;
-  std::vector<OrderRecord> order_records_;
-  double clock_s_ = 0;
-  SimResult* active_result_ = nullptr;  // set during Run() for stop events
+  std::vector<OrderLedgerEntry> ledger_;
+  std::unique_ptr<ShardWorld> world_;
 };
 
 }  // namespace auctionride

@@ -128,6 +128,21 @@ TEST(LayerDagGolden, BackEdgeFixtureRejected) {
   EXPECT_NE(diags[0].message.find("auction"), std::string::npos);
 }
 
+TEST(LayerDagGolden, EngineBackEdgeFixtureRejected) {
+  const fs::path path =
+      fs::path(ARIDE_LINT_TESTDATA) / "layering_engine_back_edge.h";
+  FileInfo info =
+      MakeFileInfo("src/engine/layering_engine_back_edge.h", ReadFile(path));
+  LayerGraph graph;
+  graph.AddFile(info);
+  const std::vector<Diagnostic> diags = graph.Check();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "layer-dag");
+  EXPECT_EQ(diags[0].line, 8);  // the #include "sim/simulator.h" line
+  EXPECT_NE(diags[0].message.find("engine"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("sim"), std::string::npos);
+}
+
 TEST(UnorderedIterationGolden, FiresOnExactLines) {
   const auto got = LintFixture("unordered_iteration.cc",
                                "src/fixture/unordered_iteration.cc");

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/stats_json.h"
 #include "obs/bench_json.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -384,6 +385,90 @@ TEST(BenchJsonTest, ValidatorRejectsMalformedFaultsObject) {
 
   Json wrong_type = BuildBenchReport(info, FakeSnapshot());
   wrong_type["faults"]["profile"] = 7;
+  EXPECT_FALSE(ValidateBenchReport(wrong_type).ok());
+}
+
+TEST(BenchJsonTest, EngineObjectIsOmittedForNonEngineRuns) {
+  BenchRunInfo info;
+  info.name = "no_engine";
+  info.timestamp_unix_s = 1;
+  const Json report = BuildBenchReport(info, FakeSnapshot());
+  EXPECT_EQ(report.Find("engine"), nullptr);
+  EXPECT_TRUE(ValidateBenchReport(report).ok());
+}
+
+TEST(BenchJsonTest, EngineObjectRoundTripsAndValidates) {
+  EngineStats stats;
+  stats.rounds = 12;
+  stats.migrations = 4;
+  stats.orders_submitted = 500;
+  stats.peak_concurrent_orders = 87;
+  stats.tier_counts[0] = 10;
+  stats.tier_counts[2] = 2;
+  stats.shards.resize(2);
+  stats.shards[0].auction_rounds = 7;
+  stats.shards[0].ingested = 300;
+  stats.shards[0].peak_pending = 40;
+  stats.shards[0].peak_queue_depth = 9;
+  stats.shards[0].migrations_out = 4;
+  stats.shards[0].round_s.Add(0.010);
+  stats.shards[0].round_s.Add(0.030);
+  stats.shards[1].migrations_in = 4;  // empty round_s: never ran a round
+
+  BenchRunInfo info;
+  info.name = "engine_run";
+  info.timestamp_unix_s = 1;
+  info.engine = EngineStatsToJson(stats);
+  const Json report = BuildBenchReport(info, FakeSnapshot());
+  const Status valid = ValidateBenchReport(report);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+
+  const Json* engine = report.Find("engine");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->Find("num_shards")->AsInt(), 2);
+  EXPECT_EQ(engine->Find("rounds")->AsInt(), 12);
+  EXPECT_EQ(engine->Find("migrations")->AsInt(), 4);
+  EXPECT_EQ(engine->Find("peak_concurrent_orders")->AsInt(), 87);
+  EXPECT_EQ(engine->Find("total_ingested")->AsInt(), 500);
+  EXPECT_EQ(engine->FindPath({"tiers", "primary"})->AsInt(), 10);
+  EXPECT_EQ(engine->FindPath({"tiers", "fcfs_fallback"})->AsInt(), 2);
+  ASSERT_EQ(engine->Find("shards")->AsArray().size(), 2u);
+  const Json& shard0 = engine->Find("shards")->AsArray()[0];
+  EXPECT_EQ(shard0.Find("id")->AsInt(), 0);
+  EXPECT_EQ(shard0.Find("rounds")->AsInt(), 7);
+  EXPECT_EQ(shard0.Find("peak_queue_depth")->AsInt(), 9);
+  EXPECT_EQ(shard0.FindPath({"round_s", "count"})->AsInt(), 2);
+  EXPECT_DOUBLE_EQ(shard0.FindPath({"round_s", "max_s"})->AsDouble(), 0.030);
+  const Json& shard1 = engine->Find("shards")->AsArray()[1];
+  EXPECT_EQ(shard1.Find("migrations_in")->AsInt(), 4);
+  EXPECT_EQ(shard1.FindPath({"round_s", "count"})->AsInt(), 0);
+}
+
+TEST(BenchJsonTest, ValidatorRejectsMalformedEngineObject) {
+  EngineStats stats;
+  stats.shards.resize(1);
+  BenchRunInfo info;
+  info.name = "bad_engine";
+  info.timestamp_unix_s = 1;
+  info.engine = EngineStatsToJson(stats);
+
+  Json missing = BuildBenchReport(info, FakeSnapshot());
+  missing["engine"].AsObject().erase("migrations");
+  Status invalid = ValidateBenchReport(missing);
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_NE(invalid.message().find("engine.migrations"), std::string::npos)
+      << invalid.message();
+
+  Json bad_shard = BuildBenchReport(info, FakeSnapshot());
+  bad_shard["engine"]["shards"].AsArray()[0].AsObject().erase("ingested");
+  invalid = ValidateBenchReport(bad_shard);
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_NE(invalid.message().find("engine.shards[0].ingested"),
+            std::string::npos)
+      << invalid.message();
+
+  Json wrong_type = BuildBenchReport(info, FakeSnapshot());
+  wrong_type["engine"]["tiers"]["primary"] = "ten";
   EXPECT_FALSE(ValidateBenchReport(wrong_type).ok());
 }
 

@@ -20,8 +20,8 @@ std::string FirstComponent(const std::string& path) {
 
 const std::vector<std::string>& LayerOrder() {
   static const std::vector<std::string> kOrder = {
-      "common", "obs",     "exec",     "geo",     "spatial", "roadnet",
-      "model",  "planner", "workload", "auction", "sim"};
+      "common",   "obs",     "exec",    "geo", "spatial", "roadnet",
+      "model",    "planner", "workload", "auction", "engine", "sim"};
   return kOrder;
 }
 

@@ -1,0 +1,10 @@
+// Golden fixture for the layer-dag rule: linted under the simulated path
+// src/engine/layering_engine_back_edge.h, the include below is an upward
+// (engine -> sim) back-edge that must be rejected — the engine sits below
+// the simulator in the DAG (the sim is a *client* of the engine).
+#ifndef AUCTIONRIDE_ENGINE_LAYERING_ENGINE_BACK_EDGE_H_
+#define AUCTIONRIDE_ENGINE_LAYERING_ENGINE_BACK_EDGE_H_
+
+#include "sim/simulator.h"
+
+#endif  // AUCTIONRIDE_ENGINE_LAYERING_ENGINE_BACK_EDGE_H_
