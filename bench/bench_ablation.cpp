@@ -50,7 +50,7 @@ void BM_GreedyPruning(benchmark::State& state) {
   for (auto _ : state) {
     result = GreedyDispatch(instance);
   }
-  state.counters["utility"] = result.total_utility;
+  state.counters["utility"] = result.total_utility.value();
   state.counters["dispatched"] =
       static_cast<double>(result.assignments.size());
 }
@@ -73,7 +73,7 @@ void BM_OracleBackend(benchmark::State& state) {
   for (auto _ : state) {
     result = GreedyDispatch(instance);
   }
-  state.counters["utility"] = result.total_utility;
+  state.counters["utility"] = result.total_utility.value();
   state.counters["oracle_queries"] = static_cast<double>(oracle.num_queries());
   state.counters["cache_hit_rate"] =
       oracle.num_queries() == 0
@@ -96,7 +96,7 @@ void BM_PackCandidateLimit(benchmark::State& state) {
   for (auto _ : state) {
     result = RankDispatch(instance).result;
   }
-  state.counters["utility"] = result.total_utility;
+  state.counters["utility"] = result.total_utility.value();
   state.counters["dispatched"] =
       static_cast<double>(result.assignments.size());
 }

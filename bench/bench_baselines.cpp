@@ -72,11 +72,11 @@ void BM_Baselines(benchmark::State& state) {
     }
   }
   state.SetLabel(MethodName(method));
-  state.counters["utility"] = result.total_utility;
+  state.counters["utility"] = result.total_utility.value();
   state.counters["dispatched"] =
       static_cast<double>(result.assignments.size());
   state.counters["delta_delivery_km"] =
-      result.total_delta_delivery_m / 1000.0;
+      result.total_delta_delivery_m.value() / 1000.0;
 }
 
 }  // namespace

@@ -104,7 +104,7 @@ inline WorkloadOptions PaperWorkload(uint64_t seed = 42) {
   wl.seed = seed;
   wl.num_orders = ScaledOrders();
   wl.num_vehicles = ScaledVehicles();
-  wl.duration_s = 1800;
+  wl.duration_s = Seconds(1800);
   wl.gamma = 1.5;
   return wl;
 }
@@ -132,10 +132,10 @@ inline SimResult RunSim(MechanismKind mechanism, const WorkloadOptions& wl,
 }
 
 inline void ReportSim(benchmark::State& state, const SimResult& result) {
-  state.counters["utility"] = result.total_utility;
+  state.counters["utility"] = result.total_utility.value();
   state.counters["dispatch_rate"] = result.dispatch_rate();
-  state.counters["round_time_mean_s"] = result.mean_dispatch_seconds;
-  state.counters["round_time_max_s"] = result.max_dispatch_seconds;
+  state.counters["round_time_mean_s"] = result.mean_dispatch_seconds.value();
+  state.counters["round_time_max_s"] = result.max_dispatch_seconds.value();
 }
 
 inline void PrintHeader(const char* figure, const char* description) {
@@ -165,7 +165,7 @@ inline void FinishBench(const std::string& name) {
   const WorkloadOptions wl = PaperWorkload();
   const AuctionConfig auction = PaperAuction();
   info.config["gamma"] = wl.gamma;
-  info.config["duration_s"] = wl.duration_s;
+  info.config["duration_s"] = wl.duration_s.value();
   info.config["alpha_d_per_km"] = auction.alpha_d_per_km;
   info.config["beta_d_per_km"] = auction.beta_d_per_km;
   info.config["charge_ratio"] = auction.charge_ratio;

@@ -17,7 +17,7 @@ void BM_Fig3(benchmark::State& state) {
   SimResult result;
   for (auto _ : state) {
     SimOptions options;
-    options.round_duration_s = trnd;
+    options.round_duration_s = Seconds(trnd);
     options.auction = PaperAuction();
     result = RunSim(mechanism, PaperWorkload(), options);
   }

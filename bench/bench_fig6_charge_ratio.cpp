@@ -28,9 +28,9 @@ void BM_Fig6(benchmark::State& state) {
     options.run_pricing = true;
     result = RunSim(mechanism, wl, options);
   }
-  state.counters["U_auc"] = result.total_utility;
-  state.counters["U_plf"] = result.platform_utility;
-  state.counters["payments"] = result.total_payments;
+  state.counters["U_auc"] = result.total_utility.value();
+  state.counters["U_plf"] = result.platform_utility.value();
+  state.counters["payments"] = result.total_payments.value();
   state.counters["dispatch_rate"] = result.dispatch_rate();
 }
 

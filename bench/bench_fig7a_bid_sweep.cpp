@@ -46,7 +46,8 @@ SweepResult RunSweep() {
   const RankRunResult base = RankDispatch(instance);
   OrderId probe = kInvalidOrder;
   for (const Assignment& a : base.result.assignments) {
-    const double pay = DnWPriceOrder(instance, base.artifacts, a.order);
+    const double pay =
+        DnWPriceOrder(instance, base.artifacts, a.order).value();
     if (pay > 1.0) {
       probe = a.order;
       sweep.critical = pay;
@@ -54,17 +55,17 @@ SweepResult RunSweep() {
     }
   }
   if (probe == kInvalidOrder) return sweep;
-  sweep.valuation = orders[static_cast<std::size_t>(probe)].valuation;
+  sweep.valuation = orders[static_cast<std::size_t>(probe)].valuation.value();
 
   for (double factor : {0.5, 0.75, 0.95, 1.0, 1.05, 1.25, 1.5}) {
     const double bid = sweep.critical * factor;
-    orders[static_cast<std::size_t>(probe)].bid = bid;
+    orders[static_cast<std::size_t>(probe)].bid = Money(bid);
     const RankRunResult run = RankDispatch(instance);
     double pay = 0;
     double utility = 0;
     const bool won = run.result.IsDispatched(probe);
     if (won) {
-      pay = DnWPriceOrder(instance, run.artifacts, probe);
+      pay = DnWPriceOrder(instance, run.artifacts, probe).value();
       utility = sweep.valuation - pay;
     }
     sweep.table.AddRow({FormatDouble(bid), FormatDouble(pay),

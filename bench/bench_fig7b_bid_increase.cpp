@@ -43,7 +43,7 @@ IncreaseSeries RunBidIncrease(MechanismKind mechanism) {
   std::vector<Order> orders;
   for (const Order& o : workload.orders) {
     for (const Vehicle& v : vehicles) {
-      if (BestInsertion(v, o, 0, *world.oracle).feasible) {
+      if (BestInsertion(v, o, Seconds(0), *world.oracle).feasible) {
         orders.push_back(o);
         break;
       }
@@ -98,7 +98,7 @@ IncreaseSeries RunBidIncrease(MechanismKind mechanism) {
     series.iterations = iter + 1;
     if (pending.empty()) break;
     for (Order& o : pending) {
-      o.bid += 1.0;
+      o.bid += Money(1.0);
       total_increase += 1.0;
     }
   }

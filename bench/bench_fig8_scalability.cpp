@@ -67,10 +67,10 @@ void BM_Fig8(benchmark::State& state) {
     result = RunSingleShot(mechanism, std::max(50, n), run_pricing);
   }
   state.counters["N"] = n;
-  state.counters["utility"] = result.total_utility;
+  state.counters["utility"] = result.total_utility.value();
   state.counters["dispatched"] =
       static_cast<double>(result.assignments.size());
-  state.counters["dispatch_time_s"] = result.elapsed_seconds;
+  state.counters["dispatch_time_s"] = result.elapsed_seconds.value();
 }
 
 }  // namespace

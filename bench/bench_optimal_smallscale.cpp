@@ -51,7 +51,7 @@ RatioStats RunComparison(int num_instances) {
     instance.config = PaperAuction();
 
     const OptimalResult optimal = OptimalDispatch(instance);
-    if (optimal.total_utility <= 1e-9) continue;  // nothing dispatchable
+    if (optimal.total_utility <= Money(1e-9)) continue;  // nothing dispatchable
     const DispatchResult greedy = GreedyDispatch(instance);
     const DispatchResult rank = RankDispatch(instance).result;
     stats.greedy_ratio.Add(greedy.total_utility / optimal.total_utility);

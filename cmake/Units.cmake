@@ -1,0 +1,74 @@
+# Compile-time unit safety (src/common/units.h) as a configure-time wall
+# (ARIDE_UNITS_STRICT). Unlike ThreadSafety.cmake this is pure C++ — no
+# compiler-specific analysis — so it is armed under every toolchain.
+#
+# ARIDE_UNITS_STRICT is defined repo-wide, compiling the static-assert
+# algebra suite at the bottom of units.h into every TU that includes it
+# (a few trivially-folded asserts; no codegen).
+#
+# Self-check mirrors ThreadSafety.cmake: two try_compile probes against
+# fixtures in tests/compile/ prove the wall is real before anything builds.
+#   units_clean.cc      canonical strong-type usage + strict suite —
+#                       must COMPILE, else units.h is broken.
+#   units_violation.cc  Money+Meters and implicit double→Money — must FAIL
+#                       to compile, else dimension mixing is silently legal
+#                       and we abort with FATAL_ERROR.
+
+option(ARIDE_UNITS_STRICT
+       "Arm the units.h static-assert suite and configure-time self-check" ON)
+
+if(NOT ARIDE_UNITS_STRICT)
+  message(STATUS "aride: unit-safety self-check disabled (ARIDE_UNITS_STRICT=OFF)")
+else()
+  try_compile(ARIDE_UNITS_CLEAN_OK
+    ${CMAKE_BINARY_DIR}/units_probe_clean
+    ${CMAKE_SOURCE_DIR}/tests/compile/units_clean.cc
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=20"
+    COMPILE_DEFINITIONS -DARIDE_UNITS_STRICT
+    OUTPUT_VARIABLE _aride_units_clean_log)
+  if(NOT ARIDE_UNITS_CLEAN_OK)
+    message(FATAL_ERROR
+      "aride: unit-safety self-check failed — the CLEAN fixture "
+      "tests/compile/units_clean.cc does not compile. The strong types in "
+      "src/common/units.h or their algebra are broken.\n"
+      "${_aride_units_clean_log}")
+  endif()
+
+  try_compile(ARIDE_UNITS_VIOLATION_COMPILES
+    ${CMAKE_BINARY_DIR}/units_probe_violation
+    ${CMAKE_SOURCE_DIR}/tests/compile/units_violation.cc
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=20"
+    COMPILE_DEFINITIONS -DARIDE_UNITS_STRICT)
+  if(ARIDE_UNITS_VIOLATION_COMPILES)
+    message(FATAL_ERROR
+      "aride: unit-safety self-check failed — the VIOLATION fixture "
+      "tests/compile/units_violation.cc compiled, so dimension confusion "
+      "(Money+Meters, implicit double→Money) is not actually a compile "
+      "error.")
+  endif()
+
+  add_compile_definitions(ARIDE_UNITS_STRICT)
+  message(STATUS
+    "aride: unit-safety wall armed (ARIDE_UNITS_STRICT, self-check passed)")
+endif()
+
+# Numeric-conversion warnings on the economic layers (src/auction/,
+# src/model/), where a silent double→int truncation or float promotion is
+# most likely to be a unit bug the strong types cannot see. Warnings, not
+# errors: the geometry-facing call sites legitimately narrow. Enabled in
+# the clang-tsa preset; OFF by default so local default builds stay quiet.
+option(ARIDE_UNIT_WARNINGS
+       "Add -Wconversion -Wdouble-promotion to the economic-layer targets"
+       OFF)
+
+function(aride_enable_unit_warnings target)
+  if(ARIDE_UNIT_WARNINGS)
+    target_compile_options(${target} PRIVATE
+      -Wconversion -Wdouble-promotion
+      -Wno-error=conversion -Wno-error=double-promotion)
+  endif()
+endfunction()

@@ -24,7 +24,7 @@ int main() {
   wl.seed = 99;
   wl.num_orders = 300;
   wl.num_vehicles = 200;  // under-supplied on purpose
-  wl.duration_s = 900;
+  wl.duration_s = Seconds(900);
   wl.gamma = 1.5;
 
   for (double increment : {0.0, 1.0}) {
@@ -33,7 +33,7 @@ int main() {
     options.mechanism = MechanismKind::kRank;
     options.auction.alpha_d_per_km = 3.2;  // tight margins: many pend
     options.auction.beta_d_per_km = 3.2;   // β_d >= α_d (Definition 7)
-    options.pending_bid_increment = increment;
+    options.pending_bid_increment = Money(increment);
 
     Simulator simulator(&oracle, std::move(workload), options);
     const SimResult result = simulator.Run();

@@ -46,17 +46,19 @@ int main() {
 
   // Probe requester 0: sweep its bid and watch dispatch/payment/utility.
   const OrderId probe = 0;
-  const double valuation = orders[0].valuation;
+  const double valuation = orders[0].valuation.value();
   std::printf("probed requester %d: valuation %.2f yuan, trip %.1f km\n\n",
-              probe, valuation, orders[0].shortest_distance_m / 1000.0);
+              probe, valuation,
+              orders[0].shortest_distance_m.value() / 1000.0);
 
   TablePrinter table({"bid", "dispatched", "payment", "rider utility"});
   for (double factor : {0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0}) {
     const double bid = valuation * factor;
-    orders[0].bid = bid;
+    orders[0].bid = Money(bid);
     const RankRunResult run = RankDispatch(instance);
     if (run.result.IsDispatched(probe)) {
-      const double pay = DnWPriceOrder(instance, run.artifacts, probe);
+      const double pay =
+          DnWPriceOrder(instance, run.artifacts, probe).value();
       table.AddRow({FormatDouble(bid), "yes", FormatDouble(pay),
                     FormatDouble(valuation - pay)});
     } else {

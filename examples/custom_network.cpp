@@ -57,10 +57,10 @@ int main() {
     o.id = oid;
     o.origin = s;
     o.destination = e;
-    o.shortest_distance_m = oracle.Distance(s, e);
+    o.shortest_distance_m = Meters(oracle.Distance(s, e));
     o.shortest_time_s = o.shortest_distance_m / oracle.speed_mps();
     o.max_wasted_time_s = o.shortest_time_s;  // γ = 2
-    o.valuation = o.bid = bid;
+    o.valuation = o.bid = Money(bid);
     return o;
   };
   std::vector<Order> orders = {
@@ -88,15 +88,17 @@ int main() {
     bool dispatched = outcome.dispatch.IsDispatched(o.id);
     double pay = 0;
     for (std::size_t i = 0; i < outcome.payments.size(); ++i) {
-      if (outcome.payments[i].order == o.id) pay = outcome.payments[i].payment;
+      if (outcome.payments[i].order == o.id) {
+        pay = outcome.payments[i].payment.value();
+      }
     }
     table.AddRow({std::to_string(o.id),
-                  FormatDouble(o.shortest_distance_m / 1000.0, 2),
-                  FormatDouble(o.bid), dispatched ? "yes" : "no",
+                  FormatDouble(o.shortest_distance_m.value() / 1000.0, 2),
+                  FormatDouble(o.bid.value()), dispatched ? "yes" : "no",
                   dispatched ? FormatDouble(pay) : "-"});
   }
   table.Print();
   std::printf("overall utility U_auc = %.2f\n",
-              outcome.dispatch.total_utility);
+              outcome.dispatch.total_utility.value());
   return 0;
 }

@@ -84,17 +84,17 @@ int main(int argc, char** argv) {
   wl.seed = seed;
   wl.num_orders = num_orders;
   wl.num_vehicles = num_vehicles;
-  wl.duration_s = duration_s;
+  wl.duration_s = Seconds(duration_s);
   wl.gamma = 1.5;
   std::printf("generating %d orders / %d vehicles over %.0f s...\n",
-              wl.num_orders, wl.num_vehicles, wl.duration_s);
+              wl.num_orders, wl.num_vehicles, wl.duration_s.value());
   Workload workload = GenerateWorkload(wl, oracle, nearest);
 
   EngineOptions options;
   options.mechanism = mechanism;
   options.auction.alpha_d_per_km = 3.0;
   options.auction.charge_ratio = 0.2;
-  options.round_duration_s = trnd;
+  options.round_duration_s = Seconds(trnd);
   options.seed = seed;
   options.num_shards = num_shards;
   options.engine_threads = engine_threads;
@@ -131,7 +131,7 @@ int main(int argc, char** argv) {
     });
   }
 
-  double horizon = 0;
+  Seconds horizon;
   for (const Order& o : workload.orders) {
     horizon = std::max(horizon, o.issue_time_s);
   }

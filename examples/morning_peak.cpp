@@ -45,15 +45,15 @@ int main(int argc, char** argv) {
   wl.seed = 42;
   wl.num_orders = num_orders;
   wl.num_vehicles = num_vehicles;
-  wl.duration_s = 1800;
+  wl.duration_s = Seconds(1800);
   wl.gamma = 1.5;
   std::printf("generating %d orders / %d vehicles over %.0f s...\n",
-              wl.num_orders, wl.num_vehicles, wl.duration_s);
+              wl.num_orders, wl.num_vehicles, wl.duration_s.value());
   Workload workload = GenerateWorkload(wl, oracle, nearest);
 
   SimOptions sim_options;
   sim_options.mechanism = mechanism;
-  sim_options.round_duration_s = trnd;
+  sim_options.round_duration_s = Seconds(trnd);
   sim_options.run_pricing = true;
   sim_options.auction.alpha_d_per_km = 3.0;
   sim_options.auction.charge_ratio = 0.2;  // the paper's best setting
@@ -79,6 +79,6 @@ int main(int argc, char** argv) {
                 "/tmp/morning_peak_summary.csv\n");
   }
   std::printf("max wt+dt-theta over riders = %.6f s (must be <= 0)\n",
-              result.max_wasted_time_violation_s);
+              result.max_wasted_time_violation_s.value());
   return 0;
 }

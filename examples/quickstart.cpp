@@ -49,7 +49,7 @@ int main() {
   AuctionInstance instance;
   instance.orders = &orders;
   instance.vehicles = &vehicles;
-  instance.now_s = 0;
+  instance.now_s = Seconds(0);
   instance.oracle = &oracle;
   instance.config.alpha_d_per_km = 3.0;
 
@@ -59,20 +59,21 @@ int main() {
     std::printf("\n=== %s ===\n", std::string(MechanismName(kind)).c_str());
     std::printf("dispatched %zu / %zu orders, overall utility U_auc = %.2f\n",
                 outcome.dispatch.assignments.size(), orders.size(),
-                outcome.dispatch.total_utility);
+                outcome.dispatch.total_utility.value());
 
     TablePrinter table(
         {"order", "vehicle", "bid", "payment", "rider utility"});
     for (std::size_t i = 0; i < outcome.dispatch.assignments.size(); ++i) {
       const Assignment& a = outcome.dispatch.assignments[i];
       const Order& order = orders[static_cast<std::size_t>(a.order)];
-      const double pay = outcome.payments[i].payment;
+      const double pay = outcome.payments[i].payment.value();
       table.AddRow({std::to_string(a.order), std::to_string(a.vehicle),
-                    FormatDouble(order.bid), FormatDouble(pay),
-                    FormatDouble(order.valuation - pay)});
+                    FormatDouble(order.bid.value()), FormatDouble(pay),
+                    FormatDouble(order.valuation.value() - pay)});
     }
     table.Print();
-    std::printf("platform utility U_plf = %.2f\n", outcome.platform_utility);
+    std::printf("platform utility U_plf = %.2f\n",
+              outcome.platform_utility.value());
   }
   return 0;
 }

@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
       options.mechanism = kind;
       options.auction.alpha_d_per_km = var == "alpha" ? value : 3.0;
       options.auction.beta_d_per_km = options.auction.alpha_d_per_km;
-      options.round_duration_s = var == "trnd" ? value : 10.0;
+      options.round_duration_s = Seconds(var == "trnd" ? value : 10.0);
       if (var == "cr") {
         options.auction.charge_ratio = value;
         options.run_pricing = true;
@@ -110,15 +110,16 @@ int main(int argc, char** argv) {
       std::printf("%s=%.2f %-12s U_auc=%9.2f U_plf=%9.2f rate=%.3f\n",
                   var.c_str(), value,
                   std::string(MechanismName(kind)).c_str(),
-                  result.total_utility, result.platform_utility,
+                  result.total_utility.value(),
+                  result.platform_utility.value(),
                   result.dispatch_rate());
       writer->WriteRow({var, Num(value),
                         std::string(MechanismName(kind)),
-                        Num(result.total_utility),
-                        Num(result.platform_utility),
+                        Num(result.total_utility.value()),
+                        Num(result.platform_utility.value()),
                         Num(result.dispatch_rate()),
-                        Num(result.mean_dispatch_seconds),
-                        Num(result.max_dispatch_seconds)});
+                        Num(result.mean_dispatch_seconds.value()),
+                        Num(result.max_dispatch_seconds.value())});
     }
   }
   const Status closed = writer->Close();

@@ -16,7 +16,7 @@ DispatchResult FcfsDispatch(const AuctionInstance& instance, bool serve_all) {
   WallTimer timer;
   const std::vector<Order>& orders = *instance.orders;
   std::vector<Vehicle> vehicles = *instance.vehicles;
-  const double alpha_per_m = instance.config.alpha_d_per_km / 1000.0;
+  const MoneyPerMeter alpha_per_m{instance.config.alpha_d_per_km / 1000.0};
 
   std::vector<GridIndex::Item> items;
   items.reserve(vehicles.size());
@@ -53,7 +53,7 @@ DispatchResult FcfsDispatch(const AuctionInstance& instance, bool serve_all) {
         candidates[i] = static_cast<int32_t>(i);
       }
     }
-    double best_delta = std::numeric_limits<double>::infinity();
+    Meters best_delta{std::numeric_limits<double>::infinity()};
     int best_vehicle = -1;
     InsertionResult best_insertion;
     for (int32_t v : candidates) {
@@ -66,7 +66,7 @@ DispatchResult FcfsDispatch(const AuctionInstance& instance, bool serve_all) {
       best_insertion = std::move(ins);
     }
     if (best_vehicle < 0) continue;
-    const double cost = alpha_per_m * best_delta;
+    const Money cost = alpha_per_m * best_delta;
     if (!serve_all && order.bid - cost < instance.config.min_utility) {
       continue;
     }
@@ -84,7 +84,7 @@ DispatchResult FcfsDispatch(const AuctionInstance& instance, bool serve_all) {
       result.updated_plans.push_back({i, vehicles[i].plan.stops});
     }
   }
-  result.elapsed_seconds = timer.ElapsedSeconds();
+  result.elapsed_seconds = Seconds(timer.ElapsedSeconds());
   return result;
 }
 

@@ -10,17 +10,17 @@ namespace auctionride {
 std::vector<Order> ApplyBonusQuotes(const std::vector<Order>& orders,
                                     const FareModel& fare,
                                     const std::vector<BonusQuote>& quotes) {
-  std::unordered_map<OrderId, double> bonus_of;
+  std::unordered_map<OrderId, Money> bonus_of;
   for (const BonusQuote& quote : quotes) {
-    ARIDE_ACHECK(quote.bonus >= 0) << "bonuses cannot be negative";
+    ARIDE_ACHECK(quote.bonus >= Money(0)) << "bonuses cannot be negative";
     bonus_of[quote.order] = quote.bonus;
   }
   std::vector<Order> result = orders;
   std::size_t matched = 0;
   for (Order& order : result) {
-    const double base = fare.BasePrice(order);
+    const Money base = fare.BasePrice(order);
     auto it = bonus_of.find(order.id);
-    const double bonus = it != bonus_of.end() ? it->second : 0.0;
+    const Money bonus = it != bonus_of.end() ? it->second : Money(0.0);
     if (it != bonus_of.end()) ++matched;
     order.bid = base + bonus;
     // Under truthful bidding the valuation is base + true bonus valuation;
@@ -33,11 +33,11 @@ std::vector<Order> ApplyBonusQuotes(const std::vector<Order>& orders,
 }
 
 PaymentBreakdown SplitPayment(const Order& order, const FareModel& fare,
-                              double payment) {
+                              Money payment) {
   PaymentBreakdown split;
-  const double base = fare.BasePrice(order);
+  const Money base = fare.BasePrice(order);
   split.base_part = std::min(payment, base);
-  split.bonus_part = std::max(0.0, payment - base);
+  split.bonus_part = std::max(Money(0.0), payment - base);
   return split;
 }
 

@@ -20,18 +20,24 @@ namespace auctionride {
 /// Didi-style upfront fare model: base flag fall plus a per-km rate on the
 /// shortest trip distance.
 struct FareModel {
-  double flag_fall = 8.0;     // yuan
-  double per_km_rate = 2.3;   // yuan/km
+  double flag_fall = 8.0;     // yuan (tariff parameter; applied in raw form)
+  double per_km_rate = 2.3;   // yuan/km (tariff parameter; applied in raw form)
 
-  double BasePrice(const Order& order) const {
-    return flag_fall + per_km_rate * order.shortest_distance_m / 1000.0;
+  Money BasePrice(const Order& order) const {
+    // The per-km tariff is applied to the raw metre count with the
+    // historical operation order (rate Ã metres Ã· 1000), keeping upfront
+    // fares bit-identical to the pre-units code.
+    const double trip_m =
+        order.shortest_distance_m
+            .value();  // NOLINT-ARIDE(unsafe-unit-cast): tariff math
+    return Money(flag_fall + per_km_rate * trip_m / 1000.0);
   }
 };
 
 struct BonusQuote {
   OrderId order = kInvalidOrder;
-  double base_price = 0;  // shown to the requester
-  double bonus = 0;       // the requester's claimed bonus (their bid input)
+  Money base_price;  // shown to the requester
+  Money bonus;       // the requester's claimed bonus (their bid input)
 };
 
 /// Applies each quote's bonus on top of the model's base price, producing
@@ -48,11 +54,11 @@ std::vector<Order> ApplyBonusQuotes(const std::vector<Order>& orders,
 /// payment below the base price means the ride cost less than the standard
 /// fare.
 struct PaymentBreakdown {
-  double base_part = 0;
-  double bonus_part = 0;
+  Money base_part;
+  Money bonus_part;
 };
 PaymentBreakdown SplitPayment(const Order& order, const FareModel& fare,
-                              double payment);
+                              Money payment);
 
 }  // namespace auctionride
 

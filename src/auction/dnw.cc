@@ -43,7 +43,7 @@ void SortRanking(std::vector<SimPack>* packs) {
 // dispatched ones in dispatch order. Packs that are skipped never change the
 // state, so this sequence is what any pack containing r_h competes against.
 std::vector<const PackCandidate*> SimulateFixedDispatch(
-    std::vector<SimPack> packs, double min_utility,
+    std::vector<SimPack> packs, Money min_utility,
     std::size_t num_orders, std::size_t num_vehicles) {
   SortRanking(&packs);
   std::vector<char> order_taken(num_orders, 0);
@@ -71,7 +71,7 @@ std::vector<const PackCandidate*> SimulateFixedDispatch(
 
 }  // namespace
 
-double DnWPriceOrder(const AuctionInstance& instance,
+Money DnWPriceOrder(const AuctionInstance& instance,
                      const RankArtifacts& artifacts, OrderId order_id) {
   OBS_SCOPED_TIMER("auction.dnw.price_order_s");
   OBS_COUNTER_INC("auction.dnw.priced_orders");
@@ -84,7 +84,7 @@ double DnWPriceOrder(const AuctionInstance& instance,
     }
   }
   ARIDE_ACHECK(h >= 0) << "priced order not in the instance";
-  const double bid0 = orders[static_cast<std::size_t>(h)].bid;
+  const Money bid0 = orders[static_cast<std::size_t>(h)].bid;
 
   // S_h: Rank packs containing r_h, with their owners (Algorithm 4 line 1).
   struct ShEntry {
@@ -92,7 +92,7 @@ double DnWPriceOrder(const AuctionInstance& instance,
     const PackCandidate* p0 = nullptr;  // the owner's best pack (contains r_h)
     const PackCandidate* p_prime =
         nullptr;       // owner's best pack excluding r_h (or null)
-    double f = -kInf;  // instance-switch bid (line 2)
+    Money f{-kInf};  // instance-switch bid (line 2)
   };
   std::vector<ShEntry> sh;
   for (std::size_t j = 0; j < orders.size(); ++j) {
@@ -104,7 +104,7 @@ double DnWPriceOrder(const AuctionInstance& instance,
     entry.owner = static_cast<int32_t>(j);
     entry.p0 = &best;
     entry.p_prime = nullptr;
-    double prime_utility = -kInf;
+    Money prime_utility{-kInf};
     for (const PackCandidate& cand : artifacts.candidates[j]) {
       if (cand.Contains(h)) continue;
       if (cand.utility > prime_utility) {
@@ -115,7 +115,7 @@ double DnWPriceOrder(const AuctionInstance& instance,
     // f(pack_j): p0 remains the owner's optimum while
     // U(p0) − (bid0 − bid_h) >= U(p'), i.e. bid_h >= bid0 − (U(p0) − U(p')).
     entry.f = entry.p_prime == nullptr
-                  ? -kInf
+                  ? Money(-kInf)
                   : bid0 - (entry.p0->utility - entry.p_prime->utility);
     sh.push_back(entry);
   }
@@ -127,11 +127,11 @@ double DnWPriceOrder(const AuctionInstance& instance,
     return a.owner < b.owner;
   });
 
-  double pay = bid0;  // line 4
+  Money pay = bid0;  // line 4
   const std::size_t big_k = sh.size();
   for (std::size_t k = 1; k <= big_k; ++k) {  // line 5
-    const double interval_lo = sh[k - 1].f;
-    const double interval_hi = k < big_k ? sh[k].f : kInf;
+    const Money interval_lo = sh[k - 1].f;
+    const Money interval_hi = k < big_k ? sh[k].f : Money(kInf);
     // Bid-monotonicity of the instance switches: f is sorted ascending, so
     // interval k is well formed.
     ARIDE_CHECK_LE(interval_lo, interval_hi) << "interval " << k;
@@ -168,15 +168,15 @@ double DnWPriceOrder(const AuctionInstance& instance,
     // (ties go to the priced pack) and the dispatch threshold.
     for (std::size_t a = 0; a < k; ++a) {
       const PackCandidate& q = *sh[a].p0;
-      double critical_utility = instance.config.min_utility;
+      Money critical_utility = instance.config.min_utility;
       for (const PackCandidate* g : sequence) {
         if (Conflicts(q, *g)) {
           critical_utility = std::max(critical_utility, g->utility);
           break;
         }
       }
-      double bid_a = bid0 - q.utility + critical_utility;  // line 9
-      bid_a = std::max(bid_a, 0.0);
+      Money bid_a = bid0 - q.utility + critical_utility;  // line 9
+      bid_a = std::max(bid_a, Money(0.0));
       if (bid_a < interval_lo) bid_a = interval_lo;  // line 10
       if (bid_a < interval_hi) {                     // lines 11-13
         pay = std::min(pay, bid_a);
@@ -189,9 +189,9 @@ double DnWPriceOrder(const AuctionInstance& instance,
   // Individual rationality at the pricing source: the critical payment is
   // initialized to bid0 and only lowered, and every candidate bid is
   // clamped at 0, so pay ∈ [0, bid0] holds before the defensive clamp.
-  ARIDE_CHECK_GE(pay, 0) << "order " << order_id;
+  ARIDE_CHECK_GE(pay, Money(0)) << "order " << order_id;
   ARIDE_CHECK_LE(pay, bid0) << "order " << order_id;
-  return std::clamp(pay, 0.0, bid0);
+  return std::clamp(pay, Money(0.0), bid0);
 }
 
 std::vector<Payment> DnWPriceAll(const AuctionInstance& instance,

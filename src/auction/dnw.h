@@ -30,7 +30,7 @@ class ThreadPool;
 
 /// Critical payment of the dispatched requester `order_id` under Rank.
 /// `artifacts` must come from RankDispatch on the same instance.
-double DnWPriceOrder(const AuctionInstance& instance,
+Money DnWPriceOrder(const AuctionInstance& instance,
                      const RankArtifacts& artifacts, OrderId order_id);
 
 /// Prices every requester dispatched in `dispatch` (parallel when `pool`

@@ -11,7 +11,7 @@
 
 namespace auctionride {
 
-double GPriPriceOrder(const AuctionInstance& instance, OrderId order_id) {
+Money GPriPriceOrder(const AuctionInstance& instance, OrderId order_id) {
   // Each pricing re-runs a full greedy dispatch, so an unsampled timer is
   // cheap relative to the work measured.
   OBS_SCOPED_TIMER("auction.gpri.price_order_s");
@@ -28,23 +28,23 @@ double GPriPriceOrder(const AuctionInstance& instance, OrderId order_id) {
   const GreedyTracedResult traced =
       GreedyDispatchExcluding(instance, order_id);
 
-  double pay = priced->bid;  // Algorithm 2 line 1
+  Money pay = priced->bid;  // Algorithm 2 line 1
   // Dispatch after everyone, replacing nobody (lines 3-6): critical bid is
   // the cost itself (utility crosses the dispatch threshold at bid = cost).
   if (traced.h_cost_end < pay) pay = traced.h_cost_end;
 
   // Replace one of the dispatched requesters (lines 7-11).
   for (const GreedyStepTrace& step : traced.steps) {
-    if (std::isinf(step.h_cost_before)) {
+    if (IsInf(step.h_cost_before)) {
       break;  // line 8: r_h had no valid pair left before this step
     }
-    ARIDE_CHECK_GE(step.cost, -1e-9) << "order " << order_id;
-    const double replace_bid = step.bid - step.cost + step.h_cost_before;
+    ARIDE_CHECK_GE(step.cost, Money(-1e-9)) << "order " << order_id;
+    const Money replace_bid = step.bid - step.cost + step.h_cost_before;
     pay = std::min(pay, replace_bid);
   }
   // Individual rationality: pay starts at the bid and is only lowered.
   ARIDE_CHECK_LE(pay, priced->bid) << "order " << order_id;
-  return std::max(pay, 0.0);
+  return std::max(pay, Money(0.0));
 }
 
 std::vector<Payment> GPriPriceAll(const AuctionInstance& instance,

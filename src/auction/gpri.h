@@ -23,7 +23,7 @@ namespace auctionride {
 class ThreadPool;
 
 /// Critical payment of the dispatched requester `order_id` under Greedy.
-double GPriPriceOrder(const AuctionInstance& instance, OrderId order_id);
+Money GPriPriceOrder(const AuctionInstance& instance, OrderId order_id);
 
 /// Prices every requester dispatched in `dispatch`. Requesters are priced
 /// independently (in parallel when `pool` is non-null, matching the paper's

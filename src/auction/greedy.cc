@@ -19,7 +19,7 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 struct HeapEntry {
-  double utility;
+  Money utility;
   int order_idx;
   int veh_idx;
   uint32_t version;
@@ -77,7 +77,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   WallTimer timer;
   const std::vector<Order>& orders = *in.orders;
   std::vector<Vehicle> vehicles = *in.vehicles;  // working copies
-  const double alpha_per_m = in.config.alpha_d_per_km / 1000.0;
+  const MoneyPerMeter alpha_per_m{in.config.alpha_d_per_km / 1000.0};
   ThreadPool* pool = in.dispatch_pool;
   Deadline* const dl = in.deadline;
   // Synthetic latency-spike charges are metered from per-slot
@@ -112,11 +112,11 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   ARIDE_ACHECK(excluded == kInvalidOrder || excluded_idx >= 0)
       << "excluded order not in the instance";
 
-  auto pair_utility = [&](int order_idx, int veh_idx) -> double {
+  auto pair_utility = [&](int order_idx, int veh_idx) -> Money {
     const InsertionResult ins = BestInsertion(
         vehicles[static_cast<std::size_t>(veh_idx)],
         orders[static_cast<std::size_t>(order_idx)], in.now_s, *in.oracle);
-    if (!ins.feasible) return -kInf;
+    if (!ins.feasible) return Money(-kInf);
     return orders[static_cast<std::size_t>(order_idx)].bid -
            alpha_per_m * ins.delta_delivery_m;
   };
@@ -127,7 +127,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   // exact (order_idx, candidate order) sequence of the serial sweep, so the
   // run is bit-identical with any thread count.
   struct SeedPair {
-    double utility;
+    Money utility;
     int32_t veh;
   };
   std::vector<std::vector<SeedPair>> seeds(orders.size());
@@ -144,8 +144,8 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
               meter ? DistanceOracle::ThreadQueryCount() : 0;
           std::vector<int32_t> scratch;
           for (int32_t v : candidates.For(orders[j], &scratch)) {
-            const double u = pair_utility(static_cast<int>(j), v);
-            if (u == -kInf) continue;
+            const Money u = pair_utility(static_cast<int>(j), v);
+            if (u == Money(-kInf)) continue;
             seeds[j].push_back({u, v});
           }
           if (meter) {
@@ -183,13 +183,13 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   DispatchResult result;
   if (!sweep_complete || (dl != nullptr && dl->expired())) {
     result.completed = false;
-    result.elapsed_seconds = timer.ElapsedSeconds();
+    result.elapsed_seconds = Seconds(timer.ElapsedSeconds());
     return result;
   }
 
   // Excluded requester's insertion-cost tracking (for GPri).
   std::vector<int32_t> excluded_candidates;
-  std::vector<double> excluded_cost;  // parallel to excluded_candidates
+  std::vector<Money> excluded_cost;  // parallel to excluded_candidates
   auto recompute_excluded_cost = [&](std::size_t slot) {
     const int veh = excluded_candidates[slot];
     const InsertionResult ins =
@@ -197,7 +197,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
                       orders[static_cast<std::size_t>(excluded_idx)],
                       in.now_s, *in.oracle);
     excluded_cost[slot] =
-        ins.feasible ? alpha_per_m * ins.delta_delivery_m : kInf;
+        ins.feasible ? alpha_per_m * ins.delta_delivery_m : Money(kInf);
   };
   if (excluded_idx >= 0) {
     std::vector<int32_t> scratch;
@@ -208,16 +208,16 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
       recompute_excluded_cost(s);
     }
   }
-  auto current_h_cost = [&]() -> double {
-    double best = kInf;
-    for (double c : excluded_cost) best = std::min(best, c);
+  auto current_h_cost = [&]() -> Money {
+    Money best{kInf};
+    for (Money c : excluded_cost) best = std::min(best, c);
     return best;
   };
 
   int64_t heap_pops = 0;
   int64_t stale_pops = 0;
   int64_t refresh_pairs = 0;
-  std::vector<double> refresh_utility;
+  std::vector<Money> refresh_utility;
   std::vector<int64_t> refresh_queries;
   while (!heap.empty()) {
     const HeapEntry top = heap.top();
@@ -243,7 +243,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
       dl->ChargeQueries(DistanceOracle::ThreadQueryCount() - pop_before);
     }
     ARIDE_ACHECK(ins.feasible);
-    const double cost = alpha_per_m * ins.delta_delivery_m;
+    const Money cost = alpha_per_m * ins.delta_delivery_m;
     // The popped entry is fresh for this vehicle version, so it was computed
     // from exactly this insertion: the dispatched utility must match it, and
     // it cleared the threshold at line 9 above (Algorithm 1 invariants).
@@ -251,7 +251,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
         << "order " << order.id;
     ARIDE_CHECK_GE(top.utility, in.config.min_utility)
         << "order " << order.id;
-    ARIDE_CHECK_GE(cost, -1e-9) << "order " << order.id;
+    ARIDE_CHECK_GE(cost, Money(-1e-9)) << "order " << order.id;
 
     if (traced != nullptr) {
       traced->steps.push_back(
@@ -272,7 +272,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
     // rebuild run serially afterwards in the original candidate order.
     std::vector<int>& cands =
         veh_candidates[static_cast<std::size_t>(top.veh_idx)];
-    refresh_utility.assign(cands.size(), -kInf);
+    refresh_utility.assign(cands.size(), Money(-kInf));
     if (meter) refresh_queries.assign(cands.size(), 0);
     const bool refresh_complete = ParallelForOrSerial(
         pool, cands.size(),
@@ -302,8 +302,8 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
       const int other = cands[k];
       if (dispatched[static_cast<std::size_t>(other)]) continue;
       ++refresh_pairs;
-      const double u = refresh_utility[k];
-      if (u == -kInf) continue;  // pair no longer valid: removed
+      const Money u = refresh_utility[k];
+      if (u == Money(-kInf)) continue;  // pair no longer valid: removed
       heap.push({u, other, top.veh_idx,
                  veh_version[static_cast<std::size_t>(top.veh_idx)]});
       alive.push_back(other);
@@ -331,7 +331,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   OBS_COUNTER_ADD("auction.dispatch.refresh_pairs", refresh_pairs);
   if (!result.completed || (dl != nullptr && dl->expired())) {
     result.completed = false;
-    result.elapsed_seconds = timer.ElapsedSeconds();
+    result.elapsed_seconds = Seconds(timer.ElapsedSeconds());
     return result;
   }
 
@@ -342,7 +342,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   }
   OBS_COUNTER_ADD("auction.greedy.dispatched",
                   static_cast<int64_t>(result.assignments.size()));
-  result.elapsed_seconds = timer.ElapsedSeconds();
+  result.elapsed_seconds = Seconds(timer.ElapsedSeconds());
   if (traced != nullptr) traced->h_cost_end = current_h_cost();
   return result;
 }

@@ -34,9 +34,9 @@ DispatchResult GreedyDispatch(const AuctionInstance& instance);
 /// no valid insertion left at that point.
 struct GreedyStepTrace {
   OrderId order = kInvalidOrder;
-  double bid = 0;
-  double cost = 0;           // α_d·ΔD of the dispatch, yuan
-  double h_cost_before = 0;  // excluded requester's cheapest cost, yuan
+  Money bid;
+  Money cost;           // α_d·ΔD of the dispatch
+  Money h_cost_before;  // excluded requester's cheapest cost
 };
 
 struct GreedyTracedResult {
@@ -45,7 +45,7 @@ struct GreedyTracedResult {
   // The excluded requester's cheapest insertion cost after every dispatch
   // finished (the "dispatch without replacing anyone" term of Algorithm 2);
   // +infinity when infeasible.
-  double h_cost_end = 0;
+  Money h_cost_end;
 };
 
 /// Runs Algorithm 1 on the instance with `excluded` removed from the

@@ -111,7 +111,7 @@ DispatchResult MatchingDispatch(const AuctionInstance& instance) {
   WallTimer timer;
   const std::vector<Order>& orders = *instance.orders;
   const std::vector<Vehicle>& vehicles = *instance.vehicles;
-  const double alpha_per_m = instance.config.alpha_d_per_km / 1000.0;
+  const MoneyPerMeter alpha_per_m{instance.config.alpha_d_per_km / 1000.0};
 
   std::vector<GridIndex::Item> items;
   items.reserve(vehicles.size());
@@ -141,13 +141,17 @@ DispatchResult MatchingDispatch(const AuctionInstance& instance) {
           BestInsertion(vehicles[static_cast<std::size_t>(v)], orders[j],
                         instance.now_s, *instance.oracle);
       if (!ins.feasible) continue;
+      // The Hungarian solver is a generic numeric routine; utilities cross
+      // into its raw weight matrix here and never come back out as money.
       weights[j][static_cast<std::size_t>(v)] =
-          orders[j].bid - alpha_per_m * ins.delta_delivery_m;
+          (orders[j].bid - alpha_per_m * ins.delta_delivery_m)
+              .value();  // NOLINT-ARIDE(unsafe-unit-cast)
     }
   }
 
-  const std::vector<int> match =
-      MaxWeightMatching(weights, instance.config.min_utility);
+  const std::vector<int> match = MaxWeightMatching(
+      weights,
+      instance.config.min_utility.value());  // NOLINT-ARIDE(unsafe-unit-cast)
 
   DispatchResult result;
   std::vector<Vehicle> working = vehicles;
@@ -158,7 +162,7 @@ DispatchResult MatchingDispatch(const AuctionInstance& instance) {
         BestInsertion(vehicle, orders[j], instance.now_s, *instance.oracle);
     ARIDE_ACHECK(ins.feasible);
     vehicle.plan.stops = ins.new_plan;
-    const double cost = alpha_per_m * ins.delta_delivery_m;
+    const Money cost = alpha_per_m * ins.delta_delivery_m;
     result.assignments.push_back(
         {orders[j].id, vehicle.id, cost, orders[j].bid - cost});
     result.total_utility += orders[j].bid - cost;
@@ -166,7 +170,7 @@ DispatchResult MatchingDispatch(const AuctionInstance& instance) {
     result.updated_plans.push_back(
         {static_cast<std::size_t>(match[j]), vehicle.plan.stops});
   }
-  result.elapsed_seconds = timer.ElapsedSeconds();
+  result.elapsed_seconds = Seconds(timer.ElapsedSeconds());
   return result;
 }
 

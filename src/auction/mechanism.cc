@@ -110,10 +110,12 @@ MechanismOutcome RunMechanism(MechanismKind kind,
   if (outcome.tier != DispatchTier::kPrimary) {
     OBS_COUNTER_INC("auction.degraded_rounds");
   }
-  outcome.dispatch_seconds = dispatch_timer.ElapsedSeconds();
+  outcome.dispatch_seconds = Seconds(dispatch_timer.ElapsedSeconds());
   // Reuse the mechanism's own wall-clock measurements so the telemetry
   // matches what the paper-facing tables report.
-  OBS_HISTOGRAM_OBSERVE("auction.dispatch_s", outcome.dispatch_seconds);
+  OBS_HISTOGRAM_OBSERVE(
+      "auction.dispatch_s",
+      outcome.dispatch_seconds.value());  // NOLINT-ARIDE(unsafe-unit-cast)
   OBS_COUNTER_ADD("auction.orders_submitted",
                   static_cast<int64_t>(instance.orders->size()));
   OBS_COUNTER_ADD("auction.assignments",
@@ -134,22 +136,25 @@ MechanismOutcome RunMechanism(MechanismKind kind,
       outcome.payments = DnWPriceAll(charged, outcome.rank_artifacts,
                                      outcome.dispatch, pricing_pool);
     }
-    outcome.pricing_seconds = pricing_timer.ElapsedSeconds();
-    OBS_HISTOGRAM_OBSERVE("auction.pricing_s", outcome.pricing_seconds);
+    outcome.pricing_seconds = Seconds(pricing_timer.ElapsedSeconds());
+    OBS_HISTOGRAM_OBSERVE(
+        "auction.pricing_s",
+        outcome.pricing_seconds.value());  // NOLINT-ARIDE(unsafe-unit-cast)
 
     std::unordered_map<OrderId, const Order*> by_id;
     for (const Order& o : *instance.orders) by_id[o.id] = &o;
-    double pay_sum = 0;
-    double fee_sum = 0;
-    double val_sum = 0;
+    Money pay_sum;
+    Money fee_sum;
+    Money val_sum;
     for (const Payment& p : outcome.payments) {
       const Order* original = by_id.at(p.order);
       pay_sum += p.payment;
       fee_sum += cr * original->bid;
       val_sum += original->valuation;
     }
-    const double driver_payout = instance.config.beta_d_per_km / 1000.0 *
-                                 outcome.dispatch.total_delta_delivery_m;
+    const MoneyPerMeter beta_per_m{instance.config.beta_d_per_km / 1000.0};
+    const Money driver_payout =
+        beta_per_m * outcome.dispatch.total_delta_delivery_m;
     outcome.platform_utility = pay_sum + fee_sum - driver_payout;
     outcome.requester_utility = val_sum - pay_sum - fee_sum;
   }

@@ -42,8 +42,10 @@ std::string_view DispatchTierName(DispatchTier tier);
 /// Per-round compute budget for the degradation ladder. Inactive (the
 /// default) preserves today's unbudgeted behavior exactly.
 struct DispatchBudget {
-  // Budget per dispatch attempt in seconds; <= 0 disables budgeting.
-  double budget_s = 0;
+  // Budget per dispatch attempt in seconds; <= 0 disables budgeting. A
+  // knob, not a simulated quantity: it feeds Deadline's ns arithmetic and
+  // `<= 0 disables` sentinel, which Seconds deliberately has no idiom for.
+  double budget_s = 0;  // NOLINT-ARIDE(raw-unit-double): budget knob
   // True: budget counts real elapsed time plus synthetic charges (production
   // behavior, not bit-reproducible). False: synthetic charges only, so runs
   // are bit-identical for a fixed seed/profile at any thread count.
@@ -65,13 +67,13 @@ struct MechanismOutcome {
   std::vector<Payment> payments;
 
   // Σ pay_j + CR·Σ bid_j − β_d·ΣΔD over dispatched requesters, yuan.
-  double platform_utility = 0;
+  Money platform_utility;
   // Σ (val_j − pay_j − CR·bid_j) over dispatched requesters, yuan (with
   // truthful bids val_j = bid_j).
-  double requester_utility = 0;
+  Money requester_utility;
 
-  double dispatch_seconds = 0;
-  double pricing_seconds = 0;
+  Seconds dispatch_seconds;
+  Seconds pricing_seconds;
 
   // Tier that produced the dispatch (kPrimary unless a budget expired and a
   // fallback ran; see DispatchBudget). FCFS-fallback rounds carry no

@@ -17,11 +17,11 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 struct SequenceSearch {
   const Vehicle* vehicle;
   const DistanceOracle* oracle;
-  double now_s;
+  Seconds now_s;
   std::vector<PlanStop> all_stops;   // stops to sequence
   std::vector<char> used;
   std::vector<PlanStop> current;
-  double best_delivery = kInf;
+  Meters best_delivery{kInf};
 
   // `picked` tracks which orders' pickups are already placed so drop-offs
   // respect precedence. Capacity/deadlines are checked by EvaluatePlan at
@@ -70,13 +70,13 @@ struct SequenceSearch {
 
 ExactPlanResult ExactBestPlan(const Vehicle& vehicle,
                               const std::vector<const Order*>& orders,
-                              double now_s, const DistanceOracle& oracle) {
+                              Seconds now_s, const DistanceOracle& oracle) {
   ExactPlanResult result;
   if (vehicle.CommittedRiders() + static_cast<int>(orders.size()) >
       vehicle.capacity) {
     return result;
   }
-  const double base =
+  const Meters base =
       EvaluatePlan(vehicle, vehicle.plan.stops, now_s, oracle)
           .delivery_distance_m;
 
@@ -86,7 +86,8 @@ ExactPlanResult ExactBestPlan(const Vehicle& vehicle,
   search.now_s = now_s;
   search.all_stops = vehicle.plan.stops;
   for (const Order* o : orders) {
-    search.all_stops.push_back({o->origin, o->id, StopType::kPickup, 0});
+    search.all_stops.push_back(
+        {o->origin, o->id, StopType::kPickup, Seconds(0)});
     search.all_stops.push_back(
         {o->destination, o->id, StopType::kDropoff, o->DropoffDeadline(now_s)});
   }
@@ -94,7 +95,7 @@ ExactPlanResult ExactBestPlan(const Vehicle& vehicle,
   std::vector<OrderId> picked;
   search.Recurse(&picked);
 
-  if (search.best_delivery != kInf) {
+  if (search.best_delivery != Meters(kInf)) {
     result.feasible = true;
     result.delta_delivery_m = search.best_delivery - base;
   }
@@ -106,24 +107,24 @@ namespace {
 struct AssignmentSearch {
   const AuctionInstance* in;
   std::vector<std::vector<const Order*>> per_vehicle;  // tentative sets
-  double best_utility = 0;  // empty dispatch has utility 0
+  Money best_utility;       // empty dispatch has utility 0
   std::vector<int> best_choice;
   std::vector<int> choice;  // order index -> vehicle index or -1
 
   void Recurse(std::size_t j) {
     const std::vector<Order>& orders = *in->orders;
     if (j == orders.size()) {
-      double utility = 0;
+      Money utility;
       for (std::size_t v = 0; v < per_vehicle.size(); ++v) {
         if (per_vehicle[v].empty()) continue;
         const ExactPlanResult plan =
             ExactBestPlan((*in->vehicles)[v], per_vehicle[v], in->now_s,
                           *in->oracle);
         if (!plan.feasible) return;  // invalid assignment
-        double bids = 0;
+        Money bids;
         for (const Order* o : per_vehicle[v]) bids += o->bid;
-        utility += bids - in->config.alpha_d_per_km / 1000.0 *
-                              plan.delta_delivery_m;
+        const MoneyPerMeter alpha_per_m{in->config.alpha_d_per_km / 1000.0};
+        utility += bids - alpha_per_m * plan.delta_delivery_m;
       }
       if (utility > best_utility) {
         best_utility = utility;

@@ -17,7 +17,7 @@
 namespace auctionride {
 
 struct OptimalResult {
-  double total_utility = 0;
+  Money total_utility;
   // order id -> vehicle id for dispatched orders.
   std::vector<std::pair<OrderId, VehicleId>> assignment;
 };
@@ -32,11 +32,11 @@ OptimalResult OptimalDispatch(const AuctionInstance& instance);
 /// Exposed for tests of the insertion planner's suboptimality.
 struct ExactPlanResult {
   bool feasible = false;
-  double delta_delivery_m = 0;
+  Meters delta_delivery_m;
 };
 ExactPlanResult ExactBestPlan(const Vehicle& vehicle,
                               const std::vector<const Order*>& orders,
-                              double now_s, const DistanceOracle& oracle);
+                              Seconds now_s, const DistanceOracle& oracle);
 
 }  // namespace auctionride
 

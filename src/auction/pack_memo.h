@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/units.h"
 #include "common/thread_annotations.h"
 
 namespace auctionride {
@@ -28,7 +29,7 @@ class PackMemo {
  public:
   struct Eval {
     bool feasible = false;
-    double delta_delivery_m = 0;
+    Meters delta_delivery_m;
     // Oracle Distance() calls PlanPack made computing this entry. PlanPack
     // is deterministic, so the count is a pure function of the key; memoizing
     // it lets deadline metering charge every *logical* evaluation the same

@@ -80,14 +80,15 @@ std::vector<int32_t> NearestVehicles(const AuctionInstance& in,
   const GridIndex index(std::move(items), in.config.vehicle_grid_cell_m);
 
   const auto resolve_knn = [&](std::size_t j) {
-    double best_dist = kInf;
+    Meters best_dist{kInf};
     const Point origin = in.oracle->network().position(orders[j].origin);
     const std::vector<int32_t> knn =
         index.KNearest(origin, in.config.nearest_vehicle_candidates);
     for (int32_t v : knn) {
       const Vehicle& veh = vehicles[static_cast<std::size_t>(v)];
-      const double d = veh.extra_distance_m +
-                       in.oracle->Distance(veh.next_node, orders[j].origin);
+      const Meters d =
+          veh.extra_distance_m +
+          Meters(in.oracle->Distance(veh.next_node, orders[j].origin));
       if (d < best_dist) {
         best_dist = d;
         nearest[j] = v;
@@ -126,19 +127,21 @@ std::vector<int32_t> NearestVehicles(const AuctionInstance& in,
         meter ? DistanceOracle::ThreadQueryCount() : 0;
     // One reverse sweep prices every vehicle node within the order's
     // feasibility radius exactly.
-    double best_dist = kInf;
-    const double radius = MaxPickupRadiusM(orders[j], in.oracle->speed_mps());
+    Meters best_dist{kInf};
+    const Meters radius = MaxPickupRadiusM(orders[j], in.oracle->speed_mps());
     const std::vector<double>& to_origin =
-        reverse_search.ReverseDistancesWithin(orders[j].origin, radius);
+        reverse_search.ReverseDistancesWithin(
+            orders[j].origin,
+            radius.value());  // NOLINT-ARIDE(unsafe-unit-cast): geometry API
     for (NodeId node = 0;
          node < static_cast<NodeId>(vehicles_at_node.size()); ++node) {
       if (to_origin[static_cast<std::size_t>(node)] == kInfDistance) {
         continue;
       }
       for (int32_t v : vehicles_at_node[static_cast<std::size_t>(node)]) {
-        const double d =
+        const Meters d =
             vehicles[static_cast<std::size_t>(v)].extra_distance_m +
-            to_origin[static_cast<std::size_t>(node)];
+            Meters(to_origin[static_cast<std::size_t>(node)]);
         if (d < best_dist) {
           best_dist = d;
           nearest[j] = v;
@@ -242,7 +245,7 @@ void GeneratePacksForOrder(const AuctionInstance& in, int32_t j,
                            PackMemo* memo, RankArtifacts* artifacts,
                            int64_t* queries_out) {
   const std::vector<Order>& orders = *in.orders;
-  const double alpha_per_m = in.config.alpha_d_per_km / 1000.0;
+  const MoneyPerMeter alpha_per_m{in.config.alpha_d_per_km / 1000.0};
   std::vector<PackCandidate>& cands =
       artifacts->candidates[static_cast<std::size_t>(j)];
 
@@ -280,18 +283,18 @@ void GeneratePacksForOrder(const AuctionInstance& in, int32_t j,
         veh_candidates.push_back(v);
       }
     }
-    double bid_sum = 0;
+    Money bid_sum;
     for (int32_t m : members) {
       bid_sum += orders[static_cast<std::size_t>(m)].bid;
     }
 
     PackCandidate best_for_set;
-    best_for_set.utility = -kInf;
+    best_for_set.utility = Money(-kInf);
     for (int32_t v : veh_candidates) {
       const PackMemo::Eval eval = EvaluatePack(in, v, members, memo);
       if (queries_out != nullptr) *queries_out += eval.queries;
       if (!eval.feasible) continue;
-      const double utility = bid_sum - alpha_per_m * eval.delta_delivery_m;
+      const Money utility = bid_sum - alpha_per_m * eval.delta_delivery_m;
       if (utility > best_for_set.utility) {
         best_for_set.members = members;
         best_for_set.vehicle = v;
@@ -305,7 +308,7 @@ void GeneratePacksForOrder(const AuctionInstance& in, int32_t j,
 
   // Best pack of r_j (Algorithm 3 line 6).
   int32_t best_idx = -1;
-  double best_utility = -kInf;
+  Money best_utility{-kInf};
   for (std::size_t c = 0; c < cands.size(); ++c) {
     if (cands[c].utility > best_utility) {
       best_utility = cands[c].utility;
@@ -377,7 +380,7 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
            in.oracle != nullptr);
   WallTimer timer;
   const std::vector<Order>& orders = *in.orders;
-  const double alpha_per_m = in.config.alpha_d_per_km / 1000.0;
+  const MoneyPerMeter alpha_per_m{in.config.alpha_d_per_km / 1000.0};
 
   // Clustered rounds (paper §V-E) always ran pack generation on a pool;
   // keep that behavior with a local pool when no dispatch pool is injected.
@@ -402,7 +405,7 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
   art.nearest_vehicle = NearestVehicles(in, pool, dl, &nearest_complete);
   if (!nearest_complete) {
     run.result.completed = false;
-    run.result.elapsed_seconds = timer.ElapsedSeconds();
+    run.result.elapsed_seconds = Seconds(timer.ElapsedSeconds());
     return run;
   }
 
@@ -435,7 +438,7 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
   OBS_COUNTER_ADD("auction.rank.packmemo.misses", memo.misses());
   if (!packs_complete) {
     run.result.completed = false;
-    run.result.elapsed_seconds = timer.ElapsedSeconds();
+    run.result.elapsed_seconds = Seconds(timer.ElapsedSeconds());
     return run;
   }
 
@@ -507,12 +510,12 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
         << "pack of requester index " << rp.owner;
     ARIDE_CHECK_GE(rp.pack->utility, in.config.min_utility)
         << "pack of requester index " << rp.owner;
-    ARIDE_CHECK_GE(plan.delta_delivery_m, -1e-6)
+    ARIDE_CHECK_GE(plan.delta_delivery_m, Meters(-1e-6))
         << "pack of requester index " << rp.owner;
 
     vehicle_taken[static_cast<std::size_t>(rp.pack->vehicle)] = 1;
-    const double pack_cost = alpha_per_m * plan.delta_delivery_m;
-    const double cost_share =
+    const Money pack_cost = alpha_per_m * plan.delta_delivery_m;
+    const Money cost_share =
         pack_cost / static_cast<double>(rp.pack->members.size());
     for (int32_t mbr : rp.pack->members) {
       order_taken[static_cast<std::size_t>(mbr)] = 1;
@@ -531,7 +534,7 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
   if (dl != nullptr && dl->expired()) result.completed = false;
   OBS_COUNTER_ADD("auction.rank.packs_dispatched",
                   static_cast<int64_t>(result.updated_plans.size()));
-  result.elapsed_seconds = timer.ElapsedSeconds();
+  result.elapsed_seconds = Seconds(timer.ElapsedSeconds());
   return run;
 }
 

@@ -32,9 +32,9 @@ namespace auctionride {
 struct PackCandidate {
   std::vector<int32_t> members;  // order indices into the instance, sorted
   int32_t vehicle = -1;          // vehicle index into the instance
-  double delta_delivery_m = 0;   // joint ΔD of inserting all members
-  double bid_sum = 0;            // Σ member bids at the instance's bids
-  double utility = 0;            // bid_sum − α_d·ΔD
+  Meters delta_delivery_m;       // joint ΔD of inserting all members
+  Money bid_sum;                 // Σ member bids at the instance's bids
+  Money utility;                 // bid_sum − α_d·ΔD
 
   bool Contains(int32_t order_idx) const {
     for (int32_t m : members) {

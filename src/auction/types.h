@@ -34,7 +34,7 @@ struct AuctionConfig {
 
   // Minimum pair/pack utility to dispatch (Algorithm 1 line 9 breaks when
   // the maximum utility drops below 0).
-  double min_utility = 0.0;
+  Money min_utility;
 
   // --- Rank-specific knobs ---
   // Candidate co-requesters per order in pack generation (restricted
@@ -60,9 +60,11 @@ struct AuctionConfig {
   // Cell size of the per-round vehicle grid index (meters). One knob for
   // both Greedy's pair pruning and Rank's nearest-vehicle resolution, so
   // pruning radius and index resolution cannot drift apart.
-  double vehicle_grid_cell_m = 1000;
+  // Grid cells are spatial-index tuning knobs consumed by the raw-double
+  // geometry layer (src/spatial/), which sits below the unit wall.
+  double vehicle_grid_cell_m = 1000;  // NOLINT-ARIDE(raw-unit-double)
   // Cell size of Rank's per-group co-requester origin index (meters).
-  double pack_origin_cell_m = 800;
+  double pack_origin_cell_m = 800;  // NOLINT-ARIDE(raw-unit-double)
 
   // Threads for parallel pricing (paper §V-C prices requesters in
   // parallel). 0 = hardware concurrency.
@@ -75,7 +77,7 @@ struct AuctionConfig {
 struct AuctionInstance {
   const std::vector<Order>* orders = nullptr;
   const std::vector<Vehicle>* vehicles = nullptr;
-  double now_s = 0;
+  Seconds now_s;
   const DistanceOracle* oracle = nullptr;
   AuctionConfig config;
   // Worker pool for parallel dispatch candidate generation (Greedy's pair
@@ -97,12 +99,12 @@ struct AuctionInstance {
 struct Assignment {
   OrderId order = kInvalidOrder;
   VehicleId vehicle = kInvalidVehicle;
-  // α_d-cost attributed to this order in yuan. For Greedy this is exactly
+  // α_d-cost attributed to this order. For Greedy this is exactly
   // α_d·ΔD of the insertion; for Rank the pack cost is split evenly among
   // members (reporting only — the overall utility uses exact pack costs).
-  double cost = 0;
+  Money cost;
   // bid − cost (pack share for Rank).
-  double utility = 0;
+  Money utility;
 };
 
 struct DispatchResult {
@@ -113,10 +115,10 @@ struct DispatchResult {
   // index in the instance's vehicle vector.
   std::vector<std::pair<std::size_t, std::vector<PlanStop>>> updated_plans;
   // Σ bid_j − α_d·ΣΔD over dispatched requesters (Equation 2 contribution).
-  double total_utility = 0;
-  // Σ ΔD over all insertions, meters.
-  double total_delta_delivery_m = 0;
-  double elapsed_seconds = 0;
+  Money total_utility;
+  // Σ ΔD over all insertions.
+  Meters total_delta_delivery_m;
+  Seconds elapsed_seconds;
   // False when the instance's deadline expired mid-dispatch and the attempt
   // was abandoned. The other fields then hold an unspecified partial result
   // that the caller must discard (RunMechanism falls back to a cheaper
@@ -134,7 +136,7 @@ struct DispatchResult {
 /// Payment of one dispatched requester, as decided by a pricing algorithm.
 struct Payment {
   OrderId order = kInvalidOrder;
-  double payment = 0;  // yuan
+  Money payment;  // yuan
 };
 
 }  // namespace auctionride

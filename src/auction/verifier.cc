@@ -46,8 +46,11 @@ Status VerifyDispatch(const AuctionInstance& instance,
   // 2) Updated plans: valid indices, one per vehicle, feasible under
   //    Definition 4, containing exactly the newly assigned orders on top of
   //    the vehicle's previous plan.
+  // The verifier re-derives every accounting identity on the raw
+  // representation on purpose: it must not share the typed arithmetic it is
+  // checking.
   std::unordered_set<std::size_t> plan_vehicles;
-  double delta_total = 0;
+  double delta_total_m = 0;
   std::unordered_set<OrderId> orders_in_plans;
   for (const auto& [veh_idx, plan] : result.updated_plans) {
     if (veh_idx >= vehicles.size()) {
@@ -107,11 +110,11 @@ Status VerifyDispatch(const AuctionInstance& instance,
                               " plan/assignment count mismatch");
     }
 
-    const double base =
+    const Meters base =
         EvaluatePlan(vehicle, vehicle.plan.stops, instance.now_s,
                      *instance.oracle)
             .delivery_distance_m;
-    delta_total += eval.delivery_distance_m - base;
+    delta_total_m += (eval.delivery_distance_m - base).value();
   }
   // Walk the assignment vector, not the `assigned` set: assignment order is
   // part of the dispatch contract, so the first missing order reported here
@@ -124,35 +127,38 @@ Status VerifyDispatch(const AuctionInstance& instance,
   }
 
   // 3) Accounting: ΔD total, utility totals, per-pair sanity.
-  if (std::abs(delta_total - result.total_delta_delivery_m) >
-      options.epsilon * (1 + std::abs(delta_total))) {
-    return Status::Internal("ΔD accounting mismatch: plans say " +
-                            std::to_string(delta_total) + ", result says " +
-                            std::to_string(result.total_delta_delivery_m));
+  if (std::abs(delta_total_m - result.total_delta_delivery_m.value()) >
+      options.epsilon * (1 + std::abs(delta_total_m))) {
+    return Status::Internal(
+        "ΔD accounting mismatch: plans say " + std::to_string(delta_total_m) +
+        ", result says " +
+        std::to_string(result.total_delta_delivery_m.value()));
   }
   const double alpha_per_m = instance.config.alpha_d_per_km / 1000.0;
-  double utility_from_pairs = 0;
-  double cost_sum = 0;
+  double utility_sum_yuan = 0;
+  double cost_sum_yuan = 0;
   for (const Assignment& a : result.assignments) {
     const Order& order = *order_by_id.at(a.order);
-    if (std::abs((order.bid - a.cost) - a.utility) > options.epsilon) {
+    if (std::abs(((order.bid - a.cost) - a.utility).value()) >
+        options.epsilon) {
       return Status::Internal(OrderStr(a.order) +
                               ": utility != bid − cost");
     }
     if (options.require_nonnegative_pair_utility &&
-        a.utility < instance.config.min_utility - options.epsilon) {
+        a.utility < instance.config.min_utility - Money(options.epsilon)) {
       return Status::Internal(OrderStr(a.order) + " has utility below the "
                                                   "dispatch threshold");
     }
-    utility_from_pairs += a.utility;
-    cost_sum += a.cost;
+    utility_sum_yuan += a.utility.value();
+    cost_sum_yuan += a.cost.value();
   }
-  if (std::abs(utility_from_pairs - result.total_utility) >
-      options.epsilon * (1 + std::abs(result.total_utility))) {
+  if (std::abs(utility_sum_yuan - result.total_utility.value()) >
+      options.epsilon * (1 + std::abs(result.total_utility.value()))) {
     return Status::Internal("total utility mismatch");
   }
-  if (std::abs(cost_sum - alpha_per_m * result.total_delta_delivery_m) >
-      options.epsilon * (1 + cost_sum)) {
+  if (std::abs(cost_sum_yuan -
+               alpha_per_m * result.total_delta_delivery_m.value()) >
+      options.epsilon * (1 + cost_sum_yuan)) {
     return Status::Internal("cost attribution does not sum to α_d·ΣΔD");
   }
   return Status::Ok();
@@ -172,11 +178,11 @@ Status VerifyPayments(const AuctionInstance& instance,
                               std::to_string(i));
     }
     const Order& order = *order_by_id.at(payments[i].order);
-    if (payments[i].payment < -epsilon) {
+    if (payments[i].payment < Money(-epsilon)) {
       return Status::Internal(OrderStr(payments[i].order) +
                               " has a negative payment");
     }
-    if (payments[i].payment > order.bid + epsilon) {
+    if (payments[i].payment > order.bid + Money(epsilon)) {
       return Status::Internal(OrderStr(payments[i].order) +
                               " pays above its bid (IR violation)");
     }

@@ -39,6 +39,26 @@
 #define ARIDE_CONTRACTS_ENABLED 0
 #endif
 
+namespace auctionride {
+namespace internal_logging {
+
+// |a − b| as a raw double, for ARIDE_CHECK_NEAR. Works on raw
+// doubles and on the strong unit types from common/units.h (any type whose
+// difference exposes `.value()`), with the exact same IEEE operations as
+// the raw form: subtract, then fabs.
+template <class A, class B>
+constexpr double AbsDelta(const A& a, const B& b) {
+  auto delta = a - b;
+  if constexpr (requires { delta.value(); }) {
+    return std::fabs(delta.value());
+  } else {
+    return std::fabs(delta);
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace auctionride
+
 // Always-on integrity check: active in every build type, including plain
 // release. Use for conditions whose violation must never pass silently
 // (I/O failures, malformed inputs, API misuse by callers).
@@ -74,9 +94,12 @@
 #define ARIDE_CHECK_LT(a, b) ARIDE_INTERNAL_CHECK_OP(a, <, b)
 
 // |a − b| <= tolerance, for monetary/distance accounting identities.
-#define ARIDE_CHECK_NEAR(a, b, tolerance)                              \
-  ARIDE_INTERNAL_CHECK_IMPL(std::fabs((a) - (b)) <= (tolerance),       \
-                            "|" #a " - " #b "| <= " #tolerance)        \
+// Operands may be raw doubles or common/units.h strong types (the delta is
+// compared in the raw representation either way).
+#define ARIDE_CHECK_NEAR(a, b, tolerance)                                  \
+  ARIDE_INTERNAL_CHECK_IMPL(                                               \
+      ::auctionride::internal_logging::AbsDelta((a), (b)) <= (tolerance),  \
+      "|" #a " - " #b "| <= " #tolerance)                                  \
       << "(" << (a) << " vs " << (b) << ", tol " << (tolerance) << ") "
 
 #else  // !ARIDE_CONTRACTS_ENABLED
@@ -88,8 +111,9 @@
 #define ARIDE_CHECK_GT(a, b) ARIDE_INTERNAL_NOOP_IMPL((a) > (b))
 #define ARIDE_CHECK_LE(a, b) ARIDE_INTERNAL_NOOP_IMPL((a) <= (b))
 #define ARIDE_CHECK_LT(a, b) ARIDE_INTERNAL_NOOP_IMPL((a) < (b))
-#define ARIDE_CHECK_NEAR(a, b, tolerance) \
-  ARIDE_INTERNAL_NOOP_IMPL(std::fabs((a) - (b)) <= (tolerance))
+#define ARIDE_CHECK_NEAR(a, b, tolerance)         \
+  ARIDE_INTERNAL_NOOP_IMPL(                       \
+      ::auctionride::internal_logging::AbsDelta((a), (b)) <= (tolerance))
 
 #endif  // ARIDE_CONTRACTS_ENABLED
 

@@ -1,0 +1,243 @@
+// Compile-time unit safety for the domain's scalar quantities.
+//
+// Every economic guarantee of the paper — truthful payments, non-negative
+// pair utility, refund conservation — is arithmetic over three dimensions:
+// money (yuan), time (seconds), and distance (meters). This header makes
+// mixing them a compile error while keeping the representation an untagged
+// IEEE double, so adopting the types changes no bits anywhere:
+//
+//   Money   bid{20.0};            // yuan
+//   Meters  detour{350.0};        // meters
+//   Seconds patience{90.0};       // seconds
+//   bid + detour;                 // compile error: Money + Meters
+//   bid * 0.5;                    // Money: scaling is dimensionless
+//   detour / patience;            // MetersPerSecond (derived dimension)
+//   alpha * detour;               // MoneyPerMeter × Meters = Money
+//
+// The only way back to a raw double is the explicit `.value()` escape
+// hatch, which aride_lint audits (rule `unsafe-unit-cast`): serialization
+// and telemetry sites are whitelisted, anything else needs a NOLINT-ARIDE
+// justification. Raw-double locals holding an escaped value must carry a
+// unit suffix (`_yuan`/`_s`/`_m`, rule `unit-suffix`), and raw `double`
+// fields or parameters named after a unit quantity are findings themselves
+// (rule `raw-unit-double`). See docs/ANALYSIS.md for the catalog.
+//
+// Self-check: defining ARIDE_UNITS_STRICT (armed by cmake/Units.cmake,
+// which also try_compiles the fixtures in tests/compile/units_*.cc at
+// configure time) compiles an exhaustive static-assert suite of the
+// dimensional algebra at the bottom of this header.
+
+#ifndef AUCTIONRIDE_COMMON_UNITS_H_
+#define AUCTIONRIDE_COMMON_UNITS_H_
+
+#include <cmath>
+#include <compare>
+#include <limits>
+#include <ostream>
+#include <type_traits>
+
+namespace auctionride {
+
+namespace units_internal {
+
+// A double tagged with a dimension. Same-dimension arithmetic and ordering
+// only; scaling by a dimensionless double; explicit construction from and
+// explicit extraction (`.value()`) to a raw double. Zero overhead: the
+// struct is layout-identical to double and every operator is the single
+// IEEE operation written at the call site, in the same operand order.
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : value_(value) {}
+
+  /// Escape hatch to the raw representation. Audited by aride_lint
+  /// (`unsafe-unit-cast`): keep it at serialization/telemetry boundaries
+  /// or justify with a NOLINT-ARIDE comment.
+  constexpr double value() const { return value_; }
+
+  // --- same-dimension arithmetic ---
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.value_ + b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.value_ - b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a) {
+    return Quantity(-a.value_);
+  }
+  friend constexpr Quantity operator+(Quantity a) { return a; }
+
+  // --- dimensionless scaling ---
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity(s * a.value_);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity(a.value_ / s);
+  }
+  /// Same-dimension ratio is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+
+  constexpr Quantity& operator+=(Quantity o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    value_ -= o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  // Exactly the raw double comparisons (IEEE partial order). Exact
+  // equality on money stays a float-eq lint finding at the call site, as
+  // with raw doubles.
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+  // --- classification (ADL, so call sites need no std:: qualification) ---
+  /// |q| in the same dimension (std::fabs on the representation).
+  friend Quantity Abs(Quantity q) { return Quantity(std::fabs(q.value_)); }
+  friend constexpr bool IsFinite(Quantity q) {
+    return q.value_ >= std::numeric_limits<double>::lowest() &&
+           q.value_ <= std::numeric_limits<double>::max();  // inf/nan fail
+  }
+  friend constexpr bool IsInf(Quantity q) {
+    return q.value_ == std::numeric_limits<double>::infinity() ||
+           q.value_ == -std::numeric_limits<double>::infinity();
+  }
+
+  // Streams the raw number, so contract messages and logs read unchanged.
+  friend std::ostream& operator<<(std::ostream& os, Quantity q) {
+    return os << q.value_;
+  }
+
+ private:
+  double value_ = 0;
+};
+
+}  // namespace units_internal
+
+/// Money in yuan (bids, payments, costs, utilities — paper §II).
+using Money = units_internal::Quantity<struct MoneyTag>;
+/// Absolute or elapsed time in seconds.
+using Seconds = units_internal::Quantity<struct SecondsTag>;
+/// Distance in meters.
+using Meters = units_internal::Quantity<struct MetersTag>;
+/// Cost rate α_d/β_d after the per-km → per-m conversion (yuan per meter).
+using MoneyPerMeter = units_internal::Quantity<struct MoneyPerMeterTag>;
+/// Speed (the oracle's constant travel speed).
+using MetersPerSecond = units_internal::Quantity<struct MetersPerSecondTag>;
+
+// --- derived-dimension arithmetic ---
+// Money = MoneyPerMeter × Meters (utility/cost math, Equation 3).
+constexpr Money operator*(MoneyPerMeter rate, Meters d) {
+  return Money(rate.value() * d.value());
+}
+constexpr Money operator*(Meters d, MoneyPerMeter rate) {
+  return Money(d.value() * rate.value());
+}
+constexpr MoneyPerMeter operator/(Money m, Meters d) {
+  return MoneyPerMeter(m.value() / d.value());
+}
+// Meters = MetersPerSecond × Seconds (vehicle advance).
+constexpr Meters operator*(MetersPerSecond v, Seconds t) {
+  return Meters(v.value() * t.value());
+}
+constexpr Meters operator*(Seconds t, MetersPerSecond v) {
+  return Meters(t.value() * v.value());
+}
+// Seconds = Meters / MetersPerSecond (travel time); MetersPerSecond =
+// Meters / Seconds (speed).
+constexpr Seconds operator/(Meters d, MetersPerSecond v) {
+  return Seconds(d.value() / v.value());
+}
+constexpr MetersPerSecond operator/(Meters d, Seconds t) {
+  return MetersPerSecond(d.value() / t.value());
+}
+
+// Zero-overhead guarantees: tagged quantities are layout- and
+// ABI-identical to the double they wrap.
+static_assert(sizeof(Money) == sizeof(double));
+static_assert(sizeof(MetersPerSecond) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Money>);
+static_assert(std::is_standard_layout_v<Money>);
+
+#ifdef ARIDE_UNITS_STRICT
+// Exhaustive algebra self-check, armed by cmake/Units.cmake in every
+// preset. Positive cases assert the result dimension; negative cases use
+// requires-expressions so "does not compile" is itself a testable
+// property. tests/compile/units_violation.cc proves the wall aborts a real
+// build at configure time.
+namespace units_strict_check {
+
+template <class A, class B>
+inline constexpr bool kAddable = requires(A a, B b) { a + b; };
+template <class A, class B>
+inline constexpr bool kAssignable = std::is_assignable_v<A&, B>;
+template <class A, class B>
+inline constexpr bool kComparable = requires(A a, B b) { a < b; };
+
+// Same-dimension arithmetic closes over the dimension.
+static_assert(std::is_same_v<decltype(Money{} + Money{}), Money>);
+static_assert(std::is_same_v<decltype(Meters{} - Meters{}), Meters>);
+static_assert(std::is_same_v<decltype(-Seconds{}), Seconds>);
+static_assert(std::is_same_v<decltype(Money{} * 2.0), Money>);
+static_assert(std::is_same_v<decltype(0.5 * Meters{}), Meters>);
+static_assert(std::is_same_v<decltype(Seconds{} / 2.0), Seconds>);
+static_assert(std::is_same_v<decltype(Money{} / Money{}), double>);
+// Derived dimensions.
+static_assert(std::is_same_v<decltype(MoneyPerMeter{} * Meters{}), Money>);
+static_assert(std::is_same_v<decltype(Meters{} * MoneyPerMeter{}), Money>);
+static_assert(std::is_same_v<decltype(Money{} / Meters{}), MoneyPerMeter>);
+static_assert(
+    std::is_same_v<decltype(Meters{} / Seconds{}), MetersPerSecond>);
+static_assert(
+    std::is_same_v<decltype(Meters{} / MetersPerSecond{}), Seconds>);
+static_assert(
+    std::is_same_v<decltype(MetersPerSecond{} * Seconds{}), Meters>);
+static_assert(
+    std::is_same_v<decltype(Seconds{} * MetersPerSecond{}), Meters>);
+// Cross-dimension arithmetic must not compile.
+static_assert(!kAddable<Money, Meters>);
+static_assert(!kAddable<Money, Seconds>);
+static_assert(!kAddable<Meters, Seconds>);
+static_assert(!kAddable<Money, double>);
+static_assert(!kAddable<double, Seconds>);
+static_assert(!kAddable<MoneyPerMeter, MetersPerSecond>);
+// No implicit raw-double conversion in either direction.
+static_assert(!kAssignable<Money, double>);
+static_assert(!kAssignable<double, Money>);
+static_assert(!std::is_convertible_v<double, Meters>);
+static_assert(!std::is_convertible_v<Seconds, double>);
+// Ordering stays within the dimension.
+static_assert(kComparable<Money, Money>);
+static_assert(!kComparable<Money, Meters>);
+static_assert(!kComparable<Seconds, double>);
+// Values round-trip exactly and constant-fold.
+static_assert((Money(3.0) + Money(4.0)).value() == 7.0);
+static_assert((MoneyPerMeter(3.0 / 1000.0) * Meters(500.0)).value() ==
+              3.0 / 1000.0 * 500.0);
+static_assert((Meters(100.0) / MetersPerSecond(8.0)).value() ==
+              100.0 / 8.0);
+static_assert(IsInf(Money(std::numeric_limits<double>::infinity())) &&
+              !IsInf(Money(1.0)));
+static_assert(IsFinite(Seconds(0.0)) &&
+              !IsFinite(Meters(std::numeric_limits<double>::infinity())));
+
+}  // namespace units_strict_check
+#endif  // ARIDE_UNITS_STRICT
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_COMMON_UNITS_H_

@@ -33,9 +33,9 @@ struct Engine::Shard {
   bool advance_busy = false;
   int tier = 0;
   RoundRecord record;
-  double round_utility = 0;
-  double platform_utility = 0;
-  double requester_utility = 0;
+  Money round_utility;
+  Money platform_utility;
+  Money requester_utility;
   std::vector<Order> drain_buffer;
 
   ShardStats stats;
@@ -51,7 +51,7 @@ Engine::Engine(const DistanceOracle* oracle, const std::vector<Order>* orders,
       fault_plan_(options.faults) {
   ARIDE_ACHECK(oracle_ != nullptr);
   ARIDE_ACHECK(orders_ != nullptr);
-  ARIDE_ACHECK(options_.round_duration_s > 0);
+  ARIDE_ACHECK(options_.round_duration_s > Seconds(0));
   ARIDE_ACHECK(options_.num_shards >= 1);
   for (std::size_t j = 0; j < orders_->size(); ++j) {
     ARIDE_ACHECK((*orders_)[j].id == static_cast<OrderId>(j))
@@ -126,7 +126,7 @@ void Engine::SubmitOrder(const Order& order) {
   OBS_COUNTER_INC("engine.orders.submitted");
 }
 
-void Engine::RunShardRound(std::size_t shard_index, double now_s) {
+void Engine::RunShardRound(std::size_t shard_index, Seconds now_s) {
   Shard& sh = *shards_[shard_index];
   WallTimer timer;
   sh.fault_fx = EffectBatch();
@@ -229,7 +229,7 @@ void Engine::StepRound() {
   ARIDE_ACHECK(!finished_);
   OBS_TRACE_SPAN("engine.round");
   OBS_COUNTER_INC("engine.rounds");
-  const double now = clock_s_;
+  const Seconds now = clock_s_;
   const std::size_t n = shards_.size();
 
   ParallelForOrSerial(engine_pool_.get(), n, [this, now](std::size_t s) {
@@ -278,12 +278,14 @@ void Engine::StepRound() {
   }
 
   clock_s_ += options_.round_duration_s;
-  now_atomic_.store(clock_s_, std::memory_order_relaxed);
+  now_atomic_.store(
+      clock_s_.value(),  // NOLINT-ARIDE(unsafe-unit-cast): atomic clock
+      std::memory_order_relaxed);
   ++round_index_;
   ++stats_.rounds;
 }
 
-void Engine::Rebalance(double now_s) {
+void Engine::Rebalance(Seconds now_s) {
   OBS_TRACE_SPAN("engine.rebalance");
   const int n = options_.num_shards;
   std::vector<long> deficit(static_cast<std::size_t>(n), 0);
@@ -344,9 +346,9 @@ void Engine::DrainDeliveries() {
   ARIDE_ACHECK(!finished_);
   OBS_TRACE_SPAN("engine.drain");
   const std::size_t n = shards_.size();
-  const double drain_cap_s = clock_s_ + 7200;
+  const Seconds drain_cap_s = clock_s_ + Seconds(7200);
   while (clock_s_ < drain_cap_s) {
-    const double now = clock_s_;
+    const Seconds now = clock_s_;
     ParallelForOrSerial(engine_pool_.get(), n, [this, now](std::size_t s) {
       Shard& sh = *shards_[s];
       sh.advance_fx = EffectBatch();
@@ -358,7 +360,9 @@ void Engine::DrainDeliveries() {
       any_busy = any_busy || shards_[s]->advance_busy;
     }
     clock_s_ += options_.round_duration_s;
-    now_atomic_.store(clock_s_, std::memory_order_relaxed);
+    now_atomic_.store(
+        clock_s_.value(),  // NOLINT-ARIDE(unsafe-unit-cast): atomic clock
+        std::memory_order_relaxed);
     if (!any_busy) break;
   }
 }
@@ -366,7 +370,7 @@ void Engine::DrainDeliveries() {
 SimResult Engine::Finish() {
   ARIDE_ACHECK(!finished_);
   finished_ = true;
-  double delivery_m = 0;
+  Meters delivery_m;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& sh = *shards_[s];
     ARIDE_ACHECK(sh.queue.depth() == 0)

@@ -43,9 +43,9 @@ struct EngineOptions {
   // Auction knobs, mirroring SimOptions (sim/simulator.h documents them).
   MechanismKind mechanism = MechanismKind::kRank;
   AuctionConfig auction;
-  double round_duration_s = 10;
-  double max_pending_s = 300;
-  double pending_bid_increment = 0;
+  Seconds round_duration_s{10};
+  Seconds max_pending_s{300};
+  Money pending_bid_increment;
   bool run_pricing = false;
   int pricing_threads = 0;   // single-shard only (legacy pool parity)
   int dispatch_threads = 0;  // single-shard only; multi-shard runs serial
@@ -110,7 +110,9 @@ class Engine {
 
   /// Current virtual time. Thread-safe (producers poll it to pace
   /// submissions against the round clock).
-  double now_s() const { return now_atomic_.load(std::memory_order_relaxed); }
+  Seconds now_s() const {
+    return Seconds(now_atomic_.load(std::memory_order_relaxed));
+  }
   int round_index() const { return round_index_; }
 
   /// Routes the order to its pickup-location shard's ingestion queue.
@@ -136,8 +138,8 @@ class Engine {
  private:
   struct Shard;
 
-  void RunShardRound(std::size_t shard_index, double now_s);
-  void Rebalance(double now_s);
+  void RunShardRound(std::size_t shard_index, Seconds now_s);
+  void Rebalance(Seconds now_s);
 
   const DistanceOracle* oracle_;
   const std::vector<Order>* orders_;
@@ -149,7 +151,8 @@ class Engine {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> engine_pool_;
 
-  double clock_s_ = 0;
+  Seconds clock_s_;
+  // Raw representation of clock_s_, for lock-free producer polling.
   std::atomic<double> now_atomic_{0};
   int round_index_ = 0;
   std::atomic<uint64_t> orders_submitted_{0};

@@ -54,7 +54,9 @@ struct FaultOptions {
   // wall_clock_budget the budget also counts real elapsed time (production
   // behavior, not bit-reproducible); without it only synthetic spike
   // charges count, keeping runs bit-identical for a fixed seed.
-  double round_budget_s = 0;
+  // Knob mirrored into DispatchBudget::budget_s (same `<= 0 disables`
+  // sentinel contract), so it stays a raw double with that field.
+  double round_budget_s = 0;  // NOLINT-ARIDE(raw-unit-double): budget knob
   bool wall_clock_budget = false;
 
   /// True when any fault machinery is active (injection or budgets).

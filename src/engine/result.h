@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/units.h"
 #include "model/order.h"
 #include "model/vehicle.h"
 
@@ -35,20 +36,20 @@ enum class OrderEventKind {
 std::string_view OrderEventKindName(OrderEventKind kind);
 
 struct OrderEvent {
-  double time_s = 0;
+  Seconds time_s;
   OrderId order = kInvalidOrder;
   OrderEventKind kind = OrderEventKind::kIssued;
   VehicleId vehicle = kInvalidVehicle;  // dispatch/pickup/dropoff events
 };
 
 struct RoundRecord {
-  double time_s = 0;
+  Seconds time_s;
   int pending_orders = 0;
   int online_vehicles = 0;
   int dispatched = 0;
-  double round_utility = 0;
-  double dispatch_seconds = 0;
-  double pricing_seconds = 0;
+  Money round_utility;
+  Seconds dispatch_seconds;
+  Seconds pricing_seconds;
   // DispatchTier that produced this round (0 = primary; see mechanism.h).
   int dispatch_tier = 0;
   // Region shard that ran this round's auction (always 0 in the legacy
@@ -59,11 +60,11 @@ struct RoundRecord {
 struct SimResult {
   // Overall utility U_auc accumulated over rounds (Equation 2, on the
   // deducted bids the algorithms optimized).
-  double total_utility = 0;
+  Money total_utility;
   // Platform utility U_plf (only populated when pricing ran).
-  double platform_utility = 0;
-  double requester_utility = 0;
-  double total_payments = 0;
+  Money platform_utility;
+  Money requester_utility;
+  Money total_payments;
 
   int orders_total = 0;
   int orders_dispatched = 0;
@@ -85,24 +86,24 @@ struct SimResult {
   // payments == total_payments at the end of the run, enforced by an
   // always-on contract check). Utility aggregates are not clawed back — they
   // record what the auctions decided, not what delivery achieved.
-  double refunded_payments = 0;
+  Money refunded_payments;
 
-  double total_delivery_m = 0;  // ΣD_i actually driven in delivery phase
+  Meters total_delivery_m;  // ΣD_i actually driven in delivery phase
   // Σ (β_d − α_d)·D_i: the drivers' side of Definition 7.
-  double driver_utility = 0;
+  Money driver_utility;
 
   // Rider experience over completed orders.
-  double mean_waiting_s = 0;     // pickup − dispatch
-  double mean_detour_s = 0;      // (dropoff − pickup) − shortest trip time
+  Seconds mean_waiting_s;     // pickup − dispatch
+  Seconds mean_detour_s;      // (dropoff − pickup) − shortest trip time
   double shared_ride_fraction = 0;  // rode together with another order
 
-  double mean_dispatch_seconds = 0;  // per-round wall time of dispatch
-  double max_dispatch_seconds = 0;
-  double mean_pricing_seconds = 0;
+  Seconds mean_dispatch_seconds;  // per-round wall time of dispatch
+  Seconds max_dispatch_seconds;
+  Seconds mean_pricing_seconds;
 
   // Largest observed wt+dt−θ over completed orders (should be ≈ 0 or
   // negative: the simulator must never violate Definition 4).
-  double max_wasted_time_violation_s = -1e18;
+  Seconds max_wasted_time_violation_s{-1e18};
 
   std::vector<RoundRecord> rounds;
   // Chronological order lifecycle trace (issued/dispatched/picked up/

@@ -36,11 +36,11 @@ void ApplyEffects(const EffectBatch& batch, SimResult* result) {
   // Money moves one element at a time: the replay order is the shard's
   // emission order, which for a single shard is exactly the legacy
   // simulator's accumulation order (bit-identity contract).
-  for (const double refund : batch.refunds) {
+  for (const Money refund : batch.refunds) {
     result->refunded_payments += refund;
     result->total_payments -= refund;
   }
-  for (const double payment : batch.payments) {
+  for (const Money payment : batch.payments) {
     result->total_payments += payment;
   }
   result->orders_stranded += batch.stranded;
@@ -65,7 +65,7 @@ ShardWorld::ShardWorld(const DistanceOracle* oracle,
   ARIDE_ACHECK(oracle_ != nullptr);
   ARIDE_ACHECK(orders_ != nullptr);
   ARIDE_ACHECK(ledger_ != nullptr);
-  ARIDE_ACHECK(options_.round_duration_s > 0);
+  ARIDE_ACHECK(options_.round_duration_s > Seconds(0));
   path_search_ = std::make_unique<AStarSearch>(&oracle_->network());
 }
 
@@ -108,19 +108,19 @@ void ShardWorld::EnqueueBatch(std::vector<Order> batch) {
   }
 }
 
-void ShardWorld::RefundAndRequeue(OrderId order, double now_s,
+void ShardWorld::RefundAndRequeue(OrderId order, Seconds now_s,
                                   OrderEventKind kind, EffectBatch* fx) {
   OrderLedgerEntry& rec = (*ledger_)[static_cast<std::size_t>(order)];
   ARIDE_ACHECK(rec.dispatched && !rec.completed) << "order " << order;
-  if (rec.payment > 0) {
+  if (rec.payment > Money(0)) {
     fx->refunds.push_back(rec.payment);
-    rec.payment = 0;
+    rec.payment = Money(0);
     OBS_COUNTER_INC("sim.recovery.refunds");
   }
   rec.dispatched = false;
   rec.recovered = true;
-  rec.dispatch_time_s = 0;
-  rec.pickup_time_s = 0;
+  rec.dispatch_time_s = Seconds(0);
+  rec.pickup_time_s = Seconds(0);
   rec.vehicle = kInvalidVehicle;
   --fx->dispatched_delta;
   fx->events.push_back({now_s, order, kind, kInvalidVehicle});
@@ -133,7 +133,7 @@ void ShardWorld::RefundAndRequeue(OrderId order, double now_s,
 }
 
 EffectBatch ShardWorld::InjectFaults(const FaultPlan& plan, int round,
-                                     double now_s) {
+                                     Seconds now_s) {
   OBS_TRACE_SPAN("sim.faults.inject");
   EffectBatch fx;
   const FaultOptions& faults = plan.options();
@@ -212,7 +212,7 @@ EffectBatch ShardWorld::InjectFaults(const FaultPlan& plan, int round,
   return fx;
 }
 
-PendingPass ShardWorld::CollectPending(double now_s) {
+PendingPass ShardWorld::CollectPending(Seconds now_s) {
   PendingPass pass;
   std::vector<Order> keep;
   keep.reserve(pending_.size());
@@ -235,7 +235,7 @@ PendingPass ShardWorld::CollectPending(double now_s) {
       continue;
     }
     Order submitted = order;
-    if (options_.pending_bid_increment > 0) {
+    if (options_.pending_bid_increment > Money(0)) {
       // Bonus escalation for pended orders (§II-B): each elapsed round adds
       // to the offered bid.
       const double rounds_pended = std::floor(
@@ -250,7 +250,7 @@ PendingPass ShardWorld::CollectPending(double now_s) {
 }
 
 std::vector<Vehicle> ShardWorld::OnlineSnapshot(
-    double now_s, std::vector<std::size_t>* online_idx) const {
+    Seconds now_s, std::vector<std::size_t>* online_idx) const {
   std::vector<Vehicle> online;
   online_idx->clear();
   for (std::size_t i = 0; i < vehicles_.size(); ++i) {
@@ -265,7 +265,7 @@ std::vector<Vehicle> ShardWorld::OnlineSnapshot(
 
 EffectBatch ShardWorld::ApplyOutcome(
     const DispatchResult& dispatch, const std::vector<Payment>& payments,
-    double now_s, const std::vector<std::size_t>& online_idx) {
+    Seconds now_s, const std::vector<std::size_t>& online_idx) {
   EffectBatch fx;
   // Apply updated plans to the live vehicles.
   for (const auto& [snapshot_idx, plan] : dispatch.updated_plans) {
@@ -301,7 +301,7 @@ EffectBatch ShardWorld::ApplyOutcome(
     dispatched_here_.insert(dpos, a.order);
   }
   for (const Payment& p : payments) {
-    ARIDE_CHECK_GE(p.payment, 0) << "order " << p.order;
+    ARIDE_CHECK_GE(p.payment, Money(0)) << "order " << p.order;
     (*ledger_)[static_cast<std::size_t>(p.order)].payment = p.payment;
     fx.payments.push_back(p.payment);
   }
@@ -318,7 +318,8 @@ double ShardWorld::EdgeLength(NodeId from, NodeId to) const {
 }
 
 void ShardWorld::ProcessArrivalStops(WorldVehicle* vehicle,
-                                     double arrival_time_s, EffectBatch* fx) {
+                                     Seconds arrival_time_s,
+                                     EffectBatch* fx) {
   Vehicle& v = vehicle->state;
   while (!v.plan.stops.empty() && v.plan.stops.front().node == v.next_node) {
     const PlanStop stop = v.plan.stops.front();
@@ -356,7 +357,7 @@ void ShardWorld::ProcessArrivalStops(WorldVehicle* vehicle,
           {arrival_time_s, stop.order, OrderEventKind::kDroppedOff, v.id});
       ++fx->completed;
       const Order& order = (*orders_)[static_cast<std::size_t>(stop.order)];
-      const double wasted =
+      const Seconds wasted =
           (rec.dropoff_time_s - rec.dispatch_time_s) - order.shortest_time_s;
       fx->max_wasted_violation_s = std::max(
           fx->max_wasted_violation_s, wasted - order.max_wasted_time_s);
@@ -380,7 +381,7 @@ void ShardWorld::StartNextLeg(WorldVehicle* vehicle) {
     }
     if (vehicle->path_pos + 1 < vehicle->leg_path.size()) {
       const NodeId next = vehicle->leg_path[vehicle->path_pos + 1];
-      v.extra_distance_m = EdgeLength(v.next_node, next);
+      v.extra_distance_m = Meters(EdgeLength(v.next_node, next));
       v.next_node = next;
       ++vehicle->path_pos;
     }
@@ -407,7 +408,7 @@ void ShardWorld::StartNextLeg(WorldVehicle* vehicle) {
       } else {
         if (vehicle->path_pos + 1 < vehicle->leg_path.size()) {
           const NodeId next = vehicle->leg_path[vehicle->path_pos + 1];
-          v.extra_distance_m = EdgeLength(v.next_node, next);
+          v.extra_distance_m = Meters(EdgeLength(v.next_node, next));
           v.next_node = next;
           ++vehicle->path_pos;
         }
@@ -421,35 +422,35 @@ void ShardWorld::StartNextLeg(WorldVehicle* vehicle) {
   const Arc& arc =
       arcs[rng_.UniformInt(static_cast<uint64_t>(arcs.size()))];
   v.next_node = arc.head;
-  v.extra_distance_m = arc.length_m;
+  v.extra_distance_m = Meters(arc.length_m);
   vehicle->leg_path.clear();
   vehicle->path_pos = 0;
 }
 
-void ShardWorld::AdvanceVehicle(WorldVehicle* vehicle, double start_s,
-                                double dt_s, EffectBatch* fx) {
+void ShardWorld::AdvanceVehicle(WorldVehicle* vehicle, Seconds start_s,
+                                Seconds dt_s, EffectBatch* fx) {
   Vehicle& v = vehicle->state;
-  double budget_m = dt_s * oracle_->speed_mps();
-  double time_s = start_s;
+  Meters budget_m = dt_s * oracle_->speed_mps();
+  Seconds time_s = start_s;
   // Bounded iterations as a defensive guard against degenerate graphs.
-  for (int iter = 0; iter < 100000 && budget_m > 1e-9; ++iter) {
-    if (v.extra_distance_m > 0) {
-      const double step = std::min(budget_m, v.extra_distance_m);
+  for (int iter = 0; iter < 100000 && budget_m > Meters(1e-9); ++iter) {
+    if (v.extra_distance_m > Meters(0)) {
+      const Meters step = std::min(budget_m, v.extra_distance_m);
       v.extra_distance_m -= step;
       budget_m -= step;
       time_s += step / oracle_->speed_mps();
       v.total_distance_m += step;
       if (v.in_delivery) v.delivery_distance_m += step;
-      if (v.extra_distance_m > 0) break;  // budget exhausted mid-edge
+      if (v.extra_distance_m > Meters(0)) break;  // budget exhausted mid-edge
     }
     // Arrived at next_node.
     ProcessArrivalStops(vehicle, time_s, fx);
     StartNextLeg(vehicle);
-    if (v.extra_distance_m <= 0) break;  // nowhere to go
+    if (v.extra_distance_m <= Meters(0)) break;  // nowhere to go
   }
 }
 
-EffectBatch ShardWorld::AdvanceRound(double now_s) {
+EffectBatch ShardWorld::AdvanceRound(Seconds now_s) {
   EffectBatch fx;
   for (WorldVehicle& sv : vehicles_) {
     if (now_s + options_.round_duration_s <= sv.online_s ||
@@ -461,7 +462,7 @@ EffectBatch ShardWorld::AdvanceRound(double now_s) {
   return fx;
 }
 
-bool ShardWorld::AdvanceBusy(double now_s, EffectBatch* fx) {
+bool ShardWorld::AdvanceBusy(Seconds now_s, EffectBatch* fx) {
   bool any_busy = false;
   for (WorldVehicle& sv : vehicles_) {
     if (!sv.state.plan.stops.empty()) {
@@ -473,7 +474,7 @@ bool ShardWorld::AdvanceBusy(double now_s, EffectBatch* fx) {
 }
 
 std::vector<VehicleId> ShardWorld::MigratableIdleVehicles(
-    double now_s) const {
+    Seconds now_s) const {
   std::vector<VehicleId> idle;
   for (const WorldVehicle& sv : vehicles_) {
     if (now_s < sv.online_s || now_s >= sv.offline_s) continue;
@@ -484,7 +485,7 @@ std::vector<VehicleId> ShardWorld::MigratableIdleVehicles(
   return idle;
 }
 
-std::size_t ShardWorld::IdleCount(double now_s) const {
+std::size_t ShardWorld::IdleCount(Seconds now_s) const {
   std::size_t count = 0;
   for (const WorldVehicle& sv : vehicles_) {
     if (now_s < sv.online_s || now_s >= sv.offline_s) continue;
@@ -513,8 +514,8 @@ void ShardWorld::InsertVehicle(WorldVehicle vehicle, NodeId relocate_target) {
   RebuildVehicleIndex();
 }
 
-double ShardWorld::DeliveryDistanceSum() const {
-  double sum = 0;
+Meters ShardWorld::DeliveryDistanceSum() const {
+  Meters sum;
   for (const WorldVehicle& sv : vehicles_) {
     sum += sv.state.delivery_distance_m;
   }
@@ -531,14 +532,15 @@ void ShardWorld::RebuildVehicleIndex() {
 void FinalizeResult(const AuctionConfig& config,
                     const std::vector<Order>& orders,
                     const std::vector<OrderLedgerEntry>& ledger,
-                    double total_delivery_m, SimResult* result) {
+                    Meters total_delivery_m, SimResult* result) {
   result->total_delivery_m = total_delivery_m;
-  result->driver_utility = (config.beta_d_per_km - config.alpha_d_per_km) /
-                           1000.0 * result->total_delivery_m;
+  const MoneyPerMeter margin_per_m{
+      (config.beta_d_per_km - config.alpha_d_per_km) / 1000.0};
+  result->driver_utility = margin_per_m * result->total_delivery_m;
   int completed = 0;
   int shared = 0;
-  double wait_sum = 0;
-  double detour_sum = 0;
+  Seconds wait_sum;
+  Seconds detour_sum;
   for (std::size_t j = 0; j < ledger.size(); ++j) {
     const OrderLedgerEntry& rec = ledger[j];
     if (!rec.completed) continue;
@@ -554,8 +556,8 @@ void FinalizeResult(const AuctionConfig& config,
     result->shared_ride_fraction =
         static_cast<double>(shared) / static_cast<double>(completed);
   }
-  double dispatch_sum = 0;
-  double pricing_sum = 0;
+  Seconds dispatch_sum;
+  Seconds pricing_sum;
   for (const RoundRecord& r : result->rounds) {
     dispatch_sum += r.dispatch_seconds;
     pricing_sum += r.pricing_seconds;
@@ -573,21 +575,21 @@ void FinalizeResult(const AuctionConfig& config,
   // corrupt money silently otherwise). The incremental total_payments must
   // match the per-order ledger after all refunds, and no order may end the
   // run in an impossible state.
-  double ledger_sum = 0;
+  Money ledger_sum;
   for (const OrderLedgerEntry& rec : ledger) {
     ARIDE_ACHECK(!(rec.completed && rec.expired));
     ARIDE_ACHECK(!(rec.completed && rec.recovered));
     // Undispatched orders hold no money (refunds assign an exact zero, and
     // payments are nonnegative, so proving <= 0 proves zero).
-    if (!rec.dispatched) ARIDE_ACHECK(!(rec.payment > 0));
+    if (!rec.dispatched) ARIDE_ACHECK(!(rec.payment > Money(0)));
     ledger_sum += rec.payment;
   }
-  const double tol =
-      1e-6 * std::max(1.0, std::abs(result->total_payments));
-  ARIDE_ACHECK(std::abs(ledger_sum - result->total_payments) <= tol)
+  const Money tol =
+      1e-6 * std::max(Money(1.0), Abs(result->total_payments));
+  ARIDE_ACHECK(Abs(ledger_sum - result->total_payments) <= tol)
       << "payment ledger " << ledger_sum << " vs incremental total "
       << result->total_payments;
-  ARIDE_ACHECK(result->refunded_payments >= 0);
+  ARIDE_ACHECK(result->refunded_payments >= Money(0));
 }
 
 }  // namespace auctionride

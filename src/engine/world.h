@@ -41,10 +41,10 @@ struct OrderLedgerEntry {
   // Set when the order was stranded/cancelled and awaits re-dispatch;
   // cleared (and counted) when a later round re-dispatches it.
   bool recovered = false;
-  double dispatch_time_s = 0;
-  double pickup_time_s = 0;
-  double dropoff_time_s = 0;
-  double payment = 0;
+  Seconds dispatch_time_s;
+  Seconds pickup_time_s;
+  Seconds dropoff_time_s;
+  Money payment;
   bool shared = false;  // shared the vehicle with another order
   // Vehicle currently assigned (valid while dispatched).
   VehicleId vehicle = kInvalidVehicle;
@@ -53,8 +53,8 @@ struct OrderLedgerEntry {
 /// A vehicle owned by one shard.
 struct WorldVehicle {
   Vehicle state;
-  double online_s = 0;
-  double offline_s = 0;
+  Seconds online_s;
+  Seconds offline_s;
   // Node path of the current leg (state.next_node == path[path_pos]).
   std::vector<NodeId> leg_path;
   std::size_t path_pos = 0;
@@ -72,15 +72,15 @@ struct EffectBatch {
   std::vector<OrderEvent> events;
   // Exact refund/payment sequences (not sums): replayed element-by-element
   // so double accumulation order matches the legacy simulator bit-for-bit.
-  std::vector<double> refunds;
-  std::vector<double> payments;
+  std::vector<Money> refunds;
+  std::vector<Money> payments;
   int stranded = 0;
   int cancelled = 0;
   int expired = 0;
   int dispatched_delta = 0;  // net change to orders_dispatched
   int redispatched = 0;
   int completed = 0;
-  double max_wasted_violation_s = -1e18;
+  Seconds max_wasted_violation_s{-1e18};
 };
 
 /// Replays a batch into the aggregate result (serial, driver-side only).
@@ -95,9 +95,9 @@ struct PendingPass {
 };
 
 struct WorldOptions {
-  double round_duration_s = 10;
-  double max_pending_s = 300;
-  double pending_bid_increment = 0;
+  Seconds round_duration_s{10};
+  Seconds max_pending_s{300};
+  Money pending_bid_increment;
 };
 
 class ShardWorld {
@@ -121,36 +121,37 @@ class ShardWorld {
 
   /// Breakdowns (vehicle-id order) then cancellations (order-id order),
   /// exactly the legacy injection sequence.
-  EffectBatch InjectFaults(const FaultPlan& plan, int round, double now_s);
+  EffectBatch InjectFaults(const FaultPlan& plan, int round, Seconds now_s);
 
   /// Issue/expire/escalate pass over the pending pool in order-id order.
-  PendingPass CollectPending(double now_s);
+  PendingPass CollectPending(Seconds now_s);
 
   /// Online vehicles with spare capacity; `online_idx` maps snapshot index
   /// to this shard's vehicle index (for ApplyOutcome).
   std::vector<Vehicle> OnlineSnapshot(
-      double now_s, std::vector<std::size_t>* online_idx) const;
+      Seconds now_s, std::vector<std::size_t>* online_idx) const;
 
   /// Applies a round's dispatch + payments: updated plans, ledger entries,
   /// pool removal, dispatch events.
   EffectBatch ApplyOutcome(const DispatchResult& dispatch,
-                           const std::vector<Payment>& payments, double now_s,
+                           const std::vector<Payment>& payments,
+                           Seconds now_s,
                            const std::vector<std::size_t>& online_idx);
 
   /// Advances every vehicle whose online window overlaps the round.
-  EffectBatch AdvanceRound(double now_s);
+  EffectBatch AdvanceRound(Seconds now_s);
 
   /// Drain-phase step: advances only vehicles with remaining plan stops.
   /// Returns true when any vehicle was still busy.
-  bool AdvanceBusy(double now_s, EffectBatch* fx);
+  bool AdvanceBusy(Seconds now_s, EffectBatch* fx);
 
   // --- Rebalancer support (serial barriers only).
 
   /// Ids of migratable idle vehicles at `now_s`: online, empty plan, nobody
   /// riding, not already relocating. Ascending id order.
-  std::vector<VehicleId> MigratableIdleVehicles(double now_s) const;
+  std::vector<VehicleId> MigratableIdleVehicles(Seconds now_s) const;
   /// Idle supply including relocations already in flight toward this shard.
-  std::size_t IdleCount(double now_s) const;
+  std::size_t IdleCount(Seconds now_s) const;
 
   /// Removes and returns a vehicle (must exist). Used by migration.
   WorldVehicle ExtractVehicle(VehicleId id);
@@ -161,15 +162,15 @@ class ShardWorld {
   std::size_t pending_size() const { return pending_.size(); }
   std::size_t vehicle_count() const { return vehicles_.size(); }
   /// Σ delivery distance over this shard's vehicles, in id order.
-  double DeliveryDistanceSum() const;
+  Meters DeliveryDistanceSum() const;
 
  private:
-  void RefundAndRequeue(OrderId order, double now_s, OrderEventKind kind,
+  void RefundAndRequeue(OrderId order, Seconds now_s, OrderEventKind kind,
                         EffectBatch* fx);
-  void ProcessArrivalStops(WorldVehicle* vehicle, double arrival_time_s,
+  void ProcessArrivalStops(WorldVehicle* vehicle, Seconds arrival_time_s,
                            EffectBatch* fx);
   void StartNextLeg(WorldVehicle* vehicle);
-  void AdvanceVehicle(WorldVehicle* vehicle, double start_s, double dt_s,
+  void AdvanceVehicle(WorldVehicle* vehicle, Seconds start_s, Seconds dt_s,
                       EffectBatch* fx);
   double EdgeLength(NodeId from, NodeId to) const;
   void RebuildVehicleIndex();
@@ -199,7 +200,7 @@ class ShardWorld {
 void FinalizeResult(const AuctionConfig& config,
                     const std::vector<Order>& orders,
                     const std::vector<OrderLedgerEntry>& ledger,
-                    double total_delivery_m, SimResult* result);
+                    Meters total_delivery_m, SimResult* result);
 
 }  // namespace auctionride
 

@@ -40,14 +40,20 @@ class Deadline {
 
   /// Expires once real elapsed time plus synthetic charges reach
   /// `budget_s`. Not bit-reproducible across runs.
-  static Deadline WallClock(double budget_s) {
+  // Budgets arrive as raw seconds from the DispatchBudget knob and are
+  // converted straight to integer nanoseconds; src/exec/ sits below the
+  // unit wall (it has no dependency on the domain layer).
+  static Deadline WallClock(
+      double budget_s) {  // NOLINT-ARIDE(raw-unit-double)
     return Deadline(Mode::kWall, ToNs(budget_s), 0);
   }
 
   /// Expires once synthetic charges reach `budget_s`; real time is ignored.
   /// `query_penalty_s` is the cost ChargeQueries() books per shortest-path
   /// query (latency-spike injection; may be 0).
-  static Deadline Synthetic(double budget_s, double query_penalty_s = 0) {
+  static Deadline Synthetic(
+      double budget_s,  // NOLINT-ARIDE(raw-unit-double): below unit wall
+      double query_penalty_s = 0) {
     return Deadline(Mode::kSynthetic, ToNs(budget_s), ToNs(query_penalty_s));
   }
 
@@ -92,7 +98,8 @@ class Deadline {
         query_penalty_ns_(query_penalty_ns),
         start_(std::chrono::steady_clock::now()) {}
 
-  static int64_t ToNs(double seconds) {
+  static int64_t ToNs(
+      double seconds) {  // NOLINT-ARIDE(raw-unit-double): below unit wall
     return static_cast<int64_t>(seconds * 1e9);
   }
 

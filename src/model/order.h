@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "common/units.h"
 #include "roadnet/graph.h"
 
 namespace auctionride {
@@ -28,21 +29,21 @@ struct Order {
   NodeId origin = kInvalidNode;       // s_j
   NodeId destination = kInvalidNode;  // e_j
 
-  double issue_time_s = 0;  // when the requester submitted the order
+  Seconds issue_time_s;  // when the requester submitted the order
 
   // Cached shortest-path figures for the trip (filled by the workload
   // generator / simulator from the oracle).
-  double shortest_distance_m = 0;
-  double shortest_time_s = 0;  // t(s_j, e_j)
+  Meters shortest_distance_m;
+  Seconds shortest_time_s;  // t(s_j, e_j)
 
-  double max_wasted_time_s = 0;  // θ_j; experiments use θ_j = (γ−1)·t(s_j,e_j)
+  Seconds max_wasted_time_s;  // θ_j; experiments use θ_j = (γ−1)·t(s_j,e_j)
 
-  double valuation = 0;  // val_j, yuan — private to the requester
-  double bid = 0;        // bid_j, yuan — submitted to the platform
+  Money valuation;  // val_j — private to the requester
+  Money bid;        // bid_j — submitted to the platform
 
   /// Drop-off deadline implied by θ_j for an order dispatched at
   /// `dispatch_time_s`.
-  double DropoffDeadline(double dispatch_time_s) const {
+  Seconds DropoffDeadline(Seconds dispatch_time_s) const {
     return dispatch_time_s + max_wasted_time_s + shortest_time_s;
   }
 };

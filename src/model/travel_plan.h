@@ -23,7 +23,7 @@ struct PlanStop {
   StopType type = StopType::kPickup;
   // Drop-off deadline (absolute seconds) for kDropoff stops; unused for
   // pickups.
-  double deadline_s = 0;
+  Seconds deadline_s;
 };
 
 struct TravelPlan {

@@ -21,7 +21,7 @@ struct Vehicle {
   VehicleId id = kInvalidVehicle;
 
   NodeId next_node = kInvalidNode;  // node the vehicle is at or moving toward
-  double extra_distance_m = 0;      // remaining meters to next_node
+  Meters extra_distance_m;          // remaining meters to next_node
 
   int onboard = 0;                  // riders currently in the vehicle
   int capacity = kDefaultCapacity;  // c̄
@@ -35,8 +35,8 @@ struct Vehicle {
   bool in_delivery = false;
 
   // Lifetime accounting (simulator-maintained).
-  double delivery_distance_m = 0;  // cumulative D_i
-  double total_distance_m = 0;     // includes approach and random walk
+  Meters delivery_distance_m;  // cumulative D_i
+  Meters total_distance_m;     // includes approach and random walk
 
   /// Riders this vehicle is currently committed to (onboard + pending
   /// pickups). Dispatch validity requires this to stay within capacity at

@@ -8,11 +8,11 @@
 namespace auctionride {
 
 InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
-                              double now_s, const DistanceOracle& oracle) {
+                              Seconds now_s, const DistanceOracle& oracle) {
   ARIDE_CHECK(order.origin != kInvalidNode &&
               order.destination != kInvalidNode)
       << "order " << order.id;
-  ARIDE_CHECK_GE(vehicle.extra_distance_m, 0) << "vehicle " << vehicle.id;
+  ARIDE_CHECK_GE(vehicle.extra_distance_m, Meters(0)) << "vehicle " << vehicle.id;
   // This is the single hottest auction primitive (called per order-vehicle
   // pair), so the timer samples 1-in-64 executions.
   OBS_SCOPED_TIMER_SAMPLED("planner.insertion_s", 64);
@@ -20,18 +20,18 @@ InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
   InsertionResult best;
   if (vehicle.CommittedRiders() >= vehicle.capacity) return best;
 
-  const double base_delivery =
+  const Meters base_delivery =
       EvaluatePlan(vehicle, vehicle.plan.stops, now_s, oracle)
           .delivery_distance_m;
 
-  const PlanStop pickup{order.origin, order.id, StopType::kPickup, 0};
+  const PlanStop pickup{order.origin, order.id, StopType::kPickup, Seconds{}};
   const PlanStop dropoff{order.destination, order.id, StopType::kDropoff,
                          order.DropoffDeadline(now_s)};
 
   const std::size_t n = vehicle.plan.stops.size();
   std::vector<PlanStop> candidate;
   candidate.reserve(n + 2);
-  double best_delta = std::numeric_limits<double>::infinity();
+  Meters best_delta{std::numeric_limits<double>::infinity()};
   int64_t attempts = 0;
   int64_t infeasible = 0;
 
@@ -58,7 +58,7 @@ InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
         ++infeasible;
         continue;
       }
-      const double delta = eval.delivery_distance_m - base_delivery;
+      const Meters delta = eval.delivery_distance_m - base_delivery;
       if (delta < best_delta) {
         best_delta = delta;
         best.feasible = true;
@@ -73,13 +73,13 @@ InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
     // Oracle distances are shortest paths, so inserting stops can never
     // shorten the delivery distance (triangle inequality); a negative ΔD
     // here means the oracle or the evaluator is broken.
-    ARIDE_CHECK_GE(best_delta, -1e-6) << "order " << order.id;
+    ARIDE_CHECK_GE(best_delta, Meters(-1e-6)) << "order " << order.id;
     best.delta_delivery_m = best_delta;
   }
   return best;
 }
 
-double MaxPickupRadiusM(const Order& order, double speed_mps) {
+Meters MaxPickupRadiusM(const Order& order, MetersPerSecond speed_mps) {
   return order.max_wasted_time_s * speed_mps;
 }
 

@@ -20,8 +20,8 @@ namespace auctionride {
 
 struct InsertionResult {
   bool feasible = false;
-  // Increase in delivery distance ΔD_i(r_j), meters.
-  double delta_delivery_m = 0;
+  // Increase in delivery distance ΔD_i(r_j).
+  Meters delta_delivery_m;
   // The vehicle's plan with the order inserted (only valid when feasible).
   std::vector<PlanStop> new_plan;
 };
@@ -31,7 +31,7 @@ struct InsertionResult {
 /// DropoffDeadline(now_s)). Returns feasible = false when no insertion
 /// position satisfies the constraints.
 InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
-                              double now_s, const DistanceOracle& oracle);
+                              Seconds now_s, const DistanceOracle& oracle);
 
 /// Quick necessary condition used for exact spatial pruning: a dispatch can
 /// only be valid if the vehicle can reach the origin and complete the trip
@@ -39,7 +39,7 @@ InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
 /// d(vehicle, s_j)/speed + t(s_j, e_j) <= θ_j + t(s_j, e_j). This bounds the
 /// vehicle-origin distance by speed·θ_j (Euclidean distance lower-bounds the
 /// road distance, so Euclidean pruning is exact).
-double MaxPickupRadiusM(const Order& order, double speed_mps);
+Meters MaxPickupRadiusM(const Order& order, MetersPerSecond speed_mps);
 
 }  // namespace auctionride
 

@@ -9,7 +9,7 @@
 namespace auctionride {
 
 PackPlanResult PlanPack(const Vehicle& vehicle,
-                        std::span<const Order* const> orders, double now_s,
+                        std::span<const Order* const> orders, Seconds now_s,
                         const DistanceOracle& oracle) {
   PackPlanResult best;
   if (orders.empty()) return best;
@@ -26,12 +26,12 @@ PackPlanResult PlanPack(const Vehicle& vehicle,
 
   std::vector<std::size_t> perm(orders.size());
   std::iota(perm.begin(), perm.end(), 0);
-  double best_delta = std::numeric_limits<double>::infinity();
+  Meters best_delta{std::numeric_limits<double>::infinity()};
 
   Vehicle scratch = vehicle;  // plan mutated per permutation
   do {
     scratch.plan = vehicle.plan;
-    double delta_sum = 0;
+    Meters delta_sum;
     bool ok = true;
     for (std::size_t idx : perm) {
       const InsertionResult ins =

@@ -21,8 +21,8 @@ namespace auctionride {
 
 struct PackPlanResult {
   bool feasible = false;
-  // Total increase in delivery distance of the vehicle, meters.
-  double delta_delivery_m = 0;
+  // Total increase in delivery distance of the vehicle.
+  Meters delta_delivery_m;
   // The vehicle's plan with all pack orders inserted.
   std::vector<PlanStop> new_plan;
 };
@@ -31,7 +31,7 @@ struct PackPlanResult {
 /// time `now_s`, over all insertion orders (permutations). Orders must have
 /// distinct ids and none may already be in the plan.
 PackPlanResult PlanPack(const Vehicle& vehicle,
-                        std::span<const Order* const> orders, double now_s,
+                        std::span<const Order* const> orders, Seconds now_s,
                         const DistanceOracle& oracle);
 
 }  // namespace auctionride

@@ -5,7 +5,7 @@
 namespace auctionride {
 
 PlanEvaluation EvaluatePlan(const Vehicle& vehicle,
-                            std::span<const PlanStop> stops, double now_s,
+                            std::span<const PlanStop> stops, Seconds now_s,
                             const DistanceOracle& oracle) {
 #if ARIDE_CONTRACTS_ENABLED
   {
@@ -13,8 +13,8 @@ PlanEvaluation EvaluatePlan(const Vehicle& vehicle,
     check.stops.assign(stops.begin(), stops.end());
     ARIDE_CHECK(check.PrecedenceHolds()) << "vehicle " << vehicle.id;
   }
-  ARIDE_CHECK_GT(oracle.speed_mps(), 0);
-  ARIDE_CHECK_GE(vehicle.extra_distance_m, 0) << "vehicle " << vehicle.id;
+  ARIDE_CHECK_GT(oracle.speed_mps(), MetersPerSecond(0));
+  ARIDE_CHECK_GE(vehicle.extra_distance_m, Meters(0)) << "vehicle " << vehicle.id;
   ARIDE_CHECK_GE(vehicle.onboard, 0) << "vehicle " << vehicle.id;
   ARIDE_CHECK_LE(vehicle.onboard, vehicle.capacity)
       << "vehicle " << vehicle.id;
@@ -22,9 +22,9 @@ PlanEvaluation EvaluatePlan(const Vehicle& vehicle,
   PlanEvaluation eval;
   eval.feasible = true;
 
-  double clock_s = now_s + vehicle.extra_distance_m / oracle.speed_mps();
-  double total_m = vehicle.extra_distance_m;
-  double delivery_m = 0;
+  Seconds clock_s = now_s + vehicle.extra_distance_m / oracle.speed_mps();
+  Meters total_m = vehicle.extra_distance_m;
+  Meters delivery_m;
   bool in_delivery = vehicle.in_delivery;
   // A vehicle committed to in-flight riders is in delivery regardless of the
   // flag the caller set; keep the two consistent defensively.
@@ -35,14 +35,17 @@ PlanEvaluation EvaluatePlan(const Vehicle& vehicle,
   NodeId prev = vehicle.next_node;
 
   for (const PlanStop& stop : stops) {
-    const double leg_m = oracle.Distance(prev, stop.node);
+    // Raw on purpose: compared against the geometry layer's kInfDistance
+    // sentinel before it is promoted into the typed accumulators below.
+    const double leg_m =  // NOLINT-ARIDE(raw-unit-double)
+        oracle.Distance(prev, stop.node);
     if (leg_m == kInfDistance) {
       eval.feasible = false;
       break;
     }
-    total_m += leg_m;
-    if (in_delivery) delivery_m += leg_m;
-    clock_s += leg_m / oracle.speed_mps();
+    total_m += Meters(leg_m);
+    if (in_delivery) delivery_m += Meters(leg_m);
+    clock_s += Meters(leg_m) / oracle.speed_mps();
     prev = stop.node;
 
     if (stop.type == StopType::kPickup) {
@@ -58,7 +61,7 @@ PlanEvaluation EvaluatePlan(const Vehicle& vehicle,
         eval.feasible = false;
         break;
       }
-      if (clock_s > stop.deadline_s + 1e-9) {
+      if (clock_s > stop.deadline_s + Seconds(1e-9)) {
         eval.feasible = false;
         break;
       }
@@ -71,7 +74,7 @@ PlanEvaluation EvaluatePlan(const Vehicle& vehicle,
   return eval;
 }
 
-double CurrentDeliveryDistance(const Vehicle& vehicle, double now_s,
+Meters CurrentDeliveryDistance(const Vehicle& vehicle, Seconds now_s,
                                const DistanceOracle& oracle) {
   return EvaluatePlan(vehicle, vehicle.plan.stops, now_s, oracle)
       .delivery_distance_m;

@@ -6,6 +6,8 @@
 
 #include <span>
 
+#include "common/units.h"
+
 #include "model/vehicle.h"
 #include "roadnet/oracle.h"
 
@@ -13,13 +15,13 @@ namespace auctionride {
 
 struct PlanEvaluation {
   bool feasible = false;
-  // Total distance from the vehicle's position through every stop, meters.
-  double total_distance_m = 0;
+  // Total distance from the vehicle's position through every stop.
+  Meters total_distance_m;
   // Distance that counts toward D_i: everything after the first pickup (all
-  // of it when the vehicle is already in its delivery phase), meters.
-  double delivery_distance_m = 0;
-  // Completion time of the last stop, absolute seconds.
-  double completion_time_s = 0;
+  // of it when the vehicle is already in its delivery phase).
+  Meters delivery_distance_m;
+  // Completion time of the last stop, absolute.
+  Seconds completion_time_s;
 };
 
 /// Evaluates `stops` as the prospective plan of `vehicle` starting at time
@@ -28,11 +30,11 @@ struct PlanEvaluation {
 /// filled for the prefix walked). Precedence is the caller's structural
 /// responsibility (checked in debug builds).
 PlanEvaluation EvaluatePlan(const Vehicle& vehicle,
-                            std::span<const PlanStop> stops, double now_s,
+                            std::span<const PlanStop> stops, Seconds now_s,
                             const DistanceOracle& oracle);
 
 /// Delivery distance of the vehicle's current plan (convenience wrapper).
-double CurrentDeliveryDistance(const Vehicle& vehicle, double now_s,
+Meters CurrentDeliveryDistance(const Vehicle& vehicle, Seconds now_s,
                                const DistanceOracle& oracle);
 
 }  // namespace auctionride

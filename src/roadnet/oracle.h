@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/units.h"
 #include "common/thread_annotations.h"
 #include "roadnet/contraction_hierarchy.h"
 #include "roadnet/dijkstra.h"
@@ -41,15 +42,18 @@ class DistanceOracle {
   DistanceOracle(const DistanceOracle&) = delete;
   DistanceOracle& operator=(const DistanceOracle&) = delete;
 
-  /// Shortest road distance in meters; kInfDistance if unreachable.
+  /// Shortest road distance in meters; kInfDistance if unreachable. Raw
+  /// double by design: this is the geometry boundary — the CH/Dijkstra
+  /// backends and memo cache below it are pure graph code. Economic
+  /// callers wrap the result in Meters at the call site.
   double Distance(NodeId source, NodeId target) const;
 
-  /// Shortest travel time in seconds at the configured constant speed.
-  double TravelTime(NodeId source, NodeId target) const {
-    return Distance(source, target) / speed_mps_;
+  /// Shortest travel time at the configured constant speed.
+  Seconds TravelTime(NodeId source, NodeId target) const {
+    return Seconds(Distance(source, target) / speed_mps_);
   }
 
-  double speed_mps() const { return speed_mps_; }
+  MetersPerSecond speed_mps() const { return MetersPerSecond(speed_mps_); }
   const RoadNetwork& network() const { return *network_; }
 
   /// Cumulative query statistics (for the ablation bench). num_queries()

@@ -36,7 +36,7 @@ SimResult RunSimulationOnEngine(const DistanceOracle* oracle,
   Engine engine(oracle, &workload.orders, workload.vehicles,
                 MakeEngineOptions(options, sharding));
 
-  double horizon = 0;
+  Seconds horizon;
   for (const Order& o : workload.orders) {
     horizon = std::max(horizon, o.issue_time_s);
   }
@@ -46,7 +46,7 @@ SimResult RunSimulationOnEngine(const DistanceOracle* oracle,
   // their issue times come due, one batch ahead of each round.
   std::size_t next_order = 0;  // orders are sorted by issue time
   while (engine.now_s() < horizon) {
-    const double now = engine.now_s();
+    const Seconds now = engine.now_s();
     while (next_order < workload.orders.size() &&
            workload.orders[next_order].issue_time_s <= now) {
       engine.SubmitOrder(workload.orders[next_order]);

@@ -99,8 +99,9 @@ Status WriteOrdersGeoJson(const RoadNetwork& network,
         "\"coordinates\":[%.6f,%.6f]},\"properties\":{\"order\":%d,"
         "\"dest_lng\":%.6f,\"dest_lat\":%.6f,\"bid\":%.2f,"
         "\"trip_km\":%.2f,\"theta_s\":%.0f}}",
-        first ? "" : ",\n", lng, lat, order.id, dlng, dlat, order.bid,
-        order.shortest_distance_m / 1000.0, order.max_wasted_time_s);
+        first ? "" : ",\n", lng, lat, order.id, dlng, dlat,
+        order.bid.value(), order.shortest_distance_m.value() / 1000.0,
+        order.max_wasted_time_s.value());
     first = false;
   }
   EndCollection(&*out);

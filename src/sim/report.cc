@@ -27,12 +27,14 @@ std::string FormatSummary(const SimResult& result) {
       "dispatch/round: mean %.3f s, max %.3f s | pricing/round: mean %.3f s\n",
       result.orders_total, result.orders_dispatched,
       100 * result.dispatch_rate(), result.orders_expired,
-      result.orders_completed, result.total_utility, result.platform_utility,
-      result.requester_utility, result.driver_utility, result.total_payments,
-      result.total_delivery_m / 1000.0, result.mean_waiting_s,
-      result.mean_detour_s, 100 * result.shared_ride_fraction,
-      result.mean_dispatch_seconds, result.max_dispatch_seconds,
-      result.mean_pricing_seconds);
+      result.orders_completed, result.total_utility.value(),
+      result.platform_utility.value(), result.requester_utility.value(),
+      result.driver_utility.value(), result.total_payments.value(),
+      result.total_delivery_m.value() / 1000.0, result.mean_waiting_s.value(),
+      result.mean_detour_s.value(), 100 * result.shared_ride_fraction,
+      result.mean_dispatch_seconds.value(),
+      result.max_dispatch_seconds.value(),
+      result.mean_pricing_seconds.value());
   std::string out = buf;
   // Fault line only when something actually happened, so fault-free runs
   // keep today's byte-identical summary.
@@ -43,7 +45,7 @@ std::string FormatSummary(const SimResult& result) {
         "faults: %d stranded, %d cancelled, %d re-dispatched | "
         "refunds = %.2f | degraded rounds = %d\n",
         result.orders_stranded, result.orders_cancelled,
-        result.orders_redispatched, result.refunded_payments,
+        result.orders_redispatched, result.refunded_payments.value(),
         result.degraded_rounds);
     out += buf;
   }
@@ -57,12 +59,13 @@ Status WriteRoundsCsv(const SimResult& result, const std::string& path) {
                     "round_utility", "dispatch_seconds", "pricing_seconds",
                     "dispatch_tier", "shard"});
   for (const RoundRecord& round : result.rounds) {
-    writer->WriteRow({Num(round.time_s, 1), std::to_string(round.pending_orders),
+    writer->WriteRow({Num(round.time_s.value(), 1),
+                      std::to_string(round.pending_orders),
                       std::to_string(round.online_vehicles),
                       std::to_string(round.dispatched),
-                      Num(round.round_utility),
-                      Num(round.dispatch_seconds, 6),
-                      Num(round.pricing_seconds, 6),
+                      Num(round.round_utility.value()),
+                      Num(round.dispatch_seconds.value(), 6),
+                      Num(round.pricing_seconds.value(), 6),
                       std::to_string(round.dispatch_tier),
                       std::to_string(round.shard)});
   }
@@ -84,18 +87,20 @@ Status WriteSummaryCsv(const SimResult& result, const std::string& path) {
       {std::to_string(result.orders_total),
        std::to_string(result.orders_dispatched),
        std::to_string(result.orders_expired),
-       std::to_string(result.orders_completed), Num(result.total_utility),
-       Num(result.platform_utility), Num(result.requester_utility),
-       Num(result.driver_utility), Num(result.total_payments),
-       Num(result.total_delivery_m / 1000.0), Num(result.mean_waiting_s),
-       Num(result.mean_detour_s), Num(result.shared_ride_fraction, 4),
-       Num(result.mean_dispatch_seconds, 6),
-       Num(result.max_dispatch_seconds, 6),
+       std::to_string(result.orders_completed),
+       Num(result.total_utility.value()), Num(result.platform_utility.value()),
+       Num(result.requester_utility.value()),
+       Num(result.driver_utility.value()), Num(result.total_payments.value()),
+       Num(result.total_delivery_m.value() / 1000.0),
+       Num(result.mean_waiting_s.value()), Num(result.mean_detour_s.value()),
+       Num(result.shared_ride_fraction, 4),
+       Num(result.mean_dispatch_seconds.value(), 6),
+       Num(result.max_dispatch_seconds.value(), 6),
        std::to_string(result.orders_stranded),
        std::to_string(result.orders_cancelled),
        std::to_string(result.orders_redispatched),
        std::to_string(result.degraded_rounds),
-       Num(result.refunded_payments)});
+       Num(result.refunded_payments.value())});
   return writer->Close();
 }
 
@@ -104,7 +109,7 @@ Status WriteEventsCsv(const SimResult& result, const std::string& path) {
   if (!writer.ok()) return writer.status();
   writer->WriteRow({"time_s", "order", "event", "vehicle"});
   for (const OrderEvent& event : result.events) {
-    writer->WriteRow({Num(event.time_s, 1), std::to_string(event.order),
+    writer->WriteRow({Num(event.time_s.value(), 1), std::to_string(event.order),
                       std::string(OrderEventKindName(event.kind)),
                       std::to_string(event.vehicle)});
   }

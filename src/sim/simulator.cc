@@ -18,7 +18,7 @@ Simulator::Simulator(const DistanceOracle* oracle, Workload workload,
       options_(options),
       fault_plan_(options.faults) {
   ARIDE_ACHECK(oracle_ != nullptr);
-  ARIDE_ACHECK(options_.round_duration_s > 0);
+  ARIDE_ACHECK(options_.round_duration_s > Seconds(0));
   if (options_.run_pricing) {
     const int threads = options_.pricing_threads > 0
                             ? options_.pricing_threads
@@ -53,7 +53,7 @@ Simulator::Simulator(const DistanceOracle* oracle, Workload workload,
   }
 }
 
-void Simulator::RunRound(double now_s, SimResult* result) {
+void Simulator::RunRound(Seconds now_s, SimResult* result) {
   OBS_TRACE_SPAN("sim.round");
   OBS_SCOPED_TIMER("sim.round_s");
   OBS_COUNTER_INC("sim.rounds");
@@ -139,13 +139,13 @@ SimResult Simulator::Run() {
   SimResult result;
   result.orders_total = static_cast<int>(workload_.orders.size());
 
-  double horizon = 0;
+  Seconds horizon;
   for (const Order& o : workload_.orders) {
     horizon = std::max(horizon, o.issue_time_s);
   }
   horizon += options_.max_pending_s + options_.round_duration_s;
 
-  double clock_s = 0;
+  Seconds clock_s;
   round_index_ = 0;
   std::size_t next_order = 0;  // orders are sorted by issue time
   while (clock_s < horizon) {
@@ -171,7 +171,7 @@ SimResult Simulator::Run() {
   // Drain: let dispatched riders finish (movement only, capped). Faults are
   // not injected during the drain — no auctions run, so there is no pending
   // pool to recover a stranded order into.
-  const double drain_cap_s = clock_s + 7200;
+  const Seconds drain_cap_s = clock_s + Seconds(7200);
   while (clock_s < drain_cap_s) {
     EffectBatch fx;
     const bool any_busy = world_->AdvanceBusy(clock_s, &fx);

@@ -35,13 +35,13 @@ struct SimOptions {
   MechanismKind mechanism = MechanismKind::kRank;
   AuctionConfig auction;
 
-  double round_duration_s = 10;  // t_rnd, paper default 10 s
-  double max_pending_s = 300;    // orders are dropped after 5 minutes
+  Seconds round_duration_s{10};  // t_rnd, paper default 10 s
+  Seconds max_pending_s{300};    // orders are dropped after 5 minutes
 
   // Bonus escalation (paper §II-B: "the losing requesters in a round can
   // increase their bids in the next dispatch round"): every round an order
   // stays pended, its bid grows by this amount (yuan). 0 disables.
-  double pending_bid_increment = 0;
+  Money pending_bid_increment;
 
   // Pricing (GPri/DnW) is much more expensive than dispatch; the
   // dispatch-only experiments (Figs 3-5, 8) turn it off.
@@ -76,7 +76,7 @@ class Simulator {
   SimResult Run();
 
  private:
-  void RunRound(double now_s, SimResult* result);
+  void RunRound(Seconds now_s, SimResult* result);
 
   const DistanceOracle* oracle_;
   Workload workload_;

@@ -44,14 +44,15 @@ int GridIndex::CellY(double y) const {
 }
 
 std::vector<int32_t> GridIndex::WithinRadius(const Point& center,
-                                             double radius_m) const {
+                                             Meters radius_m) const {
   std::vector<int32_t> result;
-  if (items_.empty() || radius_m < 0) return result;
-  const double r_sq = radius_m * radius_m;
-  const int x_lo = CellX(center.x - radius_m);
-  const int x_hi = CellX(center.x + radius_m);
-  const int y_lo = CellY(center.y - radius_m);
-  const int y_hi = CellY(center.y + radius_m);
+  if (items_.empty() || radius_m < Meters(0)) return result;
+  const double radius = radius_m.value();  // geometry below is raw points
+  const double r_sq = radius * radius;
+  const int x_lo = CellX(center.x - radius);
+  const int x_hi = CellX(center.x + radius);
+  const int y_lo = CellY(center.y - radius);
+  const int y_hi = CellY(center.y + radius);
   for (int cy = y_lo; cy <= y_hi; ++cy) {
     for (int cx = x_lo; cx <= x_hi; ++cx) {
       for (int32_t idx : Cell(cx, cy)) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/units.h"
 #include "geo/point.h"
 
 namespace auctionride {
@@ -29,7 +30,7 @@ class GridIndex {
   /// Ids of items within Euclidean `radius_m` of `center` (inclusive),
   /// in no particular order.
   std::vector<int32_t> WithinRadius(const Point& center,
-                                    double radius_m) const;
+                                    Meters radius_m) const;
 
   /// Ids of the k nearest items to `center` by Euclidean distance, closest
   /// first. Returns fewer when the index holds fewer than k items.

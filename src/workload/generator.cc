@@ -39,7 +39,7 @@ std::vector<Order> GenerateOrders(const WorkloadOptions& options,
                                   const DistanceOracle& oracle,
                                   const NearestNodeIndex& nearest,
                                   const std::vector<Point>& origin_spots,
-                                  double duration_s, Rng* rng) {
+                                  Seconds duration_s, Rng* rng) {
   const BoundingBox area = oracle.network().ComputeBounds();
   const std::vector<Point> dest_spots = DrawHotspots(
       rng, area, options.num_destination_hotspots, /*margin_fraction=*/0.2);
@@ -49,6 +49,7 @@ std::vector<Order> GenerateOrders(const WorkloadOptions& options,
   for (int j = 0; j < options.num_orders; ++j) {
     Order order;
     order.id = j;
+    double trip_m = 0;  // raw oracle distance of the sampled trip
     // Resample until the trip is long enough (synthetic hotspots can
     // coincide); bounded retries keep generation total.
     for (int attempt = 0; attempt < 64; ++attempt) {
@@ -61,22 +62,23 @@ std::vector<Order> GenerateOrders(const WorkloadOptions& options,
       order.origin = nearest.Nearest(origin_pt);
       order.destination = nearest.Nearest(dest_pt);
       if (order.origin == order.destination) continue;
-      order.shortest_distance_m =
-          oracle.Distance(order.origin, order.destination);
-      if (order.shortest_distance_m >= options.min_trip_m &&
-          order.shortest_distance_m != kInfDistance) {
+      trip_m = oracle.Distance(order.origin, order.destination);
+      if (trip_m >= options.min_trip_m && trip_m != kInfDistance) {
         break;
       }
     }
-    ARIDE_ACHECK(order.shortest_distance_m >= options.min_trip_m)
+    ARIDE_ACHECK(trip_m >= options.min_trip_m)
         << "could not sample a valid trip";
+    order.shortest_distance_m = Meters(trip_m);
     order.shortest_time_s = order.shortest_distance_m / oracle.speed_mps();
-    order.issue_time_s = duration_s <= 0 ? 0 : rng->Uniform(0, duration_s);
+    order.issue_time_s = duration_s <= Seconds(0)
+                             ? Seconds(0)
+                             : Seconds(rng->Uniform(0, duration_s.value()));
     order.max_wasted_time_s = (options.gamma - 1.0) * order.shortest_time_s;
-    const double price =
+    const Money price =
         options.base_fare +
-        options.per_km_rate * order.shortest_distance_m / 1000.0 +
-        rng->Normal(0, options.price_noise_stddev);
+        Money(options.per_km_rate * trip_m / 1000.0) +
+        Money(rng->Normal(0, options.price_noise_stddev));
     order.valuation = std::max(price, options.base_fare * 0.5);
     order.bid = order.valuation;  // truthful bidding
     orders.push_back(order);
@@ -97,7 +99,7 @@ std::vector<VehicleSpawn> GenerateVehicles(const WorkloadOptions& options,
                                            const DistanceOracle& oracle,
                                            const NearestNodeIndex& nearest,
                                            const std::vector<Point>& origin_spots,
-                                           double duration_s, Rng* rng) {
+                                           Seconds duration_s, Rng* rng) {
   const BoundingBox area = oracle.network().ComputeBounds();
   std::vector<VehicleSpawn> spawns;
   spawns.reserve(static_cast<std::size_t>(options.num_vehicles));
@@ -110,14 +112,14 @@ std::vector<VehicleSpawn> GenerateVehicles(const WorkloadOptions& options,
         rng, area, origin_spots, options.vehicle_hotspot_probability,
         options.hotspot_stddev_m * 2));
     spawn.vehicle.capacity = options.vehicle_capacity;
-    if (duration_s <= 0 ||
+    if (duration_s <= Seconds(0) ||
         rng->Bernoulli(options.initially_online_fraction)) {
-      spawn.online_s = 0;
+      spawn.online_s = Seconds(0);
     } else {
-      spawn.online_s = rng->Uniform(0, duration_s * 0.5);
+      spawn.online_s = Seconds(rng->Uniform(0, duration_s.value() * 0.5));
     }
     // Stay online well past the window so accepted plans can complete.
-    spawn.offline_s = duration_s + 7200;
+    spawn.offline_s = duration_s + Seconds(7200);
     spawns.push_back(spawn);
   }
   return spawns;
@@ -149,7 +151,7 @@ Workload GenerateSingleRound(const WorkloadOptions& options,
                              const DistanceOracle& oracle,
                              const NearestNodeIndex& nearest) {
   WorkloadOptions single = options;
-  single.duration_s = 0;
+  single.duration_s = Seconds(0);
   return GenerateWorkload(single, oracle, nearest);
 }
 

@@ -27,9 +27,11 @@ struct WorkloadOptions {
 
   // Orders.
   int num_orders = 5000;
-  double duration_s = 1800;  // arrival window (30 minutes)
+  Seconds duration_s{1800};  // arrival window (30 minutes)
   double gamma = 1.5;        // θ_j = (γ−1)·t(s_j, e_j), paper §V-A
-  double min_trip_m = 1500;  // resample shorter trips
+  // Resample-threshold knob fed to the raw-double sampling loop in
+  // generator.cc (serialization-whitelisted), not a simulated quantity.
+  double min_trip_m = 1500;  // NOLINT-ARIDE(raw-unit-double): sampler knob
 
   // Spatial demand model.
   int num_origin_hotspots = 8;
@@ -43,8 +45,8 @@ struct WorkloadOptions {
   // shared packs are clearly profitable, reproducing the paper's reported
   // Rank ≈ 2x Greedy utility gap (Fig. 3a) and its α_d sensitivity
   // (Fig. 5a). See EXPERIMENTS.md.
-  double base_fare = 8.0;
-  double per_km_rate = 2.3;
+  Money base_fare{8.0};
+  double per_km_rate = 2.3;  // yuan per km, applied on the raw trip meters
   double price_noise_stddev = 1.5;
 
   // Vehicles.
@@ -63,8 +65,8 @@ struct WorkloadOptions {
 
 struct VehicleSpawn {
   Vehicle vehicle;
-  double online_s = 0;
-  double offline_s = 0;
+  Seconds online_s;
+  Seconds offline_s;
 };
 
 struct Workload {

@@ -63,16 +63,18 @@ Status SaveWorkloadCsv(const Workload& workload, const std::string& path) {
   for (const Order& o : workload.orders) {
     writer->WriteRow({"order", std::to_string(o.id),
                       std::to_string(o.origin),
-                      std::to_string(o.destination), Num(o.issue_time_s),
-                      Num(o.shortest_distance_m), Num(o.shortest_time_s),
-                      Num(o.max_wasted_time_s), Num(o.valuation),
-                      Num(o.bid)});
+                      std::to_string(o.destination),
+                      Num(o.issue_time_s.value()),
+                      Num(o.shortest_distance_m.value()),
+                      Num(o.shortest_time_s.value()),
+                      Num(o.max_wasted_time_s.value()),
+                      Num(o.valuation.value()), Num(o.bid.value())});
   }
   for (const VehicleSpawn& v : workload.vehicles) {
     writer->WriteRow({"vehicle", std::to_string(v.vehicle.id),
                       std::to_string(v.vehicle.next_node),
-                      std::to_string(v.vehicle.capacity), Num(v.online_s),
-                      Num(v.offline_s)});
+                      std::to_string(v.vehicle.capacity),
+                      Num(v.online_s.value()), Num(v.offline_s.value())});
   }
   return writer->Close();
 }
@@ -97,18 +99,26 @@ StatusOr<Workload> LoadWorkloadCsv(const std::string& path,
       long id = 0;
       long origin = 0;
       long dest = 0;
+      // Parse into raw doubles, then wrap into the strong unit types once
+      // every field is known-finite.
+      double issue_time = 0;
+      double shortest_distance = 0;
+      double shortest_time = 0;
+      double max_wasted_time = 0;
+      double valuation = 0;
+      double bid = 0;
       struct DoubleField {
         int column;
         const char* name;
         double* out;
       };
       const DoubleField doubles[] = {
-          {4, "issue_time_s", &o.issue_time_s},
-          {5, "shortest_distance_m", &o.shortest_distance_m},
-          {6, "shortest_time_s", &o.shortest_time_s},
-          {7, "max_wasted_time_s", &o.max_wasted_time_s},
-          {8, "valuation", &o.valuation},
-          {9, "bid", &o.bid},
+          {4, "issue_time_s", &issue_time},
+          {5, "shortest_distance_m", &shortest_distance},
+          {6, "shortest_time_s", &shortest_time},
+          {7, "max_wasted_time_s", &max_wasted_time},
+          {8, "valuation", &valuation},
+          {9, "bid", &bid},
       };
       Status parsed = ParseIntField(row[1], line, "order id", &id);
       if (parsed.ok()) parsed = ParseIntField(row[2], line, "origin", &origin);
@@ -132,6 +142,12 @@ StatusOr<Workload> LoadWorkloadCsv(const std::string& path,
       o.id = static_cast<OrderId>(id);
       o.origin = static_cast<NodeId>(origin);
       o.destination = static_cast<NodeId>(dest);
+      o.issue_time_s = Seconds(issue_time);
+      o.shortest_distance_m = Meters(shortest_distance);
+      o.shortest_time_s = Seconds(shortest_time);
+      o.max_wasted_time_s = Seconds(max_wasted_time);
+      o.valuation = Money(valuation);
+      o.bid = Money(bid);
       workload.orders.push_back(o);
     } else if (row[0] == "vehicle") {
       if (row.size() != 6) {
@@ -146,14 +162,17 @@ StatusOr<Workload> LoadWorkloadCsv(const std::string& path,
       if (parsed.ok()) {
         parsed = ParseIntField(row[3], line, "capacity", &capacity);
       }
+      double online = 0;
+      double offline = 0;
       if (parsed.ok()) {
-        parsed = ParseFiniteDouble(row[4], line, "online_s", &spawn.online_s);
+        parsed = ParseFiniteDouble(row[4], line, "online_s", &online);
       }
       if (parsed.ok()) {
-        parsed =
-            ParseFiniteDouble(row[5], line, "offline_s", &spawn.offline_s);
+        parsed = ParseFiniteDouble(row[5], line, "offline_s", &offline);
       }
       if (!parsed.ok()) return parsed;
+      spawn.online_s = Seconds(online);
+      spawn.offline_s = Seconds(offline);
       if (node < 0 || node >= network.num_nodes()) {
         return Status::OutOfRange(line + ": node id outside the network");
       }
@@ -162,8 +181,8 @@ StatusOr<Workload> LoadWorkloadCsv(const std::string& path,
       }
       if (spawn.offline_s < spawn.online_s) {
         return Status::InvalidArgument(
-            line + ": offline_s " + Num(spawn.offline_s) +
-            " precedes online_s " + Num(spawn.online_s));
+            line + ": offline_s " + Num(spawn.offline_s.value()) +
+            " precedes online_s " + Num(spawn.online_s.value()));
       }
       if (!vehicle_ids.insert(id).second) {
         return Status::InvalidArgument(line + ": duplicate vehicle id " +

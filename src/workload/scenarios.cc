@@ -18,7 +18,7 @@ WorkloadOptions MorningPeakScenario(double scale, uint64_t seed) {
   options.seed = seed;
   options.num_orders = Scaled(5000, scale);
   options.num_vehicles = Scaled(7000, scale);
-  options.duration_s = 1800;
+  options.duration_s = Seconds(1800);
   options.gamma = 1.5;
   options.num_origin_hotspots = 8;
   options.num_destination_hotspots = 5;

@@ -42,8 +42,9 @@ std::vector<std::pair<std::string, int>> LintFixture(
   for (const Diagnostic& d : RunFileRules(info)) {
     got.emplace_back(d.rule, d.line);
   }
-  std::sort(got.begin(), got.end(),
-            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::sort(got.begin(), got.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second < b.second : a.first < b.first;
+  });
   return got;
 }
 
@@ -77,9 +78,12 @@ TEST(BannedApiGolden, OutsideSrcOnlyGlobalBansApply) {
 TEST(FloatEqGolden, FiresOnExactLines) {
   const auto got = LintFixture("float_eq.cc", "src/fixture/float_eq.cc");
   const std::vector<std::pair<std::string, int>> want = {
-      {"float-eq", 5},  // bid == price
-      {"float-eq", 6},  // utility != 0.0
-      {"float-eq", 7},  // payments[0] == bid
+      {"raw-unit-double", 3},  // double bid (v3 rule, same fixture)
+      {"raw-unit-double", 3},  // double price
+      {"raw-unit-double", 3},  // double utility
+      {"float-eq", 5},         // bid == price
+      {"float-eq", 6},         // utility != 0.0
+      {"float-eq", 7},         // payments[0] == bid
   };
   EXPECT_EQ(got, want);
 }
@@ -106,6 +110,7 @@ TEST(CheckSideEffectsGolden, FiresOnExactLines) {
   const auto got = LintFixture("check_side_effects.cc",
                                "src/fixture/check_side_effects.cc");
   const std::vector<std::pair<std::string, int>> want = {
+      {"raw-unit-double", 3},     // double pay (v3 rule, same fixture)
       {"check-side-effects", 5},  // ARIDE_DCHECK(n++ > 0)
       {"check-side-effects", 6},  // ARIDE_CHECK_GE(pay -= 1.0, ...)
       {"check-side-effects", 8},  // ARIDE_CHECK_NEAR(..., pay *= 2.0, ...)
@@ -338,6 +343,68 @@ TEST(LayerDag, UnknownDirectoryDiagnosed) {
   EXPECT_NE(diags[0].message.find("no declared layer"), std::string::npos);
 }
 
+TEST(RawUnitDoubleGolden, FiresOnExactLines) {
+  const auto got =
+      LintFixture("raw_unit_double.cc", "src/fixture/raw_unit_double.cc");
+  const std::vector<std::pair<std::string, int>> want = {
+      {"raw-unit-double", 4},   // double bid (money vocabulary)
+      {"raw-unit-double", 5},   // now_s (_s time suffix)
+      {"raw-unit-double", 6},   // detour_m (_m distance suffix)
+      {"raw-unit-double", 7},   // wait_seconds (whole-word tail)
+      {"raw-unit-double", 8},   // radius_km (_km suffix)
+      {"raw-unit-double", 18},  // parameter pickup_s
+      {"raw-unit-double", 18},  // parameter trip_m
+      // line 21 (double fare) is consumed by its NOLINT-ARIDE suppression;
+      // the rate knobs (9-12) and bare letters (13-14) never fire.
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(RawUnitDoubleGolden, OnlySrcIsChecked) {
+  EXPECT_TRUE(
+      LintFixture("raw_unit_double.cc", "bench/raw_unit_double.cc").empty());
+  EXPECT_TRUE(
+      LintFixture("raw_unit_double.cc", "tools/raw_unit_double.cc").empty());
+}
+
+TEST(UnitSuffixGolden, FiresOnExactLines) {
+  const auto got = LintFixture("unit_suffix.cc", "src/fixture/unit_suffix.cc");
+  const std::vector<std::pair<std::string, int>> want = {
+      {"unsafe-unit-cast", 11},  // trip_m names its unit: cast rule only
+      {"unit-suffix", 12},       // horizon: escaped value, no unit in name
+      {"unsafe-unit-cast", 12},
+      {"unit-suffix", 13},  // window: escape inside a larger expression
+      {"unsafe-unit-cast", 13},
+      // line 14 (plain = 3.0) has no escape: no finding.
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(UnsafeUnitCastGolden, FiresOnExactLines) {
+  const auto got =
+      LintFixture("unsafe_unit_cast.cc", "src/fixture/unsafe_unit_cast.cc");
+  const std::vector<std::pair<std::string, int>> want = {
+      {"unsafe-unit-cast", 10},  // quote.value() without a justification
+      // line 12 is consumed by its NOLINT-ARIDE suppression; line 13 uses
+      // 'value' as a plain identifier, not a member call.
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(UnsafeUnitCastGolden, WhitelistAndGeometryExempt) {
+  // Serialization/telemetry whitelist: wholesale raw by policy.
+  EXPECT_TRUE(
+      LintFixture("unsafe_unit_cast.cc", "src/obs/unsafe_unit_cast.cc")
+          .empty());
+  // Geometry kernels sit below the unit wall.
+  EXPECT_TRUE(
+      LintFixture("unsafe_unit_cast.cc", "src/spatial/unsafe_unit_cast.cc")
+          .empty());
+  EXPECT_TRUE(
+      LintFixture("raw_unit_double.cc", "src/roadnet/raw_unit_double.cc")
+          .empty());
+}
+
 TEST(MoneyIdentifier, Classification) {
   EXPECT_TRUE(IsMoneyIdentifier("bid"));
   EXPECT_TRUE(IsMoneyIdentifier("bid0"));
@@ -347,6 +414,9 @@ TEST(MoneyIdentifier, Classification) {
   EXPECT_FALSE(IsMoneyIdentifier("n_payments"));
   EXPECT_FALSE(IsMoneyIdentifier("payment_count"));
   EXPECT_FALSE(IsMoneyIdentifier("bid_idx"));
+  EXPECT_FALSE(IsMoneyIdentifier("bid_index"));
+  EXPECT_FALSE(IsMoneyIdentifier("bid_rank"));
+  EXPECT_FALSE(IsMoneyIdentifier("price_ranks"));
   EXPECT_FALSE(IsMoneyIdentifier("order"));
   EXPECT_FALSE(IsMoneyIdentifier("size"));
   EXPECT_FALSE(IsMoneyIdentifier("payload"));

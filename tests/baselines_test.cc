@@ -22,8 +22,8 @@ TEST(FcfsTest, ServesInIssueOrder) {
       MakeOrder(0, 2, 6, /*bid=*/5, oracle),   // negative utility solo
       MakeOrder(1, 2, 6, /*bid=*/40, oracle),  // would win any auction
   };
-  orders[0].issue_time_s = 0;
-  orders[1].issue_time_s = 10;
+  orders[0].issue_time_s = Seconds(0);
+  orders[1].issue_time_s = Seconds(10);
   std::vector<Vehicle> vehicles = {MakeVehicle(0, 2, /*capacity=*/1)};
   AuctionInstance in;
   in.orders = &orders;
@@ -94,7 +94,7 @@ TEST(FcfsTest, HigherDispatchCountLowerUtilityThanAuction) {
           rng.UniformInt(static_cast<uint64_t>(grid.num_nodes())));
     }
     orders.push_back(MakeOrder(j, s, e, rng.Uniform(5, 40), oracle, 2.0));
-    orders.back().issue_time_s = j;
+    orders.back().issue_time_s = Seconds(j);
   }
   std::vector<Vehicle> vehicles;
   for (int i = 0; i < 3; ++i) {
@@ -108,7 +108,7 @@ TEST(FcfsTest, HigherDispatchCountLowerUtilityThanAuction) {
   in.oracle = &oracle;
   const DispatchResult fcfs = FcfsDispatch(in, /*serve_all=*/true);
   const DispatchResult greedy = GreedyDispatch(in);
-  EXPECT_GE(greedy.total_utility, fcfs.total_utility - 1e-9);
+  EXPECT_GE(greedy.total_utility, fcfs.total_utility - Money(1e-9));
 }
 
 }  // namespace

@@ -20,8 +20,8 @@ TEST(FareModelTest, BasePriceFormula) {
   fare.flag_fall = 10;
   fare.per_km_rate = 2;
   Order order;
-  order.shortest_distance_m = 5000;
-  EXPECT_DOUBLE_EQ(fare.BasePrice(order), 20);
+  order.shortest_distance_m = Meters(5000);
+  EXPECT_DOUBLE_EQ(fare.BasePrice(order).value(), 20);
 }
 
 TEST(BonusTest, QuotesSetBidsOnTopOfBase) {
@@ -33,10 +33,12 @@ TEST(BonusTest, QuotesSetBidsOnTopOfBase) {
   };
   FareModel fare;
   const std::vector<Order> bidded =
-      ApplyBonusQuotes(orders, fare, {{0, 0, 3.5}});
-  EXPECT_DOUBLE_EQ(bidded[0].bid, fare.BasePrice(orders[0]) + 3.5);
-  EXPECT_DOUBLE_EQ(bidded[1].bid, fare.BasePrice(orders[1]));  // no bonus
-  EXPECT_DOUBLE_EQ(bidded[0].valuation, bidded[0].bid);
+      ApplyBonusQuotes(orders, fare, {{0, Money(0), Money(3.5)}});
+  EXPECT_DOUBLE_EQ(bidded[0].bid.value(),
+                   (fare.BasePrice(orders[0]) + Money(3.5)).value());
+  EXPECT_DOUBLE_EQ(bidded[1].bid.value(),
+                   fare.BasePrice(orders[1]).value());  // no bonus
+  EXPECT_DOUBLE_EQ(bidded[0].valuation.value(), bidded[0].bid.value());
 }
 
 TEST(BonusTest, BonusPrioritizesOrderUnderContention) {
@@ -61,7 +63,7 @@ TEST(BonusTest, BonusPrioritizesOrderUnderContention) {
   EXPECT_TRUE(GreedyDispatch(in).IsDispatched(0));
 
   std::vector<Order> with_bonus =
-      ApplyBonusQuotes(orders, fare, {{1, 0, 2.0}});
+      ApplyBonusQuotes(orders, fare, {{1, Money(0), Money(2.0)}});
   in.orders = &with_bonus;
   const DispatchResult r = GreedyDispatch(in);
   EXPECT_TRUE(r.IsDispatched(1));
@@ -73,15 +75,15 @@ TEST(BonusTest, SplitPaymentClampsAtBase) {
   DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
   const Order order = MakeOrder(0, 1, 5, /*bid=*/0, oracle);
   FareModel fare;
-  const double base = fare.BasePrice(order);
+  const Money base = fare.BasePrice(order);
 
-  const PaymentBreakdown above = SplitPayment(order, fare, base + 4);
-  EXPECT_DOUBLE_EQ(above.base_part, base);
-  EXPECT_DOUBLE_EQ(above.bonus_part, 4);
+  const PaymentBreakdown above = SplitPayment(order, fare, base + Money(4));
+  EXPECT_DOUBLE_EQ(above.base_part.value(), base.value());
+  EXPECT_DOUBLE_EQ(above.bonus_part.value(), 4);
 
-  const PaymentBreakdown below = SplitPayment(order, fare, base - 3);
-  EXPECT_DOUBLE_EQ(below.base_part, base - 3);
-  EXPECT_DOUBLE_EQ(below.bonus_part, 0);
+  const PaymentBreakdown below = SplitPayment(order, fare, base - Money(3));
+  EXPECT_DOUBLE_EQ(below.base_part.value(), (base - Money(3)).value());
+  EXPECT_DOUBLE_EQ(below.bonus_part.value(), 0);
 }
 
 TEST(BonusTest, ChargedBonusCanBeLessThanOffered) {
@@ -96,18 +98,19 @@ TEST(BonusTest, ChargedBonusCanBeLessThanOffered) {
   std::vector<Vehicle> vehicles = {MakeVehicle(0, 2, /*capacity=*/1)};
   FareModel fare;
   std::vector<Order> bidded =
-      ApplyBonusQuotes(orders, fare, {{0, 0, 5.0}, {1, 0, 1.0}});
+      ApplyBonusQuotes(orders, fare,
+                       {{0, Money(0), Money(5.0)}, {1, Money(0), Money(1.0)}});
   AuctionInstance in;
   in.orders = &bidded;
   in.vehicles = &vehicles;
   in.oracle = &oracle;
   const DispatchResult r = GreedyDispatch(in);
   ASSERT_TRUE(r.IsDispatched(0));
-  const double pay = GPriPriceOrder(in, 0);
+  const Money pay = GPriPriceOrder(in, 0);
   const PaymentBreakdown split = SplitPayment(bidded[0], fare, pay);
   // Pays the runner-up's bid: base + 1, i.e. an effective bonus of 1 < 5.
-  EXPECT_NEAR(split.bonus_part, 1.0, 1e-9);
-  EXPECT_LT(split.bonus_part, 5.0);
+  EXPECT_NEAR(split.bonus_part.value(), 1.0, 1e-9);
+  EXPECT_LT(split.bonus_part, Money(5.0));
 }
 
 }  // namespace

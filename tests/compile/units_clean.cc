@@ -1,0 +1,43 @@
+// Configure-time CLEAN fixture for cmake/Units.cmake: canonical use of the
+// strong unit types must compile (with ARIDE_UNITS_STRICT defined, so the
+// in-header static-assert suite runs too). If this fails, units.h itself —
+// or its algebra — is broken.
+
+#include "common/units.h"
+
+namespace auctionride {
+namespace {
+
+// The hot-path shapes the refactor leans on, spelled out once.
+constexpr Money PairUtility(Money bid, MoneyPerMeter alpha,
+                            Meters delta_delivery) {
+  return bid - alpha * delta_delivery;
+}
+
+constexpr Seconds TravelTime(Meters leg, MetersPerSecond speed) {
+  return leg / speed;
+}
+
+static_assert(PairUtility(Money(20.0), MoneyPerMeter(3.0 / 1000.0),
+                          Meters(2000.0))
+                  .value() == 20.0 - 3.0 / 1000.0 * 2000.0);
+static_assert(TravelTime(Meters(160.0), MetersPerSecond(8.0)).value() ==
+              160.0 / 8.0);
+
+// Accumulation, scaling, ordering, and the explicit escape hatch.
+constexpr double Shapes() {
+  Money total;
+  total += Money(12.5);
+  total -= Money(2.5) * 0.5;
+  Meters detour = 2.0 * Meters(300.0);
+  Seconds deadline = Seconds(100.0) + TravelTime(detour, MetersPerSecond(8.0));
+  double ratio = total / Money(2.0);  // same-dimension ratio is raw
+  bool late = deadline > Seconds(170.0);
+  return total.value() + ratio + (late ? detour.value() : 0.0);
+}
+static_assert(Shapes() > 0.0);
+
+}  // namespace
+}  // namespace auctionride
+
+int main() { return 0; }

@@ -1,0 +1,24 @@
+// Configure-time VIOLATION fixture for cmake/Units.cmake: dimension
+// confusion and implicit raw-double conversion MUST NOT compile. If this
+// file ever builds, the unit wall is decorative and the configure step
+// aborts with FATAL_ERROR.
+
+#include "common/units.h"
+
+namespace auctionride {
+namespace {
+
+double Broken() {
+  Money bid(20.0);
+  Meters detour(350.0);
+  // Adding yuan to meters — the exact bug class the wall exists for.
+  auto nonsense = bid + detour;
+  // Implicit double → Money (constructor is explicit).
+  Money payment = 8.0;
+  return nonsense.value() + payment.value();
+}
+
+}  // namespace
+}  // namespace auctionride
+
+int main() { return static_cast<int>(auctionride::Broken()); }

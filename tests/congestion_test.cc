@@ -105,10 +105,10 @@ TEST(ApplyCongestionTest, AuctionPropertiesHoldOnCongestedNetwork) {
 
   const RankRunResult run = RankDispatch(in);
   for (const Assignment& a : run.result.assignments) {
-    const double pay = DnWPriceOrder(in, run.artifacts, a.order);
+    const Money pay = DnWPriceOrder(in, run.artifacts, a.order);
     const Order& order = orders[static_cast<std::size_t>(a.order)];
-    EXPECT_LE(pay, order.bid + 1e-9);  // individual rationality
-    EXPECT_GE(pay, 0);
+    EXPECT_LE(pay, order.bid + Money(1e-9));  // individual rationality
+    EXPECT_GE(pay, Money(0));
   }
 }
 

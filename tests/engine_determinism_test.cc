@@ -38,7 +38,7 @@ class EngineDeterminismTest : public ::testing::Test {
     options.seed = seed;
     options.num_orders = 60;
     options.num_vehicles = 40;
-    options.duration_s = 300;
+    options.duration_s = Seconds(300);
     options.gamma = 1.8;
     return GenerateWorkload(options, *oracle_, *nearest_);
   }

@@ -89,7 +89,7 @@ TEST(EngineStressTest, ConcurrentSubmissionWithRebalancer) {
     }
     Order o = testutil::MakeOrder(j, s, e, rng.Uniform(10.0, 40.0), oracle,
                                   /*gamma=*/2.0);
-    o.issue_time_s = 0.5 * j;  // spread over 200 s, already sorted
+    o.issue_time_s = Seconds(0.5 * j);  // spread over 200 s, already sorted
     orders.push_back(o);
   }
 
@@ -99,8 +99,8 @@ TEST(EngineStressTest, ConcurrentSubmissionWithRebalancer) {
     // All vehicles spawn in the bottom-left corner: cross-shard demand
     // imbalance by construction.
     spawn.vehicle = testutil::MakeVehicle(i, i % 24);
-    spawn.online_s = 0;
-    spawn.offline_s = 1e9;
+    spawn.online_s = Seconds(0);
+    spawn.offline_s = Seconds(1e9);
     vehicles.push_back(spawn);
   }
 
@@ -128,8 +128,8 @@ TEST(EngineStressTest, ConcurrentSubmissionWithRebalancer) {
     });
   }
 
-  double horizon = orders.back().issue_time_s + options.max_pending_s +
-                   options.round_duration_s;
+  const Seconds horizon = orders.back().issue_time_s +
+                          options.max_pending_s + options.round_duration_s;
   while (engine.now_s() < horizon) {
     engine.StepRound();
   }

@@ -75,16 +75,16 @@ TEST(EngineTest, RoundClockAdvancesByRoundDuration) {
   std::vector<VehicleSpawn> vehicles;
 
   EngineOptions options;
-  options.round_duration_s = 10;
+  options.round_duration_s = Seconds(10);
   options.num_shards = 2;
   options.engine_threads = -1;
   Engine engine(&oracle, &orders, vehicles, options);
 
-  EXPECT_EQ(engine.now_s(), 0.0);
+  EXPECT_EQ(engine.now_s(), Seconds(0));
   EXPECT_EQ(engine.round_index(), 0);
   engine.StepRound();
   engine.StepRound();
-  EXPECT_EQ(engine.now_s(), 20.0);
+  EXPECT_EQ(engine.now_s(), Seconds(20));
   EXPECT_EQ(engine.round_index(), 2);
   EXPECT_EQ(engine.stats().rounds, 2u);
 }
@@ -104,15 +104,15 @@ TEST(EngineTest, RebalancerMigratesIdleVehiclesTowardDemand) {
     const NodeId e = static_cast<NodeId>(
         rng.UniformInt(uint64_t{6}) * 12 + 10 + rng.UniformInt(uint64_t{2}));
     Order o = testutil::MakeOrder(j, s, e == s ? s + 1 : e, 25.0, oracle);
-    o.issue_time_s = 2.0 * j;
+    o.issue_time_s = Seconds(2.0 * j);
     orders.push_back(o);
   }
   std::vector<VehicleSpawn> vehicles;
   for (int i = 0; i < 10; ++i) {
     VehicleSpawn spawn;
     spawn.vehicle = testutil::MakeVehicle(i, i % 4);  // left-edge columns
-    spawn.online_s = 0;
-    spawn.offline_s = 1e9;
+    spawn.online_s = Seconds(0);
+    spawn.offline_s = Seconds(1e9);
     vehicles.push_back(spawn);
   }
 
@@ -125,7 +125,7 @@ TEST(EngineTest, RebalancerMigratesIdleVehiclesTowardDemand) {
   Engine engine(&oracle, &orders, vehicles, options);
 
   std::size_t next = 0;
-  const double horizon =
+  const Seconds horizon =
       orders.back().issue_time_s + options.max_pending_s +
       options.round_duration_s;
   while (engine.now_s() < horizon) {

@@ -39,7 +39,7 @@ class FaultInjectionTest : public ::testing::Test {
     options.seed = seed;
     options.num_orders = orders;
     options.num_vehicles = vehicles;
-    options.duration_s = 300;
+    options.duration_s = Seconds(300);
     options.gamma = 1.8;
     return GenerateWorkload(options, *oracle_, *nearest_);
   }
@@ -116,7 +116,7 @@ TEST_F(FaultInjectionTest, NoneProfileMatchesFaultFreeRun) {
   ExpectSameResult(a, b);
   EXPECT_EQ(b.orders_stranded, 0);
   EXPECT_EQ(b.orders_cancelled, 0);
-  EXPECT_EQ(b.refunded_payments, 0);
+  EXPECT_EQ(b.refunded_payments, Money(0));
   EXPECT_EQ(b.degraded_rounds, 0);
 }
 
@@ -160,7 +160,7 @@ TEST_F(FaultInjectionTest, StormInjectsAndRecovers) {
   // terminal state.
   EXPECT_EQ(result.orders_dispatched + result.orders_expired,
             result.orders_total);
-  EXPECT_GE(result.refunded_payments, 0);
+  EXPECT_GE(result.refunded_payments, Money(0));
   // Recovery happened for at least some victims (re-dispatch or expiry both
   // count as resolution; re-dispatches should appear at these rates).
   EXPECT_GT(result.orders_redispatched, 0);
@@ -181,8 +181,8 @@ TEST_F(FaultInjectionTest, RefundsConserveMoneyAcrossSeeds) {
     const SimResult result =
         RunOnce(options, /*orders=*/40, /*vehicles=*/30, /*wl_seed=*/seed);
     SCOPED_TRACE("seed " + std::to_string(seed));
-    EXPECT_GE(result.total_payments, 0);
-    EXPECT_GE(result.refunded_payments, 0);
+    EXPECT_GE(result.total_payments, Money(0));
+    EXPECT_GE(result.refunded_payments, Money(0));
     EXPECT_GE(result.orders_dispatched, 0);
   }
 }

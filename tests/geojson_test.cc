@@ -61,8 +61,8 @@ TEST(GeoJsonTest, OrdersExportCarriesProperties) {
 TEST(GeoJsonTest, PlansExportSkipsIdleVehicles) {
   RoadNetwork net = testutil::LineNetwork(8, 500);
   std::vector<Vehicle> vehicles = {MakeVehicle(0, 0), MakeVehicle(1, 2)};
-  vehicles[1].plan.stops = {{3, 9, StopType::kPickup, 0},
-                            {6, 9, StopType::kDropoff, 1e9}};
+  vehicles[1].plan.stops = {{3, 9, StopType::kPickup, Seconds(0)},
+                            {6, 9, StopType::kDropoff, Seconds(1e9)}};
   const std::string path = testing::TempDir() + "/plans.geojson";
   ASSERT_TRUE(WritePlansGeoJson(net, vehicles, path).ok());
   const std::string content = ReadAll(path);

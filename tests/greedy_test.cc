@@ -28,7 +28,7 @@ class GreedyTest : public ::testing::Test {
     AuctionInstance in;
     in.orders = &orders_;
     in.vehicles = &vehicles_;
-    in.now_s = 0;
+    in.now_s = Seconds(0);
     in.oracle = oracle_.get();
     in.config.alpha_d_per_km = 3.0;
     return in;
@@ -43,7 +43,7 @@ class GreedyTest : public ::testing::Test {
 TEST_F(GreedyTest, EmptyInputsDispatchNothing) {
   const DispatchResult r = GreedyDispatch(Instance());
   EXPECT_TRUE(r.assignments.empty());
-  EXPECT_EQ(r.total_utility, 0);
+  EXPECT_EQ(r.total_utility, Money(0));
 }
 
 TEST_F(GreedyTest, SingleProfitableOrderIsDispatched) {
@@ -54,8 +54,8 @@ TEST_F(GreedyTest, SingleProfitableOrderIsDispatched) {
   EXPECT_EQ(r.assignments[0].order, 0);
   EXPECT_EQ(r.assignments[0].vehicle, 0);
   // Delivery ΔD = 4 km; cost = 12; utility = 8.
-  EXPECT_NEAR(r.assignments[0].cost, 12.0, 1e-9);
-  EXPECT_NEAR(r.total_utility, 8.0, 1e-9);
+  EXPECT_NEAR(r.assignments[0].cost.value(), 12.0, 1e-9);
+  EXPECT_NEAR(r.total_utility.value(), 8.0, 1e-9);
 }
 
 TEST_F(GreedyTest, NegativeUtilityOrderIsNotDispatched) {
@@ -85,8 +85,8 @@ TEST_F(GreedyTest, SharedRideSecondOrderGetsCheapInsertion) {
   // order 0 then inserts with ΔD = 2 km (extending 2..8 to 1..9).
   EXPECT_EQ(r.assignments[0].order, 1);
   EXPECT_EQ(r.assignments[1].order, 0);
-  EXPECT_NEAR(r.assignments[1].cost, 6.0, 1e-9);
-  EXPECT_NEAR(r.total_utility, 7.0 + 24.0, 1e-9);
+  EXPECT_NEAR(r.assignments[1].cost.value(), 6.0, 1e-9);
+  EXPECT_NEAR(r.total_utility.value(), 7.0 + 24.0, 1e-9);
 }
 
 TEST_F(GreedyTest, RespectsCapacityAcrossDispatches) {
@@ -133,7 +133,7 @@ TEST_F(GreedyTest, PruningOnAndOffAgree) {
   const DispatchResult pruned = GreedyDispatch(in);
   in.config.use_spatial_pruning = false;
   const DispatchResult full = GreedyDispatch(in);
-  EXPECT_NEAR(pruned.total_utility, full.total_utility, 1e-9);
+  EXPECT_NEAR(pruned.total_utility.value(), full.total_utility.value(), 1e-9);
   ASSERT_EQ(pruned.assignments.size(), full.assignments.size());
   for (std::size_t i = 0; i < pruned.assignments.size(); ++i) {
     EXPECT_EQ(pruned.assignments[i].order, full.assignments[i].order);
@@ -168,7 +168,7 @@ TEST_F(GreedyTest, ExclusionLeavesOrderUndispatched) {
   EXPECT_EQ(traced.steps[0].order, 1);
   // Before order 1's dispatch the vehicle is empty; r_0's cheapest cost is
   // its solo delivery cost 3 yuan/km * 4 km.
-  EXPECT_NEAR(traced.steps[0].h_cost_before, 12.0, 1e-9);
+  EXPECT_NEAR(traced.steps[0].h_cost_before.value(), 12.0, 1e-9);
 }
 
 // Theorem III.1 sanity: greedy achieves at least the claimed approximation
@@ -213,11 +213,11 @@ TEST_P(GreedyApproximationTest, WithinTheoremBound) {
   const DispatchResult greedy = GreedyDispatch(in);
   const OptimalResult opt = OptimalDispatch(in);
   // The optimum can never be below greedy...
-  EXPECT_GE(opt.total_utility, greedy.total_utility - 1e-6);
+  EXPECT_GE(opt.total_utility, greedy.total_utility - Money(1e-6));
   // ...and greedy is at least the max single-pair utility, which the
   // theorem's proof uses as its anchor (u0_max <= U_G).
-  if (opt.total_utility > 0) {
-    EXPECT_GT(greedy.total_utility, 0);
+  if (opt.total_utility > Money(0)) {
+    EXPECT_GT(greedy.total_utility, Money(0));
   }
 }
 
@@ -230,11 +230,11 @@ INSTANTIATE_TEST_SUITE_P(Seeds, GreedyApproximationTest,
 DispatchResult NaiveGreedy(const AuctionInstance& in) {
   const std::vector<Order>& orders = *in.orders;
   std::vector<Vehicle> vehicles = *in.vehicles;
-  const double alpha_per_m = in.config.alpha_d_per_km / 1000.0;
+  const MoneyPerMeter alpha_per_m{in.config.alpha_d_per_km / 1000.0};
   std::vector<char> dispatched(orders.size(), 0);
   DispatchResult result;
   for (;;) {
-    double best_utility = -1e18;
+    Money best_utility{-1e18};
     int best_order = -1;
     int best_vehicle = -1;
     InsertionResult best_insertion;
@@ -244,7 +244,7 @@ DispatchResult NaiveGreedy(const AuctionInstance& in) {
         InsertionResult ins =
             BestInsertion(vehicles[i], orders[j], in.now_s, *in.oracle);
         if (!ins.feasible) continue;
-        const double u = orders[j].bid - alpha_per_m * ins.delta_delivery_m;
+        const Money u = orders[j].bid - alpha_per_m * ins.delta_delivery_m;
         // Tie-break identical to the optimized heap: utility desc, then
         // order index asc, then vehicle index asc.
         const bool better =
@@ -265,7 +265,7 @@ DispatchResult NaiveGreedy(const AuctionInstance& in) {
     Vehicle& vehicle = vehicles[static_cast<std::size_t>(best_vehicle)];
     vehicle.plan.stops = best_insertion.new_plan;
     dispatched[static_cast<std::size_t>(best_order)] = 1;
-    const double cost = alpha_per_m * best_insertion.delta_delivery_m;
+    const Money cost = alpha_per_m * best_insertion.delta_delivery_m;
     result.assignments.push_back(
         {orders[static_cast<std::size_t>(best_order)].id, vehicle.id, cost,
          orders[static_cast<std::size_t>(best_order)].bid - cost});
@@ -319,10 +319,10 @@ TEST_P(GreedyReferenceTest, OptimizedMatchesNaiveSequence) {
         << "step " << k;
     EXPECT_EQ(fast.assignments[k].vehicle, naive.assignments[k].vehicle)
         << "step " << k;
-    EXPECT_NEAR(fast.assignments[k].utility, naive.assignments[k].utility,
-                1e-9);
+      EXPECT_NEAR(fast.assignments[k].utility.value(),
+                naive.assignments[k].utility.value(), 1e-9);
   }
-  EXPECT_NEAR(fast.total_utility, naive.total_utility, 1e-9);
+  EXPECT_NEAR(fast.total_utility.value(), naive.total_utility.value(), 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GreedyReferenceTest,

@@ -103,7 +103,8 @@ TEST_P(InvariantFuzzTest, PricingPathsAgreeAndVerify) {
   ASSERT_EQ(gpri_serial.size(), gpri_parallel.size());
   for (std::size_t i = 0; i < gpri_serial.size(); ++i) {
     EXPECT_EQ(gpri_serial[i].order, gpri_parallel[i].order);
-    EXPECT_DOUBLE_EQ(gpri_serial[i].payment, gpri_parallel[i].payment);
+    EXPECT_DOUBLE_EQ(gpri_serial[i].payment.value(),
+                     gpri_parallel[i].payment.value());
   }
 
   const RankRunResult rank = RankDispatch(in);
@@ -115,7 +116,8 @@ TEST_P(InvariantFuzzTest, PricingPathsAgreeAndVerify) {
   ASSERT_EQ(dnw_serial.size(), dnw_parallel.size());
   for (std::size_t i = 0; i < dnw_serial.size(); ++i) {
     EXPECT_EQ(dnw_serial[i].order, dnw_parallel[i].order);
-    EXPECT_DOUBLE_EQ(dnw_serial[i].payment, dnw_parallel[i].payment);
+    EXPECT_DOUBLE_EQ(dnw_serial[i].payment.value(),
+                     dnw_parallel[i].payment.value());
   }
 }
 

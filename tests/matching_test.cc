@@ -161,7 +161,7 @@ TEST(MatchingDispatchTest, BeatsGreedyOnAssignmentConflicts) {
   in.oracle = &oracle;
   const DispatchResult matched = MatchingDispatch(in);
   const DispatchResult greedy = GreedyDispatch(in);
-  EXPECT_GE(matched.total_utility, greedy.total_utility - 1e-9);
+  EXPECT_GE(matched.total_utility, greedy.total_utility - Money(1e-9));
   EXPECT_EQ(matched.assignments.size(), 2u);
 }
 

@@ -81,7 +81,7 @@ TEST(MechanismTest, ZeroChargeRatioMatchesRawDispatch) {
               outcome.dispatch.assignments[i].order);
     const Order& order =
         sc.orders[static_cast<std::size_t>(outcome.payments[i].order)];
-    EXPECT_LE(outcome.payments[i].payment, order.bid + 1e-9);
+    EXPECT_LE(outcome.payments[i].payment, order.bid + Money(1e-9));
   }
 }
 
@@ -93,7 +93,7 @@ TEST(MechanismTest, ChargeRatioDeductsBidsBeforeDispatch) {
   // Every dispatched pair must be utility-positive on *deducted* bids.
   for (const Assignment& a : outcome.dispatch.assignments) {
     const Order& order = sc.orders[static_cast<std::size_t>(a.order)];
-    EXPECT_GE(0.7 * order.bid - a.cost, -1e-6);
+    EXPECT_GE(0.7 * order.bid - a.cost, Money(-1e-6));
   }
 }
 
@@ -125,7 +125,7 @@ TEST_P(ChargeProfitabilityTest, CrOfHalfGuaranteesNonNegativePlatform) {
   AuctionInstance in = sc.Instance();
   in.config.charge_ratio = 0.5;
   const MechanismOutcome outcome = RunMechanism(kind, in);
-  EXPECT_GE(outcome.platform_utility, -1e-6)
+  EXPECT_GE(outcome.platform_utility, Money(-1e-6))
       << "seed " << seed << " kind " << kind_int;
 }
 
@@ -138,7 +138,7 @@ TEST_P(ChargeProfitabilityTest, RequesterUtilityStaysNonNegative) {
   const MechanismOutcome outcome = RunMechanism(kind, in);
   // val − pay − fee >= 0 per dispatched requester in aggregate: pay is IR on
   // the deducted bid (pay <= (1−CR)·val) and fee = CR·val.
-  EXPECT_GE(outcome.requester_utility, -1e-6);
+  EXPECT_GE(outcome.requester_utility, Money(-1e-6));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -156,8 +156,8 @@ TEST(MechanismTest, ParallelPricingMatchesSerial) {
   ASSERT_EQ(serial.payments.size(), parallel.payments.size());
   for (std::size_t i = 0; i < serial.payments.size(); ++i) {
     EXPECT_EQ(serial.payments[i].order, parallel.payments[i].order);
-    EXPECT_NEAR(serial.payments[i].payment, parallel.payments[i].payment,
-                1e-9);
+    EXPECT_NEAR(serial.payments[i].payment.value(),
+                parallel.payments[i].payment.value(), 1e-9);
   }
 }
 
@@ -166,16 +166,17 @@ TEST(MechanismTest, PlatformUtilityAccountingIdentity) {
   AuctionInstance in = sc.Instance();
   in.config.charge_ratio = 0.25;
   const MechanismOutcome outcome = RunMechanism(MechanismKind::kGreedy, in);
-  double pay_sum = 0;
-  double fee_sum = 0;
+  Money pay_sum;
+  Money fee_sum;
   for (const Payment& p : outcome.payments) {
     pay_sum += p.payment;
     fee_sum +=
         0.25 * sc.orders[static_cast<std::size_t>(p.order)].bid;
   }
-  const double payout = in.config.beta_d_per_km / 1000.0 *
-                        outcome.dispatch.total_delta_delivery_m;
-  EXPECT_NEAR(outcome.platform_utility, pay_sum + fee_sum - payout, 1e-9);
+  const Money payout = MoneyPerMeter(in.config.beta_d_per_km / 1000.0) *
+                       outcome.dispatch.total_delta_delivery_m;
+  EXPECT_NEAR(outcome.platform_utility.value(),
+              (pay_sum + fee_sum - payout).value(), 1e-9);
 }
 
 }  // namespace

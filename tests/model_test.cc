@@ -8,19 +8,19 @@ namespace auctionride {
 namespace {
 
 PlanStop Pickup(NodeId node, OrderId order) {
-  return {node, order, StopType::kPickup, 0};
+  return {node, order, StopType::kPickup, Seconds(0)};
 }
-PlanStop Dropoff(NodeId node, OrderId order, double deadline = 1e18) {
+PlanStop Dropoff(NodeId node, OrderId order, Seconds deadline = Seconds(1e18)) {
   return {node, order, StopType::kDropoff, deadline};
 }
 
 TEST(OrderTest, DropoffDeadlineFormula) {
   Order o;
-  o.shortest_time_s = 600;
-  o.max_wasted_time_s = 300;
+  o.shortest_time_s = Seconds(600);
+  o.max_wasted_time_s = Seconds(300);
   // deadline = dispatch + θ + t(s,e)
-  EXPECT_DOUBLE_EQ(o.DropoffDeadline(100), 1000);
-  EXPECT_DOUBLE_EQ(o.DropoffDeadline(0), 900);
+  EXPECT_DOUBLE_EQ(o.DropoffDeadline(Seconds(100)).value(), 1000);
+  EXPECT_DOUBLE_EQ(o.DropoffDeadline(Seconds(0)).value(), 900);
 }
 
 TEST(TravelPlanTest, EmptyPlanProperties) {

@@ -21,9 +21,9 @@ TEST(ExactBestPlanTest, SingleOrderEqualsShortestPath) {
   DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
   const Vehicle v = MakeVehicle(0, 0);
   const Order o = MakeOrder(1, 2, 7, 20, oracle);
-  const ExactPlanResult exact = ExactBestPlan(v, {&o}, 0, oracle);
+  const ExactPlanResult exact = ExactBestPlan(v, {&o}, Seconds(0), oracle);
   ASSERT_TRUE(exact.feasible);
-  EXPECT_DOUBLE_EQ(exact.delta_delivery_m, 5000);
+  EXPECT_DOUBLE_EQ(exact.delta_delivery_m.value(), 5000);
 }
 
 TEST(ExactBestPlanTest, FindsInterleavingInsertionMisses) {
@@ -35,9 +35,9 @@ TEST(ExactBestPlanTest, FindsInterleavingInsertionMisses) {
   const Order a = MakeOrder(1, 9, 45, 20, oracle, 3.0);
   const Order b = MakeOrder(2, 18, 36, 20, oracle, 3.0);
   const Order c = MakeOrder(3, 27, 54, 20, oracle, 3.0);
-  const ExactPlanResult exact = ExactBestPlan(v, {&a, &b, &c}, 0, oracle);
+  const ExactPlanResult exact = ExactBestPlan(v, {&a, &b, &c}, Seconds(0), oracle);
   ASSERT_TRUE(exact.feasible);
-  EXPECT_GT(exact.delta_delivery_m, 0);
+  EXPECT_GT(exact.delta_delivery_m, Meters(0));
 }
 
 TEST(ExactBestPlanTest, CapacityBound) {
@@ -46,8 +46,8 @@ TEST(ExactBestPlanTest, CapacityBound) {
   const Vehicle v = MakeVehicle(0, 0, /*capacity=*/1);
   const Order a = MakeOrder(1, 1, 3, 10, oracle);
   const Order b = MakeOrder(2, 2, 4, 10, oracle);
-  EXPECT_FALSE(ExactBestPlan(v, {&a, &b}, 0, oracle).feasible);
-  EXPECT_TRUE(ExactBestPlan(v, {&a}, 0, oracle).feasible);
+  EXPECT_FALSE(ExactBestPlan(v, {&a, &b}, Seconds(0), oracle).feasible);
+  EXPECT_TRUE(ExactBestPlan(v, {&a}, Seconds(0), oracle).feasible);
 }
 
 TEST(OptimalDispatchTest, EmptyInstance) {
@@ -60,7 +60,7 @@ TEST(OptimalDispatchTest, EmptyInstance) {
   in.vehicles = &vehicles;
   in.oracle = &oracle;
   const OptimalResult r = OptimalDispatch(in);
-  EXPECT_EQ(r.total_utility, 0);
+  EXPECT_EQ(r.total_utility, Money(0));
   EXPECT_TRUE(r.assignment.empty());
 }
 
@@ -74,7 +74,7 @@ TEST(OptimalDispatchTest, LeavesNegativeUtilityOrdersOut) {
   in.vehicles = &vehicles;
   in.oracle = &oracle;
   const OptimalResult r = OptimalDispatch(in);
-  EXPECT_EQ(r.total_utility, 0);  // dispatching would lose money
+  EXPECT_EQ(r.total_utility, Money(0));  // dispatching would lose money
   EXPECT_TRUE(r.assignment.empty());
 }
 
@@ -92,7 +92,7 @@ TEST(OptimalDispatchTest, FindsJointlyProfitablePack) {
   in.oracle = &oracle;
   const OptimalResult r = OptimalDispatch(in);
   EXPECT_EQ(r.assignment.size(), 2u);
-  EXPECT_GT(r.total_utility, 0);
+  EXPECT_GT(r.total_utility, Money(0));
 }
 
 // Property: on random small instances, the optimum dominates both
@@ -138,13 +138,14 @@ TEST_P(OptimalDominanceTest, OptimumDominatesHeuristics) {
   const OptimalResult opt = OptimalDispatch(in);
   const DispatchResult greedy = GreedyDispatch(in);
   const DispatchResult rank = RankDispatch(in).result;
-  EXPECT_GE(opt.total_utility, greedy.total_utility - 1e-6);
-  EXPECT_GE(opt.total_utility, rank.total_utility - 1e-6);
-  if (opt.total_utility > 1e-9) {
+  EXPECT_GE(opt.total_utility, greedy.total_utility - Money(1e-6));
+  EXPECT_GE(opt.total_utility, rank.total_utility - Money(1e-6));
+  if (opt.total_utility > Money(1e-9)) {
     // Theorem IV.1: Rank >= OPT/m. (Holds with the restricted pack universe
     // because every singleton pack is enumerated.)
     EXPECT_GE(rank.total_utility,
-              opt.total_utility / static_cast<double>(orders.size()) - 1e-6);
+              opt.total_utility / static_cast<double>(orders.size()) -
+                  Money(1e-6));
   }
 }
 

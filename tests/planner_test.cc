@@ -41,7 +41,7 @@ class Figure1Test : public ::testing::Test {
         &net_, DistanceOracle::Backend::kDijkstra);
   }
 
-  double Te() const { return kUnit / oracle_->speed_mps(); }
+  Seconds Te() const { return Meters(kUnit) / oracle_->speed_mps(); }
 
   RoadNetwork net_;
   std::unique_ptr<DistanceOracle> oracle_;
@@ -61,11 +61,11 @@ TEST_F(Figure1Test, FullTourWastesThreeTeForR1) {
   Order r3 = MakeOrder(3, kS3, kE3, 30, *oracle_, /*gamma=*/8.0);
 
   const Vehicle v1 = MakeVehicle(1, kV1);
-  const double now = 0;
+  const Seconds now;
   std::vector<PlanStop> tour = {
-      {kS1, 1, StopType::kPickup, 0},
-      {kS3, 3, StopType::kPickup, 0},
-      {kS2, 2, StopType::kPickup, 0},
+      {kS1, 1, StopType::kPickup, Seconds(0)},
+      {kS3, 3, StopType::kPickup, Seconds(0)},
+      {kS2, 2, StopType::kPickup, Seconds(0)},
       {kE2, 2, StopType::kDropoff, r2.DropoffDeadline(now)},
       {kE3, 3, StopType::kDropoff, r3.DropoffDeadline(now)},
       {kE1, 1, StopType::kDropoff, r1.DropoffDeadline(now)},
@@ -80,8 +80,8 @@ TEST_F(Figure1Test, FullTourWastesThreeTeForR1) {
   const PlanEvaluation eval2 = EvaluatePlan(v1, tour, now, *oracle_);
   EXPECT_TRUE(eval2.feasible);
   // Delivery excludes the approach leg v1->s1: 5 segments.
-  EXPECT_DOUBLE_EQ(eval2.delivery_distance_m, 5 * kUnit);
-  EXPECT_DOUBLE_EQ(eval2.total_distance_m, 6 * kUnit);
+  EXPECT_DOUBLE_EQ(eval2.delivery_distance_m.value(), 5 * kUnit);
+  EXPECT_DOUBLE_EQ(eval2.total_distance_m.value(), 6 * kUnit);
 }
 
 TEST_F(Figure1Test, ValidAlternativeDispatchesR1AndR3) {
@@ -89,16 +89,16 @@ TEST_F(Figure1Test, ValidAlternativeDispatchesR1AndR3) {
   r1.max_wasted_time_s = 2 * Te();
   Order r3 = MakeOrder(3, kS3, kE3, 30, *oracle_, /*gamma=*/4.0);
   const Vehicle v1 = MakeVehicle(1, kV1);
-  const double now = 0;
+  const Seconds now;
   const std::vector<PlanStop> plan = {
-      {kS1, 1, StopType::kPickup, 0},
-      {kS3, 3, StopType::kPickup, 0},
+      {kS1, 1, StopType::kPickup, Seconds(0)},
+      {kS3, 3, StopType::kPickup, Seconds(0)},
       {kE3, 3, StopType::kDropoff, r3.DropoffDeadline(now)},
       {kE1, 1, StopType::kDropoff, r1.DropoffDeadline(now)},
   };
   const PlanEvaluation eval = EvaluatePlan(v1, plan, now, *oracle_);
   EXPECT_TRUE(eval.feasible);
-  EXPECT_DOUBLE_EQ(eval.delivery_distance_m, 3 * kUnit);
+  EXPECT_DOUBLE_EQ(eval.delivery_distance_m.value(), 3 * kUnit);
 }
 
 TEST(PlanEvalTest, CapacityViolationIsInfeasible) {
@@ -108,14 +108,14 @@ TEST(PlanEvalTest, CapacityViolationIsInfeasible) {
   Order a = MakeOrder(1, 1, 6, 10, oracle);
   Order b = MakeOrder(2, 2, 5, 10, oracle);
   const std::vector<PlanStop> plan = {
-      {1, 1, StopType::kPickup, 0},
-      {2, 2, StopType::kPickup, 0},
-      {5, 2, StopType::kDropoff, b.DropoffDeadline(0)},
-      {6, 1, StopType::kDropoff, a.DropoffDeadline(0)},
+      {1, 1, StopType::kPickup, Seconds(0)},
+      {2, 2, StopType::kPickup, Seconds(0)},
+      {5, 2, StopType::kDropoff, b.DropoffDeadline(Seconds(0))},
+      {6, 1, StopType::kDropoff, a.DropoffDeadline(Seconds(0))},
   };
-  EXPECT_FALSE(EvaluatePlan(v, plan, 0, oracle).feasible);
+  EXPECT_FALSE(EvaluatePlan(v, plan, Seconds(0), oracle).feasible);
   v.capacity = 2;
-  EXPECT_TRUE(EvaluatePlan(v, plan, 0, oracle).feasible);
+  EXPECT_TRUE(EvaluatePlan(v, plan, Seconds(0), oracle).feasible);
 }
 
 TEST(PlanEvalTest, OnboardRiderCountsAgainstCapacity) {
@@ -125,10 +125,10 @@ TEST(PlanEvalTest, OnboardRiderCountsAgainstCapacity) {
   v.onboard = 2;  // full: two riders already in the car
   Order a = MakeOrder(1, 1, 6, 10, oracle);
   const std::vector<PlanStop> plan = {
-      {1, 1, StopType::kPickup, 0},
-      {6, 1, StopType::kDropoff, a.DropoffDeadline(0)},
+      {1, 1, StopType::kPickup, Seconds(0)},
+      {6, 1, StopType::kDropoff, a.DropoffDeadline(Seconds(0))},
   };
-  EXPECT_FALSE(EvaluatePlan(v, plan, 0, oracle).feasible);
+  EXPECT_FALSE(EvaluatePlan(v, plan, Seconds(0), oracle).feasible);
 }
 
 TEST(PlanEvalTest, DeliveryCountsEverythingOnceInDelivery) {
@@ -136,28 +136,28 @@ TEST(PlanEvalTest, DeliveryCountsEverythingOnceInDelivery) {
   DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
   Vehicle v = MakeVehicle(0, 2);
   v.onboard = 1;  // already delivering
-  v.extra_distance_m = 40;
+  v.extra_distance_m = Meters(40);
   Order a = MakeOrder(1, 4, 7, 10, oracle);
   const std::vector<PlanStop> plan = {
-      {4, 1, StopType::kPickup, 0},
-      {7, 1, StopType::kDropoff, a.DropoffDeadline(0)},
-      {9, 9, StopType::kDropoff, 1e9},  // the onboard rider
+      {4, 1, StopType::kPickup, Seconds(0)},
+      {7, 1, StopType::kDropoff, a.DropoffDeadline(Seconds(0))},
+      {9, 9, StopType::kDropoff, Seconds(1e9)},  // the onboard rider
   };
-  const PlanEvaluation eval = EvaluatePlan(v, plan, 0, oracle);
+  const PlanEvaluation eval = EvaluatePlan(v, plan, Seconds(0), oracle);
   ASSERT_TRUE(eval.feasible);
   // extra 40 + (2->4) 200 + (4->7) 300 + (7->9) 200, all in delivery.
-  EXPECT_DOUBLE_EQ(eval.delivery_distance_m, 740);
-  EXPECT_DOUBLE_EQ(eval.total_distance_m, 740);
+  EXPECT_DOUBLE_EQ(eval.delivery_distance_m.value(), 740);
+  EXPECT_DOUBLE_EQ(eval.total_distance_m.value(), 740);
 }
 
 TEST(PlanEvalTest, EmptyPlanIsFeasibleWithZeroDistance) {
   RoadNetwork net = testutil::LineNetwork(3, 100);
   DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
   const Vehicle v = MakeVehicle(0, 1);
-  const PlanEvaluation eval = EvaluatePlan(v, {}, 0, oracle);
+  const PlanEvaluation eval = EvaluatePlan(v, {}, Seconds(0), oracle);
   EXPECT_TRUE(eval.feasible);
-  EXPECT_DOUBLE_EQ(eval.total_distance_m, 0);
-  EXPECT_DOUBLE_EQ(eval.delivery_distance_m, 0);
+  EXPECT_DOUBLE_EQ(eval.total_distance_m.value(), 0);
+  EXPECT_DOUBLE_EQ(eval.delivery_distance_m.value(), 0);
 }
 
 TEST(InsertionTest, SingleOrderIntoIdleVehicle) {
@@ -165,10 +165,10 @@ TEST(InsertionTest, SingleOrderIntoIdleVehicle) {
   DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
   const Vehicle v = MakeVehicle(0, 0);
   const Order o = MakeOrder(1, 2, 6, 20, oracle);
-  const InsertionResult ins = BestInsertion(v, o, 0, oracle);
+  const InsertionResult ins = BestInsertion(v, o, Seconds(0), oracle);
   ASSERT_TRUE(ins.feasible);
   // Delivery distance = d(s, e) = 4000; the approach 0->2 is not delivery.
-  EXPECT_DOUBLE_EQ(ins.delta_delivery_m, 4000);
+  EXPECT_DOUBLE_EQ(ins.delta_delivery_m.value(), 4000);
   ASSERT_EQ(ins.new_plan.size(), 2u);
   EXPECT_EQ(ins.new_plan[0].node, 2);
   EXPECT_EQ(ins.new_plan[1].node, 6);
@@ -180,8 +180,8 @@ TEST(InsertionTest, InfeasibleWhenThetaTooTight) {
   const Vehicle v = MakeVehicle(0, 0);
   Order o = MakeOrder(1, 5, 7, 20, oracle);
   // Approach needs 5000 m; wt = 5000/speed > θ.
-  o.max_wasted_time_s = 4000 / oracle.speed_mps();
-  EXPECT_FALSE(BestInsertion(v, o, 0, oracle).feasible);
+  o.max_wasted_time_s = Meters(4000) / oracle.speed_mps();
+  EXPECT_FALSE(BestInsertion(v, o, Seconds(0), oracle).feasible);
 }
 
 TEST(InsertionTest, SharedRideReducesMarginalCost) {
@@ -189,15 +189,15 @@ TEST(InsertionTest, SharedRideReducesMarginalCost) {
   DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
   Vehicle v = MakeVehicle(0, 0);
   const Order a = MakeOrder(1, 1, 8, 20, oracle);
-  const InsertionResult first = BestInsertion(v, a, 0, oracle);
+  const InsertionResult first = BestInsertion(v, a, Seconds(0), oracle);
   ASSERT_TRUE(first.feasible);
   v.plan.stops = first.new_plan;
 
   // Same corridor: marginal delivery distance should be ~0.
   const Order b = MakeOrder(2, 2, 7, 20, oracle);
-  const InsertionResult second = BestInsertion(v, b, 0, oracle);
+  const InsertionResult second = BestInsertion(v, b, Seconds(0), oracle);
   ASSERT_TRUE(second.feasible);
-  EXPECT_DOUBLE_EQ(second.delta_delivery_m, 0);
+  EXPECT_DOUBLE_EQ(second.delta_delivery_m.value(), 0);
   EXPECT_TRUE(TravelPlan{second.new_plan}.PrecedenceHolds());
 }
 
@@ -206,16 +206,16 @@ TEST(InsertionTest, RespectsExistingRiderDeadline) {
   DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
   Vehicle v = MakeVehicle(0, 1);  // at r_a's origin: no approach waste
   Order a = MakeOrder(1, 1, 5, 20, oracle, /*gamma=*/1.2);
-  const InsertionResult first = BestInsertion(v, a, 0, oracle);
+  const InsertionResult first = BestInsertion(v, a, Seconds(0), oracle);
   ASSERT_TRUE(first.feasible);
   v.plan.stops = first.new_plan;
 
   // A long opposite detour would violate r_a's deadline; the only feasible
   // insertions keep r_a's drop-off early.
   const Order b = MakeOrder(2, 15, 18, 20, oracle);
-  const InsertionResult second = BestInsertion(v, b, 0, oracle);
+  const InsertionResult second = BestInsertion(v, b, Seconds(0), oracle);
   if (second.feasible) {
-    const PlanEvaluation eval = EvaluatePlan(v, second.new_plan, 0, oracle);
+    const PlanEvaluation eval = EvaluatePlan(v, second.new_plan, Seconds(0), oracle);
     EXPECT_TRUE(eval.feasible);
   }
 }
@@ -226,15 +226,15 @@ TEST(InsertionTest, FullVehicleRejects) {
   Vehicle v = MakeVehicle(0, 0, /*capacity=*/1);
   v.onboard = 1;
   const Order o = MakeOrder(1, 1, 3, 20, oracle);
-  EXPECT_FALSE(BestInsertion(v, o, 0, oracle).feasible);
+  EXPECT_FALSE(BestInsertion(v, o, Seconds(0), oracle).feasible);
 }
 
 TEST(InsertionTest, MaxPickupRadius) {
   RoadNetwork net = testutil::LineNetwork(5, 1000);
   DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
   Order o = MakeOrder(1, 1, 3, 20, oracle);
-  o.max_wasted_time_s = 120;
-  EXPECT_DOUBLE_EQ(MaxPickupRadiusM(o, 10.0), 1200);
+  o.max_wasted_time_s = Seconds(120);
+  EXPECT_DOUBLE_EQ(MaxPickupRadiusM(o, MetersPerSecond(10.0)).value(), 1200);
 }
 
 TEST(PackPlannerTest, PairOnSharedCorridor) {
@@ -244,10 +244,10 @@ TEST(PackPlannerTest, PairOnSharedCorridor) {
   const Order a = MakeOrder(1, 1, 9, 20, oracle);
   const Order b = MakeOrder(2, 2, 8, 20, oracle);
   const std::vector<const Order*> pack = {&a, &b};
-  const PackPlanResult plan = PlanPack(v, pack, 0, oracle);
+  const PackPlanResult plan = PlanPack(v, pack, Seconds(0), oracle);
   ASSERT_TRUE(plan.feasible);
   // Joint delivery: s_a(1) -> s_b(2) -> e_b(8) -> e_a(9) = 8000 m.
-  EXPECT_DOUBLE_EQ(plan.delta_delivery_m, 8000);
+  EXPECT_DOUBLE_EQ(plan.delta_delivery_m.value(), 8000);
   EXPECT_EQ(plan.new_plan.size(), 4u);
 }
 
@@ -277,15 +277,15 @@ TEST(PackPlannerTest, MatchesExactPlanOnSmallCases) {
     // Start at the first order's origin so approaches stay feasible.
     const Vehicle v = MakeVehicle(0, orders[0].origin);
     const std::vector<const Order*> pack = {&orders[0], &orders[1]};
-    const PackPlanResult insertion_plan = PlanPack(v, pack, 0, oracle);
+    const PackPlanResult insertion_plan = PlanPack(v, pack, Seconds(0), oracle);
     const ExactPlanResult exact = ExactBestPlan(v, {pack.begin(), pack.end()},
-                                                0, oracle);
+                                                Seconds(0), oracle);
     // Insertion is a (possibly suboptimal) upper bound on the exact optimum,
     // and they must agree on feasibility in this direction:
     if (insertion_plan.feasible) {
       ASSERT_TRUE(exact.feasible);
       EXPECT_GE(insertion_plan.delta_delivery_m,
-                exact.delta_delivery_m - 1e-6);
+                exact.delta_delivery_m - Meters(1e-6));
       ++feasible_cases;
     }
   }
@@ -323,7 +323,7 @@ TEST_P(InsertionPropertyTest, PlanStructureAndDeltaConsistency) {
       NodeId e = random_node();
       if (s == e) continue;
       Order o = testutil::MakeOrder(100 + k, s, e, 10, oracle, /*gamma=*/6.0);
-      const InsertionResult ins = BestInsertion(v, o, 0, oracle);
+      const InsertionResult ins = BestInsertion(v, o, Seconds(0), oracle);
       if (ins.feasible) {
         v.plan.stops = ins.new_plan;
         carried.push_back(o);
@@ -335,9 +335,9 @@ TEST_P(InsertionPropertyTest, PlanStructureAndDeltaConsistency) {
     const Order order =
         testutil::MakeOrder(7, s, e, 20, oracle, /*gamma=*/3.0);
 
-    const double base_delivery =
-        EvaluatePlan(v, v.plan.stops, 0, oracle).delivery_distance_m;
-    const InsertionResult ins = BestInsertion(v, order, 0, oracle);
+    const Meters base_delivery =
+        EvaluatePlan(v, v.plan.stops, Seconds(0), oracle).delivery_distance_m;
+    const InsertionResult ins = BestInsertion(v, order, Seconds(0), oracle);
     if (!ins.feasible) continue;
 
     // Relative order of pre-existing stops preserved.
@@ -365,10 +365,10 @@ TEST_P(InsertionPropertyTest, PlanStructureAndDeltaConsistency) {
     ASSERT_GT(dropoff_pos, pickup_pos);
 
     // Independent ΔD recomputation.
-    const PlanEvaluation eval = EvaluatePlan(v, ins.new_plan, 0, oracle);
+    const PlanEvaluation eval = EvaluatePlan(v, ins.new_plan, Seconds(0), oracle);
     ASSERT_TRUE(eval.feasible);
-    EXPECT_NEAR(ins.delta_delivery_m,
-                eval.delivery_distance_m - base_delivery, 1e-6);
+    EXPECT_NEAR(ins.delta_delivery_m.value(),
+                (eval.delivery_distance_m - base_delivery).value(), 1e-6);
   }
 }
 
@@ -383,7 +383,7 @@ TEST(PackPlannerTest, RejectsOverCapacity) {
   const Order b = MakeOrder(2, 2, 5, 10, oracle);
   const Order c = MakeOrder(3, 3, 6, 10, oracle);
   const std::vector<const Order*> pack = {&a, &b, &c};
-  EXPECT_FALSE(PlanPack(v, pack, 0, oracle).feasible);
+  EXPECT_FALSE(PlanPack(v, pack, Seconds(0), oracle).feasible);
 }
 
 }  // namespace

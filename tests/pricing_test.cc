@@ -33,7 +33,7 @@ struct RandomScenario {
     AuctionInstance in;
     in.orders = &orders;
     in.vehicles = &vehicles;
-    in.now_s = 0;
+    in.now_s = Seconds(0);
     in.oracle = oracle.get();
     in.config.alpha_d_per_km = 3.0;
     return in;
@@ -77,7 +77,7 @@ bool DispatchedWithBid(const RandomScenario& sc, OrderId h, double bid,
                        bool use_rank) {
   std::vector<Order> orders = sc.orders;
   for (Order& o : orders) {
-    if (o.id == h) o.bid = bid;
+    if (o.id == h) o.bid = Money(bid);
   }
   AuctionInstance in = sc.Instance();
   in.orders = &orders;
@@ -91,18 +91,18 @@ double PaymentWithBid(const RandomScenario& sc, OrderId h, double bid,
                       bool use_rank) {
   std::vector<Order> orders = sc.orders;
   for (Order& o : orders) {
-    if (o.id == h) o.bid = bid;
+    if (o.id == h) o.bid = Money(bid);
   }
   AuctionInstance in = sc.Instance();
   in.orders = &orders;
   if (use_rank) {
     const RankRunResult run = RankDispatch(in);
     if (!run.result.IsDispatched(h)) return -1;
-    return DnWPriceOrder(in, run.artifacts, h);
+    return DnWPriceOrder(in, run.artifacts, h).value();
   }
   const DispatchResult run = GreedyDispatch(in);
   if (!run.IsDispatched(h)) return -1;
-  return GPriPriceOrder(in, h);
+  return GPriPriceOrder(in, h).value();
 }
 
 class PricingPropertyTest
@@ -126,11 +126,11 @@ TEST_P(PricingPropertyTest, IndividualRationalityAndCriticalPayment) {
   for (const Assignment& a : dispatch.assignments) {
     const Order& order = sc.orders[static_cast<std::size_t>(a.order)];
     const double pay = use_rank
-                           ? DnWPriceOrder(in, artifacts, a.order)
-                           : GPriPriceOrder(in, a.order);
+                           ? DnWPriceOrder(in, artifacts, a.order).value()
+                           : GPriPriceOrder(in, a.order).value();
 
     // Individual rationality (Definition 12): pay <= bid = val.
-    EXPECT_LE(pay, order.bid + 1e-9)
+    EXPECT_LE(pay, order.bid.value() + 1e-9)
         << "order " << a.order << " seed " << seed << " rank " << use_rank;
     EXPECT_GE(pay, -1e-9);
 
@@ -162,7 +162,8 @@ TEST_P(PricingPropertyTest, Monotonicity) {
     const Order& order = sc.orders[static_cast<std::size_t>(a.order)];
     // A winner keeps winning with any higher bid (Definition 11 companion).
     for (double boost : {1.0, 5.0, 25.0}) {
-      EXPECT_TRUE(DispatchedWithBid(sc, a.order, order.bid + boost, use_rank))
+      EXPECT_TRUE(
+          DispatchedWithBid(sc, a.order, order.bid.value() + boost, use_rank))
           << "order " << a.order << " boost " << boost << " seed " << seed
           << " rank " << use_rank;
     }
@@ -186,11 +187,11 @@ TEST_P(PricingPropertyTest, PaymentIndependentOfWinningBid) {
   for (const Assignment& a : dispatch.assignments) {
     const Order& order = sc.orders[static_cast<std::size_t>(a.order)];
     const double pay = use_rank
-                           ? DnWPriceOrder(in, artifacts, a.order)
-                           : GPriPriceOrder(in, a.order);
+                           ? DnWPriceOrder(in, artifacts, a.order).value()
+                           : GPriPriceOrder(in, a.order).value();
     // Raising the bid must not change the payment (second-price flavor).
     const double pay_boosted =
-        PaymentWithBid(sc, a.order, order.bid + 10.0, use_rank);
+        PaymentWithBid(sc, a.order, order.bid.value() + 10.0, use_rank);
     ASSERT_GE(pay_boosted, 0) << "boosted bid lost? order " << a.order;
     EXPECT_NEAR(pay_boosted, pay, 1e-6)
         << "order " << a.order << " seed " << seed << " rank " << use_rank;
@@ -217,16 +218,16 @@ TEST_P(PricingPropertyTest, TruthfulBiddingIsOptimal) {
   for (std::size_t j = 0; j < sc.orders.size(); ++j) {
     const Order& order = sc.orders[j];
     const double truthful_pay =
-        PaymentWithBid(sc, order.id, order.valuation, use_rank);
+        PaymentWithBid(sc, order.id, order.valuation.value(), use_rank);
     const double truthful_utility =
-        truthful_pay < 0 ? 0.0 : order.valuation - truthful_pay;
+        truthful_pay < 0 ? 0.0 : order.valuation.value() - truthful_pay;
     EXPECT_GE(truthful_utility, -1e-6);
 
     for (double factor : {0.4, 0.8, 1.3, 2.0}) {
-      const double lie = order.valuation * factor;
+      const double lie = order.valuation.value() * factor;
       const double lie_pay = PaymentWithBid(sc, order.id, lie, use_rank);
       const double lie_utility =
-          lie_pay < 0 ? 0.0 : order.valuation - lie_pay;
+          lie_pay < 0 ? 0.0 : order.valuation.value() - lie_pay;
       EXPECT_LE(lie_utility, truthful_utility + 1e-6)
           << "order " << order.id << " factor " << factor << " seed " << seed
           << " rank " << use_rank;
@@ -256,7 +257,7 @@ TEST(GPriTest, SecondPriceOnSingleSeatContention) {
   ASSERT_TRUE(r.IsDispatched(0));
   ASSERT_FALSE(r.IsDispatched(1));
   // Order 0 replaces order 1: critical bid = bid_1 − cost_1 + cost_0 = 20.
-  EXPECT_NEAR(GPriPriceOrder(in, 0), 20.0, 1e-9);
+  EXPECT_NEAR(GPriPriceOrder(in, 0).value(), 20.0, 1e-9);
 }
 
 TEST(GPriTest, UncontestedWinnerPaysCost) {
@@ -270,7 +271,7 @@ TEST(GPriTest, UncontestedWinnerPaysCost) {
   in.oracle = &oracle;
   ASSERT_TRUE(GreedyDispatch(in).IsDispatched(0));
   // No competition: pay = dispatch cost = 3 yuan/km * 4 km.
-  EXPECT_NEAR(GPriPriceOrder(in, 0), 12.0, 1e-9);
+  EXPECT_NEAR(GPriPriceOrder(in, 0).value(), 12.0, 1e-9);
 }
 
 TEST(DnWTest, UncontestedWinnerPaysCost) {
@@ -285,7 +286,7 @@ TEST(DnWTest, UncontestedWinnerPaysCost) {
   const RankRunResult run = RankDispatch(in);
   ASSERT_TRUE(run.result.IsDispatched(0));
   // Sole bidder: critical bid is where pack utility crosses 0, i.e. cost.
-  EXPECT_NEAR(DnWPriceOrder(in, run.artifacts, 0), 12.0, 1e-9);
+  EXPECT_NEAR(DnWPriceOrder(in, run.artifacts, 0).value(), 12.0, 1e-9);
 }
 
 // r_h is a member of several requesters' best packs (|S_h| > 1): DnW's
@@ -321,17 +322,17 @@ TEST(DnWTest, MultiplePacksContainingPricedRequester) {
   }
   EXPECT_GE(sh_size, 2);
 
-  const double pay = DnWPriceOrder(in, run.artifacts, 0);
+  const double pay = DnWPriceOrder(in, run.artifacts, 0).value();
   EXPECT_GE(pay, 0);
-  EXPECT_LE(pay, orders[0].bid + 1e-9);
+  EXPECT_LE(pay, orders[0].bid.value() + 1e-9);
   // Exactness at the returned value.
   std::vector<Order> probe = orders;
-  probe[0].bid = pay + kEps;
+  probe[0].bid = Money(pay + kEps);
   AuctionInstance probe_in = in;
   probe_in.orders = &probe;
   EXPECT_TRUE(RankDispatch(probe_in).result.IsDispatched(0));
   if (pay > kEps) {
-    probe[0].bid = pay - kEps;
+    probe[0].bid = Money(pay - kEps);
     EXPECT_FALSE(RankDispatch(probe_in).result.IsDispatched(0));
   }
 }
@@ -346,17 +347,17 @@ TEST_P(DnWStressTest, CriticalPaymentsExactUnderTightPackUniverse) {
   in.config.pack_candidate_limit = 3;  // heavy pack overlap
   const RankRunResult run = RankDispatch(in);
   for (const Assignment& a : run.result.assignments) {
-    const double pay = DnWPriceOrder(in, run.artifacts, a.order);
+    const double pay = DnWPriceOrder(in, run.artifacts, a.order).value();
     const Order& order = sc.orders[static_cast<std::size_t>(a.order)];
-    ASSERT_LE(pay, order.bid + 1e-9);
+    ASSERT_LE(pay, order.bid.value() + 1e-9);
     std::vector<Order> probe = sc.orders;
     AuctionInstance probe_in = in;
     probe_in.orders = &probe;
-    probe[static_cast<std::size_t>(a.order)].bid = pay + kEps;
+    probe[static_cast<std::size_t>(a.order)].bid = Money(pay + kEps);
     EXPECT_TRUE(RankDispatch(probe_in).result.IsDispatched(a.order))
         << "order " << a.order << " pay " << pay << " seed " << GetParam();
     if (pay > kEps) {
-      probe[static_cast<std::size_t>(a.order)].bid = pay - kEps;
+      probe[static_cast<std::size_t>(a.order)].bid = Money(pay - kEps);
       EXPECT_FALSE(RankDispatch(probe_in).result.IsDispatched(a.order))
           << "order " << a.order << " pay " << pay << " seed " << GetParam();
     }
@@ -384,7 +385,7 @@ TEST(DnWTest, VehicleContentionYieldsReplacementPrice) {
   ASSERT_FALSE(run.result.IsDispatched(1));
   // To beat order 1's pack (utility 13), order 0 needs utility >= 13:
   // bid = 13 + 12 = 25.
-  EXPECT_NEAR(DnWPriceOrder(in, run.artifacts, 0), 25.0, 1e-9);
+  EXPECT_NEAR(DnWPriceOrder(in, run.artifacts, 0).value(), 25.0, 1e-9);
 }
 
 }  // namespace

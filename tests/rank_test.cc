@@ -28,7 +28,7 @@ class RankTest : public ::testing::Test {
     AuctionInstance in;
     in.orders = &orders_;
     in.vehicles = &vehicles_;
-    in.now_s = 0;
+    in.now_s = Seconds(0);
     in.oracle = oracle_.get();
     in.config.alpha_d_per_km = 3.0;
     return in;
@@ -50,7 +50,7 @@ TEST_F(RankTest, SingleOrderSinglePack) {
   vehicles_.push_back(MakeVehicle(0, 1));
   const RankRunResult r = RankDispatch(Instance());
   ASSERT_EQ(r.result.assignments.size(), 1u);
-  EXPECT_NEAR(r.result.total_utility, 8.0, 1e-9);
+  EXPECT_NEAR(r.result.total_utility.value(), 8.0, 1e-9);
   ASSERT_EQ(r.artifacts.best.size(), 1u);
   ASSERT_GE(r.artifacts.best[0], 0);
   const PackCandidate& pack =
@@ -88,7 +88,7 @@ TEST_F(RankTest, PacksJointlyProfitablePairThatGreedyMisses) {
 
   const RankRunResult rank = RankDispatch(Instance());
   EXPECT_EQ(rank.result.assignments.size(), 2u);
-  EXPECT_GT(rank.result.total_utility, 0);
+  EXPECT_GT(rank.result.total_utility, Money(0));
 }
 
 TEST_F(RankTest, ConflictingPacksDispatchOnlyBest) {
@@ -127,7 +127,7 @@ TEST_F(RankTest, ArtifactsCoverEveryOrder) {
       EXPECT_TRUE(best.Contains(static_cast<int32_t>(j)));
       // best really is the max over the stored candidates
       for (const PackCandidate& c : r.artifacts.candidates[j]) {
-        EXPECT_LE(c.utility, best.utility + 1e-9);
+        EXPECT_LE(c.utility, best.utility + Money(1e-9));
       }
     }
   }
@@ -197,7 +197,7 @@ TEST_P(RankPropertyTest, RandomInstancesAreConsistent) {
   const RankRunResult r = RankDispatch(in);
 
   // Utility must be at least the best single pack's utility.
-  double best_pack_utility = 0;
+  Money best_pack_utility;
   for (std::size_t j = 0; j < orders.size(); ++j) {
     if (r.artifacts.best[j] >= 0) {
       best_pack_utility = std::max(
@@ -207,7 +207,7 @@ TEST_P(RankPropertyTest, RandomInstancesAreConsistent) {
               .utility);
     }
   }
-  EXPECT_GE(r.result.total_utility, best_pack_utility - 1e-6);
+  EXPECT_GE(r.result.total_utility, best_pack_utility - Money(1e-6));
 
   // One pack per vehicle per round; every dispatched order exactly once.
   std::vector<int> veh_used(vehicles.size(), 0);
@@ -333,7 +333,7 @@ TEST(RankClusteringTest, ClusteredDispatchIsValidAndComparable) {
   // Clustering restricts the pack universe, so utility can dip — but it
   // should stay in the same ballpark (within 40% here) and must never be
   // negative.
-  EXPECT_GE(clustered.result.total_utility, 0);
+  EXPECT_GE(clustered.result.total_utility, Money(0));
   EXPECT_GE(clustered.result.total_utility,
             0.6 * plain.result.total_utility);
 }

@@ -448,7 +448,7 @@ TEST(OracleTest, TravelTimeUsesSpeed) {
   RoadNetwork net = testutil::LineNetwork(3, 500);
   DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra,
                         /*speed_mps=*/10.0);
-  EXPECT_DOUBLE_EQ(oracle.TravelTime(0, 2), 100.0);
+  EXPECT_DOUBLE_EQ(oracle.TravelTime(0, 2).value(), 100.0);
 }
 
 }  // namespace

@@ -56,17 +56,17 @@ TEST(ScenariosTest, GeneratedScenariosDiffer) {
       SuburbanScenario(0.02), oracle, nearest);
   const Workload peak = GenerateWorkload(
       MorningPeakScenario(0.02), oracle, nearest);
-  double suburban_mean = 0;
+  Meters suburban_mean;
   for (const Order& o : suburban.orders) {
     suburban_mean += o.shortest_distance_m;
   }
   suburban_mean /= static_cast<double>(suburban.orders.size());
-  double peak_mean = 0;
+  Meters peak_mean;
   for (const Order& o : peak.orders) peak_mean += o.shortest_distance_m;
   peak_mean /= static_cast<double>(peak.orders.size());
   // Suburban trips are much longer by construction.
   EXPECT_GT(suburban_mean, peak_mean);
-  EXPECT_GE(suburban_mean, 6000);
+  EXPECT_GE(suburban_mean, Meters(6000));
 }
 
 }  // namespace

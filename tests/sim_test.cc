@@ -37,7 +37,7 @@ class SimulatorTest : public ::testing::Test {
     options.seed = seed;
     options.num_orders = orders;
     options.num_vehicles = vehicles;
-    options.duration_s = 300;
+    options.duration_s = Seconds(300);
     options.gamma = 1.8;
     return GenerateWorkload(options, *oracle_, *nearest_);
   }
@@ -72,7 +72,7 @@ TEST_F(SimulatorTest, WastedTimeConstraintNeverViolated) {
   const SimResult result = sim.Run();
   ASSERT_GT(result.orders_completed, 0);
   // Definition 4: wt + dt <= θ for every completed order (small float slack).
-  EXPECT_LE(result.max_wasted_time_violation_s, 1e-6);
+  EXPECT_LE(result.max_wasted_time_violation_s, Seconds(1e-6));
 }
 
 TEST_F(SimulatorTest, GreedyAlsoRespectsConstraints) {
@@ -81,7 +81,7 @@ TEST_F(SimulatorTest, GreedyAlsoRespectsConstraints) {
   Simulator sim(oracle_.get(), SmallWorkload(50, 30, /*seed=*/22), options);
   const SimResult result = sim.Run();
   ASSERT_GT(result.orders_completed, 0);
-  EXPECT_LE(result.max_wasted_time_violation_s, 1e-6);
+  EXPECT_LE(result.max_wasted_time_violation_s, Seconds(1e-6));
 }
 
 TEST_F(SimulatorTest, UtilityMatchesRoundSum) {
@@ -89,9 +89,9 @@ TEST_F(SimulatorTest, UtilityMatchesRoundSum) {
   options.mechanism = MechanismKind::kRank;
   Simulator sim(oracle_.get(), SmallWorkload(30, 20), options);
   const SimResult result = sim.Run();
-  double round_sum = 0;
+  Money round_sum;
   for (const RoundRecord& r : result.rounds) round_sum += r.round_utility;
-  EXPECT_NEAR(result.total_utility, round_sum, 1e-9);
+  EXPECT_NEAR(result.total_utility.value(), round_sum.value(), 1e-9);
 }
 
 TEST_F(SimulatorTest, DeterministicGivenSeed) {
@@ -103,7 +103,7 @@ TEST_F(SimulatorTest, DeterministicGivenSeed) {
   const SimResult ra = a.Run();
   const SimResult rb = b.Run();
   EXPECT_EQ(ra.orders_dispatched, rb.orders_dispatched);
-  EXPECT_DOUBLE_EQ(ra.total_utility, rb.total_utility);
+  EXPECT_DOUBLE_EQ(ra.total_utility.value(), rb.total_utility.value());
 }
 
 TEST_F(SimulatorTest, PricingProducesIndividuallyRationalPayments) {
@@ -115,8 +115,8 @@ TEST_F(SimulatorTest, PricingProducesIndividuallyRationalPayments) {
   const SimResult result = sim.Run();
   ASSERT_GT(result.orders_dispatched, 0);
   // IR aggregated: requesters never pay more than their valuations.
-  EXPECT_GE(result.requester_utility, -1e-6);
-  EXPECT_GE(result.total_payments, 0);
+  EXPECT_GE(result.requester_utility, Money(-1e-6));
+  EXPECT_GE(result.total_payments, Money(0));
 }
 
 TEST_F(SimulatorTest, ShorterRoundsDispatchAtLeastAsEarly) {
@@ -124,9 +124,9 @@ TEST_F(SimulatorTest, ShorterRoundsDispatchAtLeastAsEarly) {
   // should not collapse with shorter rounds.
   SimOptions fast;
   fast.mechanism = MechanismKind::kGreedy;
-  fast.round_duration_s = 5;
+  fast.round_duration_s = Seconds(5);
   SimOptions slow = fast;
-  slow.round_duration_s = 60;
+  slow.round_duration_s = Seconds(60);
   Simulator a(oracle_.get(), SmallWorkload(40, 25, /*seed=*/41), fast);
   Simulator b(oracle_.get(), SmallWorkload(40, 25, /*seed=*/41), slow);
   const SimResult ra = a.Run();
@@ -168,9 +168,9 @@ TEST_F(SimulatorTest, RiderExperienceMetricsArePopulated) {
   Simulator sim(oracle_.get(), SmallWorkload(50, 35, /*seed=*/61), options);
   const SimResult result = sim.Run();
   ASSERT_GT(result.orders_completed, 0);
-  EXPECT_GE(result.mean_waiting_s, 0);
+  EXPECT_GE(result.mean_waiting_s, Seconds(0));
   // Detour can be 0 for solo direct rides but never negative on average.
-  EXPECT_GE(result.mean_detour_s, -1e-6);
+  EXPECT_GE(result.mean_detour_s, Seconds(-1e-6));
   EXPECT_GE(result.shared_ride_fraction, 0);
   EXPECT_LE(result.shared_ride_fraction, 1);
   // Rank at shortage should produce at least some shared rides.
@@ -184,13 +184,13 @@ TEST_F(SimulatorTest, DriverUtilityFollowsBetaMinusAlpha) {
   options.auction.beta_d_per_km = 3.5;
   Simulator sim(oracle_.get(), SmallWorkload(30, 25, /*seed=*/62), options);
   const SimResult result = sim.Run();
-  ASSERT_GT(result.total_delivery_m, 0);
-  EXPECT_NEAR(result.driver_utility, 0.5 / 1000.0 * result.total_delivery_m,
-              1e-6);
+  ASSERT_GT(result.total_delivery_m, Meters(0));
+  EXPECT_NEAR(result.driver_utility.value(),
+              0.5 / 1000.0 * result.total_delivery_m.value(), 1e-6);
   // With beta = alpha the drivers break even.
   options.auction.beta_d_per_km = 3.0;
   Simulator even(oracle_.get(), SmallWorkload(30, 25, /*seed=*/62), options);
-  EXPECT_NEAR(even.Run().driver_utility, 0, 1e-9);
+  EXPECT_NEAR(even.Run().driver_utility.value(), 0, 1e-9);
 }
 
 TEST_F(SimulatorTest, PendingBidEscalationImprovesDispatchRate) {
@@ -201,7 +201,7 @@ TEST_F(SimulatorTest, PendingBidEscalationImprovesDispatchRate) {
   base.mechanism = MechanismKind::kGreedy;
   base.auction.alpha_d_per_km = 3.6;
   SimOptions escalating = base;
-  escalating.pending_bid_increment = 1.0;
+  escalating.pending_bid_increment = Money(1.0);
   Simulator a(oracle_.get(), SmallWorkload(60, 30, /*seed=*/63), base);
   Simulator b(oracle_.get(), SmallWorkload(60, 30, /*seed=*/63), escalating);
   const SimResult ra = a.Run();
@@ -247,9 +247,9 @@ TEST_F(SimulatorTest, EventTraceIsConsistent) {
 
   // Per-order event sequences must follow the lifecycle state machine.
   std::map<OrderId, std::vector<OrderEventKind>> per_order;
-  double prev_time = 0;
+  Seconds prev_time;
   for (const OrderEvent& event : result.events) {
-    EXPECT_GE(event.time_s, 0);
+    EXPECT_GE(event.time_s, Seconds(0));
     (void)prev_time;
     per_order[event.order].push_back(event.kind);
   }

@@ -23,7 +23,7 @@ std::vector<GridIndex::Item> RandomItems(int n, uint64_t seed,
 
 TEST(GridIndexTest, EmptyIndexReturnsNothing) {
   GridIndex index({}, 100);
-  EXPECT_TRUE(index.WithinRadius({0, 0}, 1e9).empty());
+  EXPECT_TRUE(index.WithinRadius({0, 0}, Meters(1e9)).empty());
   EXPECT_TRUE(index.KNearest({0, 0}, 5).empty());
 }
 
@@ -31,7 +31,7 @@ TEST(GridIndexTest, WithinRadiusExact) {
   std::vector<GridIndex::Item> items = {
       {0, {0, 0}}, {1, {100, 0}}, {2, {0, 250}}, {3, {400, 400}}};
   GridIndex index(items, 100);
-  std::vector<int32_t> got = index.WithinRadius({0, 0}, 260);
+  std::vector<int32_t> got = index.WithinRadius({0, 0}, Meters(260));
   std::sort(got.begin(), got.end());
   EXPECT_EQ(got, (std::vector<int32_t>{0, 1, 2}));
 }
@@ -39,8 +39,8 @@ TEST(GridIndexTest, WithinRadiusExact) {
 TEST(GridIndexTest, WithinRadiusBoundaryInclusive) {
   std::vector<GridIndex::Item> items = {{7, {300, 0}}};
   GridIndex index(items, 100);
-  EXPECT_EQ(index.WithinRadius({0, 0}, 300).size(), 1u);
-  EXPECT_TRUE(index.WithinRadius({0, 0}, 299.999).empty());
+  EXPECT_EQ(index.WithinRadius({0, 0}, Meters(300)).size(), 1u);
+  EXPECT_TRUE(index.WithinRadius({0, 0}, Meters(299.999)).empty());
 }
 
 TEST(GridIndexTest, KNearestOrderedByDistance) {
@@ -71,7 +71,7 @@ TEST_P(GridIndexPropertyTest, MatchesBruteForce) {
 
     // WithinRadius.
     const double radius = rng.Uniform(100, 4000);
-    std::vector<int32_t> got = index.WithinRadius(q, radius);
+    std::vector<int32_t> got = index.WithinRadius(q, Meters(radius));
     std::sort(got.begin(), got.end());
     std::vector<int32_t> expected;
     for (const auto& item : items) {

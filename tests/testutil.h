@@ -65,11 +65,11 @@ inline Order MakeOrder(OrderId id, NodeId origin, NodeId destination,
   o.id = id;
   o.origin = origin;
   o.destination = destination;
-  o.shortest_distance_m = oracle.Distance(origin, destination);
+  o.shortest_distance_m = Meters(oracle.Distance(origin, destination));
   o.shortest_time_s = o.shortest_distance_m / oracle.speed_mps();
   o.max_wasted_time_s = (gamma - 1.0) * o.shortest_time_s;
-  o.valuation = bid;
-  o.bid = bid;
+  o.valuation = Money(bid);
+  o.bid = Money(bid);
   return o;
 }
 
@@ -91,7 +91,7 @@ struct FuzzScenario {
   std::unique_ptr<DistanceOracle> oracle;
   std::vector<Order> orders;
   std::vector<Vehicle> vehicles;
-  double now_s = 0;
+  Seconds now_s;
   AuctionConfig config;
 
   AuctionInstance Instance() const {
@@ -126,10 +126,11 @@ inline FuzzScenario BuildFuzzScenario(uint64_t seed) {
     return static_cast<NodeId>(rng.UniformInt(num_nodes));
   };
 
-  sc.now_s = rng.Uniform(0, 600);
+  sc.now_s = Seconds(rng.Uniform(0, 600));
   sc.config.alpha_d_per_km = rng.Uniform(2.0, 4.0);
   sc.config.beta_d_per_km = sc.config.alpha_d_per_km;
-  sc.config.min_utility = rng.Uniform() < 0.3 ? rng.Uniform(0.5, 3.0) : 0.0;
+  sc.config.min_utility =
+      Money(rng.Uniform() < 0.3 ? rng.Uniform(0.5, 3.0) : 0.0);
   sc.config.charge_ratio = rng.Uniform() < 0.3 ? rng.Uniform(0.05, 0.3) : 0.0;
   sc.config.exact_nearest_vehicle = rng.Uniform() < 0.25;
   sc.config.use_spatial_pruning = rng.Uniform() < 0.8;
@@ -156,21 +157,23 @@ inline FuzzScenario BuildFuzzScenario(uint64_t seed) {
     Vehicle v = MakeVehicle(
         i, random_node(),
         /*capacity=*/1 + static_cast<int>(rng.UniformInt(uint64_t{3})));
-    v.extra_distance_m = rng.Uniform() < 0.5 ? rng.Uniform(0, 300) : 0;
+    v.extra_distance_m = Meters(rng.Uniform() < 0.5 ? rng.Uniform(0, 300) : 0);
     const double roll = rng.Uniform();
     if (roll < 0.25) {
       // Rider already in the car: drop-off pending, generous deadline.
       v.onboard = 1;
       v.in_delivery = true;
       v.plan.stops.push_back({random_node(), kCommittedBase + i,
-                              StopType::kDropoff, sc.now_s + 1e6});
+                              StopType::kDropoff,
+                              sc.now_s + Seconds(1e6)});
     } else if (roll < 0.45 && v.capacity >= 2) {
       // Accepted but not yet picked up.
       const NodeId pick = random_node();
       v.plan.stops.push_back(
-          {pick, kCommittedBase + i, StopType::kPickup, 0});
+          {pick, kCommittedBase + i, StopType::kPickup, Seconds(0)});
       v.plan.stops.push_back({random_node(), kCommittedBase + i,
-                              StopType::kDropoff, sc.now_s + 1e6});
+                              StopType::kDropoff,
+                              sc.now_s + Seconds(1e6)});
     }
     sc.vehicles.push_back(std::move(v));
   }

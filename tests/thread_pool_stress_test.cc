@@ -122,8 +122,9 @@ TEST(PackMemoStressTest, ConcurrentLookupInsertOverlappingKeys) {
     const auto a = static_cast<int32_t>(t % 5);
     const auto b = static_cast<int32_t>(t % 3 + 5);
     const std::vector<int32_t> members = {a, b};
-    const PackMemo::Eval expect{(vehicle + a + b) % 2 == 0,
-                                static_cast<double>(vehicle * 100 + a + b)};
+    const PackMemo::Eval expect{
+        (vehicle + a + b) % 2 == 0,
+        Meters(static_cast<double>(vehicle * 100 + a + b))};
     PackMemo::Eval got;
     if (!memo.Lookup(vehicle, members, &got)) {
       memo.Insert(vehicle, members, expect);
@@ -144,12 +145,12 @@ TEST(PackMemoStressTest, ConcurrentLookupInsertOverlappingKeys) {
 TEST(PackMemoStressTest, InsertIsIdempotent) {
   PackMemo memo;
   const std::vector<int32_t> members = {1, 4, 9};
-  memo.Insert(3, members, {true, 123.0});
-  memo.Insert(3, members, {false, 999.0});  // loses: first insert wins
+  memo.Insert(3, members, {true, Meters(123.0)});
+  memo.Insert(3, members, {false, Meters(999.0)});  // loses: first insert wins
   PackMemo::Eval eval;
   ASSERT_TRUE(memo.Lookup(3, members, &eval));
   EXPECT_TRUE(eval.feasible);
-  EXPECT_EQ(eval.delta_delivery_m, 123.0);
+  EXPECT_EQ(eval.delta_delivery_m, Meters(123.0));
   EXPECT_EQ(memo.size(), 1u);
 }
 

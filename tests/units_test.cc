@@ -1,0 +1,111 @@
+// Runtime coverage for common/units.h: the zero-overhead claim (layout
+// identical to double, arithmetic bit-identical to the raw expressions the
+// refactor replaced) and the parts of the API the configure-time fixtures
+// can't exercise at runtime (streaming, contracts, classification on
+// computed values). The dimensional algebra itself is static-asserted in
+// the header under ARIDE_UNITS_STRICT and by tests/compile/units_*.cc.
+
+#include "common/units.h"
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace auctionride {
+namespace {
+
+std::uint64_t Bits(double x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+TEST(UnitsTest, LayoutIsExactlyDouble) {
+  static_assert(sizeof(Money) == sizeof(double));
+  static_assert(sizeof(Seconds) == sizeof(double));
+  static_assert(sizeof(Meters) == sizeof(double));
+  static_assert(sizeof(MoneyPerMeter) == sizeof(double));
+  static_assert(sizeof(MetersPerSecond) == sizeof(double));
+  static_assert(alignof(Money) == alignof(double));
+  static_assert(std::is_trivially_copyable_v<Money>);
+  // A vector of Money is a vector of doubles in memory: bit-copy through
+  // the value round-trips exactly.
+  std::vector<Money> fares = {Money(8.0), Money(12.75), Money(0.1)};
+  double raw[3];
+  std::memcpy(raw, fares.data(), sizeof(raw));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(Bits(raw[i]), Bits(fares[static_cast<size_t>(i)].value()));
+  }
+}
+
+TEST(UnitsTest, ArithmeticBitIdenticalToRawDoubles) {
+  // The exact shape of pair utility in auction/greedy.cc: bid − α·Δd with
+  // the per-km → per-m conversion. Typed and raw must agree to the bit,
+  // not just to a tolerance — that is the whole adoption contract.
+  const double alpha_d_per_km = 3.0;
+  const double bid_raw = 19.37;
+  const double delta_raw = 2374.251;
+  const double raw = bid_raw - alpha_d_per_km / 1000.0 * delta_raw;
+
+  const MoneyPerMeter alpha = MoneyPerMeter(alpha_d_per_km / 1000.0);
+  const Money typed = Money(bid_raw) - alpha * Meters(delta_raw);
+  EXPECT_EQ(Bits(raw), Bits(typed.value()));
+
+  // Accumulation order is preserved by operator+=.
+  double sum_raw = 0.0;
+  Money sum_typed;
+  for (double p : {0.1, 0.2, 0.3, 12.345, 1e-9}) {
+    sum_raw += p;
+    sum_typed += Money(p);
+  }
+  EXPECT_EQ(Bits(sum_raw), Bits(sum_typed.value()));
+
+  // Travel-time math from planner/plan_eval.cc: clock += leg / speed.
+  const double leg_raw = 1534.75;
+  const double speed_raw = 8.0;
+  EXPECT_EQ(Bits(leg_raw / speed_raw),
+            Bits((Meters(leg_raw) / MetersPerSecond(speed_raw)).value()));
+}
+
+TEST(UnitsTest, ComparisonsMatchRawDoubles) {
+  EXPECT_LT(Money(1.0), Money(2.0));
+  EXPECT_GE(Seconds(5.0), Seconds(5.0));
+  const Money nan{std::numeric_limits<double>::quiet_NaN()};
+  // IEEE NaN semantics carry through the wrapper.
+  EXPECT_FALSE(nan < nan);
+  EXPECT_FALSE(nan == nan);
+  EXPECT_TRUE(nan != nan);
+}
+
+TEST(UnitsTest, ClassificationAndStreaming) {
+  const Money inf{std::numeric_limits<double>::infinity()};
+  EXPECT_TRUE(IsInf(inf));
+  EXPECT_TRUE(IsInf(-inf));
+  EXPECT_FALSE(IsFinite(inf));
+  EXPECT_FALSE(IsInf(Money(1e308)));
+  EXPECT_TRUE(IsFinite(Meters(0.0)));
+  EXPECT_FALSE(IsFinite(Seconds(std::numeric_limits<double>::quiet_NaN())));
+
+  std::ostringstream os;
+  os << Money(12.5) << " " << Meters(300.0);
+  EXPECT_EQ(os.str(), "12.5 300");
+}
+
+TEST(UnitsTest, ChecksAcceptUnitOperands) {
+  // ARIDE_CHECK_NEAR and the comparison contracts must take strong types
+  // directly — adoption would otherwise force .value() into every check.
+  ARIDE_CHECK_NEAR(Money(1.0) + Money(2.0), Money(3.0), 1e-12);
+  ARIDE_CHECK_GE(Money(0.5), Money(0.0));
+  ARIDE_CHECK_LT(Seconds(1.0), Seconds(2.0));
+  ARIDE_ACHECK(Meters(1.0) > Meters(0.0));
+  EXPECT_DEATH(ARIDE_ACHECK(Money(1.0) < Money(0.0)), "Money");
+}
+
+}  // namespace
+}  // namespace auctionride

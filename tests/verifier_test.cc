@@ -117,7 +117,7 @@ TEST(VerifierTest, DetectsUtilityTampering) {
   const AuctionInstance in = sc.Instance();
   DispatchResult result = GreedyDispatch(in);
   if (result.assignments.empty()) GTEST_SKIP();
-  result.total_utility += 5;
+  result.total_utility += Money(5);
   EXPECT_FALSE(VerifyDispatch(in, result).ok());
 }
 
@@ -134,7 +134,7 @@ TEST(VerifierTest, DetectsInfeasiblePlanInjection) {
   ASSERT_EQ(result.updated_plans.size(), 1u);
   // Tamper: impossible deadline on the drop-off stop.
   for (PlanStop& stop : result.updated_plans[0].second) {
-    if (stop.type == StopType::kDropoff) stop.deadline_s = 1.0;
+    if (stop.type == StopType::kDropoff) stop.deadline_s = Seconds(1.0);
   }
   EXPECT_FALSE(VerifyDispatch(in, result).ok());
 }
@@ -145,7 +145,7 @@ TEST(VerifierTest, DetectsDroppedExistingRider) {
   std::vector<Order> orders = {MakeOrder(0, 2, 6, /*bid=*/30, oracle)};
   std::vector<Vehicle> vehicles = {MakeVehicle(0, 1)};
   // The vehicle already carries order 99.
-  vehicles[0].plan.stops = {{8, 99, StopType::kDropoff, 1e9}};
+  vehicles[0].plan.stops = {{8, 99, StopType::kDropoff, Seconds(1e9)}};
   vehicles[0].onboard = 1;
   AuctionInstance in;
   in.orders = &orders;
@@ -171,8 +171,8 @@ TEST(VerifierTest, FirstDroppedRiderReportIsPlanOrder) {
   std::vector<Order> orders = {MakeOrder(0, 2, 6, /*bid=*/30, oracle)};
   std::vector<Vehicle> vehicles = {MakeVehicle(0, 1)};
   // The vehicle already carries orders 99 and 7, in that stop order.
-  vehicles[0].plan.stops = {{8, 99, StopType::kDropoff, 1e9},
-                           {9, 7, StopType::kDropoff, 1e9}};
+  vehicles[0].plan.stops = {{8, 99, StopType::kDropoff, Seconds(1e9)},
+                           {9, 7, StopType::kDropoff, Seconds(1e9)}};
   vehicles[0].onboard = 2;
   AuctionInstance in;
   in.orders = &orders;
@@ -201,7 +201,7 @@ TEST(VerifierTest, FirstMissingAssignmentReportIsAssignmentOrder) {
   // plan; the report must name assignments[0], the first in the dispatch
   // contract's own order.
   result.updated_plans.clear();
-  result.total_delta_delivery_m = 0;
+  result.total_delta_delivery_m = Meters(0);
   const Status status = VerifyDispatch(in, result);
   ASSERT_FALSE(status.ok());
   EXPECT_NE(status.message().find(
@@ -220,8 +220,8 @@ TEST(VerifierTest, EpsilonBoundsAccountingTolerance) {
   if (result.assignments.empty()) GTEST_SKIP();
 
   const double perturbation = 1e-7;  // < default epsilon of 1e-6
-  result.total_utility += perturbation;
-  result.assignments[0].utility += perturbation;
+  result.total_utility += Money(perturbation);
+  result.assignments[0].utility += Money(perturbation);
 
   VerifyOptions loose;  // default epsilon 1e-6
   EXPECT_TRUE(VerifyDispatch(in, result, loose).ok());
@@ -248,7 +248,7 @@ TEST(VerifierTest, EpsilonExactZeroRejectsAnyDrift) {
   exact.epsilon = 0;
   EXPECT_TRUE(VerifyDispatch(in, result, exact).ok());
   result.assignments[0].cost =
-      std::nextafter(result.assignments[0].cost, 1e30);
+      Money(std::nextafter(result.assignments[0].cost.value(), 1e30));
   EXPECT_FALSE(VerifyDispatch(in, result, exact).ok());
 }
 
@@ -273,7 +273,7 @@ TEST(VerifierTest, RankPackWithNegativeMemberUtility) {
   ASSERT_EQ(run.result.assignments.size(), 2u);
   bool has_negative_member = false;
   for (const Assignment& a : run.result.assignments) {
-    if (a.utility < 0) has_negative_member = true;
+    if (a.utility < Money(0)) has_negative_member = true;
   }
   ASSERT_TRUE(has_negative_member)
       << "scenario no longer produces a negative member share";
@@ -308,7 +308,7 @@ TEST(VerifierTest, PaymentAboveBidIsCaught) {
   if (outcome.payments.empty()) GTEST_SKIP();
   std::vector<Payment> tampered = outcome.payments;
   tampered[0].payment =
-      sc.orders[static_cast<std::size_t>(tampered[0].order)].bid + 10;
+      sc.orders[static_cast<std::size_t>(tampered[0].order)].bid + Money(10);
   EXPECT_FALSE(VerifyPayments(in, outcome.dispatch, tampered).ok());
 }
 

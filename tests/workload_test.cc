@@ -48,7 +48,7 @@ TEST_F(WorkloadTest, OrdersAreSortedRenumberedAndValid) {
   options.num_vehicles = 10;
   options.gamma = 1.5;
   const Workload w = GenerateWorkload(options, *oracle_, *nearest_);
-  double prev_time = 0;
+  Seconds prev_time;
   for (std::size_t j = 0; j < w.orders.size(); ++j) {
     const Order& o = w.orders[j];
     EXPECT_EQ(o.id, static_cast<OrderId>(j));
@@ -56,12 +56,13 @@ TEST_F(WorkloadTest, OrdersAreSortedRenumberedAndValid) {
     prev_time = o.issue_time_s;
     EXPECT_LE(o.issue_time_s, options.duration_s);
     EXPECT_NE(o.origin, o.destination);
-    EXPECT_GE(o.shortest_distance_m, options.min_trip_m);
-    EXPECT_NEAR(o.shortest_time_s,
-                o.shortest_distance_m / oracle_->speed_mps(), 1e-9);
+    EXPECT_GE(o.shortest_distance_m, Meters(options.min_trip_m));
+    EXPECT_NEAR(o.shortest_time_s.value(),
+                (o.shortest_distance_m / oracle_->speed_mps()).value(), 1e-9);
     // θ = (γ−1)·t(s,e)
-    EXPECT_NEAR(o.max_wasted_time_s, 0.5 * o.shortest_time_s, 1e-9);
-    EXPECT_GT(o.valuation, 0);
+    EXPECT_NEAR(o.max_wasted_time_s.value(), 0.5 * o.shortest_time_s.value(),
+                1e-9);
+    EXPECT_GT(o.valuation, Money(0));
     EXPECT_EQ(o.bid, o.valuation);  // truthful
   }
 }
@@ -73,9 +74,10 @@ TEST_F(WorkloadTest, ValuationTracksTripLength) {
   options.price_noise_stddev = 0;
   const Workload w = GenerateWorkload(options, *oracle_, *nearest_);
   for (const Order& o : w.orders) {
-    EXPECT_NEAR(o.valuation,
-                options.base_fare +
-                    options.per_km_rate * o.shortest_distance_m / 1000.0,
+    EXPECT_NEAR(o.valuation.value(),
+                options.base_fare.value() +
+                    options.per_km_rate * o.shortest_distance_m.value() /
+                        1000.0,
                 1e-9);
   }
 }
@@ -121,10 +123,10 @@ TEST_F(WorkloadTest, SingleRoundIssuesEverythingAtTimeZero) {
   options.num_vehicles = 40;
   const Workload w = GenerateSingleRound(options, *oracle_, *nearest_);
   for (const Order& o : w.orders) {
-    EXPECT_EQ(o.issue_time_s, 0);
+    EXPECT_EQ(o.issue_time_s, Seconds(0));
   }
   for (const VehicleSpawn& v : w.vehicles) {
-    EXPECT_EQ(v.online_s, 0);
+    EXPECT_EQ(v.online_s, Seconds(0));
     EXPECT_TRUE(v.vehicle.plan.empty());
   }
 }
@@ -160,9 +162,10 @@ TEST_F(WorkloadTest, CsvRoundTripPreservesEverything) {
     EXPECT_EQ(a.id, b.id);
     EXPECT_EQ(a.origin, b.origin);
     EXPECT_EQ(a.destination, b.destination);
-    EXPECT_NEAR(a.issue_time_s, b.issue_time_s, 1e-5);
-    EXPECT_NEAR(a.bid, b.bid, 1e-5);
-    EXPECT_NEAR(a.max_wasted_time_s, b.max_wasted_time_s, 1e-5);
+    EXPECT_NEAR(a.issue_time_s.value(), b.issue_time_s.value(), 1e-5);
+    EXPECT_NEAR(a.bid.value(), b.bid.value(), 1e-5);
+    EXPECT_NEAR(a.max_wasted_time_s.value(), b.max_wasted_time_s.value(),
+                1e-5);
   }
   for (std::size_t i = 0; i < original.vehicles.size(); ++i) {
     EXPECT_EQ(original.vehicles[i].vehicle.next_node,

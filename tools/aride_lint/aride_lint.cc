@@ -1,12 +1,18 @@
 // aride-lint: domain-aware static analysis for this repository.
 //
-//   aride_lint [--root DIR] [--fix] [--list-rules] [paths...]
+//   aride_lint [--root DIR] [--fix] [--list-rules] [--stats]
+//              [--sarif FILE] [paths...]
 //
 // With no paths, walks src/, bench/, tests/, tools/ and examples/ under
 // the root (default: the current directory, walking up to the enclosing
 // repo root when a ROADMAP.md marker is found). Prints one diagnostic per
 // line as "path:line: [rule-id] message" and exits non-zero when any rule
 // fires — that exit code is the CI lint gate.
+//
+// --stats appends a per-rule finding count summary; --sarif FILE
+// additionally writes the diagnostics as a SARIF 2.1.0 log (one run, one
+// result per finding) for code-scanning UIs. Neither changes the exit
+// code.
 //
 // Suppressions: append "// NOLINT-ARIDE(rule-id)" to the offending line,
 // or put "// NOLINTNEXTLINE-ARIDE(rule-id)" on the line above. The rule
@@ -86,6 +92,96 @@ fs::path FindRoot(fs::path start) {
   return fs::current_path();
 }
 
+// Minimal JSON string escaping for the SARIF writer (paths and messages
+// hold no exotic characters, but quotes/backslashes must survive).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// Writes the findings as a SARIF 2.1.0 log: one run, the fired rules in
+// the tool's rule table, one result per diagnostic. stale-nolint is
+// "warning"; everything else gates CI and is "error".
+bool WriteSarif(const fs::path& out_path,
+                const std::vector<Diagnostic>& diags) {
+  std::set<std::string> rule_ids;
+  for (const Diagnostic& d : diags) rule_ids.insert(d.rule);
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return false;
+  out << "{\n"
+         "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"aride_lint\",\n"
+         "          \"informationUri\": \"docs/ANALYSIS.md\",\n"
+         "          \"rules\": [";
+  bool first = true;
+  for (const std::string& rule : rule_ids) {
+    out << (first ? "" : ",") << "\n            {\"id\": \""
+        << JsonEscape(rule) << "\"}";
+    first = false;
+  }
+  out << "\n          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [";
+  first = true;
+  for (const Diagnostic& d : diags) {
+    const char* level =
+        d.rule == kRuleStaleSuppression ? "warning" : "error";
+    out << (first ? "" : ",")
+        << "\n        {\n"
+           "          \"ruleId\": \"" << JsonEscape(d.rule) << "\",\n"
+           "          \"level\": \"" << level << "\",\n"
+           "          \"message\": {\"text\": \"" << JsonEscape(d.message)
+        << "\"},\n"
+           "          \"locations\": [\n"
+           "            {\n"
+           "              \"physicalLocation\": {\n"
+           "                \"artifactLocation\": {\"uri\": \""
+        << JsonEscape(d.file) << "\"},\n"
+           "                \"region\": {\"startLine\": " << d.line << "}\n"
+           "              }\n"
+           "            }\n"
+           "          ]\n"
+           "        }";
+    first = false;
+  }
+  out << "\n      ]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+  return out.good();
+}
+
 void PrintRules() {
   std::printf(
       "banned-api           std::rand/srand, system_clock, assert() or\n"
@@ -107,6 +203,13 @@ void PrintRules() {
       "                     src/exec/ (use the ar_exec pool)\n"
       "nondet-source        pointer hashing/ordering in src/auction/ and\n"
       "                     src/planner/ (addresses are not stable ids)\n"
+      "raw-unit-double      double param/field named like a money/time/\n"
+      "                     distance quantity in src/; use Money/Seconds/\n"
+      "                     Meters (common/units.h)\n"
+      "unit-suffix          raw-double local initialized via .value() must\n"
+      "                     name its unit (_s/_m/_km/_yuan/_mps)\n"
+      "unsafe-unit-cast     .value() in src/ outside the serialization\n"
+      "                     whitelist needs a NOLINT-ARIDE justification\n"
       "stale-nolint         NOLINT-ARIDE entry that matched no finding\n"
       "\nSuppress with // NOLINT-ARIDE(rule-id); catalog: "
       "docs/ANALYSIS.md\n");
@@ -115,6 +218,8 @@ void PrintRules() {
 int Run(int argc, char** argv) {
   fs::path root;
   bool fix = false;
+  bool stats = false;
+  fs::path sarif_path;
   std::vector<std::string> explicit_paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -124,6 +229,14 @@ int Run(int argc, char** argv) {
     }
     if (arg == "--fix") {
       fix = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "aride_lint: --sarif needs an output file\n");
+        return 2;
+      }
+      sarif_path = argv[++i];
     } else if (arg == "--root") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "aride_lint: --root needs a directory\n");
@@ -133,7 +246,7 @@ int Run(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: aride_lint [--root DIR] [--fix] [--list-rules] "
-          "[paths...]\n");
+          "[--stats] [--sarif FILE] [paths...]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "aride_lint: unknown flag %s\n", arg.c_str());
@@ -212,6 +325,20 @@ int Run(int argc, char** argv) {
   }
   if (fixed_files > 0) {
     std::printf("aride_lint: rewrote %d file(s) with --fix\n", fixed_files);
+  }
+  if (!sarif_path.empty() && !WriteSarif(sarif_path, diags)) {
+    std::fprintf(stderr, "aride_lint: cannot write SARIF log %s\n",
+                 sarif_path.string().c_str());
+    return 2;
+  }
+  if (stats) {
+    std::map<std::string, int> per_rule;
+    for (const Diagnostic& d : diags) ++per_rule[d.rule];
+    std::printf("aride_lint: per-rule findings:\n");
+    if (per_rule.empty()) std::printf("  (none)\n");
+    for (const auto& [rule, count] : per_rule) {
+      std::printf("  %-20s %d\n", rule.c_str(), count);
+    }
   }
   if (diags.empty()) {
     std::printf("aride_lint: %zu files clean\n", files.size());

@@ -127,11 +127,13 @@ bool IsOperandBoundary(const Token& t) {
 }  // namespace
 
 bool IsMoneyIdentifier(const std::string& identifier) {
-  // Identifiers that *count* or *index* money objects (n_payments,
-  // payment_count, bid_idx) are integral, not money math.
+  // Identifiers that *count*, *index* or *rank* money objects (n_payments,
+  // payment_count, bid_idx, bid_index, bid_rank) are integral positions,
+  // not money math.
   static const std::set<std::string> kCountWords = {
-      "n",   "num",   "count", "cnt",  "idx", "index",
-      "id",  "ids",   "size",  "len",  "version"};
+      "n",   "num",   "count", "cnt",  "idx",  "index",
+      "id",  "ids",   "size",  "len",  "rank", "ranks",
+      "version"};
   std::string lower;
   lower.reserve(identifier.size());
   for (char c : identifier) {
@@ -438,6 +440,7 @@ std::vector<Diagnostic> RunFileRules(const FileInfo& file,
   CheckGuardStyle(file, &raw);
   CheckCheckSideEffects(file, &raw);
   CheckConcurrency(file, &raw);
+  CheckUnits(file, &raw);
   std::vector<Diagnostic> diags;
   for (Diagnostic& d : raw) {
     const std::string entry = MatchSuppression(file.lex, d.line, d.rule);

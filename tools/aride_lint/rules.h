@@ -16,10 +16,17 @@
 //                        src/exec/ (parallelism goes through the pool)
 //   nondet-source        pointer hashing/ordering in src/auction/ and
 //                        src/planner/ (std::hash<T*>, &a < &b, uintptr_t)
+//   raw-unit-double      double param/field named like a money/time/distance
+//                        quantity in src/ (should be Money/Seconds/Meters)
+//   unit-suffix          raw-double local initialized via .value() must name
+//                        its unit (_s/_m/_km/_yuan/_mps)
+//   unsafe-unit-cast     .value() escape in src/ outside the serialization
+//                        whitelist without a NOLINT-ARIDE justification
 //   stale-nolint         NOLINT-ARIDE entry that matched no finding
 //
 // The cross-file layer-dag rule lives in layering.h; the determinism rules
-// (unordered-iteration .. nondet-source) are implemented in concurrency.cc.
+// (unordered-iteration .. nondet-source) are implemented in concurrency.cc;
+// the dimensional rules (raw-unit-double .. unsafe-unit-cast) in units.cc.
 
 #ifndef AUCTIONRIDE_TOOLS_ARIDE_LINT_RULES_H_
 #define AUCTIONRIDE_TOOLS_ARIDE_LINT_RULES_H_
@@ -50,6 +57,9 @@ inline constexpr char kRuleUnorderedIteration[] = "unordered-iteration";
 inline constexpr char kRuleRawLock[] = "raw-lock";
 inline constexpr char kRuleNakedThread[] = "naked-thread";
 inline constexpr char kRuleNondetSource[] = "nondet-source";
+inline constexpr char kRuleRawUnitDouble[] = "raw-unit-double";
+inline constexpr char kRuleUnitSuffix[] = "unit-suffix";
+inline constexpr char kRuleUnsafeUnitCast[] = "unsafe-unit-cast";
 inline constexpr char kRuleStaleSuppression[] = "stale-nolint";
 
 struct FileInfo {
@@ -76,6 +86,11 @@ std::vector<Diagnostic> RunFileRules(const FileInfo& file,
 // nondet-source), implemented in concurrency.cc. Called by RunFileRules;
 // exposed for focused tests.
 void CheckConcurrency(const FileInfo& file, std::vector<Diagnostic>* out);
+
+// The dimensional-safety rules (raw-unit-double, unit-suffix,
+// unsafe-unit-cast), implemented in units.cc. Called by RunFileRules;
+// exposed for focused tests.
+void CheckUnits(const FileInfo& file, std::vector<Diagnostic>* out);
 
 // Reports every suppression entry in `lex` that no finding consumed
 // (rule id: stale-nolint). `usage` is the union of what RunFileRules and

@@ -1,0 +1,23 @@
+// Golden fixture for the raw-unit-double rule. aride_lint_test.cc asserts
+// the exact lines that fire — keep line numbers stable.
+struct FixtureKnobs {
+  double bid = 0;                 // fires: money vocabulary
+  double now_s = 0;               // fires: _s time suffix
+  double detour_m = 0;            // fires: _m distance suffix
+  double wait_seconds = 0;        // fires: whole-word time tail
+  double radius_km = 0;           // fires: _km distance suffix
+  double charge_ratio = 0;        // clean: ratio knob
+  double alpha_d_per_km = 0;      // clean: per-km rate, not a quantity
+  double speed_mps = 0;           // clean: rate (meters per second)
+  double price_noise_stddev = 0;  // clean: statistical knob
+  double s = 0;                   // clean: bare letter = scalar accumulator
+  double m = 0;                   // clean: bare letter
+  int pickup_s = 0;               // clean: not a double
+};
+
+double FixtureRawUnitParams(double pickup_s, double trip_m) {  // fires x2
+  double sum = 0;  // clean: dimensionless accumulator
+  sum += pickup_s + trip_m;
+  double fare = 0;  // NOLINT-ARIDE(raw-unit-double): fixture suppression
+  return sum + fare;
+}

@@ -1,0 +1,16 @@
+// Golden fixture for the unit-suffix rule. aride_lint_test.cc asserts the
+// exact lines that fire — keep line numbers stable. Every `.value()` call
+// here also fires unsafe-unit-cast (src/fixture/ is not whitelisted); the
+// golden expectations include both rules to pin down the interplay.
+struct FixtureQuantity {
+  double raw = 0;
+  double value() const { return raw; }
+};
+
+double FixtureUnitSuffix(const FixtureQuantity& q) {
+  double trip_m = q.value();        // unsafe-unit-cast only: names its unit
+  double horizon = q.value();       // fires both: no unit in the name
+  double window = q.value() * 2.0;  // fires both: escape inside expression
+  double plain = 3.0;               // clean: no escape in the initializer
+  return trip_m + horizon + window + plain;
+}

@@ -1,0 +1,15 @@
+// Golden fixture for the unsafe-unit-cast rule. aride_lint_test.cc asserts
+// the exact lines that fire — keep line numbers stable, and also lints this
+// file under whitelisted and geometry paths expecting silence.
+struct FixtureMoneyLike {
+  double raw = 0;
+  double value() const { return raw; }
+};
+
+double FixtureUnsafeUnitCast(const FixtureMoneyLike& quote) {
+  double quote_yuan = quote.value();  // fires: unjustified escape
+  double justified_yuan =
+      quote.value();  // NOLINT-ARIDE(unsafe-unit-cast): fixture suppression
+  double value = 1.0;  // clean: 'value' as a name, not a member call
+  return quote_yuan + justified_yuan + value;
+}
