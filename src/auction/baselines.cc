@@ -46,7 +46,7 @@ DispatchResult FcfsDispatch(const AuctionInstance& instance, bool serve_all) {
     if (instance.config.use_spatial_pruning) {
       candidates = index.WithinRadius(
           instance.oracle->network().position(order.origin),
-          MaxPickupRadiusM(order, instance.oracle->speed_mps()));
+          EuclideanPickupRadiusM(order, *instance.oracle));
     } else {
       candidates.resize(vehicles.size());
       for (std::size_t i = 0; i < vehicles.size(); ++i) {

@@ -59,8 +59,8 @@ class CandidateSource {
                                   std::vector<int32_t>* scratch) const {
     if (!in_.config.use_spatial_pruning) return all_vehicles_;
     const Point origin = in_.oracle->network().position(order.origin);
-    *scratch = vehicle_index_.WithinRadius(
-        origin, MaxPickupRadiusM(order, in_.oracle->speed_mps()));
+    vehicle_index_.WithinRadius(
+        origin, EuclideanPickupRadiusM(order, *in_.oracle), scratch);
     return *scratch;
   }
 

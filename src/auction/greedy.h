@@ -12,8 +12,9 @@
 //    are discarded on pop — semantically identical to Algorithm 1's
 //    re-computation at lines 12–15.
 //  * Pair initialization uses exact spatial pruning: a pair can only be
-//    valid if the vehicle lies within speed·θ_j of the origin (see
-//    planner::MaxPickupRadiusM), so only those vehicles are probed.
+//    valid if the vehicle lies within speed·θ_j of the origin by road (see
+//    planner::EuclideanPickupRadiusM for the straight-line radius the grid
+//    lookup uses), so only those vehicles are probed.
 
 #ifndef AUCTIONRIDE_AUCTION_GREEDY_H_
 #define AUCTIONRIDE_AUCTION_GREEDY_H_

@@ -129,7 +129,7 @@ DispatchResult MatchingDispatch(const AuctionInstance& instance) {
     if (instance.config.use_spatial_pruning) {
       candidates = index.WithinRadius(
           instance.oracle->network().position(orders[j].origin),
-          MaxPickupRadiusM(orders[j], instance.oracle->speed_mps()));
+          EuclideanPickupRadiusM(orders[j], *instance.oracle));
     } else {
       candidates.resize(vehicles.size());
       for (std::size_t i = 0; i < vehicles.size(); ++i) {

@@ -21,8 +21,11 @@ struct PlanStop {
   NodeId node = kInvalidNode;
   OrderId order = kInvalidOrder;
   StopType type = StopType::kPickup;
-  // Drop-off deadline (absolute seconds) for kDropoff stops; unused for
-  // pickups.
+  // Stop deadline, absolute seconds. Drop-offs always carry the order's
+  // drop-off deadline and are always checked. For pickups the default
+  // Seconds(0) is the no-deadline sentinel; a positive value is an optional
+  // pickup deadline that plan evaluation enforces exactly like a drop-off
+  // deadline (contract pinned by planner_test).
   Seconds deadline_s;
 };
 

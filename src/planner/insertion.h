@@ -5,6 +5,27 @@
 // in *delivery* travel distance, subject to the validity constraints of
 // Definition 4. The search space is quadratic in the plan length (which is
 // at most 2·c̄), the common practice the paper adopts from [4,10,20,21,28].
+//
+// The search runs in two phases that make it cheap without changing a single
+// result bit (see BestInsertion):
+//
+//   1. a *lossless pruning sweep* walks every (i, j) candidate against
+//      certified per-leg lower bounds (DistanceOracle::LowerBoundDistance)
+//      resumed from cached exact prefix states, discarding candidates whose
+//      bounded walk already violates capacity or a deadline — without any
+//      shortest-path query for the new legs;
+//   2. an *exact incremental pass* batch-fetches only the surviving legs
+//      (DistanceOracle::DistanceBatch) and re-walks survivors from the same
+//      prefix snapshots with exact distances.
+//
+// Because round-to-nearest IEEE addition/division are monotone, running the
+// identical operation sequence on lower-bounded leg values yields a clock
+// that is <= the exact walk's clock bitwise, so a deadline violated under
+// the bounds is violated exactly; capacity/precedence counters never depend
+// on leg values at all. Hence phase 1 only ever removes candidates phase 2
+// would have found infeasible, and the surviving evaluation is the exact
+// historical operation sequence — same best plan, same ΔD, bit for bit
+// (property-tested against BestInsertionReference in tests/).
 
 #ifndef AUCTIONRIDE_PLANNER_INSERTION_H_
 #define AUCTIONRIDE_PLANNER_INSERTION_H_
@@ -33,13 +54,38 @@ struct InsertionResult {
 InsertionResult BestInsertion(const Vehicle& vehicle, const Order& order,
                               Seconds now_s, const DistanceOracle& oracle);
 
+/// The from-scratch reference search: evaluates every (i, j) candidate with
+/// a full EvaluatePlan walk and no pruning. Emits no telemetry. This is the
+/// pre-pruning implementation, kept as the ground truth the property tests
+/// compare BestInsertion against and as the AR_INSERTION_PRUNING=0 ablation
+/// path for benchmarks.
+InsertionResult BestInsertionReference(const Vehicle& vehicle,
+                                       const Order& order, Seconds now_s,
+                                       const DistanceOracle& oracle);
+
+/// Whether BestInsertion uses the pruned/incremental search (default) or
+/// the reference search. Initialized once from the AR_INSERTION_PRUNING
+/// environment variable ("0" disables); the setter exists for tests and
+/// ablation harnesses and is safe to call between dispatch rounds.
+bool InsertionPruningEnabled();
+void SetInsertionPruningEnabled(bool enabled);
+
 /// Quick necessary condition used for exact spatial pruning: a dispatch can
 /// only be valid if the vehicle can reach the origin and complete the trip
 /// within the deadline even with an otherwise empty plan, i.e.
 /// d(vehicle, s_j)/speed + t(s_j, e_j) <= θ_j + t(s_j, e_j). This bounds the
-/// vehicle-origin distance by speed·θ_j (Euclidean distance lower-bounds the
-/// road distance, so Euclidean pruning is exact).
+/// vehicle-origin ROAD distance by speed·θ_j.
 Meters MaxPickupRadiusM(const Order& order, MetersPerSecond speed_mps);
+
+/// The same necessary condition expressed as a EUCLIDEAN radius for grid
+/// index lookups: road distance >= lower_bound_scale() × straight-line
+/// distance, so a vehicle farther than MaxPickupRadiusM / scale in a
+/// straight line cannot be within MaxPickupRadiusM by road. When the scale
+/// is <= 1 this degrades to MaxPickupRadiusM itself (straight-line distance
+/// never exceeds road distance), which is the historical radius — so the
+/// candidate sets only ever shrink, and only losslessly.
+Meters EuclideanPickupRadiusM(const Order& order,
+                              const DistanceOracle& oracle);
 
 }  // namespace auctionride
 

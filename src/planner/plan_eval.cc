@@ -6,14 +6,15 @@ namespace auctionride {
 
 PlanEvaluation EvaluatePlan(const Vehicle& vehicle,
                             std::span<const PlanStop> stops, Seconds now_s,
-                            const DistanceOracle& oracle) {
+                            MetersPerSecond speed_mps,
+                            const LegSource& legs) {
 #if ARIDE_CONTRACTS_ENABLED
   {
     TravelPlan check;
     check.stops.assign(stops.begin(), stops.end());
     ARIDE_CHECK(check.PrecedenceHolds()) << "vehicle " << vehicle.id;
   }
-  ARIDE_CHECK_GT(oracle.speed_mps(), MetersPerSecond(0));
+  ARIDE_CHECK_GT(speed_mps, MetersPerSecond(0));
   ARIDE_CHECK_GE(vehicle.extra_distance_m, Meters(0)) << "vehicle " << vehicle.id;
   ARIDE_CHECK_GE(vehicle.onboard, 0) << "vehicle " << vehicle.id;
   ARIDE_CHECK_LE(vehicle.onboard, vehicle.capacity)
@@ -22,56 +23,30 @@ PlanEvaluation EvaluatePlan(const Vehicle& vehicle,
   PlanEvaluation eval;
   eval.feasible = true;
 
-  Seconds clock_s = now_s + vehicle.extra_distance_m / oracle.speed_mps();
-  Meters total_m = vehicle.extra_distance_m;
-  Meters delivery_m;
-  bool in_delivery = vehicle.in_delivery;
-  // A vehicle committed to in-flight riders is in delivery regardless of the
-  // flag the caller set; keep the two consistent defensively.
-  if (vehicle.onboard > 0) in_delivery = true;
-  if (in_delivery) delivery_m += vehicle.extra_distance_m;
-
-  int onboard = vehicle.onboard;
+  PlanWalkState st = InitialPlanWalkState(vehicle, now_s, speed_mps);
   NodeId prev = vehicle.next_node;
-
   for (const PlanStop& stop : stops) {
-    // Raw on purpose: compared against the geometry layer's kInfDistance
-    // sentinel before it is promoted into the typed accumulators below.
-    const double leg_m =  // NOLINT-ARIDE(raw-unit-double)
-        oracle.Distance(prev, stop.node);
-    if (leg_m == kInfDistance) {
+    const StopAdvance adv =
+        AdvancePlanStop(st, legs.LegDistance(prev, stop.node), stop,
+                        vehicle.capacity, speed_mps, kDeadlineEpsilonS);
+    if (adv != StopAdvance::kOk) {
       eval.feasible = false;
       break;
     }
-    total_m += Meters(leg_m);
-    if (in_delivery) delivery_m += Meters(leg_m);
-    clock_s += Meters(leg_m) / oracle.speed_mps();
     prev = stop.node;
-
-    if (stop.type == StopType::kPickup) {
-      ++onboard;
-      if (onboard > vehicle.capacity) {
-        eval.feasible = false;
-        break;
-      }
-      in_delivery = true;  // delivery phase begins at the first pickup
-    } else {
-      --onboard;
-      if (onboard < 0) {
-        eval.feasible = false;
-        break;
-      }
-      if (clock_s > stop.deadline_s + Seconds(1e-9)) {
-        eval.feasible = false;
-        break;
-      }
-    }
   }
 
-  eval.total_distance_m = total_m;
-  eval.delivery_distance_m = delivery_m;
-  eval.completion_time_s = clock_s;
+  eval.total_distance_m = st.total_m;
+  eval.delivery_distance_m = st.delivery_m;
+  eval.completion_time_s = st.clock_s;
   return eval;
+}
+
+PlanEvaluation EvaluatePlan(const Vehicle& vehicle,
+                            std::span<const PlanStop> stops, Seconds now_s,
+                            const DistanceOracle& oracle) {
+  return EvaluatePlan(vehicle, stops, now_s, oracle.speed_mps(),
+                      OracleLegSource(oracle));
 }
 
 Meters CurrentDeliveryDistance(const Vehicle& vehicle, Seconds now_s,

@@ -1,6 +1,8 @@
 #include "roadnet/graph.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/check.h"
@@ -36,6 +38,19 @@ void RoadNetwork::Build() {
     out_begin_[i + 1] += out_begin_[i];
     in_begin_[i + 1] += in_begin_[i];
   }
+
+  // Geometric lower-bound certificate (see min_detour_ratio()): the smallest
+  // length / straight-line ratio over all edges whose endpoints are at
+  // distinct positions. Zero-length or coincident-endpoint edges force the
+  // bound to degrade conservatively (a zero-length edge over a positive gap
+  // makes any multiple of the straight-line distance inadmissible, so the
+  // ratio collapses to 0 there by construction).
+  double min_ratio = std::numeric_limits<double>::infinity();
+  for (const PendingEdge& e : pending_) {
+    const double euclid_m = EuclideanDistance(points_[e.from], points_[e.to]);
+    if (euclid_m > 0) min_ratio = std::min(min_ratio, e.length_m / euclid_m);
+  }
+  min_detour_ratio_ = std::isfinite(min_ratio) ? min_ratio : 0.0;
 
   arcs_.resize(pending_.size());
   rev_arcs_.resize(pending_.size());

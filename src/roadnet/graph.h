@@ -76,6 +76,22 @@ class RoadNetwork {
             static_cast<std::size_t>(in_begin_[n + 1] - in_begin_[n])};
   }
 
+  /// Minimum ratio of edge length to the straight-line distance between the
+  /// edge's endpoints, over all edges with distinct endpoint positions
+  /// (precomputed by Build(); 0 when the graph has no such edge). Because
+  /// every leg of any path detours by at least this factor, it certifies the
+  /// admissible lower bound
+  ///
+  ///   d(u, v)  >=  min_detour_ratio() * EuclideanDistance(u, v)
+  ///
+  /// for every node pair: sum the per-edge inequality along the shortest
+  /// path and apply the triangle inequality to the straight-line legs.
+  /// Requires Build().
+  double min_detour_ratio() const {
+    ARIDE_DCHECK(built_);
+    return min_detour_ratio_;
+  }
+
   /// Bounding box of all node positions. Requires at least one node.
   BoundingBox ComputeBounds() const;
 
@@ -90,6 +106,7 @@ class RoadNetwork {
   };
 
   bool built_ = false;
+  double min_detour_ratio_ = 0;
   std::vector<Point> points_;
   std::vector<PendingEdge> pending_;
 

@@ -15,6 +15,12 @@ DistanceOracle::DistanceOracle(const RoadNetwork* network, Backend backend,
     ch_ = std::make_unique<ContractionHierarchy>(network);
   }
   shards_ = std::make_unique<CacheShard[]>(kNumShards);
+  // Relative safety margin: the backends sum edge lengths with round-to-
+  // nearest adds, and LowerBoundDistance rounds its product once, so each
+  // side can differ from the exact real value by a handful of ulps. Shaving
+  // 1e-9 (~ 2^-30, millions of ulps) off the ratio keeps the bound strictly
+  // admissible against the *rounded* Distance() result.
+  lb_scale_ = network->min_detour_ratio() * (1.0 - 1e-9);
 }
 
 double DistanceOracle::ComputeUncached(NodeId source, NodeId target) const {
@@ -105,6 +111,11 @@ namespace {
 // the owning thread mutates it, so the increment costs about as much as the
 // function-entry DCHECKs it sits next to.
 thread_local int64_t tl_thread_queries = 0;
+
+inline uint64_t PairKey(NodeId source, NodeId target) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(source)) << 32) |
+         static_cast<uint32_t>(target);
+}
 }  // namespace
 
 int64_t DistanceOracle::ThreadQueryCount() { return tl_thread_queries; }
@@ -124,9 +135,7 @@ double DistanceOracle::Distance(NodeId source, NodeId target) const {
   num_queries_.fetch_add(1, std::memory_order_relaxed);
   ARIDE_SP_COUNT_QUERY();
 
-  const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(source))
-                        << 32) |
-                       static_cast<uint32_t>(target);
+  const uint64_t key = PairKey(source, target);
   CacheShard& shard = shards_[key % kNumShards];
   {
     MutexLock lock(shard.mu);
@@ -143,6 +152,141 @@ double DistanceOracle::Distance(NodeId source, NodeId target) const {
     shard.map.emplace(key, d);
   }
   return d;
+}
+
+void DistanceOracle::DistanceBatch(std::span<const NodePair> pairs,
+                                   std::span<double> out) const {
+  ARIDE_ACHECK(pairs.size() == out.size());
+  const std::size_t n = pairs.size();
+  if (n == 0) return;
+  tl_thread_queries += static_cast<int64_t>(n);
+
+  // Reused per-thread scratch: non-trivial pair indices bucketed by cache
+  // shard, cache-miss indices per shard, and this batch's freshly computed
+  // keys. The last one makes duplicate pairs inside a batch charge a cache
+  // hit and reuse the first occurrence's value — exactly what the second of
+  // two sequential Distance() calls would do after the first's insert.
+  struct BatchScratch {
+    std::vector<uint32_t> bucket[kNumShards];
+    std::vector<uint32_t> misses[kNumShards];
+    std::unordered_map<uint64_t, double> computed;
+  };
+  thread_local BatchScratch scratch;
+  for (auto& b : scratch.bucket) b.clear();
+  for (auto& m : scratch.misses) m.clear();
+  scratch.computed.clear();
+
+  int64_t trivial = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId source = pairs[i].source;
+    const NodeId target = pairs[i].target;
+    ARIDE_DCHECK(source >= 0 && source < network_->num_nodes());
+    ARIDE_DCHECK(target >= 0 && target < network_->num_nodes());
+    if (source == target) {
+      out[i] = 0;
+      ++trivial;
+      ARIDE_SP_COUNT_TRIVIAL();
+      continue;
+    }
+    scratch.bucket[PairKey(source, target) % kNumShards].push_back(
+        static_cast<uint32_t>(i));
+    ARIDE_SP_COUNT_QUERY();
+  }
+  if (trivial > 0) {
+    num_trivial_queries_.fetch_add(trivial, std::memory_order_relaxed);
+  }
+  const int64_t nontrivial = static_cast<int64_t>(n) - trivial;
+  if (nontrivial > 0) {
+    num_queries_.fetch_add(nontrivial, std::memory_order_relaxed);
+  }
+
+  // Lookup pass: one lock per touched shard. Pending computes are marked
+  // with -1.0, which Distance() can never return (edge lengths are >= 0).
+  int64_t hits = 0;
+  for (int s = 0; s < kNumShards; ++s) {
+    if (scratch.bucket[s].empty()) continue;
+    CacheShard& shard = shards_[s];
+    MutexLock lock(shard.mu);
+    for (const uint32_t i : scratch.bucket[s]) {
+      auto it = shard.map.find(PairKey(pairs[i].source, pairs[i].target));
+      if (it != shard.map.end()) {
+        out[i] = it->second;
+        ++hits;
+        ARIDE_SP_COUNT_HIT();
+      } else {
+        out[i] = -1.0;
+        scratch.misses[s].push_back(i);
+      }
+    }
+  }
+
+  std::size_t num_misses = 0;
+  for (const auto& m : scratch.misses) num_misses += m.size();
+  if (num_misses > 0) {
+    // All misses in the batch share one pooled backend context.
+    std::unique_ptr<ContractionHierarchy::Query> ch_query;
+    std::unique_ptr<DijkstraSearch> search;
+    {
+      MutexLock lock(pool_mu_);
+      if (backend_ == Backend::kContractionHierarchy) {
+        if (!ch_pool_.empty()) {
+          ch_query = std::move(ch_pool_.back());
+          ch_pool_.pop_back();
+        }
+      } else if (!dijkstra_pool_.empty()) {
+        search = std::move(dijkstra_pool_.back());
+        dijkstra_pool_.pop_back();
+      }
+    }
+    if (backend_ == Backend::kContractionHierarchy) {
+      if (ch_query == nullptr) {
+        ch_query = std::make_unique<ContractionHierarchy::Query>(ch_.get());
+      }
+    } else if (search == nullptr) {
+      search = std::make_unique<DijkstraSearch>(network_);
+    }
+
+    for (int s = 0; s < kNumShards; ++s) {
+      if (scratch.misses[s].empty()) continue;
+      for (const uint32_t i : scratch.misses[s]) {
+        const uint64_t key = PairKey(pairs[i].source, pairs[i].target);
+        auto it = scratch.computed.find(key);
+        if (it != scratch.computed.end()) {
+          out[i] = it->second;
+          ++hits;
+          ARIDE_SP_COUNT_HIT();
+          continue;
+        }
+        double d;
+        {
+          // Same 1-in-16 sampling as ComputeUncached, per compute.
+          OBS_SCOPED_TIMER_SAMPLED("roadnet.sp.compute_s", 16);
+          d = ch_query != nullptr
+                  ? ch_query->ShortestDistance(pairs[i].source,
+                                               pairs[i].target)
+                  : search->ShortestDistance(pairs[i].source,
+                                             pairs[i].target);
+        }
+        out[i] = d;
+        scratch.computed.emplace(key, d);
+      }
+      // Publish this shard's fresh results with one lock. emplace ignores
+      // keys another thread raced in first; values are deterministic, so
+      // whichever insert wins stores the same double.
+      CacheShard& shard = shards_[s];
+      MutexLock lock(shard.mu);
+      for (const uint32_t i : scratch.misses[s]) {
+        shard.map.emplace(PairKey(pairs[i].source, pairs[i].target), out[i]);
+      }
+    }
+
+    {
+      MutexLock lock(pool_mu_);
+      if (ch_query != nullptr) ch_pool_.push_back(std::move(ch_query));
+      if (search != nullptr) dijkstra_pool_.push_back(std::move(search));
+    }
+  }
+  if (hits > 0) num_cache_hits_.fetch_add(hits, std::memory_order_relaxed);
 }
 
 }  // namespace auctionride

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +48,39 @@ class DistanceOracle {
   /// backends and memo cache below it are pure graph code. Economic
   /// callers wrap the result in Meters at the call site.
   double Distance(NodeId source, NodeId target) const;
+
+  /// A (source, target) pair for DistanceBatch().
+  struct NodePair {
+    NodeId source = kInvalidNode;
+    NodeId target = kInvalidNode;
+  };
+
+  /// Batched Distance(): fills out[i] = Distance(pairs[i].source,
+  /// pairs[i].target). Semantically and statistically identical to the
+  /// equivalent sequence of Distance() calls (same values, same query /
+  /// cache-hit / trivial counts, same ThreadQueryCount() charge), but each
+  /// touched cache shard is locked once per lookup pass instead of once per
+  /// pair, and all misses in the batch share a single pooled query context.
+  /// `out.size()` must equal `pairs.size()`.
+  void DistanceBatch(std::span<const NodePair> pairs,
+                     std::span<double> out) const;
+
+  /// Certified admissible lower bound on Distance(source, target): the
+  /// straight-line distance scaled by the network's min-detour ratio (see
+  /// RoadNetwork::min_detour_ratio()), shrunk by a relative safety margin of
+  /// 1e-9 so that floating-point rounding — in this product, in the ratio
+  /// precompute, and in the path sums inside the backends — can never push
+  /// the bound above the double Distance() actually returns. Pure
+  /// arithmetic: no graph search, no cache traffic, not counted as a query.
+  double LowerBoundDistance(NodeId source, NodeId target) const {
+    return lb_scale_ * EuclideanDistance(network_->position(source),
+                                         network_->position(target));
+  }
+
+  /// The scale factor used by LowerBoundDistance (min-detour ratio with the
+  /// safety margin applied). May exceed 1 on networks whose every edge
+  /// detours; 0 disables geometric bounds (every lower bound is 0).
+  double lower_bound_scale() const { return lb_scale_; }
 
   /// Shortest travel time at the configured constant speed.
   Seconds TravelTime(NodeId source, NodeId target) const {
@@ -92,6 +126,7 @@ class DistanceOracle {
   const RoadNetwork* network_;
   Backend backend_;
   double speed_mps_;
+  double lb_scale_ = 0;
   std::unique_ptr<ContractionHierarchy> ch_;
 
   // Pools of per-thread query contexts, lazily grown.

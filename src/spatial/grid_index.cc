@@ -46,7 +46,14 @@ int GridIndex::CellY(double y) const {
 std::vector<int32_t> GridIndex::WithinRadius(const Point& center,
                                              Meters radius_m) const {
   std::vector<int32_t> result;
-  if (items_.empty() || radius_m < Meters(0)) return result;
+  WithinRadius(center, radius_m, &result);
+  return result;
+}
+
+void GridIndex::WithinRadius(const Point& center, Meters radius_m,
+                             std::vector<int32_t>* out) const {
+  out->clear();
+  if (items_.empty() || radius_m < Meters(0)) return;
   const double radius = radius_m.value();  // geometry below is raw points
   const double r_sq = radius * radius;
   const int x_lo = CellX(center.x - radius);
@@ -58,12 +65,11 @@ std::vector<int32_t> GridIndex::WithinRadius(const Point& center,
       for (int32_t idx : Cell(cx, cy)) {
         const Item& item = items_[static_cast<std::size_t>(idx)];
         if (SquaredDistance(center, item.position) <= r_sq) {
-          result.push_back(item.id);
+          out->push_back(item.id);
         }
       }
     }
   }
-  return result;
 }
 
 std::vector<int32_t> GridIndex::KNearest(const Point& center, int k,

@@ -32,6 +32,11 @@ class GridIndex {
   std::vector<int32_t> WithinRadius(const Point& center,
                                     Meters radius_m) const;
 
+  /// As above, but appends into `out` (cleared first) so per-round callers
+  /// can reuse one allocation across thousands of lookups.
+  void WithinRadius(const Point& center, Meters radius_m,
+                    std::vector<int32_t>* out) const;
+
   /// Ids of the k nearest items to `center` by Euclidean distance, closest
   /// first. Returns fewer when the index holds fewer than k items.
   /// `exclude_id` (if >= 0) is skipped.

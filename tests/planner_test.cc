@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -384,6 +386,101 @@ TEST(PackPlannerTest, RejectsOverCapacity) {
   const Order c = MakeOrder(3, 3, 6, 10, oracle);
   const std::vector<const Order*> pack = {&a, &b, &c};
   EXPECT_FALSE(PlanPack(v, pack, Seconds(0), oracle).feasible);
+}
+
+// A LegSource that corrupts one specific leg and forwards everything else to
+// the oracle — the misbehaving-oracle stub the evaluator must defend
+// against.
+class CorruptedLegSource final : public LegSource {
+ public:
+  CorruptedLegSource(const DistanceOracle& oracle, NodeId from, NodeId to,
+                     double corrupted_m)
+      : oracle_(oracle), from_(from), to_(to), corrupted_m_(corrupted_m) {}
+  double LegDistance(NodeId from, NodeId to) const override {
+    if (from == from_ && to == to_) return corrupted_m_;
+    return oracle_.Distance(from, to);
+  }
+
+ private:
+  const DistanceOracle& oracle_;
+  NodeId from_;
+  NodeId to_;
+  double corrupted_m_;
+};
+
+TEST(PlanEvalTest, NanLegRejectedWithoutPoisoningAccumulators) {
+  RoadNetwork net = testutil::LineNetwork(10, 500);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  const Vehicle v = MakeVehicle(0, 0);
+  const Order a = MakeOrder(1, 2, 6, 10, oracle);
+  const std::vector<PlanStop> plan = {
+      {2, 1, StopType::kPickup, Seconds(0)},
+      {6, 1, StopType::kDropoff, a.DropoffDeadline(Seconds(0))},
+  };
+  // Sanity: the uncorrupted walk through the seam is feasible and matches
+  // the oracle overload bitwise.
+  const PlanEvaluation clean = EvaluatePlan(v, plan, Seconds(0),
+                                            oracle.speed_mps(),
+                                            OracleLegSource(oracle));
+  const PlanEvaluation direct = EvaluatePlan(v, plan, Seconds(0), oracle);
+  ASSERT_TRUE(clean.feasible);
+  EXPECT_EQ(clean.total_distance_m, direct.total_distance_m);
+  EXPECT_EQ(clean.delivery_distance_m, direct.delivery_distance_m);
+  EXPECT_EQ(clean.completion_time_s, direct.completion_time_s);
+
+  // NaN on the second leg: historically `leg == kInfDistance` compared
+  // false and the NaN flowed into every accumulator; now the leg is
+  // rejected and the prefix accumulators stay finite.
+  const CorruptedLegSource nan_leg(oracle, 2, 6,
+                                   std::numeric_limits<double>::quiet_NaN());
+  const PlanEvaluation poisoned =
+      EvaluatePlan(v, plan, Seconds(0), oracle.speed_mps(), nan_leg);
+  EXPECT_FALSE(poisoned.feasible);
+  EXPECT_TRUE(std::isfinite(poisoned.total_distance_m.value()));
+  EXPECT_TRUE(std::isfinite(poisoned.delivery_distance_m.value()));
+  EXPECT_TRUE(std::isfinite(poisoned.completion_time_s.value()));
+
+  // +inf keeps its historical unreachable semantics.
+  const CorruptedLegSource inf_leg(oracle, 2, 6, kInfDistance);
+  EXPECT_FALSE(
+      EvaluatePlan(v, plan, Seconds(0), oracle.speed_mps(), inf_leg)
+          .feasible);
+}
+
+// Pins the pickup-deadline contract (model/travel_plan.h): Seconds(0) is
+// the no-deadline sentinel; a positive pickup deadline is enforced exactly
+// like a drop-off deadline.
+TEST(PlanEvalTest, PickupDeadlineContract) {
+  RoadNetwork net = testutil::LineNetwork(10, 1000);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  const Vehicle v = MakeVehicle(0, 0);
+  // γ = 10: the drop-off deadline is far looser than the 5000 m approach,
+  // so feasibility below is decided by the pickup deadline alone.
+  const Order a = MakeOrder(1, 5, 7, 10, oracle, /*gamma=*/10.0);
+  const Seconds pickup_time = Meters(5000) / oracle.speed_mps();
+
+  auto plan_with_pickup_deadline = [&](Seconds deadline) {
+    return std::vector<PlanStop>{
+        {5, 1, StopType::kPickup, deadline},
+        {7, 1, StopType::kDropoff, a.DropoffDeadline(Seconds(0))},
+    };
+  };
+  // Sentinel: no pickup deadline, feasible however long the approach.
+  EXPECT_TRUE(EvaluatePlan(v, plan_with_pickup_deadline(Seconds(0)),
+                           Seconds(0), oracle)
+                  .feasible);
+  // Positive and generous: enforced, met.
+  EXPECT_TRUE(EvaluatePlan(v,
+                           plan_with_pickup_deadline(pickup_time +
+                                                     Seconds(1.0)),
+                           Seconds(0), oracle)
+                  .feasible);
+  // Positive and tight: enforced, missed — no longer silently dropped.
+  EXPECT_FALSE(EvaluatePlan(v,
+                            plan_with_pickup_deadline(pickup_time -
+                                                      Seconds(1.0)),
+                            Seconds(0), oracle)
+                   .feasible);
 }
 
 }  // namespace

@@ -451,5 +451,124 @@ TEST(OracleTest, TravelTimeUsesSpeed) {
   EXPECT_DOUBLE_EQ(oracle.TravelTime(0, 2).value(), 100.0);
 }
 
+TEST(RoadNetworkTest, MinDetourRatioOfStraightEdgesIsOne) {
+  // Line and lattice edges run exactly along the segment between their
+  // endpoints: length == euclid on every edge.
+  EXPECT_DOUBLE_EQ(testutil::LineNetwork(5, 750).min_detour_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(testutil::LatticeNetwork(4, 3, 500).min_detour_ratio(),
+                   1.0);
+}
+
+TEST(RoadNetworkTest, MinDetourRatioIsTheMinimumOverEdges) {
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({1000, 0});
+  net.AddNode({1000, 1000});
+  net.AddBidirectionalEdge(0, 1, 1500);  // ratio 1.5
+  net.AddBidirectionalEdge(1, 2, 1200);  // ratio 1.2 — the minimum
+  net.Build();
+  EXPECT_DOUBLE_EQ(net.min_detour_ratio(), 1.2);
+}
+
+TEST(RoadNetworkTest, MinDetourRatioZeroWithoutPositiveEuclidEdges) {
+  // Both endpoints at the same position: no edge certifies any bound.
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({0, 0});
+  net.AddBidirectionalEdge(0, 1, 100);
+  net.Build();
+  EXPECT_DOUBLE_EQ(net.min_detour_ratio(), 0.0);
+}
+
+TEST(OracleTest, LowerBoundScaleTracksRatioWithSafetyMargin) {
+  RoadNetwork net = testutil::LineNetwork(6, 400);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  EXPECT_DOUBLE_EQ(oracle.lower_bound_scale(),
+                   net.min_detour_ratio() * (1.0 - 1e-9));
+  // The bound on a concrete pair: scale × euclid, and admissible.
+  EXPECT_DOUBLE_EQ(oracle.LowerBoundDistance(0, 5),
+                   oracle.lower_bound_scale() * 2000.0);
+  EXPECT_LE(oracle.LowerBoundDistance(0, 5), oracle.Distance(0, 5));
+}
+
+TEST(OracleTest, LowerBoundAdmissibleOnGridNetworks) {
+  GridNetworkOptions options;
+  options.columns = 9;
+  options.rows = 9;
+  options.seed = 12345;
+  RoadNetwork net = BuildGridNetwork(options);
+  EXPECT_GT(net.min_detour_ratio(), 0.0);
+  DistanceOracle oracle(&net, DistanceOracle::Backend::kDijkstra);
+  Rng rng(99);
+  const auto num_nodes = static_cast<uint64_t>(net.num_nodes());
+  for (int trial = 0; trial < 500; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    const NodeId t = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    EXPECT_LE(oracle.LowerBoundDistance(s, t), oracle.Distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+// DistanceBatch must be indistinguishable from the equivalent sequence of
+// Distance() calls: same values and the same query/cache-hit/trivial
+// accounting, including trivial pairs, in-batch duplicates, and pairs
+// already cached by an earlier batch.
+class OracleBatchTest
+    : public ::testing::TestWithParam<DistanceOracle::Backend> {};
+
+TEST_P(OracleBatchTest, BatchMatchesSequentialValuesAndCounters) {
+  GridNetworkOptions options;
+  options.columns = 6;
+  options.rows = 6;
+  options.seed = 4242;
+  RoadNetwork net = BuildGridNetwork(options);
+  const DistanceOracle batched(&net, GetParam());
+  const DistanceOracle sequential(&net, GetParam());
+
+  std::vector<DistanceOracle::NodePair> pairs;
+  Rng rng(7);
+  const auto num_nodes = static_cast<uint64_t>(net.num_nodes());
+  for (int i = 0; i < 40; ++i) {
+    pairs.push_back({static_cast<NodeId>(rng.UniformInt(num_nodes)),
+                     static_cast<NodeId>(rng.UniformInt(num_nodes))});
+  }
+  pairs.push_back({3, 3});    // trivial
+  pairs.push_back(pairs[0]);  // in-batch duplicate
+  pairs.push_back(pairs[0]);  // and again
+
+  const int64_t thread_queries_before = DistanceOracle::ThreadQueryCount();
+  std::vector<double> batch_out(pairs.size());
+  batched.DistanceBatch(pairs, batch_out);
+  // Every pair charges the calling thread exactly one query, same as a
+  // Distance() loop would.
+  EXPECT_EQ(DistanceOracle::ThreadQueryCount() - thread_queries_before,
+            static_cast<int64_t>(pairs.size()));
+
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(batch_out[i],
+              sequential.Distance(pairs[i].source, pairs[i].target))
+        << "pair " << i;
+  }
+  EXPECT_EQ(batched.num_queries(), sequential.num_queries());
+  EXPECT_EQ(batched.num_cache_hits(), sequential.num_cache_hits());
+  EXPECT_EQ(batched.num_trivial_queries(), sequential.num_trivial_queries());
+
+  // Second pass over the same pairs: everything non-trivial is now a cache
+  // hit, in both worlds.
+  batched.DistanceBatch(pairs, batch_out);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(batch_out[i],
+              sequential.Distance(pairs[i].source, pairs[i].target));
+  }
+  EXPECT_EQ(batched.num_queries(), sequential.num_queries());
+  EXPECT_EQ(batched.num_cache_hits(), sequential.num_cache_hits());
+  EXPECT_EQ(batched.num_trivial_queries(), sequential.num_trivial_queries());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, OracleBatchTest,
+                         ::testing::Values(
+                             DistanceOracle::Backend::kDijkstra,
+                             DistanceOracle::Backend::kContractionHierarchy));
+
 }  // namespace
 }  // namespace auctionride

@@ -43,6 +43,23 @@ TEST(GridIndexTest, WithinRadiusBoundaryInclusive) {
   EXPECT_TRUE(index.WithinRadius({0, 0}, Meters(299.999)).empty());
 }
 
+TEST(GridIndexTest, WithinRadiusOutParamMatchesAndClearsOnReuse) {
+  std::vector<GridIndex::Item> items = {
+      {0, {0, 0}}, {1, {100, 0}}, {2, {0, 250}}, {3, {400, 400}}};
+  GridIndex index(items, 100);
+  std::vector<int32_t> scratch = {99, 98, 97};  // stale content to flush
+  index.WithinRadius({0, 0}, Meters(260), &scratch);
+  std::vector<int32_t> by_value = index.WithinRadius({0, 0}, Meters(260));
+  std::sort(scratch.begin(), scratch.end());
+  std::sort(by_value.begin(), by_value.end());
+  EXPECT_EQ(scratch, by_value);
+
+  // Reuse with a query that matches nothing: the scratch must come back
+  // empty, not keep the previous query's hits.
+  index.WithinRadius({-5000, -5000}, Meters(10), &scratch);
+  EXPECT_TRUE(scratch.empty());
+}
+
 TEST(GridIndexTest, KNearestOrderedByDistance) {
   std::vector<GridIndex::Item> items = {
       {0, {500, 0}}, {1, {100, 0}}, {2, {300, 0}}, {3, {900, 0}}};

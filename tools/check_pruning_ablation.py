@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI gate for the insertion-pruning ablation (AR_INSERTION_PRUNING).
+
+Compares a pruning-on and a pruning-off run of the same bench and enforces
+the losslessness contract: pruning may only remove work, never change the
+auction outcome.
+
+  * Every auction.* counter and the insertion attempt/feasibility tallies
+    must match exactly — the dispatch outcome is bit-identical.
+  * Per-benchmark `utility` counters (google-benchmark JSON) must be
+    identical when both runs provide them.
+  * The pruning-on run must actually prune (pruned.candidates > 0) and must
+    issue strictly fewer shortest-path queries.
+
+Usage:
+  check_pruning_ablation.py BENCH_on.json BENCH_off.json \
+      [GBENCH_on.json GBENCH_off.json]
+"""
+
+import json
+import sys
+
+EXACT_COUNTER_PREFIXES = ("auction.",)
+EXACT_COUNTERS = (
+    "planner.insertion.attempts",
+    "planner.insertion.calls",
+    "planner.insertion.feasible",
+    "planner.insertion.infeasible",
+    "planner.insertion.capacity_rejected",
+)
+
+
+def fail(message):
+    print(f"pruning ablation gate: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def utilities(gbench_path):
+    """name -> utility counter of every benchmark in a google-benchmark
+    JSON report (benchmark user counters are inlined as numeric fields)."""
+    report = load(gbench_path)
+    return {
+        b["name"]: b.get("utility")
+        for b in report.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+
+def main(argv):
+    if len(argv) not in (3, 5):
+        fail(f"usage: {argv[0]} BENCH_on BENCH_off [GBENCH_on GBENCH_off]")
+    on = load(argv[1])["metrics"]["counters"]
+    off = load(argv[2])["metrics"]["counters"]
+
+    for key in sorted(set(on) | set(off)):
+        exact = key in EXACT_COUNTERS or any(
+            key.startswith(p) for p in EXACT_COUNTER_PREFIXES
+        )
+        if exact and on.get(key) != off.get(key):
+            fail(
+                f"outcome counter {key} differs: "
+                f"on={on.get(key)} off={off.get(key)}"
+            )
+
+    pruned = on.get("planner.insertion.pruned.candidates", 0)
+    if pruned <= 0:
+        fail("pruning-on run pruned no candidates; ablation is vacuous")
+    if off.get("planner.insertion.pruned.candidates", 0) != 0:
+        fail("pruning-off run reports pruned candidates; env toggle broken")
+    q_on = on.get("roadnet.sp.queries", 0)
+    q_off = off.get("roadnet.sp.queries", 0)
+    if not q_on < q_off:
+        fail(f"sp.queries not reduced: on={q_on} off={q_off}")
+
+    if len(argv) == 5:
+        u_on = utilities(argv[3])
+        u_off = utilities(argv[4])
+        if not u_on:
+            fail(f"no utility counters found in {argv[3]}")
+        if u_on != u_off:
+            fail(f"utilities differ: on={u_on} off={u_off}")
+        print(f"pruning ablation gate: utilities identical across "
+              f"{len(u_on)} benchmarks")
+
+    print(
+        "pruning ablation gate: OK — outcome counters identical, "
+        f"{pruned} candidates pruned, sp.queries {q_off} -> {q_on} "
+        f"({100.0 * (q_off - q_on) / q_off:.1f}% fewer)"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)
