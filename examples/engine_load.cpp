@@ -14,6 +14,8 @@
 //
 // Flags: --orders N --vehicles N --shards N --threads N --producers N
 //        --trnd S --duration S --mechanism greedy|rank --seed N
+//        --round-budget-ms MS (service mode: wall-clock anytime budget per
+//        auction round; also settable via AR_ROUND_BUDGET_MS, flag wins)
 //
 // A load validation run at paper-plus scale (sustains >= 50k concurrent
 // pending orders across 8 shards, no FCFS fallback on fault-free rounds):
@@ -53,6 +55,11 @@ int main(int argc, char** argv) {
   double duration_s = 600;
   uint64_t seed = 42;
   MechanismKind mechanism = MechanismKind::kRank;
+  double round_budget_ms = 0;
+  if (const char* env = std::getenv("AR_ROUND_BUDGET_MS");
+      env != nullptr && env[0] != '\0') {
+    round_budget_ms = std::atof(env);
+  }
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
     if (flag == "--orders") num_orders = std::atoi(argv[i + 1]);
@@ -72,6 +79,7 @@ int main(int argc, char** argv) {
                       ? MechanismKind::kGreedy
                       : MechanismKind::kRank;
     }
+    if (flag == "--round-budget-ms") round_budget_ms = std::atof(argv[i + 1]);
   }
 
   std::printf("building Beijing-like road network (29.6 x 29.6 km)...\n");
@@ -100,6 +108,7 @@ int main(int argc, char** argv) {
   options.engine_threads = engine_threads;
   options.faults = FaultOptionsFromEnv(seed);
   options.verify_dispatch = options.faults.any();
+  options.service_round_budget_ms = round_budget_ms;
 
   Engine engine(&oracle, &workload.orders, workload.vehicles, options);
   std::printf(
@@ -157,27 +166,34 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.migrations),
               stats.peak_concurrent_orders);
   std::printf("tiers: primary = %llu, greedy_fallback = %llu, "
-              "fcfs_fallback = %llu\n",
+              "fcfs_fallback = %llu | truncated rounds = %llu\n",
               static_cast<unsigned long long>(stats.tier_counts[0]),
               static_cast<unsigned long long>(stats.tier_counts[1]),
-              static_cast<unsigned long long>(stats.tier_counts[2]));
+              static_cast<unsigned long long>(stats.tier_counts[2]),
+              static_cast<unsigned long long>(stats.truncated_rounds));
   for (std::size_t s = 0; s < stats.shards.size(); ++s) {
     const ShardStats& sh = stats.shards[s];
     std::printf("shard %zu: rounds = %llu, ingested = %llu, peak pending = "
                 "%zu, peak queue = %zu, migrations in/out = %llu/%llu, "
+                "tiers = %llu/%llu/%llu, truncated = %llu, "
                 "round p50/p99 = %.4f/%.4f s\n",
                 s, static_cast<unsigned long long>(sh.auction_rounds),
                 static_cast<unsigned long long>(sh.ingested),
                 sh.peak_pending, sh.peak_queue_depth,
                 static_cast<unsigned long long>(sh.migrations_in),
                 static_cast<unsigned long long>(sh.migrations_out),
+                static_cast<unsigned long long>(sh.tier_counts[0]),
+                static_cast<unsigned long long>(sh.tier_counts[1]),
+                static_cast<unsigned long long>(sh.tier_counts[2]),
+                static_cast<unsigned long long>(sh.truncated_rounds),
                 sh.round_s.count() > 0 ? sh.round_s.p50() : 0.0,
                 sh.round_s.count() > 0 ? sh.round_s.p99() : 0.0);
   }
   // FCFS is the last rung of the degradation ladder; it only engages under
-  // synthetic spike-round budgets, so a fault-free replay must never touch
-  // it (the CI soak job greps for this line).
-  if (!options.faults.any()) {
+  // round budgets (synthetic spike budgets or the service-mode wall clock),
+  // so a fault-free, budget-free replay must never touch it (the CI soak
+  // job greps for this line).
+  if (!options.faults.any() && options.service_round_budget_ms <= 0) {
     ARIDE_ACHECK(stats.tier_counts[2] == 0)
         << "FCFS fallback engaged on a fault-free run";
     std::printf("fault-free run: no FCFS collapse (0 fcfs rounds)\n");
@@ -199,6 +215,7 @@ int main(int argc, char** argv) {
   info.config["gamma"] = wl.gamma;
   info.config["charge_ratio"] = options.auction.charge_ratio;
   info.config["seed"] = static_cast<int64_t>(seed);
+  info.config["round_budget_ms"] = round_budget_ms;
   if (options.faults.profile != FaultProfile::kNone) {
     info.fault_profile = std::string(FaultProfileName(options.faults.profile));
   }

@@ -4,12 +4,24 @@
 // pricing with a 20% dispatch fee (the paper's recommended charge ratio).
 //
 // Pass `--orders N --vehicles N --trnd S --mechanism greedy|rank` to vary.
+//
+// When AR_BENCH_OUT_DIR is set, also emits a schema-validated
+// BENCH_morning_peak.json there. Unlike engine_load (whose producer pacing
+// races the round clock), this is a plain Simulator run: for a fixed seed
+// and AR_FAULT_PROFILE the report's counters are bit-reproducible, which is
+// what the anytime-vs-cliff CI ablation gate keys on
+// (tools/check_anytime_ablation.py).
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 
+#include "common/check.h"
+#include "obs/bench_json.h"
+#include "obs/metrics.h"
 #include "roadnet/builder.h"
 #include "roadnet/nearest_node.h"
 #include "sim/report.h"
@@ -80,5 +92,34 @@ int main(int argc, char** argv) {
   }
   std::printf("max wt+dt-theta over riders = %.6f s (must be <= 0)\n",
               result.max_wasted_time_violation_s.value());
+
+  if (const char* env = std::getenv("AR_BENCH_OUT_DIR");
+      env != nullptr && env[0] != '\0') {
+    obs::BenchRunInfo info;
+    info.name = "morning_peak";
+    info.timestamp_unix_s = static_cast<int64_t>(std::time(nullptr));
+    info.scale["orders"] = num_orders;
+    info.scale["vehicles"] = num_vehicles;
+    info.config["mechanism"] = std::string(MechanismName(mechanism));
+    info.config["trnd_s"] = trnd;
+    info.config["charge_ratio"] = sim_options.auction.charge_ratio;
+    info.config["seed"] = static_cast<int64_t>(sim_options.seed);
+    info.config["orders_dispatched"] = result.orders_dispatched;
+    info.config["truncated_rounds"] = result.truncated_rounds;
+    info.config["degraded_rounds"] = result.degraded_rounds;
+    if (sim_options.faults.profile != FaultProfile::kNone) {
+      info.fault_profile =
+          std::string(FaultProfileName(sim_options.faults.profile));
+    }
+    const obs::Json report = obs::BuildBenchReport(
+        info, obs::MetricRegistry::Global().Snapshot());
+    const Status valid = obs::ValidateBenchReport(report);
+    ARIDE_ACHECK(valid.ok()) << valid.ToString();
+    const std::string path =
+        std::string(env) + "/BENCH_morning_peak.json";
+    const Status written = obs::WriteBenchReport(report, path);
+    ARIDE_ACHECK(written.ok()) << written.ToString();
+    std::printf("telemetry: %s\n", path.c_str());
+  }
   return 0;
 }

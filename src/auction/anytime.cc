@@ -1,0 +1,50 @@
+#include "auction/anytime.h"
+
+#include <algorithm>
+
+#include "auction/warm_start.h"
+#include "exec/deadline.h"
+#include "exec/thread_pool.h"
+
+namespace auctionride {
+
+AnytimeSweep AnytimeBatchedSweep(
+    ThreadPool* pool, std::size_t n, Deadline* deadline,
+    const std::function<void(std::size_t)>& fn,
+    const std::function<void(std::size_t, std::size_t)>& charge) {
+  AnytimeSweep sweep;
+  for (std::size_t begin = 0; begin < n; begin += kAnytimeBatchSize) {
+    if (deadline != nullptr && deadline->expired()) {
+      sweep.truncated = true;
+      return sweep;
+    }
+    const std::size_t end = std::min(n, begin + kAnytimeBatchSize);
+    // Unbudgeted within the batch: workers fill disjoint slots, so the
+    // batch's outcome cannot depend on the thread count.
+    ParallelForOrSerial(pool, end - begin,
+                        [&](std::size_t k) { fn(begin + k); });
+    charge(begin, end);
+    sweep.processed = end;
+  }
+  return sweep;
+}
+
+std::vector<std::size_t> WarmFirstPermutation(
+    std::size_t n, const WarmStartCache* warm,
+    const std::function<OrderId(std::size_t)>& order_of) {
+  std::vector<std::size_t> priority;
+  priority.reserve(n);
+  if (warm != nullptr && warm->order_count() > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (warm->HasHints(order_of(i))) priority.push_back(i);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!warm->HasHints(order_of(i))) priority.push_back(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) priority.push_back(i);
+  }
+  return priority;
+}
+
+}  // namespace auctionride

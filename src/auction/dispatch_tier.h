@@ -1,0 +1,40 @@
+// Named tiers of the anytime dispatch quality curve (docs/ROBUSTNESS.md):
+// the configured mechanism runs first; when a round budget expires, the
+// finalized winners are kept and only the unassigned remainder falls through
+// to cheaper tiers. Rank degrades to Greedy (priced with GPri), and any
+// mechanism degrades to an unbudgeted FCFS sweep (unpriced — it exists so
+// the round always dispatches something).
+//
+// Lives below mechanism.h so record/serialization layers (engine, sim, obs)
+// can name tiers without pulling in the full mechanism interface.
+
+#ifndef AUCTIONRIDE_AUCTION_DISPATCH_TIER_H_
+#define AUCTIONRIDE_AUCTION_DISPATCH_TIER_H_
+
+#include <string_view>
+
+namespace auctionride {
+
+enum class DispatchTier {
+  kPrimary = 0,
+  kGreedyFallback = 1,
+  kFcfsFallback = 2,
+};
+
+inline constexpr int kDispatchTierCount = 3;
+
+inline std::string_view DispatchTierName(DispatchTier tier) {
+  switch (tier) {
+    case DispatchTier::kPrimary:
+      return "primary";
+    case DispatchTier::kGreedyFallback:
+      return "greedy_fallback";
+    case DispatchTier::kFcfsFallback:
+      return "fcfs_fallback";
+  }
+  return "unknown";
+}
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_AUCTION_DISPATCH_TIER_H_

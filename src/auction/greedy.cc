@@ -1,8 +1,12 @@
 #include "auction/greedy.h"
 
+#include <algorithm>
 #include <limits>
 #include <queue>
+#include <utility>
 
+#include "auction/anytime.h"
+#include "auction/warm_start.h"
 #include "common/check.h"
 #include "common/timer.h"
 #include "exec/deadline.h"
@@ -85,6 +89,10 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   // accumulated total — and with it the expiry verdict — is bit-identical
   // at any thread count (docs/ROBUSTNESS.md).
   const bool meter = dl != nullptr && dl->charges_queries();
+  // Anytime contract (docs/ROBUSTNESS.md): budgeted sweeps run in
+  // deterministic batches and expiry finalizes the partial dispatch built so
+  // far instead of abandoning the attempt.
+  const bool anytime = in.anytime && dl != nullptr;
 
   // Vehicle spatial index for pair pruning.
   std::vector<GridIndex::Item> items;
@@ -132,34 +140,80 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   };
   std::vector<std::vector<SeedPair>> seeds(orders.size());
   std::vector<int64_t> seed_queries(meter ? orders.size() : 0, 0);
+  // Anytime mode marks completed slots explicitly: under a cut the merge
+  // walks only the seeded prefix of the batch order.
+  std::vector<char> seeded(orders.size(), anytime ? 0 : 1);
   int64_t seed_pairs = 0;
   bool sweep_complete = true;
+  AnytimeSweep sweep;
+  std::vector<std::pair<OrderId, VehicleId>> survivors;
+  auto eval_order = [&](std::size_t j) {
+    if (static_cast<int>(j) == excluded_idx) return;
+    const int64_t before = meter ? DistanceOracle::ThreadQueryCount() : 0;
+    std::vector<int32_t> scratch;
+    for (int32_t v : candidates.For(orders[j], &scratch)) {
+      const Money u = pair_utility(static_cast<int>(j), v);
+      if (u == Money(-kInf)) continue;
+      seeds[j].push_back({u, v});
+    }
+    if (meter) {
+      seed_queries[j] = DistanceOracle::ThreadQueryCount() - before;
+    }
+  };
   auto seed_sweep = [&] {
     OBS_SCOPED_TIMER("auction.dispatch.seed_sweep_s");
-    sweep_complete = ParallelForOrSerial(
-        pool, orders.size(),
-        [&](std::size_t j) {
-          if (static_cast<int>(j) == excluded_idx) return;
-          const int64_t before =
-              meter ? DistanceOracle::ThreadQueryCount() : 0;
-          std::vector<int32_t> scratch;
-          for (int32_t v : candidates.For(orders[j], &scratch)) {
-            const Money u = pair_utility(static_cast<int>(j), v);
-            if (u == Money(-kInf)) continue;
-            seeds[j].push_back({u, v});
-          }
-          if (meter) {
-            seed_queries[j] = DistanceOracle::ThreadQueryCount() - before;
-          }
-        },
-        dl);
-    if (!sweep_complete) return;
-    if (meter) {
-      int64_t total = 0;
-      for (int64_t q : seed_queries) total += q;
-      dl->ChargeQueries(total);
+    if (anytime) {
+      // Warm-hinted orders first: under a cut, the budget goes to orders
+      // that had surviving candidates a round ago (identity order when
+      // cold, so uncut runs match the unbatched sweep bit for bit).
+      const std::vector<std::size_t> priority = WarmFirstPermutation(
+          orders.size(), in.warm_start,
+          [&](std::size_t i) { return orders[i].id; });
+      sweep = AnytimeBatchedSweep(
+          pool, orders.size(), dl,
+          [&](std::size_t k) {
+            const std::size_t j = priority[k];
+            eval_order(j);
+            seeded[j] = 1;
+          },
+          [&](std::size_t b, std::size_t e) {
+            if (!meter) return;
+            int64_t total = 0;
+            for (std::size_t k = b; k < e; ++k) {
+              total += seed_queries[priority[k]];
+            }
+            dl->ChargeQueries(total);
+          });
+    } else {
+      sweep_complete = ParallelForOrSerial(pool, orders.size(), eval_order,
+                                           dl);
+      if (!sweep_complete) return;
+      if (meter) {
+        int64_t total = 0;
+        for (int64_t q : seed_queries) total += q;
+        dl->ChargeQueries(total);
+      }
     }
     for (std::size_t j = 0; j < orders.size(); ++j) {
+      if (!seeded[j]) continue;
+      if (in.warm_start != nullptr && !seeds[j].empty()) {
+        // Report this order's best candidates for next round's warm start,
+        // strongest first (ties to the lower vehicle index).
+        std::vector<SeedPair> best(seeds[j]);
+        std::sort(best.begin(), best.end(),
+                  [](const SeedPair& a, const SeedPair& b) {
+                    if (b.utility < a.utility) return true;
+                    if (a.utility < b.utility) return false;
+                    return a.veh < b.veh;
+                  });
+        const std::size_t keep =
+            std::min(best.size(), WarmStartCache::kMaxHintsPerOrder);
+        for (std::size_t s = 0; s < keep; ++s) {
+          survivors.push_back(
+              {orders[j].id,
+               vehicles[static_cast<std::size_t>(best[s].veh)].id});
+        }
+      }
       for (const SeedPair& sp : seeds[j]) {
         heap.push({sp.utility, static_cast<int>(j), sp.veh, 0});
         veh_candidates[static_cast<std::size_t>(sp.veh)].push_back(
@@ -181,7 +235,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
 
   // One-by-one dispatch (Algorithm 1 lines 7-16).
   DispatchResult result;
-  if (!sweep_complete || (dl != nullptr && dl->expired())) {
+  if (!anytime && (!sweep_complete || (dl != nullptr && dl->expired()))) {
     result.completed = false;
     result.elapsed_seconds = Seconds(timer.ElapsedSeconds());
     return result;
@@ -219,7 +273,19 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   int64_t refresh_pairs = 0;
   std::vector<Money> refresh_utility;
   std::vector<int64_t> refresh_queries;
+  bool loop_truncated = false;
   while (!heap.empty()) {
+    // Anytime cut point: a dispatch step is all-or-nothing (recheck, apply,
+    // refresh), so expiry is polled before committing to the next step.
+    // Every assignment already emitted stays finalized. When the sweep
+    // itself was cut, the deadline has already fired — dispatching over the
+    // seeds computed so far IS the finalization (mirroring Rank, whose
+    // ranking phase runs to completion over the generated packs), so the
+    // poll is skipped and the truncation is attributed to the sweep.
+    if (anytime && !sweep.truncated && dl->expired()) {
+      loop_truncated = true;
+      break;
+    }
     const HeapEntry top = heap.top();
     heap.pop();
     ++heap_pops;
@@ -274,6 +340,9 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
         veh_candidates[static_cast<std::size_t>(top.veh_idx)];
     refresh_utility.assign(cands.size(), Money(-kInf));
     if (meter) refresh_queries.assign(cands.size(), 0);
+    // Anytime mode runs the refresh unbudgeted (it is part of the committed
+    // dispatch step); its charges still land below, and the next loop
+    // iteration is the cut point.
     const bool refresh_complete = ParallelForOrSerial(
         pool, cands.size(),
         [&](std::size_t k) {
@@ -286,7 +355,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
             refresh_queries[k] = DistanceOracle::ThreadQueryCount() - before;
           }
         },
-        dl);
+        anytime ? nullptr : dl);
     if (meter) {
       int64_t total = 0;
       for (int64_t q : refresh_queries) total += q;
@@ -318,9 +387,11 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
       }
     }
 
-    // Safe point: one dispatch step is fully applied, so aborting here
-    // leaves no half-mutated vehicle state in the (discarded) result.
-    if (dl != nullptr && dl->expired()) {
+    // Cliff-mode safe point: one dispatch step is fully applied, so
+    // aborting here leaves no half-mutated vehicle state in the (discarded)
+    // result. Anytime mode polls at the top of the loop instead and keeps
+    // the result.
+    if (!anytime && dl != nullptr && dl->expired()) {
       result.completed = false;
       break;
     }
@@ -329,7 +400,17 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   OBS_COUNTER_ADD("auction.greedy.heap_pops", heap_pops);
   OBS_COUNTER_ADD("auction.greedy.stale_pops", stale_pops);
   OBS_COUNTER_ADD("auction.dispatch.refresh_pairs", refresh_pairs);
-  if (!result.completed || (dl != nullptr && dl->expired())) {
+  if (anytime) {
+    // Expiry truncates instead of aborting: the assignments emitted so far
+    // are finalized and the cut point is recorded. cut_slot counts seed
+    // slots when the sweep itself was cut, finalized assignments otherwise.
+    result.anytime.complete = !(sweep.truncated || loop_truncated);
+    if (!result.anytime.complete) {
+      result.anytime.cut_slot =
+          sweep.truncated ? static_cast<int>(sweep.processed)
+                          : static_cast<int>(result.assignments.size());
+    }
+  } else if (!result.completed || (dl != nullptr && dl->expired())) {
     result.completed = false;
     result.elapsed_seconds = Seconds(timer.ElapsedSeconds());
     return result;
@@ -342,6 +423,7 @@ DispatchResult RunGreedy(const AuctionInstance& in, OrderId excluded,
   }
   OBS_COUNTER_ADD("auction.greedy.dispatched",
                   static_cast<int64_t>(result.assignments.size()));
+  result.surviving_pairs = std::move(survivors);
   result.elapsed_seconds = Seconds(timer.ElapsedSeconds());
   if (traced != nullptr) traced->h_cost_end = current_h_cost();
   return result;

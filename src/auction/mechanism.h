@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "auction/dispatch_tier.h"
 #include "auction/rank.h"
 #include "auction/types.h"
 
@@ -26,21 +27,9 @@ enum class MechanismKind {
 
 std::string_view MechanismName(MechanismKind kind);
 
-/// Anytime-degradation ladder under a round time budget (docs/ROBUSTNESS.md):
-/// the configured mechanism runs first; if its deadline expires the round
-/// falls back to cheaper tiers instead of blowing the budget. Rank degrades
-/// to Greedy (priced with GPri), and any mechanism degrades to an unbudgeted
-/// FCFS sweep (unpriced — it exists so the round always dispatches something).
-enum class DispatchTier {
-  kPrimary = 0,
-  kGreedyFallback = 1,
-  kFcfsFallback = 2,
-};
-
-std::string_view DispatchTierName(DispatchTier tier);
-
-/// Per-round compute budget for the degradation ladder. Inactive (the
-/// default) preserves today's unbudgeted behavior exactly.
+/// Per-round compute budget for the anytime quality curve
+/// (DispatchTier, docs/ROBUSTNESS.md). Inactive (the default) preserves
+/// unbudgeted behavior exactly.
 struct DispatchBudget {
   // Budget per dispatch attempt in seconds; <= 0 disables budgeting. A
   // knob, not a simulated quantity: it feeds Deadline's ns arithmetic and
@@ -53,6 +42,11 @@ struct DispatchBudget {
   // Synthetic cost charged per oracle query (latency-spike model); 0 = no
   // per-query charges.
   double query_penalty_s = 0;
+  // True (default): expiry finalizes best-so-far winners and only the
+  // unassigned remainder falls through the ladder, all tiers sharing one
+  // deadline. False: the legacy cliff — expiry discards the whole attempt
+  // and the next tier restarts with a fresh budget (AR_ANYTIME=0).
+  bool anytime = true;
 
   bool active() const { return budget_s > 0; }
 };
@@ -75,10 +69,17 @@ struct MechanismOutcome {
   Seconds dispatch_seconds;
   Seconds pricing_seconds;
 
-  // Tier that produced the dispatch (kPrimary unless a budget expired and a
-  // fallback ran; see DispatchBudget). FCFS-fallback rounds carry no
-  // payments even when pricing was requested.
+  // Deepest tier that contributed assignments (kPrimary unless a budget
+  // expired; see DispatchBudget). Under the anytime curve a round can mix
+  // tiers — dispatched_by_tier has the full split, Assignment::tier the
+  // per-order stamp. FCFS-tier assignments carry no payments even when
+  // pricing was requested.
   DispatchTier tier = DispatchTier::kPrimary;
+  // Assignments contributed by each tier, indexed by DispatchTier.
+  int dispatched_by_tier[kDispatchTierCount] = {0, 0, 0};
+  // True when the round budget expired and at least one tier was cut
+  // (anytime) or abandoned (cliff).
+  bool truncated = false;
 
   // Rank artifacts (kind == kRank only, primary tier only), for callers
   // that price separately.

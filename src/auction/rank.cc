@@ -5,8 +5,11 @@
 #include <limits>
 #include <memory>
 #include <thread>
+#include <utility>
 
+#include "auction/anytime.h"
 #include "auction/pack_memo.h"
+#include "auction/warm_start.h"
 #include "common/check.h"
 #include "common/timer.h"
 #include "exec/deadline.h"
@@ -53,11 +56,16 @@ PackMemo::Eval EvaluatePack(const AuctionInstance& in, int32_t vehicle_idx,
 // is within reach. The k-NN path runs per-order on `pool` (each order only
 // writes its own slot; the oracle is thread-safe); the exact path stays
 // serial because the reverse Dijkstra workspace is shared mutable state.
-// Sets *completed to false (result must be discarded) if `dl` expires.
+// Cliff mode sets *completed to false (result must be discarded) if `dl`
+// expires; anytime mode (in.anytime) instead cuts at a deterministic batch
+// boundary, sets *truncated, and leaves unreached orders unresolved (-1 —
+// they simply generate no packs downstream).
 std::vector<int32_t> NearestVehicles(const AuctionInstance& in,
                                      ThreadPool* pool, Deadline* dl,
-                                     bool* completed) {
+                                     bool* completed, bool* truncated) {
   *completed = true;
+  *truncated = false;
+  const bool anytime = in.anytime && dl != nullptr;
   const bool meter = dl != nullptr && dl->charges_queries();
   const std::vector<Order>& orders = *in.orders;
   const std::vector<Vehicle>& vehicles = *in.vehicles;
@@ -98,6 +106,26 @@ std::vector<int32_t> NearestVehicles(const AuctionInstance& in,
 
   if (!in.config.exact_nearest_vehicle) {
     std::vector<int64_t> slot_queries(meter ? orders.size() : 0, 0);
+    if (anytime) {
+      const AnytimeSweep sweep = AnytimeBatchedSweep(
+          pool, orders.size(), dl,
+          [&](std::size_t j) {
+            const int64_t before =
+                meter ? DistanceOracle::ThreadQueryCount() : 0;
+            resolve_knn(j);
+            if (meter) {
+              slot_queries[j] = DistanceOracle::ThreadQueryCount() - before;
+            }
+          },
+          [&](std::size_t b, std::size_t e) {
+            if (!meter) return;
+            int64_t total = 0;
+            for (std::size_t k = b; k < e; ++k) total += slot_queries[k];
+            dl->ChargeQueries(total);
+          });
+      *truncated = sweep.truncated;
+      return nearest;
+    }
     *completed = ParallelForOrSerial(
         pool, orders.size(),
         [&](std::size_t j) {
@@ -120,6 +148,12 @@ std::vector<int32_t> NearestVehicles(const AuctionInstance& in,
   DijkstraSearch reverse_search(&in.oracle->network());
   for (std::size_t j = 0; j < orders.size(); ++j) {
     if (dl != nullptr && (j & 7) == 0 && dl->expired()) {
+      if (anytime) {
+        // Per-order charges make every completed slot a finalized result;
+        // the cut leaves the tail unresolved.
+        *truncated = true;
+        return nearest;
+      }
       *completed = false;
       return nearest;
     }
@@ -153,7 +187,7 @@ std::vector<int32_t> NearestVehicles(const AuctionInstance& in,
       dl->ChargeQueries(DistanceOracle::ThreadQueryCount() - order_before);
     }
   }
-  if (dl != nullptr && dl->expired()) *completed = false;
+  if (dl != nullptr && dl->expired() && !anytime) *completed = false;
   return nearest;
 }
 
@@ -320,13 +354,17 @@ void GeneratePacksForOrder(const AuctionInstance& in, int32_t j,
 
 // Generates candidate packs for every order: the per-group origin indexes
 // are built serially (cheap), then the (order, index) tasks are flattened
-// across groups and fanned out per-order on `pool`. Returns false (result
-// must be discarded) if `dl` expires mid-generation.
+// across groups and fanned out per-order on `pool`. Cliff mode returns
+// false (result must be discarded) if `dl` expires mid-generation; anytime
+// mode walks the tasks warm-hinted-first in deterministic batches, cuts at
+// a batch boundary (*sweep_out records it), and always returns true —
+// unprocessed orders keep best = -1 and are invisible to Phase II.
 bool GeneratePacks(const AuctionInstance& in,
                    const std::vector<std::vector<int32_t>>& groups,
                    ThreadPool* pool, Deadline* dl, PackMemo* memo,
-                   RankArtifacts* artifacts) {
+                   RankArtifacts* artifacts, AnytimeSweep* sweep_out) {
   const std::vector<Order>& orders = *in.orders;
+  const bool anytime = in.anytime && dl != nullptr;
 
   // Maximum pack size: the largest vehicle capacity (c̄, default 3).
   int max_pack = 1;
@@ -357,6 +395,33 @@ bool GeneratePacks(const AuctionInstance& in,
 
   const bool meter = dl != nullptr && dl->charges_queries();
   std::vector<int64_t> slot_queries(meter ? tasks.size() : 0, 0);
+  if (anytime) {
+    // Warm-hinted orders first: under a cut the budget goes to pack
+    // searches that had surviving candidates a round ago. The permutation
+    // is deterministic and a no-op for results when nothing is cut (each
+    // task writes only its own order's artifact slots).
+    const std::vector<std::size_t> priority = WarmFirstPermutation(
+        tasks.size(), in.warm_start, [&](std::size_t t) {
+          return orders[static_cast<std::size_t>(tasks[t].order)].id;
+        });
+    *sweep_out = AnytimeBatchedSweep(
+        pool, tasks.size(), dl,
+        [&](std::size_t k) {
+          const std::size_t t = priority[k];
+          GeneratePacksForOrder(in, tasks[t].order, *tasks[t].index,
+                                max_pack, memo, artifacts,
+                                meter ? &slot_queries[t] : nullptr);
+        },
+        [&](std::size_t b, std::size_t e) {
+          if (!meter) return;
+          int64_t total = 0;
+          for (std::size_t k = b; k < e; ++k) {
+            total += slot_queries[priority[k]];
+          }
+          dl->ChargeQueries(total);
+        });
+    return true;
+  }
   const bool complete = ParallelForOrSerial(
       pool, tasks.size(),
       [&](std::size_t t) {
@@ -397,12 +462,15 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
   }
 
   Deadline* const dl = in.deadline;
+  const bool anytime = in.anytime && dl != nullptr;
   RankRunResult run;
   RankArtifacts& art = run.artifacts;
   art.candidates.resize(orders.size());
   art.best.assign(orders.size(), -1);
   bool nearest_complete = true;
-  art.nearest_vehicle = NearestVehicles(in, pool, dl, &nearest_complete);
+  bool nearest_truncated = false;
+  art.nearest_vehicle =
+      NearestVehicles(in, pool, dl, &nearest_complete, &nearest_truncated);
   if (!nearest_complete) {
     run.result.completed = false;
     run.result.elapsed_seconds = Seconds(timer.ElapsedSeconds());
@@ -412,6 +480,7 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
   // Phase I: pack generation, clustered when the round is large (§V-E).
   PackMemo memo;
   bool packs_complete = true;
+  AnytimeSweep pack_sweep;
   {
     OBS_TRACE_SPAN("auction.rank.packgen");
     std::vector<std::vector<int32_t>> groups;
@@ -427,7 +496,8 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
       }
       groups.push_back(std::move(everyone));
     }
-    packs_complete = GeneratePacks(in, groups, pool, dl, &memo, &art);
+    packs_complete =
+        GeneratePacks(in, groups, pool, dl, &memo, &art, &pack_sweep);
   }
   int64_t packs_generated = 0;
   for (const std::vector<PackCandidate>& cands : art.candidates) {
@@ -481,8 +551,11 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
     }
     if (conflict) continue;
 
-    // Safe point: the previous pack (if any) is fully applied.
-    if (dl != nullptr && dl->expired()) {
+    // Cliff-mode safe point: the previous pack (if any) is fully applied.
+    // Anytime mode treats Phase II as finalization — the ranking only holds
+    // packs whose feasibility is already proven, so it runs to completion
+    // over the generated candidates and every winner is kept.
+    if (!anytime && dl != nullptr && dl->expired()) {
       result.completed = false;
       break;
     }
@@ -531,7 +604,45 @@ RankRunResult RankDispatch(const AuctionInstance& in) {
     result.total_delta_delivery_m += plan.delta_delivery_m;
   }
 
-  if (dl != nullptr && dl->expired()) result.completed = false;
+  if (anytime) {
+    // Expiry truncated the search, not the result: winners above are
+    // finalized. cut_slot counts completed pack-generation slots (0 when
+    // the cut landed in nearest-vehicle resolution).
+    result.anytime.complete = !(nearest_truncated || pack_sweep.truncated);
+    if (!result.anytime.complete) {
+      result.anytime.cut_slot =
+          nearest_truncated ? 0 : static_cast<int>(pack_sweep.processed);
+    }
+  } else if (dl != nullptr && dl->expired()) {
+    result.completed = false;
+  }
+  if (in.warm_start != nullptr) {
+    // Surviving candidates for next round's warm start: each order's best
+    // pack vehicle first, then its remaining candidate packs' vehicles in
+    // candidate order (the cache dedupes and caps per order).
+    for (std::size_t j = 0; j < orders.size(); ++j) {
+      if (art.best[j] < 0) continue;
+      std::size_t pushed = 0;
+      const std::size_t best_c = static_cast<std::size_t>(art.best[j]);
+      result.surviving_pairs.push_back(
+          {orders[j].id,
+           (*in.vehicles)[static_cast<std::size_t>(
+                              art.candidates[j][best_c].vehicle)]
+               .id});
+      ++pushed;
+      for (std::size_t c = 0; c < art.candidates[j].size() &&
+                              pushed < WarmStartCache::kMaxHintsPerOrder;
+           ++c) {
+        if (c == best_c) continue;
+        result.surviving_pairs.push_back(
+            {orders[j].id,
+             (*in.vehicles)[static_cast<std::size_t>(
+                                art.candidates[j][c].vehicle)]
+                 .id});
+        ++pushed;
+      }
+    }
+  }
   OBS_COUNTER_ADD("auction.rank.packs_dispatched",
                   static_cast<int64_t>(result.updated_plans.size()));
   result.elapsed_seconds = Seconds(timer.ElapsedSeconds());

@@ -8,8 +8,10 @@
 #define AUCTIONRIDE_AUCTION_TYPES_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "auction/dispatch_tier.h"
 #include "model/order.h"
 #include "model/vehicle.h"
 #include "roadnet/oracle.h"
@@ -18,6 +20,7 @@ namespace auctionride {
 
 class Deadline;
 class ThreadPool;
+class WarmStartCache;
 
 struct AuctionConfig {
   // Travel cost per km (labor & fuel), α_d. Paper default: 3.0 yuan/km.
@@ -88,11 +91,32 @@ struct AuctionInstance {
   // deadlocks) — see GPriPriceAll.
   ThreadPool* dispatch_pool = nullptr;
   // Cooperative compute budget for this dispatch attempt (nullptr =
-  // unlimited). Dispatchers poll it at safe points, charge synthetic
-  // per-query costs from deterministic per-slot counts, and bail out with
-  // DispatchResult::completed = false when it expires; RunMechanism then
-  // falls back to a cheaper tier. See docs/ROBUSTNESS.md.
+  // unlimited). Dispatchers poll it at safe points and charge synthetic
+  // per-query costs from deterministic per-slot counts. In cliff mode
+  // (anytime = false) expiry abandons the attempt with
+  // DispatchResult::completed = false; in anytime mode the dispatcher
+  // finalizes the partial result built so far instead (AnytimeOutcome
+  // records the cut). See docs/ROBUSTNESS.md.
   Deadline* deadline = nullptr;
+  // Anytime contract toggle: when true (and a deadline is set), budgeted
+  // sweeps run in deterministic batches, keep completed slots at expiry, and
+  // always return completed = true.
+  bool anytime = false;
+  // Previous round's surviving candidates (nullptr = cold start). Read-only:
+  // hints only reprioritize anytime sweeps; survivors of this round are
+  // reported back through DispatchResult::surviving_pairs.
+  const WarmStartCache* warm_start = nullptr;
+};
+
+/// How a budgeted anytime dispatch ended.
+struct AnytimeOutcome {
+  // False when the deadline expired and the search was cut; the result then
+  // covers only the slots finalized before the cut.
+  bool complete = true;
+  // Dispatcher-specific count of finalized search slots at the cut (-1 when
+  // complete). Deterministic: a pure function of synthetic charges, never of
+  // wall clock or thread count.
+  int cut_slot = -1;
 };
 
 /// One dispatched requester.
@@ -105,6 +129,10 @@ struct Assignment {
   Money cost;
   // bid − cost (pack share for Rank).
   Money utility;
+  // Ladder tier that produced this assignment. Dispatchers always emit
+  // kPrimary; RunMechanism restamps fallback-tier winners when a truncated
+  // round's remainder falls through the quality curve.
+  DispatchTier tier = DispatchTier::kPrimary;
 };
 
 struct DispatchResult {
@@ -119,11 +147,20 @@ struct DispatchResult {
   // Σ ΔD over all insertions.
   Meters total_delta_delivery_m;
   Seconds elapsed_seconds;
-  // False when the instance's deadline expired mid-dispatch and the attempt
-  // was abandoned. The other fields then hold an unspecified partial result
-  // that the caller must discard (RunMechanism falls back to a cheaper
-  // tier; nothing downstream ever applies an incomplete dispatch).
+  // False only in cliff mode (instance.anytime == false) when the deadline
+  // expired mid-dispatch and the attempt was abandoned. The other fields
+  // then hold an unspecified partial result that the caller must discard.
+  // Anytime dispatches always complete: expiry truncates the search instead
+  // (see `anytime`), and every emitted assignment is fully verified.
   bool completed = true;
+  // Anytime cut record; `anytime.complete` is false iff the deadline expired
+  // and this result holds a (still internally consistent) partial dispatch.
+  AnytimeOutcome anytime;
+  // Surviving (order, vehicle) candidate pairs for warm-starting the next
+  // round — populated only when instance.warm_start was set. Includes
+  // candidates of *undispatched* orders; dispatched orders are the client's
+  // job to invalidate.
+  std::vector<std::pair<OrderId, VehicleId>> surviving_pairs;
 
   bool IsDispatched(OrderId order) const {
     for (const Assignment& a : assignments) {

@@ -169,10 +169,21 @@ Status VerifyPayments(const AuctionInstance& instance,
                       const std::vector<Payment>& payments, double epsilon) {
   std::unordered_map<OrderId, const Order*> order_by_id;
   for (const Order& o : *instance.orders) order_by_id[o.id] = &o;
-  if (payments.size() != result.assignments.size()) {
-    return Status::Internal("payment count != assignment count");
+  // Priced tiers precede the FCFS tier in assignment order (anytime quality
+  // curve), and FCFS-tier winners are never priced: payments must align 1:1
+  // with the non-FCFS prefix of the assignments.
+  std::size_t priced = 0;
+  for (const Assignment& a : result.assignments) {
+    if (a.tier != DispatchTier::kFcfsFallback) ++priced;
+  }
+  if (payments.size() != priced) {
+    return Status::Internal("payment count != priced assignment count");
   }
   for (std::size_t i = 0; i < payments.size(); ++i) {
+    if (result.assignments[i].tier == DispatchTier::kFcfsFallback) {
+      return Status::Internal("FCFS-tier assignment before a priced one at " +
+                              std::to_string(i));
+    }
     if (payments[i].order != result.assignments[i].order) {
       return Status::Internal("payment/assignment order mismatch at " +
                               std::to_string(i));

@@ -1,0 +1,31 @@
+#include "auction/warm_start.h"
+
+#include <algorithm>
+
+namespace auctionride {
+
+void WarmStartCache::Note(OrderId order, VehicleId vehicle) {
+  std::vector<VehicleId>& list = hints_[order];
+  if (list.size() >= kMaxHintsPerOrder) return;
+  if (std::find(list.begin(), list.end(), vehicle) != list.end()) return;
+  list.push_back(vehicle);
+}
+
+void WarmStartCache::InvalidateVehicle(VehicleId vehicle) {
+  for (auto it = hints_.begin(); it != hints_.end();) {
+    std::vector<VehicleId>& list = it->second;
+    list.erase(std::remove(list.begin(), list.end(), vehicle), list.end());
+    if (list.empty()) {
+      it = hints_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t WarmStartCache::hint_count(OrderId order) const {
+  const auto it = hints_.find(order);
+  return it == hints_.end() ? 0 : it->second.size();
+}
+
+}  // namespace auctionride

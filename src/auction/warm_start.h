@@ -1,0 +1,63 @@
+// Warm-start candidate cache for anytime dispatch (docs/ROBUSTNESS.md).
+//
+// Each round's dispatch records which (order, vehicle) pairings survived its
+// search (DispatchResult::surviving_pairs); the client replays them into this
+// cache and hands it to the next round, where the anytime sweeps process
+// warm-hinted orders first. Under a tight budget that ordering spends the
+// round's compute on candidates that were promising a round ago instead of
+// on a cold prefix, so quality degrades smoothly under sustained pressure.
+//
+// Determinism contract: hints only permute the order in which search slots
+// are *processed*; results are merged in index order over completed slots,
+// so an uncut round is bit-identical with or without hints, and a cut round
+// is bit-identical at any thread count. Hints are advisory — a stale hint
+// costs nothing but priority, so invalidation is about freshness, not
+// correctness.
+
+#ifndef AUCTIONRIDE_AUCTION_WARM_START_H_
+#define AUCTIONRIDE_AUCTION_WARM_START_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "model/order.h"
+#include "model/vehicle.h"
+
+namespace auctionride {
+
+class WarmStartCache {
+ public:
+  // Hints retained per order; the search only needs "was this order warm",
+  // the vehicle list is kept small for cheap invalidation scans.
+  static constexpr std::size_t kMaxHintsPerOrder = 4;
+
+  void Clear() { hints_.clear(); }
+
+  // Records that `vehicle` was a surviving candidate for `order`. Keeps at
+  // most kMaxHintsPerOrder distinct vehicles per order (first writers win —
+  // callers replay survivors in dispatch-quality order).
+  void Note(OrderId order, VehicleId vehicle);
+
+  bool HasHints(OrderId order) const {
+    return hints_.find(order) != hints_.end();
+  }
+
+  // Drops all hints for `order` (dispatched, expired, cancelled).
+  void InvalidateOrder(OrderId order) { hints_.erase(order); }
+
+  // Drops `vehicle` from every order's hint list (plan mutated, breakdown);
+  // orders left hintless fall back to cold priority.
+  void InvalidateVehicle(VehicleId vehicle);
+
+  std::size_t order_count() const { return hints_.size(); }
+  std::size_t hint_count(OrderId order) const;
+
+ private:
+  // std::map: invalidation sweeps iterate; deterministic order required.
+  std::map<OrderId, std::vector<VehicleId>> hints_;
+};
+
+}  // namespace auctionride
+
+#endif  // AUCTIONRIDE_AUCTION_WARM_START_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "auction/verifier.h"
+#include "auction/warm_start.h"
 #include "common/check.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
@@ -31,8 +32,13 @@ struct Engine::Shard {
   EffectBatch advance_fx;
   bool ran_auction = false;
   bool advance_busy = false;
-  int tier = 0;
+  DispatchTier tier = DispatchTier::kPrimary;
   RoundRecord record;
+  // Warm-start hints carried between this shard's rounds. Shard-local:
+  // written only by this shard's round task and at serial barriers
+  // (migration), so the cache is a pure function of the shard's own event
+  // sequence at any engine thread count.
+  WarmStartCache warm;
   Money round_utility;
   Money platform_utility;
   Money requester_utility;
@@ -103,6 +109,10 @@ Engine::Engine(const DistanceOracle* oracle, const std::vector<Order>* orders,
     shards_[static_cast<std::size_t>(s)]->world->AddVehicle(spawn);
   }
 
+  warm_enabled_ =
+      options_.faults.anytime && (options_.faults.round_budget_s > 0 ||
+                                  options_.service_round_budget_ms > 0);
+
   if (options_.engine_threads >= 0 && options_.num_shards > 1) {
     const int threads =
         options_.engine_threads > 0
@@ -144,10 +154,12 @@ void Engine::RunShardRound(std::size_t shard_index, Seconds now_s) {
 
   if (options_.faults.any()) {
     sh.fault_fx = sh.world->InjectFaults(fault_plan_, round_index_, now_s);
+    if (warm_enabled_) InvalidateWarmStart(sh.fault_fx, &sh.warm);
   }
 
   PendingPass pass = sh.world->CollectPending(now_s);
   sh.pending_fx = std::move(pass.fx);
+  if (warm_enabled_) InvalidateWarmStart(sh.pending_fx, &sh.warm);
   sh.stats.peak_pending =
       std::max(sh.stats.peak_pending, sh.world->pending_size());
 
@@ -162,6 +174,7 @@ void Engine::RunShardRound(std::size_t shard_index, Seconds now_s) {
       instance.now_s = now_s;
       instance.oracle = oracle_;
       instance.config = options_.auction;
+      instance.warm_start = warm_enabled_ ? &sh.warm : nullptr;
 
       MechanismOptions mech_options;
       mech_options.run_pricing = options_.run_pricing;
@@ -170,12 +183,18 @@ void Engine::RunShardRound(std::size_t shard_index, Seconds now_s) {
         if (options_.faults.wall_clock_budget || spike) {
           mech_options.budget.budget_s = options_.faults.round_budget_s;
           mech_options.budget.wall_clock = options_.faults.wall_clock_budget;
+          mech_options.budget.anytime = options_.faults.anytime;
           if (spike) {
             mech_options.budget.query_penalty_s =
                 options_.faults.spike_query_penalty_s;
             OBS_COUNTER_INC("sim.faults.spike_rounds");
           }
         }
+      } else if (options_.service_round_budget_ms > 0) {
+        // Service mode: real wall-clock budget, best-so-far at the deadline.
+        mech_options.budget.budget_s = options_.service_round_budget_ms / 1e3;
+        mech_options.budget.wall_clock = true;
+        mech_options.budget.anytime = options_.faults.anytime;
       }
       const MechanismOutcome outcome =
           RunMechanism(options_.mechanism, instance, mech_options,
@@ -201,10 +220,25 @@ void Engine::RunShardRound(std::size_t shard_index, Seconds now_s) {
                                              outcome.payments, now_s,
                                              online_idx);
       sh.ran_auction = true;
-      sh.tier = static_cast<int>(outcome.tier);
+      sh.tier = outcome.tier;
       sh.round_utility = outcome.dispatch.total_utility;
       sh.platform_utility = outcome.platform_utility;
       sh.requester_utility = outcome.requester_utility;
+      if (warm_enabled_) {
+        // Mirror of sim/simulator.cc: survivors become next round's hints,
+        // minus what the outcome just invalidated.
+        sh.warm.Clear();
+        for (const auto& [order, vehicle] :
+             outcome.dispatch.surviving_pairs) {
+          sh.warm.Note(order, vehicle);
+        }
+        for (const Assignment& a : outcome.dispatch.assignments) {
+          sh.warm.InvalidateOrder(a.order);
+        }
+        for (const auto& [veh_idx, plan] : outcome.dispatch.updated_plans) {
+          sh.warm.InvalidateVehicle(online[veh_idx].id);
+        }
+      }
 
       RoundRecord record;
       record.time_s = now_s;
@@ -215,7 +249,11 @@ void Engine::RunShardRound(std::size_t shard_index, Seconds now_s) {
       record.round_utility = outcome.dispatch.total_utility;
       record.dispatch_seconds = outcome.dispatch_seconds;
       record.pricing_seconds = outcome.pricing_seconds;
-      record.dispatch_tier = static_cast<int>(outcome.tier);
+      record.dispatch_tier = outcome.tier;
+      for (int t = 0; t < kDispatchTierCount; ++t) {
+        record.dispatched_by_tier[t] = outcome.dispatched_by_tier[t];
+      }
+      record.truncated = outcome.truncated;
       record.shard = static_cast<int>(shard_index);
       sh.record = record;
     }
@@ -248,13 +286,18 @@ void Engine::StepRound() {
       result_.total_utility += sh.round_utility;
       result_.platform_utility += sh.platform_utility;
       result_.requester_utility += sh.requester_utility;
-      if (sh.tier != static_cast<int>(DispatchTier::kPrimary)) {
+      if (sh.tier != DispatchTier::kPrimary) {
         ++result_.degraded_rounds;
+      }
+      if (sh.record.truncated) {
+        ++result_.truncated_rounds;
+        ++sh.stats.truncated_rounds;
+        ++stats_.truncated_rounds;
       }
       result_.rounds.push_back(sh.record);
       ++sh.stats.auction_rounds;
-      ++sh.stats.tier_counts[sh.tier];
-      ++stats_.tier_counts[sh.tier];
+      ++sh.stats.tier_counts[static_cast<int>(sh.tier)];
+      ++stats_.tier_counts[static_cast<int>(sh.tier)];
     }
     sh.stats.peak_queue_depth =
         std::max(sh.stats.peak_queue_depth, sh.queue.peak_depth());
@@ -271,7 +314,9 @@ void Engine::StepRound() {
   }
 
   ParallelForOrSerial(engine_pool_.get(), n, [this, now](std::size_t s) {
-    shards_[s]->advance_fx = shards_[s]->world->AdvanceRound(now);
+    Shard& sh = *shards_[s];
+    sh.advance_fx = sh.world->AdvanceRound(now);
+    if (warm_enabled_) InvalidateWarmStart(sh.advance_fx, &sh.warm);
   });
   for (std::size_t s = 0; s < n; ++s) {
     ApplyEffects(shards_[s]->advance_fx, &result_);
@@ -325,10 +370,12 @@ void Engine::Rebalance(Seconds now_s) {
           std::min({surplus, need, static_cast<long>(moves_left),
                     static_cast<long>(idle.size())});
       for (long i = 0; i < take; ++i) {
-        WorldVehicle vehicle =
-            donor.world->ExtractVehicle(idle[static_cast<std::size_t>(i)]);
+        const VehicleId moved = idle[static_cast<std::size_t>(i)];
+        WorldVehicle vehicle = donor.world->ExtractVehicle(moved);
         recv.world->InsertVehicle(std::move(vehicle),
                                   partition_.CenterNode(r));
+        // The vehicle left the donor shard; hints pointing at it are stale.
+        if (warm_enabled_) donor.warm.InvalidateVehicle(moved);
         ++donor.stats.migrations_out;
         ++recv.stats.migrations_in;
         ++stats_.migrations;

@@ -65,6 +65,14 @@ struct EngineOptions {
   int rebalance_period_rounds = 6;
   // Global cap on vehicle migrations per rebalance pass.
   int rebalance_max_moves = 64;
+  // Service-mode round budget: every auction round runs under a real
+  // wall-clock Deadline of this many milliseconds and finalizes best-so-far
+  // winners at expiry (anytime contract). <= 0 disables. Wall-clock budgets
+  // are not bit-reproducible — tests and the fault matrix use the synthetic
+  // faults.round_budget_s instead. When faults also configure a budget the
+  // fault budget wins (the fault matrix pins that path).
+  // Milliseconds knob mirrored into DispatchBudget::budget_s.
+  double service_round_budget_ms = 0;  // NOLINT-ARIDE(raw-unit-double)
 };
 
 /// Engine-maintained per-shard telemetry (plain counters + exact samples,
@@ -78,8 +86,12 @@ struct ShardStats {
   std::size_t peak_pending = 0;
   std::size_t peak_queue_depth = 0;
   // Per-tier auction-round counts (DispatchTier order: primary, greedy
-  // fallback, FCFS fallback).
-  uint64_t tier_counts[3] = {0, 0, 0};
+  // fallback, FCFS fallback). A round is counted under the deepest tier
+  // that contributed assignments.
+  uint64_t tier_counts[kDispatchTierCount] = {0, 0, 0};
+  // Auction rounds whose budget expired mid-dispatch (anytime truncation
+  // or cliff tier abort).
+  uint64_t truncated_rounds = 0;
   SampleSet round_s;  // wall latency of the shard's whole round task
 };
 
@@ -90,7 +102,8 @@ struct EngineStats {
   // Peak of Σ_shards (pending pool + ingest queue depth), sampled once per
   // round at the merge barrier.
   std::size_t peak_concurrent_orders = 0;
-  uint64_t tier_counts[3] = {0, 0, 0};
+  uint64_t tier_counts[kDispatchTierCount] = {0, 0, 0};
+  uint64_t truncated_rounds = 0;
   std::vector<ShardStats> shards;
 };
 
@@ -150,6 +163,9 @@ class Engine {
   std::vector<OrderLedgerEntry> ledger_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> engine_pool_;
+  // Per-shard warm-start caches live in Shard; they only carry hints when a
+  // budget can truncate a round (mirrors sim/simulator.cc warm_enabled_).
+  bool warm_enabled_ = false;
 
   Seconds clock_s_;
   // Raw representation of clock_s_, for lock-free producer polling.

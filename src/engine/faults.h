@@ -58,6 +58,11 @@ struct FaultOptions {
   // sentinel contract), so it stays a raw double with that field.
   double round_budget_s = 0;  // NOLINT-ARIDE(raw-unit-double): budget knob
   bool wall_clock_budget = false;
+  // True (default): budget expiry finalizes best-so-far winners and only
+  // the unassigned remainder falls through the tier curve. False: the
+  // legacy all-or-nothing cliff — an expired tier is discarded wholly
+  // (AR_ANYTIME=0 kill switch; see DispatchBudget::anytime).
+  bool anytime = true;
 
   /// True when any fault machinery is active (injection or budgets).
   bool any() const {

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "auction/dispatch_tier.h"
 #include "common/units.h"
 #include "model/order.h"
 #include "model/vehicle.h"
@@ -50,8 +51,14 @@ struct RoundRecord {
   Money round_utility;
   Seconds dispatch_seconds;
   Seconds pricing_seconds;
-  // DispatchTier that produced this round (0 = primary; see mechanism.h).
-  int dispatch_tier = 0;
+  // Deepest tier that contributed this round's assignments; under the
+  // anytime quality curve a truncated round can mix tiers, split out in
+  // dispatched_by_tier (indexed by DispatchTier).
+  DispatchTier dispatch_tier = DispatchTier::kPrimary;
+  int dispatched_by_tier[kDispatchTierCount] = {0, 0, 0};
+  // True when the round budget expired and the dispatch was cut (anytime)
+  // or a tier was abandoned (cliff).
+  bool truncated = false;
   // Region shard that ran this round's auction (always 0 in the legacy
   // simulator; engine runs emit one record per shard-round that auctioned).
   int shard = 0;
@@ -81,6 +88,9 @@ struct SimResult {
   int orders_redispatched = 0;
   // Rounds decided by a fallback tier of the degradation ladder.
   int degraded_rounds = 0;
+  // Rounds whose budget expired mid-dispatch: truncated with winners kept
+  // (anytime) or tier-aborted (cliff).
+  int truncated_rounds = 0;
   // Σ payments returned to stranded/cancelled requesters, yuan. Already
   // subtracted from total_payments (refunds conserve money: Σ per-order
   // payments == total_payments at the end of the run, enforced by an

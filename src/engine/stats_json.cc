@@ -36,6 +36,7 @@ obs::Json EngineStatsToJson(const EngineStats& stats) {
       static_cast<int64_t>(stats.peak_concurrent_orders);
   engine["total_ingested"] = static_cast<int64_t>(stats.orders_submitted);
   engine["tiers"] = TiersEntry(stats.tier_counts);
+  engine["truncated_rounds"] = static_cast<int64_t>(stats.truncated_rounds);
 
   obs::Json shards = obs::Json::Array();
   for (std::size_t i = 0; i < stats.shards.size(); ++i) {
@@ -49,6 +50,7 @@ obs::Json EngineStatsToJson(const EngineStats& stats) {
     shard["migrations_in"] = static_cast<int64_t>(s.migrations_in);
     shard["migrations_out"] = static_cast<int64_t>(s.migrations_out);
     shard["tiers"] = TiersEntry(s.tier_counts);
+    shard["truncated_rounds"] = static_cast<int64_t>(s.truncated_rounds);
     shard["round_s"] = RoundLatencyEntry(s.round_s);
     shards.push_back(std::move(shard));
   }

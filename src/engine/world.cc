@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "auction/warm_start.h"
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -51,6 +52,33 @@ void ApplyEffects(const EffectBatch& batch, SimResult* result) {
   result->orders_completed += batch.completed;
   result->max_wasted_time_violation_s = std::max(
       result->max_wasted_time_violation_s, batch.max_wasted_violation_s);
+}
+
+void InvalidateWarmStart(const EffectBatch& batch, WarmStartCache* warm) {
+  if (warm == nullptr) return;
+  for (const OrderEvent& event : batch.events) {
+    switch (event.kind) {
+      case OrderEventKind::kIssued:
+        break;
+      case OrderEventKind::kDispatched:
+      case OrderEventKind::kExpired:
+        warm->InvalidateOrder(event.order);
+        break;
+      case OrderEventKind::kPickedUp:
+      case OrderEventKind::kDroppedOff:
+        // The vehicle's plan shrank; hints pointing at it were computed
+        // against the pre-mutation plan.
+        warm->InvalidateVehicle(event.vehicle);
+        break;
+      case OrderEventKind::kStranded:
+      case OrderEventKind::kCancelled:
+        warm->InvalidateOrder(event.order);
+        if (event.vehicle != kInvalidVehicle) {
+          warm->InvalidateVehicle(event.vehicle);
+        }
+        break;
+    }
+  }
 }
 
 ShardWorld::ShardWorld(const DistanceOracle* oracle,

@@ -86,6 +86,14 @@ struct EffectBatch {
 /// Replays a batch into the aggregate result (serial, driver-side only).
 void ApplyEffects(const EffectBatch& batch, SimResult* result);
 
+/// Drops warm-start hints invalidated by a batch's lifecycle events: a
+/// stranded vehicle's hints are stale, a cancelled/expired/dispatched order
+/// no longer needs hints, and a pickup/dropoff mutates the vehicle's plan
+/// (hints were computed against the old plan). No-op when `warm` is null.
+/// Must run at the same serial barriers as ApplyEffects so the cache state
+/// is a pure function of the replayed event sequence.
+void InvalidateWarmStart(const EffectBatch& batch, WarmStartCache* warm);
+
 /// Result of one shard's pending-order pass.
 struct PendingPass {
   EffectBatch fx;  // issued + expired events

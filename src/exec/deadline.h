@@ -1,8 +1,12 @@
 // Cooperative compute budget for one dispatch attempt (the fault-injection
-// round time budget, docs/ROBUSTNESS.md). Dispatchers poll expired() at safe
-// points and abandon the attempt — never keeping partial results — so a
-// budget can bound a round's latency without ever changing a completed
-// round's output.
+// round time budget and the engine's service-mode budget,
+// docs/ROBUSTNESS.md). Dispatchers poll expired() at deterministic cut
+// points. In anytime mode (the default) expiry finalizes the best-so-far
+// partial result — completed packs / completed merge slots — so a budget
+// bounds a round's latency while keeping every winner decided before the
+// cut; a budget that never expires never changes a round's output. In
+// legacy cliff mode (DispatchBudget::anytime = false) expiry abandons the
+// attempt wholly and the caller falls down the degradation ladder.
 //
 // Two accounting modes:
 //  - WallClock: real elapsed time plus synthetic charges count against the

@@ -114,6 +114,14 @@ Json BuildBenchReport(const BenchRunInfo& info, const MetricsSnapshot& snap) {
     faults["stranded_orders"] = counter("sim.recovery.stranded_orders");
     faults["redispatched"] = counter("sim.recovery.redispatched");
     faults["degraded_rounds"] = counter("auction.degraded_rounds");
+    // Anytime quality-curve activity (additive keys, like `trivial` above:
+    // pre-existing reports lack them and must stay loadable).
+    faults["truncated_rounds"] =
+        counter("auction.dispatch.anytime.truncated_rounds");
+    faults["partial_winners"] =
+        counter("auction.dispatch.anytime.partial_winners");
+    faults["residual_orders"] =
+        counter("auction.dispatch.anytime.residual_orders");
     report["faults"] = std::move(faults);
   }
 

@@ -39,14 +39,15 @@ std::string FormatSummary(const SimResult& result) {
   // Fault line only when something actually happened, so fault-free runs
   // keep today's byte-identical summary.
   if (result.orders_stranded > 0 || result.orders_cancelled > 0 ||
-      result.orders_redispatched > 0 || result.degraded_rounds > 0) {
+      result.orders_redispatched > 0 || result.degraded_rounds > 0 ||
+      result.truncated_rounds > 0) {
     std::snprintf(
         buf, sizeof(buf),
         "faults: %d stranded, %d cancelled, %d re-dispatched | "
-        "refunds = %.2f | degraded rounds = %d\n",
+        "refunds = %.2f | degraded rounds = %d | truncated rounds = %d\n",
         result.orders_stranded, result.orders_cancelled,
         result.orders_redispatched, result.refunded_payments.value(),
-        result.degraded_rounds);
+        result.degraded_rounds, result.truncated_rounds);
     out += buf;
   }
   return out;
@@ -57,7 +58,9 @@ Status WriteRoundsCsv(const SimResult& result, const std::string& path) {
   if (!writer.ok()) return writer.status();
   writer->WriteRow({"time_s", "pending", "online_vehicles", "dispatched",
                     "round_utility", "dispatch_seconds", "pricing_seconds",
-                    "dispatch_tier", "shard"});
+                    "dispatch_tier", "dispatched_primary",
+                    "dispatched_greedy_fallback", "dispatched_fcfs_fallback",
+                    "truncated", "shard"});
   for (const RoundRecord& round : result.rounds) {
     writer->WriteRow({Num(round.time_s.value(), 1),
                       std::to_string(round.pending_orders),
@@ -66,7 +69,11 @@ Status WriteRoundsCsv(const SimResult& result, const std::string& path) {
                       Num(round.round_utility.value()),
                       Num(round.dispatch_seconds.value(), 6),
                       Num(round.pricing_seconds.value(), 6),
-                      std::to_string(round.dispatch_tier),
+                      std::string(DispatchTierName(round.dispatch_tier)),
+                      std::to_string(round.dispatched_by_tier[0]),
+                      std::to_string(round.dispatched_by_tier[1]),
+                      std::to_string(round.dispatched_by_tier[2]),
+                      std::to_string(round.truncated ? 1 : 0),
                       std::to_string(round.shard)});
   }
   return writer->Close();
@@ -82,7 +89,7 @@ Status WriteSummaryCsv(const SimResult& result, const std::string& path) {
                     "shared_fraction", "mean_dispatch_s", "max_dispatch_s",
                     "orders_stranded", "orders_cancelled",
                     "orders_redispatched", "degraded_rounds",
-                    "refunded_payments"});
+                    "truncated_rounds", "refunded_payments"});
   writer->WriteRow(
       {std::to_string(result.orders_total),
        std::to_string(result.orders_dispatched),
@@ -100,6 +107,7 @@ Status WriteSummaryCsv(const SimResult& result, const std::string& path) {
        std::to_string(result.orders_cancelled),
        std::to_string(result.orders_redispatched),
        std::to_string(result.degraded_rounds),
+       std::to_string(result.truncated_rounds),
        Num(result.refunded_payments.value())});
   return writer->Close();
 }

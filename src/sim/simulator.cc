@@ -51,6 +51,10 @@ Simulator::Simulator(const DistanceOracle* oracle, Workload workload,
   for (const VehicleSpawn& spawn : workload_.vehicles) {
     world_->AddVehicle(spawn);
   }
+  // Warm starts only pay off when a budget can truncate a round; keeping the
+  // cache off otherwise pins budget-free runs byte-identical to the
+  // pre-anytime behavior.
+  warm_enabled_ = options_.faults.anytime && options_.faults.round_budget_s > 0;
 }
 
 void Simulator::RunRound(Seconds now_s, SimResult* result) {
@@ -59,6 +63,7 @@ void Simulator::RunRound(Seconds now_s, SimResult* result) {
   OBS_COUNTER_INC("sim.rounds");
   PendingPass pass = world_->CollectPending(now_s);
   ApplyEffects(pass.fx, result);
+  if (warm_enabled_) InvalidateWarmStart(pass.fx, &warm_);
   if (pass.submitted.empty()) return;
 
   std::vector<std::size_t> online_idx;
@@ -76,6 +81,7 @@ void Simulator::RunRound(Seconds now_s, SimResult* result) {
   instance.now_s = now_s;
   instance.oracle = oracle_;
   instance.config = options_.auction;
+  instance.warm_start = warm_enabled_ ? &warm_ : nullptr;
 
   MechanismOptions mech_options;
   mech_options.run_pricing = options_.run_pricing;
@@ -86,6 +92,7 @@ void Simulator::RunRound(Seconds now_s, SimResult* result) {
     if (options_.faults.wall_clock_budget || spike) {
       mech_options.budget.budget_s = options_.faults.round_budget_s;
       mech_options.budget.wall_clock = options_.faults.wall_clock_budget;
+      mech_options.budget.anytime = options_.faults.anytime;
       if (spike) {
         mech_options.budget.query_penalty_s =
             options_.faults.spike_query_penalty_s;
@@ -117,6 +124,21 @@ void Simulator::RunRound(Seconds now_s, SimResult* result) {
   ApplyEffects(world_->ApplyOutcome(outcome.dispatch, outcome.payments, now_s,
                                     online_idx),
                result);
+  if (warm_enabled_) {
+    // This round's surviving candidates become next round's hints, minus
+    // whatever the outcome itself just invalidated: dispatched orders leave
+    // the pool, and a vehicle with a new plan makes its old hints stale.
+    warm_.Clear();
+    for (const auto& [order, vehicle] : outcome.dispatch.surviving_pairs) {
+      warm_.Note(order, vehicle);
+    }
+    for (const Assignment& a : outcome.dispatch.assignments) {
+      warm_.InvalidateOrder(a.order);
+    }
+    for (const auto& [veh_idx, plan] : outcome.dispatch.updated_plans) {
+      warm_.InvalidateVehicle(online[veh_idx].id);
+    }
+  }
 
   result->total_utility += outcome.dispatch.total_utility;
   result->platform_utility += outcome.platform_utility;
@@ -130,7 +152,12 @@ void Simulator::RunRound(Seconds now_s, SimResult* result) {
   record.round_utility = outcome.dispatch.total_utility;
   record.dispatch_seconds = outcome.dispatch_seconds;
   record.pricing_seconds = outcome.pricing_seconds;
-  record.dispatch_tier = static_cast<int>(outcome.tier);
+  record.dispatch_tier = outcome.tier;
+  for (int t = 0; t < kDispatchTierCount; ++t) {
+    record.dispatched_by_tier[t] = outcome.dispatched_by_tier[t];
+  }
+  record.truncated = outcome.truncated;
+  if (outcome.truncated) ++result->truncated_rounds;
   result->rounds.push_back(record);
 }
 
@@ -155,14 +182,18 @@ SimResult Simulator::Run() {
       ++next_order;
     }
     if (options_.faults.any()) {
-      ApplyEffects(world_->InjectFaults(fault_plan_, round_index_, clock_s),
-                   &result);
+      const EffectBatch fault_fx =
+          world_->InjectFaults(fault_plan_, round_index_, clock_s);
+      ApplyEffects(fault_fx, &result);
+      if (warm_enabled_) InvalidateWarmStart(fault_fx, &warm_);
     }
     RunRound(clock_s, &result);
     // Advance the world by one round.
     {
       OBS_TRACE_SPAN("sim.advance");
-      ApplyEffects(world_->AdvanceRound(clock_s), &result);
+      const EffectBatch advance_fx = world_->AdvanceRound(clock_s);
+      ApplyEffects(advance_fx, &result);
+      if (warm_enabled_) InvalidateWarmStart(advance_fx, &warm_);
     }
     clock_s += options_.round_duration_s;
     ++round_index_;

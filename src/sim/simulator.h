@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "auction/mechanism.h"
+#include "auction/warm_start.h"
 #include "engine/faults.h"
 #include "engine/result.h"
 #include "engine/world.h"
@@ -88,6 +89,13 @@ class Simulator {
 
   std::vector<OrderLedgerEntry> ledger_;
   std::unique_ptr<ShardWorld> world_;
+
+  // Warm-start hints carried between rounds (anytime quality curve only:
+  // budgeted runs with the anytime contract on). The cache is a pure
+  // function of the replayed event sequence, so it never perturbs
+  // determinism — hints only permute processing order within a round.
+  WarmStartCache warm_;
+  bool warm_enabled_ = false;
 };
 
 }  // namespace auctionride

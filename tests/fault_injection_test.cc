@@ -70,6 +70,7 @@ void ExpectSameResult(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.orders_cancelled, b.orders_cancelled);
   EXPECT_EQ(a.orders_redispatched, b.orders_redispatched);
   EXPECT_EQ(a.degraded_rounds, b.degraded_rounds);
+  EXPECT_EQ(a.truncated_rounds, b.truncated_rounds);
   EXPECT_EQ(a.refunded_payments, b.refunded_payments);
   EXPECT_EQ(a.total_delivery_m, b.total_delivery_m);
   EXPECT_EQ(a.driver_utility, b.driver_utility);
@@ -86,6 +87,12 @@ void ExpectSameResult(const SimResult& a, const SimResult& b) {
     EXPECT_EQ(a.rounds[r].dispatched, b.rounds[r].dispatched) << r;
     EXPECT_EQ(a.rounds[r].round_utility, b.rounds[r].round_utility) << r;
     EXPECT_EQ(a.rounds[r].dispatch_tier, b.rounds[r].dispatch_tier) << r;
+    EXPECT_EQ(a.rounds[r].truncated, b.rounds[r].truncated) << r;
+    for (int t = 0; t < kDispatchTierCount; ++t) {
+      EXPECT_EQ(a.rounds[r].dispatched_by_tier[t],
+                b.rounds[r].dispatched_by_tier[t])
+          << r << " tier " << t;
+    }
     // dispatch_seconds / pricing_seconds are wall time — excluded.
   }
 
@@ -202,7 +209,7 @@ TEST_F(FaultInjectionTest, SpikesDriveTheDegradationLadder) {
   EXPECT_GT(result.degraded_rounds, 0);
   int fcfs_rounds = 0;
   for (const RoundRecord& r : result.rounds) {
-    if (r.dispatch_tier == 2) ++fcfs_rounds;
+    if (r.dispatch_tier == DispatchTier::kFcfsFallback) ++fcfs_rounds;
   }
   EXPECT_GT(fcfs_rounds, 0);
   // FCFS rounds carry no payments but dispatch still verifies; utility can

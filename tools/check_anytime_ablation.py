@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""CI gate for the anytime-vs-cliff dispatch ablation (AR_ANYTIME).
+
+Compares four morning_peak runs of the same seed/scale and enforces the
+anytime contract from docs/ROBUSTNESS.md:
+
+  * Under a storm profile with a synthetic round budget, the anytime run
+    must actually hit the budget (anytime.truncated_rounds > 0) and keep
+    finalized winners at the cut (anytime.partial_winners > 0).
+  * The anytime run must dispatch at least as many orders as the legacy
+    cliff run (AR_ANYTIME=0) on the same seed — best-so-far results are
+    never worse than abandoning the attempt.
+  * With faults (and therefore budgets) disabled, the anytime flag must be
+    inert: every metrics counter of the AR_ANYTIME=1 and AR_ANYTIME=0 runs
+    must match exactly.
+
+Usage:
+  check_anytime_ablation.py BENCH_storm_anytime.json BENCH_storm_cliff.json \
+      BENCH_none_anytime.json BENCH_none_cliff.json
+"""
+
+import json
+import sys
+
+TRUNCATED = "auction.dispatch.anytime.truncated_rounds"
+PARTIAL = "auction.dispatch.anytime.partial_winners"
+
+
+def fail(message):
+    print(f"anytime ablation gate: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv):
+    if len(argv) != 5:
+        fail(f"usage: {argv[0]} STORM_ON STORM_OFF NONE_ON NONE_OFF")
+    storm_on = load(argv[1])
+    storm_off = load(argv[2])
+    none_on = load(argv[3])
+    none_off = load(argv[4])
+
+    on_counters = storm_on["metrics"]["counters"]
+    truncated = on_counters.get(TRUNCATED, 0)
+    partial = on_counters.get(PARTIAL, 0)
+    if truncated <= 0:
+        fail(f"storm anytime run never hit the budget ({TRUNCATED} == 0); "
+             "the ablation exercised nothing")
+    if partial <= 0:
+        fail(f"storm anytime run kept no winners at the cut ({PARTIAL} == 0)")
+
+    on_dispatched = storm_on["config"]["orders_dispatched"]
+    off_dispatched = storm_off["config"]["orders_dispatched"]
+    if on_dispatched < off_dispatched:
+        fail("anytime dispatched fewer orders than the cliff run "
+             f"({on_dispatched} < {off_dispatched}); best-so-far must "
+             "dominate abandoning the attempt")
+    print(f"anytime ablation gate: storm truncated_rounds = {truncated}, "
+          f"partial_winners = {partial}, dispatched {on_dispatched} >= "
+          f"{off_dispatched} (cliff)")
+
+    a = none_on["metrics"]["counters"]
+    b = none_off["metrics"]["counters"]
+    for key in sorted(set(a) | set(b)):
+        if a.get(key, 0) != b.get(key, 0):
+            fail(f"fault-free runs diverge on counter {key}: "
+                 f"AR_ANYTIME=1 -> {a.get(key, 0)}, "
+                 f"AR_ANYTIME=0 -> {b.get(key, 0)}; the flag must be inert "
+                 "without budgets")
+    print(f"anytime ablation gate: fault-free runs identical across "
+          f"{len(set(a) | set(b))} counters")
+    print("anytime ablation gate: PASS")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
